@@ -1,0 +1,70 @@
+// E12 (extension) — construction scalability in |Dtr|.
+//
+// The paper's construction loop is one pass over the training set; its
+// feasibility hinges on the per-sample cost of the abstraction update and
+// on the BDD not growing out of control as patterns accumulate. This
+// bench sweeps the training-set size and reports construction time and
+// monitor size for standard and robust interval monitors.
+#include <cstdio>
+
+#include "core/interval_monitor.hpp"
+#include "core/monitor_builder.hpp"
+#include "nn/init.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace ranm;
+
+int main() {
+  Rng rng(321);
+  Network net = make_mlp({12, 48, 32, 8}, rng);
+  const std::size_t k = 4;  // activation after the second Dense (dim 32)
+  MonitorBuilder builder(net, k);
+
+  // One big pool; prefixes of it form the sweep.
+  std::vector<Tensor> pool;
+  for (int i = 0; i < 4096; ++i) {
+    pool.push_back(Tensor::random_uniform({12}, rng));
+  }
+  NeuronStats stats(builder.feature_dim(), true);
+  for (std::size_t i = 0; i < 512; ++i) {
+    stats.add(builder.features(pool[i]));
+  }
+
+  TextTable table("E12: construction cost vs training-set size "
+                  "(interval 2-bit, MLP 12-48-32-8, monitor layer 4)");
+  table.set_header({"|Dtr|", "mode", "build ms", "us/sample", "patterns",
+                    "bdd nodes"});
+
+  for (std::size_t n : {64UL, 256UL, 1024UL}) {
+    const std::vector<Tensor> data(pool.begin(), pool.begin() + long(n));
+    for (bool robust : {false, true}) {
+      IntervalMonitor m(ThresholdSpec::from_percentiles(stats, 2));
+      Timer t;
+      if (robust) {
+        builder.build_robust(m, data,
+                             PerturbationSpec{0, 0.02F, BoundDomain::kBox});
+      } else {
+        builder.build_standard(m, data);
+      }
+      const double ms = t.millis();
+      table.add_row({std::to_string(n), robust ? "robust" : "standard",
+                     TextTable::num(ms, 1),
+                     TextTable::num(ms * 1000.0 / double(n), 1),
+                     TextTable::num(m.pattern_count(), 0),
+                     std::to_string(m.bdd_node_count())});
+    }
+  }
+  table.print();
+  std::printf(
+      "\n[E12] expected shape: standard construction stays ~10 us/sample "
+      "(one forward + one cube insert). Robust construction on *random* "
+      "inputs is the adversarial case: every insert contributes fresh "
+      "straddling code ranges, so the BDD grows super-linearly — this is "
+      "the documented scalability limit of word2set on uncorrelated "
+      "features. On the structured perception workloads (E3) robust "
+      "construction of 500 samples costs ~0.5 ms/sample because feature "
+      "vectors repeat and correlate.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// E10 (ablation) — the paper's §III-A notes that monitoring a subset of
+// neurons and monitoring multiple layers are straightforward extensions.
+// This ablation quantifies both on the race-track workload:
+//
+//   (a) fraction of monitored neurons (top-variance selection) vs
+//       FP / detection — how much coverage does a cheap monitor keep?
+//   (b) single-layer vs multi-layer monitors under any/majority/all vote
+//       policies, standard vs robust construction.
+#include <cstdio>
+#include <memory>
+
+#include "core/minmax_monitor.hpp"
+#include "core/monitor_builder.hpp"
+#include "core/multi_layer_monitor.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "util/table.hpp"
+
+using namespace ranm;
+
+namespace {
+
+struct Rates {
+  double fp = 0.0;
+  double detection = 0.0;
+};
+
+Rates measure(const MultiLayerMonitor& mlm, const LabSetup& setup) {
+  Rates r;
+  std::size_t warned = 0;
+  for (const Tensor& v : setup.test.inputs) warned += mlm.warns(v);
+  r.fp = double(warned) / double(setup.test.size());
+  double det = 0.0;
+  for (const auto& [name, inputs] : setup.ood) {
+    std::size_t w = 0;
+    for (const Tensor& v : inputs) w += mlm.warns(v);
+    det += double(w) / double(inputs.size());
+  }
+  r.detection = det / double(setup.ood.size());
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  LabConfig cfg;
+  cfg.train_samples = 500;
+  cfg.test_samples = 1200;
+  cfg.ood_samples = 150;
+  cfg.epochs = 5;
+  std::printf("[E10] preparing race-track setup...\n");
+  LabSetup setup = make_lab_setup(cfg);
+  const std::size_t k = setup.monitor_layer;
+  Network& net = setup.net;
+
+  MonitorBuilder builder(net, k);
+  NeuronStats stats = builder.collect_stats(setup.train.inputs, true);
+  const std::size_t d = builder.feature_dim();
+  const PerturbationSpec spec{0, 0.005F, BoundDomain::kBox};
+
+  // (a) neuron-subset sweep.
+  TextTable ta("E10a: monitored-neuron fraction (top-variance selection, "
+               "robust min-max)");
+  ta.set_header({"neurons", "fraction", "FP rate", "mean detection"});
+  for (std::size_t count : {d / 8, d / 4, d / 2, 3 * d / 4, d}) {
+    if (count == 0) continue;
+    MultiLayerMonitor mlm(net, WarnPolicy::kAny);
+    mlm.attach(k, NeuronSelection::top_variance(stats, count),
+               std::make_unique<MinMaxMonitor>(count));
+    mlm.build_robust(setup.train.inputs, spec);
+    const Rates r = measure(mlm, setup);
+    char frac[16];
+    std::snprintf(frac, sizeof frac, "%.0f%%", 100.0 * double(count) / d);
+    ta.add_row({std::to_string(count), frac, TextTable::pct(100 * r.fp, 3),
+                TextTable::pct(100 * r.detection, 1)});
+  }
+  ta.print();
+
+  // (b) multi-layer vote policies. Attach monitors at the conv activation
+  // (2), the flatten output (4) and the hidden activation (6).
+  TextTable tb("E10b: multi-layer monitors (layers 2+4+6) vs single layer");
+  tb.set_header({"configuration", "mode", "FP rate", "mean detection"});
+  auto attach_all = [&](MultiLayerMonitor& mlm) {
+    for (std::size_t layer : {2UL, 4UL, 6UL}) {
+      const std::size_t dim = net.layer(layer).output_size();
+      mlm.attach(layer, NeuronSelection::all(dim),
+                 std::make_unique<MinMaxMonitor>(dim));
+    }
+  };
+  for (bool robust : {false, true}) {
+    {
+      MultiLayerMonitor single(net, WarnPolicy::kAny);
+      single.attach(k, NeuronSelection::all(d),
+                    std::make_unique<MinMaxMonitor>(d));
+      if (robust) {
+        single.build_robust(setup.train.inputs, spec);
+      } else {
+        single.build_standard(setup.train.inputs);
+      }
+      const Rates r = measure(single, setup);
+      tb.add_row({"single layer 6", robust ? "robust" : "standard",
+                  TextTable::pct(100 * r.fp, 3),
+                  TextTable::pct(100 * r.detection, 1)});
+    }
+    for (WarnPolicy policy :
+         {WarnPolicy::kAny, WarnPolicy::kMajority, WarnPolicy::kAll}) {
+      MultiLayerMonitor mlm(net, policy);
+      attach_all(mlm);
+      if (robust) {
+        mlm.build_robust(setup.train.inputs, spec);
+      } else {
+        mlm.build_standard(setup.train.inputs);
+      }
+      const Rates r = measure(mlm, setup);
+      tb.add_row({std::string("layers 2+4+6, ") +
+                      std::string(warn_policy_name(policy)),
+                  robust ? "robust" : "standard",
+                  TextTable::pct(100 * r.fp, 3),
+                  TextTable::pct(100 * r.detection, 1)});
+    }
+  }
+  tb.print();
+  std::printf("\n[E10] expected shape: a small top-variance subset retains "
+              "most detection at lower cost; multi-layer 'any' raises both "
+              "FP and detection, 'all' suppresses FP; robust construction "
+              "tames FP in every configuration.\n");
+  return 0;
+}

@@ -1,0 +1,192 @@
+// E9 — operational cost. A runtime monitor rides along with every
+// inference, so query latency and construction throughput matter.
+// google-benchmark microbenchmarks for: monitor queries (all families),
+// robust vs standard construction steps, perturbation estimation, and the
+// underlying BDD operations.
+#include <benchmark/benchmark.h>
+
+#include "core/box_cluster_monitor.hpp"
+#include "core/interval_monitor.hpp"
+#include "core/minmax_monitor.hpp"
+#include "core/monitor_builder.hpp"
+#include "core/onoff_monitor.hpp"
+#include "nn/init.hpp"
+#include "util/rng.hpp"
+
+namespace ranm {
+namespace {
+
+struct Fixture {
+  Rng rng{123};
+  Network net = make_mlp({16, 64, 32, 8}, rng);
+  std::size_t k = 4;  // ReLU after second Dense, dim 32
+  MonitorBuilder builder{net, k};
+  std::vector<Tensor> train;
+  std::vector<std::vector<float>> features;
+  NeuronStats stats{32, true};
+
+  Fixture() {
+    for (int i = 0; i < 200; ++i) {
+      train.push_back(Tensor::random_uniform({16}, rng));
+      features.push_back(builder.features(train.back()));
+      stats.add(features.back());
+    }
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_MinMaxQuery(benchmark::State& state) {
+  auto& f = fixture();
+  MinMaxMonitor m(32);
+  f.builder.build_standard(m, f.train);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.warn(f.features[i++ % f.features.size()]));
+  }
+}
+BENCHMARK(BM_MinMaxQuery);
+
+void BM_OnOffQuery(benchmark::State& state) {
+  auto& f = fixture();
+  OnOffMonitor m(ThresholdSpec::from_means(f.stats));
+  f.builder.build_standard(m, f.train);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.warn(f.features[i++ % f.features.size()]));
+  }
+}
+BENCHMARK(BM_OnOffQuery);
+
+void BM_IntervalQuery(benchmark::State& state) {
+  auto& f = fixture();
+  const auto bits = std::size_t(state.range(0));
+  IntervalMonitor m(ThresholdSpec::from_percentiles(f.stats, bits));
+  f.builder.build_standard(m, f.train);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.warn(f.features[i++ % f.features.size()]));
+  }
+}
+BENCHMARK(BM_IntervalQuery)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_BoxClusterQuery(benchmark::State& state) {
+  auto& f = fixture();
+  BoxClusterMonitor m(32, 8);
+  f.builder.build_standard(m, f.train);
+  Rng rng(7);
+  m.finalize(rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.warn(f.features[i++ % f.features.size()]));
+  }
+}
+BENCHMARK(BM_BoxClusterQuery);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  auto& f = fixture();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.builder.features(f.train[i++ % f.train.size()]));
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_StandardObserve(benchmark::State& state) {
+  auto& f = fixture();
+  IntervalMonitor m(ThresholdSpec::from_percentiles(f.stats, 2));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    m.observe(f.features[i++ % f.features.size()]);
+  }
+}
+BENCHMARK(BM_StandardObserve);
+
+void BM_RobustBuild50(benchmark::State& state) {
+  // Cost of constructing a robust 2-bit monitor from 50 pre-computed
+  // bound vectors. A fresh monitor per iteration keeps the measurement
+  // bounded (inserting into an ever-growing set is not a steady state).
+  auto& f = fixture();
+  PerturbationEstimator pe(f.net, f.k,
+                           PerturbationSpec{0, 0.01F, BoundDomain::kBox});
+  std::vector<IntervalVector> bounds;
+  for (int i = 0; i < 50; ++i) bounds.push_back(pe.estimate(f.train[i]));
+  for (auto _ : state) {
+    IntervalMonitor m(ThresholdSpec::from_percentiles(f.stats, 2));
+    for (const auto& b : bounds) m.observe_bounds(b.lowers(), b.uppers());
+    benchmark::DoNotOptimize(m.bdd_node_count());
+  }
+}
+BENCHMARK(BM_RobustBuild50);
+
+void BM_PerturbationEstimateBox(benchmark::State& state) {
+  auto& f = fixture();
+  PerturbationEstimator pe(f.net, f.k,
+                           PerturbationSpec{0, 0.05F, BoundDomain::kBox});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pe.estimate(f.train[i++ % f.train.size()]));
+  }
+}
+BENCHMARK(BM_PerturbationEstimateBox);
+
+void BM_PerturbationEstimateZonotope(benchmark::State& state) {
+  auto& f = fixture();
+  PerturbationEstimator pe(
+      f.net, f.k, PerturbationSpec{0, 0.05F, BoundDomain::kZonotope});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pe.estimate(f.train[i++ % f.train.size()]));
+  }
+}
+BENCHMARK(BM_PerturbationEstimateZonotope);
+
+void BM_BddBuild256Words(benchmark::State& state) {
+  // Cost of building a fresh pattern set of 256 random full words over 64
+  // variables — the standard-monitor construction workload (manager
+  // allocation, cube construction, OR chain). Sparse random cubes with
+  // many scattered don't-cares are deliberately NOT benchmarked here:
+  // they are the BDD worst case and not what monitor construction emits
+  // (robust inserts have contiguous per-neuron structure; see E4).
+  for (auto _ : state) {
+    bdd::BddManager mgr(64);
+    Rng rng(5);
+    bdd::NodeRef acc = bdd::kFalse;
+    for (int i = 0; i < 256; ++i) {
+      std::vector<bdd::CubeBit> bits(64);
+      for (auto& b : bits) {
+        b = rng.chance(0.5) ? bdd::CubeBit::kOne : bdd::CubeBit::kZero;
+      }
+      acc = mgr.or_(acc, mgr.cube(bits));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_BddBuild256Words);
+
+void BM_BddEval(benchmark::State& state) {
+  bdd::BddManager mgr(64);
+  Rng rng(6);
+  bdd::NodeRef set = bdd::kFalse;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<bdd::CubeBit> bits(64);
+    for (auto& b : bits) {
+      b = rng.chance(0.5) ? bdd::CubeBit::kOne : bdd::CubeBit::kZero;
+    }
+    set = mgr.or_(set, mgr.cube(bits));
+  }
+  std::vector<bool> assignment(64);
+  for (std::size_t j = 0; j < 64; ++j) assignment[j] = rng.chance(0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.eval(set, assignment));
+  }
+}
+BENCHMARK(BM_BddEval);
+
+}  // namespace
+}  // namespace ranm
+
+BENCHMARK_MAIN();

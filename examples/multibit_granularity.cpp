@@ -1,0 +1,56 @@
+// §III-C of the paper generalises monitors from one bit per neuron to
+// multi-bit interval codes. This example shows the granularity trade-off
+// on the race-track workload: more bits -> finer abstraction -> higher
+// detection but (without robust construction) more false positives; robust
+// construction tames the false positives at every bit width.
+#include <cstdio>
+
+#include "core/interval_monitor.hpp"
+#include "core/monitor_builder.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "util/table.hpp"
+
+using namespace ranm;
+
+int main() {
+  LabConfig cfg;
+  cfg.train_samples = 300;
+  cfg.test_samples = 600;
+  cfg.ood_samples = 100;
+  cfg.epochs = 4;
+  std::printf("Preparing race-track setup...\n");
+  LabSetup setup = make_lab_setup(cfg);
+
+  MonitorBuilder builder(setup.net, setup.monitor_layer);
+  NeuronStats stats =
+      builder.collect_stats(setup.train.inputs, /*keep_samples=*/true);
+
+  TextTable table("bits per neuron vs FP / detection / BDD size");
+  table.set_header({"bits", "mode", "FP rate", "mean detection",
+                    "patterns", "bdd nodes"});
+
+  for (std::size_t bits = 1; bits <= 4; ++bits) {
+    for (bool robust : {false, true}) {
+      IntervalMonitor m(ThresholdSpec::from_percentiles(stats, bits));
+      if (robust) {
+        builder.build_robust(m, setup.train.inputs,
+                             PerturbationSpec{0, 0.003F, BoundDomain::kBox});
+      } else {
+        builder.build_standard(m, setup.train.inputs);
+      }
+      const auto eval =
+          evaluate_monitor(builder, m, setup.test.inputs, setup.ood);
+      table.add_row({std::to_string(bits), robust ? "robust" : "standard",
+                     TextTable::pct(100 * eval.false_positive_rate, 2),
+                     TextTable::pct(100 * eval.mean_detection(), 1),
+                     TextTable::num(m.pattern_count(), 0),
+                     std::to_string(m.bdd_node_count())});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: FP grows with bits for standard monitors, robust\n"
+      "construction keeps FP near zero while detection stays useful.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: build a provably-robust activation-pattern monitor for a
+// small network in ~40 lines of API use.
+//
+//   1. Train (here: randomly initialise) a network.
+//   2. Pick the monitored layer k and collect training features.
+//   3. Build a standard monitor and a robust monitor (Definition 1 bounds).
+//   4. Query both on in-distribution and out-of-distribution inputs.
+#include <cstdio>
+
+#include "core/interval_monitor.hpp"
+#include "core/monitor_builder.hpp"
+#include "nn/init.hpp"
+#include "util/rng.hpp"
+
+using namespace ranm;
+
+int main() {
+  Rng rng(2024);
+
+  // A small MLP standing in for a trained perception network.
+  Network net = make_mlp({8, 32, 16, 4}, rng);
+  const std::size_t k = 4;  // monitor the ReLU after the second Dense
+
+  // "Training data": inputs the network is expected to see in operation.
+  std::vector<Tensor> train;
+  for (int i = 0; i < 200; ++i) {
+    train.push_back(Tensor::random_uniform({8}, rng, -1.0F, 1.0F));
+  }
+
+  MonitorBuilder builder(net, k);
+  std::printf("monitored layer %zu has %zu neurons\n", k,
+              builder.feature_dim());
+
+  // Thresholds for the 2-bit interval monitor from training percentiles.
+  NeuronStats stats = builder.collect_stats(train, /*keep_samples=*/true);
+  IntervalMonitor standard(ThresholdSpec::from_percentiles(stats, 2));
+  IntervalMonitor robust(ThresholdSpec::from_percentiles(stats, 2));
+
+  // Standard construction: abstraction of exact feature vectors.
+  builder.build_standard(standard, train);
+  // Robust construction: abstraction of worst-case bounds under an
+  // L-inf perturbation of radius 0.01 at the input (kp = 0).
+  builder.build_robust(robust, train,
+                       PerturbationSpec{0, 0.01F, BoundDomain::kBox});
+
+  std::printf("standard monitor: %s\n", standard.describe().c_str());
+  std::printf("robust   monitor: %s\n", robust.describe().c_str());
+
+  // Operation time: noisy versions of training inputs (inside the ODD)
+  // should not trigger the robust monitor; far-away inputs should.
+  int std_fp = 0, rob_fp = 0, std_det = 0, rob_det = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    Tensor in_dist = train[std::size_t(i) % train.size()];
+    for (std::size_t j = 0; j < in_dist.numel(); ++j) {
+      in_dist[j] += rng.uniform_f(-0.01F, 0.01F);
+    }
+    std_fp += builder.warns(standard, in_dist);
+    rob_fp += builder.warns(robust, in_dist);
+
+    const Tensor far = Tensor::random_uniform({8}, rng, 4.0F, 6.0F);
+    std_det += builder.warns(standard, far);
+    rob_det += builder.warns(robust, far);
+  }
+  std::printf("\n%-10s | %-18s | %-18s\n", "monitor", "false-positive rate",
+              "OOD detection rate");
+  std::printf("%-10s | %17.1f%% | %17.1f%%\n", "standard",
+              100.0 * std_fp / n, 100.0 * std_det / n);
+  std::printf("%-10s | %17.1f%% | %17.1f%%\n", "robust", 100.0 * rob_fp / n,
+              100.0 * rob_det / n);
+  std::printf(
+      "\nThe robust monitor provably never warns on inputs within the\n"
+      "trained perturbation bound (Lemma 1) yet still flags distant "
+      "inputs.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Traffic-sign OOD detection with neuron selection and multi-layer
+// monitoring (the GTSRB-style workload). Demonstrates the §III-A
+// extensions: monitoring a subset of neurons picked by training variance,
+// and combining monitors across layers with a vote policy.
+#include <cstdio>
+#include <memory>
+
+#include "core/minmax_monitor.hpp"
+#include "core/monitor_builder.hpp"
+#include "core/multi_layer_monitor.hpp"
+#include "data/signs.hpp"
+#include "nn/init.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+#include "util/table.hpp"
+
+using namespace ranm;
+
+int main() {
+  Rng rng(31);
+  SignConfig sign_cfg;
+  std::printf("Generating traffic-sign datasets...\n");
+  Dataset train_set = make_sign_dataset(sign_cfg, SignVariant::kNominal, 800, rng);
+  Dataset test = make_sign_dataset(sign_cfg, SignVariant::kNominal, 500, rng);
+  std::vector<std::pair<std::string, std::vector<Tensor>>> ood;
+  for (SignVariant v : {SignVariant::kUnseen, SignVariant::kGraffiti,
+                        SignVariant::kBlurred}) {
+    Dataset ds = make_sign_dataset(sign_cfg, v, 200, rng);
+    ood.emplace_back(std::string(sign_variant_name(v)),
+                     std::move(ds.inputs));
+  }
+
+  std::printf("Training sign classifier...\n");
+  Network net = make_small_convnet(sign_cfg.size, sign_cfg.size,
+                                   /*conv_channels=*/6, /*hidden=*/32,
+                                   kNumSignClasses, rng);
+  Adam::Config adam_cfg;
+  adam_cfg.learning_rate = 1e-2F;
+  Adam optimizer(net.parameters(), net.gradients(), adam_cfg);
+  SoftmaxCrossEntropyLoss loss;
+  TrainConfig train_cfg;
+  train_cfg.epochs = 10;
+  train_cfg.batch_size = 16;
+  (void)train(net, optimizer, loss, train_set.inputs, train_set.targets, train_cfg,
+              rng);
+  std::printf("held-out accuracy: %.1f%%\n\n",
+              100.0F * evaluate_accuracy(net, test.inputs, test.targets));
+
+  // Monitor the hidden activation (layer 6) on its 16 highest-variance
+  // neurons, plus the logits layer (7), combined with an any-vote.
+  const std::size_t hidden_layer = 6, logits_layer = 7;
+  MonitorBuilder stats_builder(net, hidden_layer);
+  NeuronStats stats =
+      stats_builder.collect_stats(train_set.inputs, /*keep_samples=*/true);
+
+  auto make_mlm = [&](bool robust) {
+    auto mlm = std::make_unique<MultiLayerMonitor>(net, WarnPolicy::kAny);
+    const auto selection = NeuronSelection::top_variance(stats, 16);
+    mlm->attach(hidden_layer, selection,
+                std::make_unique<MinMaxMonitor>(16));
+    mlm->attach(logits_layer, NeuronSelection::all(kNumSignClasses),
+                std::make_unique<MinMaxMonitor>(kNumSignClasses));
+    if (robust) {
+      mlm->build_robust(train_set.inputs,
+                        PerturbationSpec{0, 0.004F, BoundDomain::kBox});
+    } else {
+      mlm->build_standard(train_set.inputs);
+    }
+    return mlm;
+  };
+
+  TextTable table("sign monitoring: top-16 hidden neurons + logits, "
+                  "any-vote");
+  std::vector<std::string> header{"mode", "FP rate"};
+  for (const auto& [name, unused] : ood) header.push_back(name);
+  table.set_header(header);
+  for (bool robust : {false, true}) {
+    const auto mlm = make_mlm(robust);
+    std::size_t fp = 0;
+    for (const Tensor& v : test.inputs) fp += mlm->warns(v);
+    std::vector<std::string> cells{
+        robust ? "robust" : "standard",
+        TextTable::pct(100.0 * double(fp) / double(test.size()), 2)};
+    for (const auto& [name, inputs] : ood) {
+      std::size_t w = 0;
+      for (const Tensor& v : inputs) w += mlm->warns(v);
+      cells.push_back(
+          TextTable::pct(100.0 * double(w) / double(inputs.size()), 1));
+    }
+    table.add_row(cells);
+  }
+  table.print();
+  std::printf("\nExpected: robust construction removes the false alarms on "
+              "nominal signs while unseen shapes / graffiti / blur remain "
+              "detected.\n");
+  return 0;
+}

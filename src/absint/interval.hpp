@@ -1,0 +1,133 @@
+// Interval arithmetic — the "boxed abstraction" bound engine the paper uses
+// for its perturbation estimate (Definition 1, computed via interval bound
+// propagation [Gowal et al. 2018]).
+//
+// An Interval is a closed real interval [lo, hi]. An IntervalVector is a box
+// in R^d. Layer transfer functions live with the layers (ranm::nn); this
+// header provides the arithmetic they are built from.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ranm {
+
+/// Rounds a double-precision lower bound outward (down) when narrowing to
+/// float. Affine transfer functions accumulate in double and must not let
+/// the final float rounding pull a bound inward — Lemma 1 is claimed at
+/// float precision, so bounds are widened by one ulp at the cast.
+[[nodiscard]] float round_down(double v) noexcept;
+/// Rounds a double-precision upper bound outward (up) to float.
+[[nodiscard]] float round_up(double v) noexcept;
+
+/// Closed interval [lo, hi]. An interval with lo > hi is "empty"; the
+/// constructors never produce one, but is_empty() is provided for callers
+/// that build intervals manually.
+struct Interval {
+  float lo = 0.0F;
+  float hi = 0.0F;
+
+  constexpr Interval() = default;
+  /// Degenerate interval [v, v].
+  constexpr explicit Interval(float v) : lo(v), hi(v) {}
+  /// Interval [l, h]; throws if l > h (use make_unchecked to skip).
+  Interval(float l, float h);
+  /// Builds [l, h] without validation.
+  static constexpr Interval make_unchecked(float l, float h) {
+    Interval iv;
+    iv.lo = l;
+    iv.hi = h;
+    return iv;
+  }
+  /// Interval centred at c with radius r >= 0: [c - r, c + r].
+  static Interval around(float c, float r);
+
+  [[nodiscard]] constexpr bool is_empty() const noexcept { return lo > hi; }
+  [[nodiscard]] constexpr float width() const noexcept { return hi - lo; }
+  [[nodiscard]] constexpr float center() const noexcept {
+    return 0.5F * (lo + hi);
+  }
+  [[nodiscard]] constexpr float radius() const noexcept {
+    return 0.5F * (hi - lo);
+  }
+  [[nodiscard]] constexpr bool contains(float v) const noexcept {
+    return lo <= v && v <= hi;
+  }
+  [[nodiscard]] constexpr bool contains(const Interval& o) const noexcept {
+    return lo <= o.lo && o.hi <= hi;
+  }
+  /// Smallest interval containing both (interval join / hull).
+  [[nodiscard]] Interval hull(const Interval& o) const noexcept;
+
+  // Arithmetic (standard interval semantics).
+  [[nodiscard]] Interval operator+(const Interval& o) const noexcept;
+  [[nodiscard]] Interval operator-(const Interval& o) const noexcept;
+  [[nodiscard]] Interval operator*(const Interval& o) const noexcept;
+  [[nodiscard]] Interval operator+(float s) const noexcept;
+  /// Scaling by a (possibly negative) constant.
+  [[nodiscard]] Interval scaled(float s) const noexcept;
+
+  // Monotone / piecewise transfer functions used by activation layers.
+  [[nodiscard]] Interval relu() const noexcept;
+  [[nodiscard]] Interval leaky_relu(float alpha) const noexcept;
+  [[nodiscard]] Interval sigmoid() const noexcept;
+  [[nodiscard]] Interval tanh_() const noexcept;
+  /// max of two intervals: [max(lo,lo'), max(hi,hi')].
+  [[nodiscard]] Interval max_with(const Interval& o) const noexcept;
+
+  [[nodiscard]] std::string str() const;
+
+  friend constexpr bool operator==(const Interval& a,
+                                   const Interval& b) noexcept {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// A box in R^d: one interval per dimension.
+class IntervalVector {
+ public:
+  IntervalVector() = default;
+  /// d copies of [0, 0].
+  explicit IntervalVector(std::size_t d) : ivs_(d) {}
+  explicit IntervalVector(std::vector<Interval> ivs) : ivs_(std::move(ivs)) {}
+  /// Degenerate box equal to a point.
+  static IntervalVector from_point(std::span<const float> v);
+  /// L-infinity ball: [v_j - delta, v_j + delta] in every dimension.
+  static IntervalVector linf_ball(std::span<const float> v, float delta);
+
+  [[nodiscard]] std::size_t size() const noexcept { return ivs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ivs_.empty(); }
+  Interval& operator[](std::size_t i) noexcept { return ivs_[i]; }
+  const Interval& operator[](std::size_t i) const noexcept { return ivs_[i]; }
+
+  [[nodiscard]] auto begin() noexcept { return ivs_.begin(); }
+  [[nodiscard]] auto end() noexcept { return ivs_.end(); }
+  [[nodiscard]] auto begin() const noexcept { return ivs_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return ivs_.end(); }
+
+  /// True if the point lies inside the box (every coordinate).
+  [[nodiscard]] bool contains(std::span<const float> v) const noexcept;
+  /// True if `o` is contained in this box dimension-wise.
+  [[nodiscard]] bool contains(const IntervalVector& o) const noexcept;
+  /// Dimension-wise hull.
+  [[nodiscard]] IntervalVector hull(const IntervalVector& o) const;
+  /// Vector of lower bounds.
+  [[nodiscard]] std::vector<float> lowers() const;
+  /// Vector of upper bounds.
+  [[nodiscard]] std::vector<float> uppers() const;
+  /// Vector of midpoints.
+  [[nodiscard]] std::vector<float> centers() const;
+  /// Largest width over all dimensions.
+  [[nodiscard]] float max_width() const noexcept;
+  /// Sum of widths (a simple volume proxy that avoids under/overflow).
+  [[nodiscard]] float total_width() const noexcept;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<Interval> ivs_;
+};
+
+}  // namespace ranm

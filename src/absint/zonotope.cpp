@@ -1,0 +1,207 @@
+#include "absint/zonotope.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ranm {
+
+Zonotope::Zonotope(std::vector<float> center, std::vector<float> gens)
+    : center_(std::move(center)), gens_(std::move(gens)) {
+  if (!center_.empty() && gens_.size() % center_.size() != 0) {
+    throw std::invalid_argument(
+        "Zonotope: generator storage size not a multiple of dimension");
+  }
+}
+
+Zonotope Zonotope::from_point(std::span<const float> c) {
+  return Zonotope(std::vector<float>(c.begin(), c.end()), {});
+}
+
+Zonotope Zonotope::linf_ball(std::span<const float> c, float delta) {
+  if (delta < 0.0F) {
+    throw std::invalid_argument("Zonotope::linf_ball: negative delta");
+  }
+  const std::size_t d = c.size();
+  std::vector<float> gens(d * d, 0.0F);
+  for (std::size_t i = 0; i < d; ++i) gens[i * d + i] = delta;
+  return Zonotope(std::vector<float>(c.begin(), c.end()), std::move(gens));
+}
+
+Zonotope Zonotope::from_box(const IntervalVector& box) {
+  const std::size_t d = box.size();
+  std::vector<float> c(d), gens;
+  std::vector<std::size_t> nondeg;
+  for (std::size_t j = 0; j < d; ++j) {
+    c[j] = box[j].center();
+    if (box[j].radius() > 0.0F) nondeg.push_back(j);
+  }
+  gens.assign(nondeg.size() * d, 0.0F);
+  for (std::size_t i = 0; i < nondeg.size(); ++i) {
+    gens[i * d + nondeg[i]] = box[nondeg[i]].radius();
+  }
+  return Zonotope(std::move(c), std::move(gens));
+}
+
+std::span<const float> Zonotope::generator(std::size_t i) const {
+  if (i >= num_generators()) {
+    throw std::out_of_range("Zonotope::generator");
+  }
+  return {gens_.data() + i * dim(), dim()};
+}
+
+Interval Zonotope::concretize(std::size_t j) const noexcept {
+  const std::size_t d = dim();
+  double r = 0.0;
+  for (std::size_t i = 0; i < num_generators(); ++i) {
+    r += std::fabs(gens_[i * d + j]);
+  }
+  return Interval::make_unchecked(round_down(double(center_[j]) - r),
+                                  round_up(double(center_[j]) + r));
+}
+
+IntervalVector Zonotope::to_box() const {
+  std::vector<Interval> ivs(dim());
+  for (std::size_t j = 0; j < dim(); ++j) ivs[j] = concretize(j);
+  return IntervalVector(std::move(ivs));
+}
+
+Zonotope Zonotope::affine(std::span<const float> w, std::size_t rows,
+                          std::span<const float> b) const {
+  const std::size_t d = dim();
+  if (w.size() != rows * d) {
+    throw std::invalid_argument("Zonotope::affine: weight size mismatch");
+  }
+  if (b.size() != rows) {
+    throw std::invalid_argument("Zonotope::affine: bias size mismatch");
+  }
+  const std::size_t ng = num_generators();
+  std::vector<float> c(rows, 0.0F), gens(ng * rows, 0.0F);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double acc = b[r];
+    const float* wrow = w.data() + r * d;
+    for (std::size_t j = 0; j < d; ++j) acc += double(wrow[j]) * center_[j];
+    c[r] = static_cast<float>(acc);
+  }
+  for (std::size_t i = 0; i < ng; ++i) {
+    const float* g = gens_.data() + i * d;
+    float* out = gens.data() + i * rows;
+    for (std::size_t r = 0; r < rows; ++r) {
+      double acc = 0.0;
+      const float* wrow = w.data() + r * d;
+      for (std::size_t j = 0; j < d; ++j) acc += double(wrow[j]) * g[j];
+      out[r] = static_cast<float>(acc);
+    }
+  }
+  return Zonotope(std::move(c), std::move(gens));
+}
+
+Zonotope Zonotope::scale_shift(std::span<const float> scale,
+                               std::span<const float> shift) const {
+  const std::size_t d = dim();
+  if (scale.size() != d || shift.size() != d) {
+    throw std::invalid_argument("Zonotope::scale_shift: size mismatch");
+  }
+  std::vector<float> c(d), gens(gens_.size());
+  for (std::size_t j = 0; j < d; ++j) c[j] = center_[j] * scale[j] + shift[j];
+  for (std::size_t i = 0; i < num_generators(); ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      gens[i * d + j] = gens_[i * d + j] * scale[j];
+    }
+  }
+  return Zonotope(std::move(c), std::move(gens));
+}
+
+Zonotope Zonotope::relu() const { return leaky_relu(0.0F); }
+
+Zonotope Zonotope::leaky_relu(float alpha) const {
+  const std::size_t d = dim();
+  const std::size_t ng = num_generators();
+
+  // Per-dimension plan: pass-through (slope 1), kill (slope alpha),
+  // or relax with slope lambda and fresh noise.
+  std::vector<float> slope(d, 1.0F), shift(d, 0.0F), fresh(d, 0.0F);
+  for (std::size_t j = 0; j < d; ++j) {
+    const Interval iv = concretize(j);
+    const float l = iv.lo, u = iv.hi;
+    if (l >= 0.0F) {
+      slope[j] = 1.0F;
+    } else if (u <= 0.0F) {
+      slope[j] = alpha;
+    } else {
+      // Minimal-area relaxation of max(alpha*x, x) over [l, u]:
+      // lambda = (u - alpha*l) / (u - l); the relaxation band has height
+      // (lambda - alpha) * (-l) at x = l (equivalently (1-lambda)*u at u),
+      // centred by mu with radius mu as the fresh-noise coefficient.
+      const float lambda = (u - alpha * l) / (u - l);
+      const float mu = 0.5F * (lambda - alpha) * (-l);
+      slope[j] = lambda;
+      shift[j] = mu;
+      fresh[j] = mu;
+    }
+  }
+
+  std::size_t n_fresh = 0;
+  for (std::size_t j = 0; j < d; ++j) {
+    if (fresh[j] > 0.0F) ++n_fresh;
+  }
+
+  std::vector<float> c(d), gens((ng + n_fresh) * d, 0.0F);
+  for (std::size_t j = 0; j < d; ++j) {
+    c[j] = center_[j] * slope[j] + shift[j];
+  }
+  for (std::size_t i = 0; i < ng; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      gens[i * d + j] = gens_[i * d + j] * slope[j];
+    }
+  }
+  std::size_t next = ng;
+  for (std::size_t j = 0; j < d; ++j) {
+    if (fresh[j] > 0.0F) {
+      gens[next * d + j] = fresh[j];
+      ++next;
+    }
+  }
+  return Zonotope(std::move(c), std::move(gens));
+}
+
+Zonotope Zonotope::monotone_via_box(Interval (*f)(const Interval&)) const {
+  const IntervalVector box = to_box();
+  std::vector<Interval> image(box.size());
+  for (std::size_t j = 0; j < box.size(); ++j) image[j] = f(box[j]);
+  return from_box(IntervalVector(std::move(image)));
+}
+
+Zonotope Zonotope::reduced(float eps) const {
+  const std::size_t d = dim();
+  const std::size_t ng = num_generators();
+  std::vector<bool> keep(ng, true);
+  std::vector<float> slack(d, 0.0F);
+  for (std::size_t i = 0; i < ng; ++i) {
+    double mag = 0.0;
+    for (std::size_t j = 0; j < d; ++j) mag += std::fabs(gens_[i * d + j]);
+    if (mag < eps) {
+      keep[i] = false;
+      for (std::size_t j = 0; j < d; ++j) {
+        slack[j] += std::fabs(gens_[i * d + j]);
+      }
+    }
+  }
+  std::vector<float> gens;
+  for (std::size_t i = 0; i < ng; ++i) {
+    if (keep[i]) {
+      gens.insert(gens.end(), gens_.begin() + i * d,
+                  gens_.begin() + (i + 1) * d);
+    }
+  }
+  // One box generator per dimension that lost mass.
+  for (std::size_t j = 0; j < d; ++j) {
+    if (slack[j] > 0.0F) {
+      std::vector<float> g(d, 0.0F);
+      g[j] = slack[j];
+      gens.insert(gens.end(), g.begin(), g.end());
+    }
+  }
+  return Zonotope(center_, std::move(gens));
+}
+
+}  // namespace ranm

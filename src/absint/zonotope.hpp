@@ -1,0 +1,87 @@
+// Zonotope abstract domain — the tighter alternative bound engine the paper
+// cites (Gehr et al., "AI2", S&P 2018). A zonotope represents the set
+//
+//   { c + sum_i eps_i * g_i  :  eps_i in [-1, 1] }
+//
+// with center c in R^d and generators g_i in R^d. Affine layers transform
+// zonotopes exactly (no precision loss), which is why zonotopes dominate
+// plain interval propagation on deep affine chains. Nonlinear activations
+// use the standard DeepZ-style minimal-area approximation, adding one fresh
+// noise symbol per approximated neuron.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "absint/interval.hpp"
+
+namespace ranm {
+
+/// Zonotope over R^d with a shared set of noise symbols.
+/// Generators are stored row-major: gens_[i * dim + j] is the j-th
+/// coordinate of generator i.
+class Zonotope {
+ public:
+  Zonotope() = default;
+  /// Degenerate zonotope equal to a point.
+  static Zonotope from_point(std::span<const float> c);
+  /// L-infinity ball of radius delta around c: one generator per dimension.
+  static Zonotope linf_ball(std::span<const float> c, float delta);
+  /// Zonotope from an interval box (one generator per non-degenerate dim).
+  static Zonotope from_box(const IntervalVector& box);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return center_.size(); }
+  [[nodiscard]] std::size_t num_generators() const noexcept {
+    return dim() == 0 ? 0 : gens_.size() / dim();
+  }
+  [[nodiscard]] const std::vector<float>& center() const noexcept {
+    return center_;
+  }
+
+  /// Generator i as a span of length dim().
+  [[nodiscard]] std::span<const float> generator(std::size_t i) const;
+
+  /// Concretises dimension j to an interval:
+  /// [c_j - sum_i |g_ij|, c_j + sum_i |g_ij|].
+  [[nodiscard]] Interval concretize(std::size_t j) const noexcept;
+  /// Concretises the whole zonotope to its bounding box.
+  [[nodiscard]] IntervalVector to_box() const;
+
+  /// Exact affine image: y = W x + b with W given row-major (rows x dim()).
+  /// Returns a zonotope of dimension `rows`.
+  [[nodiscard]] Zonotope affine(std::span<const float> w, std::size_t rows,
+                                std::span<const float> b) const;
+
+  /// Generic per-dimension affine map y_j = scale_j * x_j + shift_j
+  /// (used by normalisation-style layers). Exact.
+  [[nodiscard]] Zonotope scale_shift(std::span<const float> scale,
+                                     std::span<const float> shift) const;
+
+  /// DeepZ ReLU transformer: exact where the sign is fixed, minimal-area
+  /// linear relaxation (lambda = u/(u-l)) with one fresh noise symbol where
+  /// the interval straddles zero.
+  [[nodiscard]] Zonotope relu() const;
+
+  /// Leaky-ReLU transformer (alpha in [0,1)); same relaxation strategy.
+  [[nodiscard]] Zonotope leaky_relu(float alpha) const;
+
+  /// Sound but coarse transformer for arbitrary monotone sigmoid-shaped
+  /// functions: falls back to the bounding box of the image. Used for
+  /// sigmoid/tanh where we do not implement the tighter slope relaxation.
+  [[nodiscard]] Zonotope monotone_via_box(Interval (*f)(const Interval&)) const;
+
+  /// Builds a fresh zonotope from explicit parts (sizes validated).
+  Zonotope(std::vector<float> center, std::vector<float> gens);
+
+  /// Drops generators whose total magnitude is below `eps`, folding their
+  /// mass into a single box generator per dimension (order reduction).
+  /// Keeps soundness; loses some precision.
+  [[nodiscard]] Zonotope reduced(float eps) const;
+
+ private:
+  std::vector<float> center_;
+  std::vector<float> gens_;  // num_generators x dim, row-major
+};
+
+}  // namespace ranm

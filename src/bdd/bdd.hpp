@@ -1,0 +1,195 @@
+// Reduced Ordered Binary Decision Diagrams (Bryant 1992, ref [12] in the
+// paper). The paper stores the set of visited activation patterns in a BDD;
+// robust construction inserts words with don't-care bits, which a BDD
+// represents without enumerating the exponential word set (footnote 2).
+//
+// Design: a single arena of nodes owned by a BddManager. Node 0 is the
+// FALSE terminal, node 1 the TRUE terminal. Variables are dense integers
+// 0..num_vars-1 ordered by index (smaller index nearer the root). Nodes are
+// hash-consed through a unique table, so structural equality is pointer
+// equality — two BDDs are the same function iff they are the same NodeRef.
+// Nodes are never garbage collected; monitor workloads allocate a few
+// hundred thousand nodes at most.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ranm::bdd {
+
+/// Reference to a BDD node (index into the manager's arena).
+using NodeRef = std::uint32_t;
+
+/// The two terminal nodes have fixed references.
+inline constexpr NodeRef kFalse = 0;
+inline constexpr NodeRef kTrue = 1;
+
+/// A literal: variable index plus polarity.
+struct Literal {
+  std::uint32_t var = 0;
+  bool positive = true;
+};
+
+/// Value of a variable inside a cube: false / true / unconstrained.
+enum class CubeBit : std::int8_t { kZero = 0, kOne = 1, kDontCare = 2 };
+
+/// Hash-consing BDD manager. All NodeRefs are owned by and only valid with
+/// the manager that created them. Not thread-safe.
+class BddManager {
+ public:
+  explicit BddManager(std::uint32_t num_vars);
+
+  [[nodiscard]] std::uint32_t num_vars() const noexcept { return num_vars_; }
+  /// Total nodes allocated in the arena (including the two terminals).
+  [[nodiscard]] std::size_t arena_size() const noexcept {
+    return nodes_.size();
+  }
+
+  // -- leaf / variable constructors --------------------------------------
+  [[nodiscard]] static constexpr NodeRef false_() noexcept { return kFalse; }
+  [[nodiscard]] static constexpr NodeRef true_() noexcept { return kTrue; }
+  /// The function "variable v".
+  [[nodiscard]] NodeRef var(std::uint32_t v);
+  /// The function "not variable v".
+  [[nodiscard]] NodeRef nvar(std::uint32_t v);
+  /// A literal as a function.
+  [[nodiscard]] NodeRef literal(Literal lit);
+
+  // -- boolean combinators ------------------------------------------------
+  /// If-then-else: the universal ternary combinator all others reduce to.
+  [[nodiscard]] NodeRef ite(NodeRef f, NodeRef g, NodeRef h);
+  [[nodiscard]] NodeRef and_(NodeRef a, NodeRef b);
+  [[nodiscard]] NodeRef or_(NodeRef a, NodeRef b);
+  [[nodiscard]] NodeRef xor_(NodeRef a, NodeRef b);
+  [[nodiscard]] NodeRef not_(NodeRef a);
+  [[nodiscard]] NodeRef implies(NodeRef a, NodeRef b);
+
+  /// Conjunction of literals; bits[i] == kDontCare contributes nothing.
+  /// This is exactly the paper's word2set: constrained bits become
+  /// literals, don't-cares are simply absent (footnote 2 — linear size).
+  [[nodiscard]] NodeRef cube(std::span<const CubeBit> bits);
+
+  // -- structural operations ----------------------------------------------
+  /// Cofactor: f with variable v fixed to `value`.
+  [[nodiscard]] NodeRef restrict_(NodeRef f, std::uint32_t v, bool value);
+  /// Existential quantification over one variable.
+  [[nodiscard]] NodeRef exists(NodeRef f, std::uint32_t v);
+  /// f with variable v's polarity flipped: f[v <- !v].
+  [[nodiscard]] NodeRef flip(NodeRef f, std::uint32_t v);
+  /// All points at Hamming distance <= 1 from f over the given variables
+  /// (f itself included): f OR (flip of f in each var). Iterate for radius
+  /// r. NOTE: the expanded BDD can grow combinatorially on large pattern
+  /// sets; use min_hamming_distance for distance *queries* (O(nodes)) and
+  /// reserve expansion for small-radius set enlargement.
+  [[nodiscard]] NodeRef hamming_expand(NodeRef f,
+                                       std::span<const std::uint32_t> vars);
+
+  /// Smallest Hamming distance from `point` to any satisfying assignment
+  /// of f, or nullopt if f is unsatisfiable. Shortest-path dynamic
+  /// program over the BDD: variables skipped on a path are free (cost 0),
+  /// a branch disagreeing with `point` costs 1. O(reachable nodes).
+  [[nodiscard]] std::optional<unsigned> min_hamming_distance(
+      NodeRef f, const std::vector<bool>& point) const;
+
+  // -- queries --------------------------------------------------------------
+  /// Evaluates f under a total assignment (indexed by variable).
+  [[nodiscard]] bool eval(NodeRef f,
+                          const std::vector<bool>& assignment) const;
+  /// Number of satisfying assignments over all num_vars() variables.
+  [[nodiscard]] double sat_count(NodeRef f) const;
+  /// Nodes reachable from f (the conventional "BDD size").
+  [[nodiscard]] std::size_t node_count(NodeRef f) const;
+  /// Variables f actually depends on, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> support(NodeRef f) const;
+  /// Enumerates the prime-free cube cover obtained by DFS over the graph:
+  /// one cube per path to TRUE. Intended for small BDDs (tests,
+  /// serialisation of tiny monitors); cost is the number of paths.
+  [[nodiscard]] std::vector<std::vector<CubeBit>> enumerate_cubes(
+      NodeRef f) const;
+  /// Picks one satisfying assignment; f must not be kFalse.
+  [[nodiscard]] std::vector<bool> any_sat(NodeRef f) const;
+
+  /// GraphViz dot rendering (debugging aid).
+  [[nodiscard]] std::string to_dot(NodeRef f) const;
+
+  // -- raw node access (serialisation) --------------------------------------
+  struct NodeView {
+    std::uint32_t var;
+    NodeRef lo;
+    NodeRef hi;
+  };
+  [[nodiscard]] NodeView view(NodeRef n) const;
+  /// Rebuilds a canonical node (used by deserialisation). lo/hi must
+  /// already exist; var must be above both children in the order.
+  [[nodiscard]] NodeRef make_node_checked(std::uint32_t v, NodeRef lo,
+                                          NodeRef hi);
+
+ private:
+  struct Node {
+    std::uint32_t var;  // kTerminalVar for terminals
+    NodeRef lo;
+    NodeRef hi;
+  };
+  static constexpr std::uint32_t kTerminalVar = 0xFFFFFFFFU;
+
+  struct TripleHash {
+    std::size_t operator()(const std::uint64_t& k) const noexcept {
+      std::uint64_t x = k;
+      x ^= x >> 33;
+      x *= 0xFF51AFD7ED558CCDULL;
+      x ^= x >> 33;
+      return static_cast<std::size_t>(x);
+    }
+  };
+
+  [[nodiscard]] NodeRef make_node(std::uint32_t v, NodeRef lo, NodeRef hi);
+  [[nodiscard]] std::uint32_t level(NodeRef n) const noexcept {
+    return nodes_[n].var;
+  }
+  void collect(NodeRef f, std::vector<NodeRef>& order,
+               std::vector<bool>& seen) const;
+
+  std::uint32_t num_vars_;
+  std::vector<Node> nodes_;
+  // unique table: (var, lo, hi) -> node. Keys are packed pairs of 64-bit
+  // values; we use a map from a 128-bit mix reduced to 64 bits with the
+  // full triple stored in the node for verification-free hash consing via
+  // open addressing on exact triples.
+  struct UniqueKey {
+    std::uint32_t var;
+    NodeRef lo, hi;
+    bool operator==(const UniqueKey&) const = default;
+  };
+  struct UniqueKeyHash {
+    std::size_t operator()(const UniqueKey& k) const noexcept {
+      std::uint64_t x = (std::uint64_t(k.var) << 40) ^
+                        (std::uint64_t(k.lo) << 20) ^ std::uint64_t(k.hi);
+      x ^= x >> 33;
+      x *= 0xC2B2AE3D27D4EB4FULL;
+      x ^= x >> 29;
+      return static_cast<std::size_t>(x);
+    }
+  };
+  struct IteKey {
+    NodeRef f, g, h;
+    bool operator==(const IteKey&) const = default;
+  };
+  struct IteKeyHash {
+    std::size_t operator()(const IteKey& k) const noexcept {
+      std::uint64_t x = (std::uint64_t(k.f) << 42) ^
+                        (std::uint64_t(k.g) << 21) ^ std::uint64_t(k.h);
+      x ^= x >> 33;
+      x *= 0xFF51AFD7ED558CCDULL;
+      x ^= x >> 33;
+      return static_cast<std::size_t>(x);
+    }
+  };
+  std::unordered_map<UniqueKey, NodeRef, UniqueKeyHash> unique_;
+  std::unordered_map<IteKey, NodeRef, IteKeyHash> ite_cache_;
+};
+
+}  // namespace ranm::bdd

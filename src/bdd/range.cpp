@@ -1,0 +1,84 @@
+#include "bdd/range.hpp"
+
+#include <stdexcept>
+
+namespace ranm::bdd {
+namespace {
+
+bool value_bit(std::uint64_t value, std::size_t idx, std::size_t nbits) {
+  // idx indexes bits MSB-first.
+  return ((value >> (nbits - 1 - idx)) & 1ULL) != 0;
+}
+
+}  // namespace
+
+NodeRef code_equals(BddManager& mgr, std::span<const std::uint32_t> bits,
+                    std::uint64_t value) {
+  NodeRef acc = BddManager::true_();
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const NodeRef lit = value_bit(value, i, bits.size()) ? mgr.var(bits[i])
+                                                         : mgr.nvar(bits[i]);
+    acc = mgr.and_(acc, lit);
+  }
+  return acc;
+}
+
+NodeRef code_geq(BddManager& mgr, std::span<const std::uint32_t> bits,
+                 std::uint64_t value) {
+  // Build from the least significant bit upward:
+  //   geq_i = (b_i == 1) ? ite(x_i, rest_free, geq_{i+1} with strict...)
+  // Straight recursion MSB-first: x >= v iff
+  //   v_i == 0:  x_i == 1 (rest free)  OR  (x_i == 0 AND rest >= rest(v))
+  //   v_i == 1:  x_i == 1 AND rest >= rest(v)
+  auto rec = [&](auto&& self, std::size_t i) -> NodeRef {
+    if (i == bits.size()) return BddManager::true_();
+    const NodeRef rest = self(self, i + 1);
+    if (value_bit(value, i, bits.size())) {
+      return mgr.ite(mgr.var(bits[i]), rest, BddManager::false_());
+    }
+    return mgr.ite(mgr.var(bits[i]), BddManager::true_(), rest);
+  };
+  return rec(rec, 0);
+}
+
+NodeRef code_leq(BddManager& mgr, std::span<const std::uint32_t> bits,
+                 std::uint64_t value) {
+  // x <= v iff
+  //   v_i == 1:  x_i == 0 (rest free)  OR  (x_i == 1 AND rest <= rest(v))
+  //   v_i == 0:  x_i == 0 AND rest <= rest(v)
+  auto rec = [&](auto&& self, std::size_t i) -> NodeRef {
+    if (i == bits.size()) return BddManager::true_();
+    const NodeRef rest = self(self, i + 1);
+    if (value_bit(value, i, bits.size())) {
+      return mgr.ite(mgr.var(bits[i]), rest, BddManager::true_());
+    }
+    return mgr.ite(mgr.var(bits[i]), BddManager::false_(), rest);
+  };
+  return rec(rec, 0);
+}
+
+NodeRef code_in_range(BddManager& mgr, std::span<const std::uint32_t> bits,
+                      std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("code_in_range: lo > hi");
+  }
+  return mgr.and_(code_geq(mgr, bits, lo), code_leq(mgr, bits, hi));
+}
+
+std::uint64_t decode_bits(std::span<const std::uint32_t> bits,
+                          const std::vector<bool>& assignment) {
+  std::uint64_t v = 0;
+  for (std::uint32_t b : bits) {
+    v = (v << 1) | (assignment[b] ? 1ULL : 0ULL);
+  }
+  return v;
+}
+
+void encode_bits(std::span<const std::uint32_t> bits, std::uint64_t value,
+                 std::vector<bool>& assignment) {
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    assignment[bits[i]] = value_bit(value, i, bits.size());
+  }
+}
+
+}  // namespace ranm::bdd

@@ -1,0 +1,45 @@
+// Constraints over binary-encoded integers inside a BDD.
+//
+// The multi-bit interval monitors (paper §III-C) encode each neuron's value
+// interval as a B-bit code. A robust insertion must admit every code in a
+// contiguous range [a, b] (the codes touched by the conservative bound
+// [l_j, u_j]). These helpers build that constraint with O(B) BDD nodes,
+// which is what keeps robust word2set insertions linear (footnote 2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bdd/bdd.hpp"
+
+namespace ranm::bdd {
+
+/// BDD for "the number encoded by `bits` (MSB first) equals value".
+[[nodiscard]] NodeRef code_equals(BddManager& mgr,
+                                  std::span<const std::uint32_t> bits,
+                                  std::uint64_t value);
+
+/// BDD for "encoded number >= value". O(|bits|) nodes.
+[[nodiscard]] NodeRef code_geq(BddManager& mgr,
+                               std::span<const std::uint32_t> bits,
+                               std::uint64_t value);
+
+/// BDD for "encoded number <= value". O(|bits|) nodes.
+[[nodiscard]] NodeRef code_leq(BddManager& mgr,
+                               std::span<const std::uint32_t> bits,
+                               std::uint64_t value);
+
+/// BDD for "lo <= encoded number <= hi". Requires lo <= hi.
+[[nodiscard]] NodeRef code_in_range(BddManager& mgr,
+                                    std::span<const std::uint32_t> bits,
+                                    std::uint64_t lo, std::uint64_t hi);
+
+/// Reads the number encoded by `bits` (MSB first) out of an assignment.
+[[nodiscard]] std::uint64_t decode_bits(std::span<const std::uint32_t> bits,
+                                        const std::vector<bool>& assignment);
+
+/// Writes `value` into an assignment at the given bit positions (MSB first).
+void encode_bits(std::span<const std::uint32_t> bits, std::uint64_t value,
+                 std::vector<bool>& assignment);
+
+}  // namespace ranm::bdd

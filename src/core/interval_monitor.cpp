@@ -1,0 +1,120 @@
+#include "core/interval_monitor.hpp"
+
+#include <stdexcept>
+
+#include "bdd/range.hpp"
+
+namespace ranm {
+
+IntervalMonitor::IntervalMonitor(ThresholdSpec spec)
+    : spec_(std::move(spec)),
+      mgr_(static_cast<std::uint32_t>(spec_.dimension() * spec_.bits())),
+      set_(bdd::kFalse) {}
+
+std::vector<std::uint32_t> IntervalMonitor::neuron_vars(std::size_t j) const {
+  std::vector<std::uint32_t> vars(spec_.bits());
+  for (std::size_t b = 0; b < spec_.bits(); ++b) {
+    vars[b] = static_cast<std::uint32_t>(j * spec_.bits() + b);
+  }
+  return vars;
+}
+
+void IntervalMonitor::observe(std::span<const float> feature) {
+  if (feature.size() != dimension()) {
+    throw std::invalid_argument(
+        "IntervalMonitor::observe: dimension mismatch");
+  }
+  // A concrete word fixes every bit, so the insertion is a single cube.
+  const std::size_t nbits = spec_.bits();
+  std::vector<bdd::CubeBit> bits(dimension() * nbits);
+  for (std::size_t j = 0; j < dimension(); ++j) {
+    const std::uint64_t code = spec_.code(j, feature[j]);
+    for (std::size_t b = 0; b < nbits; ++b) {
+      const bool bit = ((code >> (nbits - 1 - b)) & 1ULL) != 0;
+      bits[j * nbits + b] = bit ? bdd::CubeBit::kOne : bdd::CubeBit::kZero;
+    }
+  }
+  set_ = mgr_.or_(set_, mgr_.cube(bits));
+}
+
+void IntervalMonitor::observe_bounds(std::span<const float> lo,
+                                     std::span<const float> hi) {
+  if (lo.size() != dimension() || hi.size() != dimension()) {
+    throw std::invalid_argument(
+        "IntervalMonitor::observe_bounds: dimension mismatch");
+  }
+  // word2set: the conjunction over neurons of "code_j in [code(l_j),
+  // code(u_j)]". Built from the highest-variable neuron downward so each
+  // conjunction touches already-built structure below it only.
+  bdd::NodeRef word = bdd::kTrue;
+  for (std::size_t j = dimension(); j-- > 0;) {
+    const auto [clo, chi] = spec_.code_range(j, lo[j], hi[j]);
+    const auto vars = neuron_vars(j);
+    const bdd::NodeRef range = bdd::code_in_range(mgr_, vars, clo, chi);
+    word = mgr_.and_(range, word);
+  }
+  set_ = mgr_.or_(set_, word);
+}
+
+void IntervalMonitor::fill_assignment(std::span<const float> feature,
+                                      std::vector<bool>& assignment) const {
+  const std::size_t nbits = spec_.bits();
+  assignment.assign(dimension() * nbits, false);
+  for (std::size_t j = 0; j < dimension(); ++j) {
+    const std::uint64_t code = spec_.code(j, feature[j]);
+    for (std::size_t b = 0; b < nbits; ++b) {
+      assignment[j * nbits + b] = ((code >> (nbits - 1 - b)) & 1ULL) != 0;
+    }
+  }
+}
+
+bool IntervalMonitor::contains(std::span<const float> feature) const {
+  if (feature.size() != dimension()) {
+    throw std::invalid_argument(
+        "IntervalMonitor::contains: dimension mismatch");
+  }
+  std::vector<bool> assignment;
+  fill_assignment(feature, assignment);
+  return mgr_.eval(set_, assignment);
+}
+
+std::string IntervalMonitor::describe() const {
+  return "IntervalMonitor(d=" + std::to_string(dimension()) +
+         ", bits=" + std::to_string(spec_.bits()) +
+         ", patterns=" + std::to_string(pattern_count()) +
+         ", bdd_nodes=" + std::to_string(bdd_node_count()) + ")";
+}
+
+std::vector<std::uint64_t> IntervalMonitor::codes(
+    std::span<const float> feature) const {
+  if (feature.size() != dimension()) {
+    throw std::invalid_argument("IntervalMonitor::codes: dimension mismatch");
+  }
+  std::vector<std::uint64_t> out(dimension());
+  for (std::size_t j = 0; j < dimension(); ++j) {
+    out[j] = spec_.code(j, feature[j]);
+  }
+  return out;
+}
+
+std::optional<unsigned> IntervalMonitor::hamming_distance(
+    std::span<const float> feature, unsigned max_radius) const {
+  if (feature.size() != dimension()) {
+    throw std::invalid_argument(
+        "IntervalMonitor::hamming_distance: dimension mismatch");
+  }
+  if (set_ == bdd::kFalse) return std::nullopt;
+  std::vector<bool> assignment;
+  fill_assignment(feature, assignment);
+  const auto d = mgr_.min_hamming_distance(set_, assignment);
+  if (!d || *d > max_radius) return std::nullopt;
+  return *d;
+}
+
+double IntervalMonitor::pattern_count() const { return mgr_.sat_count(set_); }
+
+std::size_t IntervalMonitor::bdd_node_count() const {
+  return mgr_.node_count(set_);
+}
+
+}  // namespace ranm

@@ -1,0 +1,75 @@
+// Interval activation monitor (paper §III-C): each neuron is monitored
+// with B bits encoding which of 2^B threshold buckets its value falls in.
+// Generalises both the min-max monitor and the on-off monitor (footnote 3).
+//
+// Robust construction (§III-C.2) maps the conservative bound [l_j, u_j] to
+// the *set* of codes it straddles. Because codes are monotone in the
+// neuron value, that set is always the contiguous range
+// [code(l_j), code(u_j)] — exactly the case enumeration of the paper —
+// and is inserted as an O(B)-node range constraint on neuron j's bit
+// variables (word2set without blow-up).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "bdd/bdd.hpp"
+#include "core/monitor.hpp"
+#include "core/threshold_spec.hpp"
+
+namespace ranm {
+
+/// Multi-bit activation-pattern monitor backed by a BDD with
+/// dimension * bits variables; neuron j owns variables
+/// j*bits .. j*bits+bits-1 (MSB first, adjacent in the variable order).
+class IntervalMonitor final : public Monitor {
+ public:
+  explicit IntervalMonitor(ThresholdSpec spec);
+
+  [[nodiscard]] std::size_t dimension() const noexcept override {
+    return spec_.dimension();
+  }
+  [[nodiscard]] std::size_t bits() const noexcept { return spec_.bits(); }
+
+  void observe(std::span<const float> feature) override;
+  void observe_bounds(std::span<const float> lo,
+                      std::span<const float> hi) override;
+  [[nodiscard]] bool contains(std::span<const float> feature) const override;
+  [[nodiscard]] std::string describe() const override;
+
+  /// The code word ab(v): one code per neuron.
+  [[nodiscard]] std::vector<std::uint64_t> codes(
+      std::span<const float> feature) const;
+
+  /// Quantitative score: smallest Hamming distance (in code *bits*) from
+  /// the feature's code word to any stored word, capped at `max_radius`.
+  /// Exact, O(BDD nodes). Returns nullopt past the cap or on an empty set.
+  [[nodiscard]] std::optional<unsigned> hamming_distance(
+      std::span<const float> feature, unsigned max_radius) const;
+
+  /// Number of distinct code words stored.
+  [[nodiscard]] double pattern_count() const;
+  /// Reachable BDD node count of the stored set.
+  [[nodiscard]] std::size_t bdd_node_count() const;
+  [[nodiscard]] const ThresholdSpec& spec() const noexcept { return spec_; }
+
+  /// Raw access for serialisation.
+  [[nodiscard]] const bdd::BddManager& manager() const noexcept {
+    return mgr_;
+  }
+  [[nodiscard]] bdd::BddManager& manager() noexcept { return mgr_; }
+  [[nodiscard]] bdd::NodeRef root() const noexcept { return set_; }
+  void set_root(bdd::NodeRef root) noexcept { set_ = root; }
+
+ private:
+  /// Bit variables of neuron j, MSB first.
+  [[nodiscard]] std::vector<std::uint32_t> neuron_vars(std::size_t j) const;
+  void fill_assignment(std::span<const float> feature,
+                       std::vector<bool>& assignment) const;
+
+  ThresholdSpec spec_;
+  bdd::BddManager mgr_;
+  bdd::NodeRef set_;
+};
+
+}  // namespace ranm

@@ -1,0 +1,114 @@
+#include "core/minmax_monitor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ranm {
+
+MinMaxMonitor::MinMaxMonitor(std::size_t dim)
+    : lower_(dim, std::numeric_limits<float>::infinity()),
+      upper_(dim, -std::numeric_limits<float>::infinity()) {
+  if (dim == 0) throw std::invalid_argument("MinMaxMonitor: zero dimension");
+}
+
+MinMaxMonitor MinMaxMonitor::from_bounds(std::vector<float> lower,
+                                         std::vector<float> upper,
+                                         std::size_t observations) {
+  if (lower.size() != upper.size() || lower.empty()) {
+    throw std::invalid_argument("MinMaxMonitor::from_bounds: bad sizes");
+  }
+  MinMaxMonitor m(lower.size());
+  m.lower_ = std::move(lower);
+  m.upper_ = std::move(upper);
+  m.observations_ = observations;
+  return m;
+}
+
+void MinMaxMonitor::check_dim(std::size_t n, const char* what) const {
+  if (n != lower_.size()) {
+    throw std::invalid_argument(std::string("MinMaxMonitor::") + what +
+                                ": dimension mismatch");
+  }
+}
+
+void MinMaxMonitor::observe(std::span<const float> feature) {
+  check_dim(feature.size(), "observe");
+  for (std::size_t j = 0; j < feature.size(); ++j) {
+    lower_[j] = std::min(lower_[j], feature[j]);
+    upper_[j] = std::max(upper_[j], feature[j]);
+  }
+  ++observations_;
+}
+
+void MinMaxMonitor::observe_bounds(std::span<const float> lo,
+                                   std::span<const float> hi) {
+  check_dim(lo.size(), "observe_bounds");
+  check_dim(hi.size(), "observe_bounds");
+  for (std::size_t j = 0; j < lo.size(); ++j) {
+    if (lo[j] > hi[j]) {
+      throw std::invalid_argument(
+          "MinMaxMonitor::observe_bounds: lo > hi at neuron " +
+          std::to_string(j));
+    }
+    lower_[j] = std::min(lower_[j], lo[j]);
+    upper_[j] = std::max(upper_[j], hi[j]);
+  }
+  ++observations_;
+}
+
+bool MinMaxMonitor::contains(std::span<const float> feature) const {
+  check_dim(feature.size(), "contains");
+  for (std::size_t j = 0; j < feature.size(); ++j) {
+    if (feature[j] < lower_[j] || feature[j] > upper_[j]) return false;
+  }
+  return true;
+}
+
+std::string MinMaxMonitor::describe() const {
+  return "MinMaxMonitor(d=" + std::to_string(lower_.size()) +
+         ", n=" + std::to_string(observations_) + ")";
+}
+
+float MinMaxMonitor::lower(std::size_t j) const {
+  if (j >= lower_.size()) throw std::out_of_range("MinMaxMonitor::lower");
+  return lower_[j];
+}
+
+float MinMaxMonitor::upper(std::size_t j) const {
+  if (j >= upper_.size()) throw std::out_of_range("MinMaxMonitor::upper");
+  return upper_[j];
+}
+
+IntervalVector MinMaxMonitor::envelope() const {
+  std::vector<Interval> ivs(lower_.size());
+  for (std::size_t j = 0; j < lower_.size(); ++j) {
+    ivs[j] = Interval::make_unchecked(lower_[j], upper_[j]);
+  }
+  return IntervalVector(std::move(ivs));
+}
+
+void MinMaxMonitor::enlarge(float gamma) {
+  if (gamma < 0.0F) {
+    throw std::invalid_argument("MinMaxMonitor::enlarge: negative gamma");
+  }
+  for (std::size_t j = 0; j < lower_.size(); ++j) {
+    if (lower_[j] > upper_[j]) continue;  // never observed
+    const float half = 0.5F * (upper_[j] - lower_[j]);
+    lower_[j] -= gamma * half;
+    upper_[j] += gamma * half;
+  }
+}
+
+void MinMaxMonitor::enlarge_absolute(float margin) {
+  if (margin < 0.0F) {
+    throw std::invalid_argument(
+        "MinMaxMonitor::enlarge_absolute: negative margin");
+  }
+  for (std::size_t j = 0; j < lower_.size(); ++j) {
+    if (lower_[j] > upper_[j]) continue;
+    lower_[j] -= margin;
+    upper_[j] += margin;
+  }
+}
+
+}  // namespace ranm

@@ -1,0 +1,53 @@
+// Monitor abstraction (paper §III-A).
+//
+// A monitor is a compact set representation over the feature space R^d of
+// one monitored layer. Construction folds abstractions of feature vectors
+// (standard monitors, operator ⊎ over ab(G^k(v))) or of conservative
+// per-neuron bounds (robust monitors, operator ⊎R over abR(pe(v, kp, Δ)))
+// into the set. In operation the monitor answers a membership query on the
+// concrete feature vector of the incoming input; a warning is the negation
+// of membership.
+//
+// The interface deliberately knows nothing about networks: computing G^k
+// and the perturbation estimate is the job of PerturbationEstimator and
+// MonitorBuilder, mirroring the paper's separation between the abstraction
+// (M0, ⊎, ab) and the DNN.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace ranm {
+
+/// Set abstraction over feature vectors in R^d.
+class Monitor {
+ public:
+  virtual ~Monitor() = default;
+
+  /// Dimension d of the monitored feature space.
+  [[nodiscard]] virtual std::size_t dimension() const noexcept = 0;
+
+  /// Standard construction step: M <- M ⊎ ab(feature).
+  virtual void observe(std::span<const float> feature) = 0;
+
+  /// Robust construction step: M <- M ⊎R abR(<(lo_1,hi_1),...>).
+  /// `lo` and `hi` are the per-neuron conservative bounds of the
+  /// perturbation estimate (Definition 1); lo[j] <= hi[j] must hold.
+  virtual void observe_bounds(std::span<const float> lo,
+                              std::span<const float> hi) = 0;
+
+  /// Membership query on a concrete feature vector.
+  [[nodiscard]] virtual bool contains(
+      std::span<const float> feature) const = 0;
+
+  /// Warning signal as defined in the paper: M(v) = true iff the feature
+  /// abstraction is not in the stored set.
+  [[nodiscard]] bool warn(std::span<const float> feature) const {
+    return !contains(feature);
+  }
+
+  /// One-line description (type + key parameters) for logs and tables.
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+}  // namespace ranm

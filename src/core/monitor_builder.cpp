@@ -1,0 +1,58 @@
+#include "core/monitor_builder.hpp"
+
+#include <stdexcept>
+
+namespace ranm {
+
+MonitorBuilder::MonitorBuilder(Network& net, std::size_t layer_k)
+    : net_(net), k_(layer_k) {
+  if (k_ == 0 || k_ > net.num_layers()) {
+    throw std::invalid_argument("MonitorBuilder: layer k out of range");
+  }
+}
+
+std::size_t MonitorBuilder::feature_dim() const {
+  return net_.layer(k_).output_size();
+}
+
+std::vector<float> MonitorBuilder::features(const Tensor& input) const {
+  const Tensor f = net_.forward_to(k_, input);
+  return {f.data(), f.data() + f.numel()};
+}
+
+NeuronStats MonitorBuilder::collect_stats(const std::vector<Tensor>& data,
+                                          bool keep_samples) const {
+  NeuronStats stats(feature_dim(), keep_samples);
+  for (const Tensor& v : data) stats.add(features(v));
+  return stats;
+}
+
+void MonitorBuilder::build_standard(Monitor& monitor,
+                                    const std::vector<Tensor>& data) const {
+  if (monitor.dimension() != feature_dim()) {
+    throw std::invalid_argument(
+        "MonitorBuilder::build_standard: monitor dimension mismatch");
+  }
+  for (const Tensor& v : data) monitor.observe(features(v));
+}
+
+void MonitorBuilder::build_robust(Monitor& monitor,
+                                  const std::vector<Tensor>& data,
+                                  const PerturbationSpec& spec) const {
+  if (monitor.dimension() != feature_dim()) {
+    throw std::invalid_argument(
+        "MonitorBuilder::build_robust: monitor dimension mismatch");
+  }
+  const PerturbationEstimator pe(net_, k_, spec);
+  for (const Tensor& v : data) {
+    const IntervalVector bounds = pe.estimate(v);
+    monitor.observe_bounds(bounds.lowers(), bounds.uppers());
+  }
+}
+
+bool MonitorBuilder::warns(const Monitor& monitor,
+                           const Tensor& input) const {
+  return monitor.warn(features(input));
+}
+
+}  // namespace ranm

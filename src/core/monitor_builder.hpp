@@ -1,0 +1,54 @@
+// Monitor construction loops (paper §III-A / §III-B generic algorithms).
+//
+//   standard:  for v in Dtr:  M <- M ⊎  ab(G^k(v))
+//   robust:    for v in Dtr:  M <- M ⊎R abR(pe^G_k(v, kp, Δ))
+//
+// The builder also owns the feature-extraction and statistics passes that
+// threshold selection needs, and the operation-time query helper.
+#pragma once
+
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "core/neuron_stats.hpp"
+#include "core/perturbation_estimator.hpp"
+#include "nn/network.hpp"
+
+namespace ranm {
+
+/// Builds monitors over a fixed (network, monitored layer) pair.
+class MonitorBuilder {
+ public:
+  /// Requires 1 <= layer_k <= net.num_layers(). The network must outlive
+  /// the builder.
+  MonitorBuilder(Network& net, std::size_t layer_k);
+
+  [[nodiscard]] std::size_t layer_k() const noexcept { return k_; }
+  /// Feature dimension d_k of the monitored layer.
+  [[nodiscard]] std::size_t feature_dim() const;
+
+  /// G^k(input) as a flat vector.
+  [[nodiscard]] std::vector<float> features(const Tensor& input) const;
+
+  /// Per-neuron statistics over a dataset (for threshold selection).
+  [[nodiscard]] NeuronStats collect_stats(const std::vector<Tensor>& data,
+                                          bool keep_samples = false) const;
+
+  /// Standard construction: folds ab(G^k(v)) for every v in data.
+  void build_standard(Monitor& monitor,
+                      const std::vector<Tensor>& data) const;
+
+  /// Robust construction: folds abR(pe(v, kp, Δ)) for every v in data.
+  void build_robust(Monitor& monitor, const std::vector<Tensor>& data,
+                    const PerturbationSpec& spec) const;
+
+  /// Operation-time query: M(v_op) — true iff the monitor warns.
+  [[nodiscard]] bool warns(const Monitor& monitor,
+                           const Tensor& input) const;
+
+ private:
+  Network& net_;
+  std::size_t k_;
+};
+
+}  // namespace ranm

@@ -1,0 +1,95 @@
+#include "core/monitorability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace ranm {
+namespace {
+
+double binary_entropy(double p) noexcept {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+}  // namespace
+
+std::vector<std::size_t> MonitorabilityReport::informative_neurons(
+    double min_entropy) const {
+  std::vector<std::size_t> idx;
+  for (const auto& n : neurons) {
+    if (n.bit_entropy >= min_entropy) idx.push_back(n.index);
+  }
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return neurons[a].bit_entropy > neurons[b].bit_entropy;
+                   });
+  return idx;
+}
+
+std::string MonitorabilityReport::str() const {
+  std::ostringstream out;
+  out << "monitorability score " << score << " over " << neurons.size()
+      << " neurons, " << dead_count << " dead\n";
+  for (const auto& n : neurons) {
+    out << "  neuron " << n.index << ": "
+        << (n.dead ? "DEAD" : "alive") << ", p(on)=" << n.activation_rate
+        << ", H=" << n.bit_entropy << ", var=" << n.variance << '\n';
+  }
+  return out.str();
+}
+
+MonitorabilityReport analyze_monitorability(
+    const std::vector<std::vector<float>>& features,
+    const ThresholdSpec& spec) {
+  if (features.empty()) {
+    throw std::invalid_argument("analyze_monitorability: no features");
+  }
+  if (spec.bits() != 1) {
+    throw std::invalid_argument(
+        "analyze_monitorability: 1-bit threshold spec required");
+  }
+  const std::size_t d = spec.dimension();
+  NeuronStats stats(d);
+  std::vector<std::size_t> on_count(d, 0);
+  for (const auto& f : features) {
+    if (f.size() != d) {
+      throw std::invalid_argument(
+          "analyze_monitorability: feature dimension mismatch");
+    }
+    stats.add(f);
+    for (std::size_t j = 0; j < d; ++j) {
+      on_count[j] += spec.code(j, f[j]) == 1;
+    }
+  }
+
+  MonitorabilityReport report;
+  report.neurons.resize(d);
+  double entropy_sum = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    NeuronDiagnostics& n = report.neurons[j];
+    n.index = j;
+    n.dead = !(stats.min(j) < stats.max(j));
+    n.activation_rate = double(on_count[j]) / double(features.size());
+    n.bit_entropy = binary_entropy(n.activation_rate);
+    n.variance = stats.variance(j);
+    report.dead_count += n.dead;
+    entropy_sum += n.bit_entropy;
+  }
+  report.score = entropy_sum / double(d);
+  return report;
+}
+
+MonitorabilityReport analyze_monitorability(
+    const std::vector<std::vector<float>>& features) {
+  if (features.empty()) {
+    throw std::invalid_argument("analyze_monitorability: no features");
+  }
+  const std::size_t d = features.front().size();
+  NeuronStats stats(d);
+  for (const auto& f : features) stats.add(f);
+  return analyze_monitorability(features, ThresholdSpec::from_means(stats));
+}
+
+}  // namespace ranm

@@ -1,0 +1,66 @@
+// Monitorability analysis — the paper's concluding remark asks "how to
+// train networks with better monitorability". This module quantifies how
+// suitable a layer's representation is for activation-pattern monitoring:
+// a layer full of dead or near-constant neurons yields a degenerate
+// abstraction (one pattern, no detection power), which we observed
+// first-hand when a ReLU layer died during training.
+//
+// Metrics per neuron (over the training feature distribution):
+//   * dead: the neuron never deviates from a single value;
+//   * activation_rate: fraction of samples strictly above the neuron's
+//     on-off threshold (0 or 1 = useless bit, 0.5 = maximally
+//     informative);
+//   * bit_entropy: Shannon entropy of the thresholded bit in [0, 1];
+//   * variance: raw spread.
+//
+// Aggregated into a MonitorabilityReport with a [0, 1] score: the mean
+// bit entropy over monitored neurons — the expected information per
+// monitored bit.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/neuron_stats.hpp"
+#include "core/threshold_spec.hpp"
+
+namespace ranm {
+
+/// Per-neuron monitorability diagnostics.
+struct NeuronDiagnostics {
+  std::size_t index = 0;
+  bool dead = false;            // min == max over the training set
+  double activation_rate = 0.0; // P(bit = 1) under the given thresholds
+  double bit_entropy = 0.0;     // H(bit) in bits, in [0, 1]
+  double variance = 0.0;
+};
+
+/// Layer-level monitorability summary.
+struct MonitorabilityReport {
+  std::vector<NeuronDiagnostics> neurons;
+  std::size_t dead_count = 0;
+  /// Mean bit entropy over all neurons — the headline score in [0, 1].
+  double score = 0.0;
+
+  /// Indices of neurons with bit entropy >= min_entropy, sorted by
+  /// decreasing entropy (candidates for NeuronSelection).
+  [[nodiscard]] std::vector<std::size_t> informative_neurons(
+      double min_entropy = 0.1) const;
+
+  /// Multi-line human-readable summary.
+  [[nodiscard]] std::string str() const;
+};
+
+/// Analyses a layer's training-feature distribution against a 1-bit
+/// threshold spec. `features` holds one vector per training input (all of
+/// dimension spec.dimension()); it must be non-empty.
+[[nodiscard]] MonitorabilityReport analyze_monitorability(
+    const std::vector<std::vector<float>>& features,
+    const ThresholdSpec& spec);
+
+/// Convenience overload: thresholds at each neuron's training mean.
+[[nodiscard]] MonitorabilityReport analyze_monitorability(
+    const std::vector<std::vector<float>>& features);
+
+}  // namespace ranm

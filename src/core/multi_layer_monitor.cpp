@@ -1,0 +1,172 @@
+#include "core/multi_layer_monitor.hpp"
+
+#include <stdexcept>
+
+namespace ranm {
+
+std::string_view warn_policy_name(WarnPolicy policy) noexcept {
+  switch (policy) {
+    case WarnPolicy::kAny:
+      return "any";
+    case WarnPolicy::kAll:
+      return "all";
+    case WarnPolicy::kMajority:
+      return "majority";
+  }
+  return "?";
+}
+
+MultiLayerMonitor::MultiLayerMonitor(Network& net, WarnPolicy policy)
+    : net_(net), policy_(policy) {}
+
+void MultiLayerMonitor::attach(std::size_t layer_k, NeuronSelection selection,
+                               std::unique_ptr<Monitor> monitor) {
+  if (!monitor) {
+    throw std::invalid_argument("MultiLayerMonitor::attach: null monitor");
+  }
+  if (layer_k == 0 || layer_k > net_.num_layers()) {
+    throw std::invalid_argument(
+        "MultiLayerMonitor::attach: layer out of range");
+  }
+  if (selection.input_dim() != net_.layer(layer_k).output_size()) {
+    throw std::invalid_argument(
+        "MultiLayerMonitor::attach: selection dimension does not match "
+        "layer output size");
+  }
+  if (monitor->dimension() != selection.output_dim()) {
+    throw std::invalid_argument(
+        "MultiLayerMonitor::attach: monitor dimension does not match "
+        "selection");
+  }
+  max_layer_ = std::max(max_layer_, layer_k);
+  entries_.push_back(Entry{layer_k, std::move(selection), std::move(monitor)});
+}
+
+const Monitor& MultiLayerMonitor::monitor(std::size_t i) const {
+  if (i >= entries_.size()) {
+    throw std::out_of_range("MultiLayerMonitor::monitor");
+  }
+  return *entries_[i].monitor;
+}
+
+Monitor& MultiLayerMonitor::monitor(std::size_t i) {
+  if (i >= entries_.size()) {
+    throw std::out_of_range("MultiLayerMonitor::monitor");
+  }
+  return *entries_[i].monitor;
+}
+
+std::size_t MultiLayerMonitor::layer_of(std::size_t i) const {
+  if (i >= entries_.size()) {
+    throw std::out_of_range("MultiLayerMonitor::layer_of");
+  }
+  return entries_[i].layer_k;
+}
+
+template <typename Visit>
+void MultiLayerMonitor::for_each_layer_features(const Tensor& input,
+                                                Visit&& visit) const {
+  Tensor v = input;
+  for (std::size_t k = 1; k <= max_layer_; ++k) {
+    v = net_.layer(k).forward(v);
+    for (const Entry& e : entries_) {
+      if (e.layer_k != k) continue;
+      const std::vector<float> full(v.data(), v.data() + v.numel());
+      visit(e, e.selection.project(full));
+    }
+  }
+}
+
+void MultiLayerMonitor::build_standard(const std::vector<Tensor>& data) {
+  if (entries_.empty()) {
+    throw std::logic_error("MultiLayerMonitor: no monitors attached");
+  }
+  for (const Tensor& input : data) {
+    for_each_layer_features(input, [](const Entry& e,
+                                      const std::vector<float>& feat) {
+      e.monitor->observe(feat);
+    });
+  }
+}
+
+void MultiLayerMonitor::build_robust(const std::vector<Tensor>& data,
+                                     const PerturbationSpec& spec) {
+  if (entries_.empty()) {
+    throw std::logic_error("MultiLayerMonitor: no monitors attached");
+  }
+  std::size_t min_layer = max_layer_;
+  for (const Entry& e : entries_) min_layer = std::min(min_layer, e.layer_k);
+  if (spec.kp >= min_layer) {
+    throw std::invalid_argument(
+        "MultiLayerMonitor::build_robust: kp must be below every attached "
+        "layer (Definition 1 requires kp < k)");
+  }
+  if (spec.delta < 0.0F) {
+    throw std::invalid_argument(
+        "MultiLayerMonitor::build_robust: negative delta");
+  }
+
+  for (const Tensor& input : data) {
+    const Tensor at_kp = net_.forward_to(spec.kp, input);
+    auto observe_at = [&](std::size_t k, const IntervalVector& box) {
+      for (const Entry& e : entries_) {
+        if (e.layer_k != k) continue;
+        auto [lo, hi] =
+            e.selection.project_bounds(box.lowers(), box.uppers());
+        e.monitor->observe_bounds(lo, hi);
+      }
+    };
+    switch (spec.domain) {
+      case BoundDomain::kBox: {
+        IntervalVector box =
+            IntervalVector::linf_ball(at_kp.span(), spec.delta);
+        for (std::size_t k = spec.kp + 1; k <= max_layer_; ++k) {
+          box = net_.layer(k).propagate(box);
+          observe_at(k, box);
+        }
+        break;
+      }
+      case BoundDomain::kZonotope: {
+        Zonotope zono = Zonotope::linf_ball(at_kp.span(), spec.delta);
+        for (std::size_t k = spec.kp + 1; k <= max_layer_; ++k) {
+          zono = net_.layer(k).propagate(zono);
+          observe_at(k, zono.to_box());
+        }
+        break;
+      }
+    }
+  }
+}
+
+bool MultiLayerMonitor::combine(const std::vector<bool>& votes) const {
+  std::size_t warn_count = 0;
+  for (bool v : votes) warn_count += v;
+  switch (policy_) {
+    case WarnPolicy::kAny:
+      return warn_count > 0;
+    case WarnPolicy::kAll:
+      return warn_count == votes.size();
+    case WarnPolicy::kMajority:
+      return 2 * warn_count > votes.size();
+  }
+  return false;
+}
+
+std::vector<bool> MultiLayerMonitor::warns_each(const Tensor& input) const {
+  if (entries_.empty()) {
+    throw std::logic_error("MultiLayerMonitor: no monitors attached");
+  }
+  std::vector<bool> votes(entries_.size(), false);
+  for_each_layer_features(
+      input, [&](const Entry& e, const std::vector<float>& feat) {
+        const std::size_t idx = std::size_t(&e - entries_.data());
+        votes[idx] = e.monitor->warn(feat);
+      });
+  return votes;
+}
+
+bool MultiLayerMonitor::warns(const Tensor& input) const {
+  return combine(warns_each(input));
+}
+
+}  // namespace ranm

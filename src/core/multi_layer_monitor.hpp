@@ -1,0 +1,82 @@
+// Multi-layer monitoring — "extensions such as configuring to multi-layer
+// monitoring ... are straightforward" (paper §III-A). Several monitors,
+// each bound to a (layer, neuron-subset) pair, watch one network; the
+// combined warning is a configurable vote. Construction shares a single
+// forward pass (standard) or a single abstract propagation (robust) per
+// training input across all attached monitors.
+#pragma once
+
+#include <memory>
+
+#include "core/monitor.hpp"
+#include "core/neuron_selection.hpp"
+#include "core/perturbation_estimator.hpp"
+#include "nn/network.hpp"
+
+namespace ranm {
+
+/// How per-layer warnings combine into the overall signal.
+enum class WarnPolicy {
+  kAny,       // warn if any attached monitor warns (most sensitive)
+  kAll,       // warn only if every attached monitor warns (fewest FPs)
+  kMajority,  // warn if more than half of the monitors warn
+};
+
+[[nodiscard]] std::string_view warn_policy_name(WarnPolicy policy) noexcept;
+
+/// A set of monitors attached to different layers / neuron subsets of one
+/// network. The network reference must outlive the MultiLayerMonitor.
+class MultiLayerMonitor {
+ public:
+  MultiLayerMonitor(Network& net, WarnPolicy policy);
+
+  /// Attaches `monitor` to layer `layer_k` (1-indexed) restricted to the
+  /// neurons in `selection`. The monitor's dimension must equal
+  /// selection.output_dim(), and selection.input_dim() must equal the
+  /// layer's output size.
+  void attach(std::size_t layer_k, NeuronSelection selection,
+              std::unique_ptr<Monitor> monitor);
+
+  [[nodiscard]] std::size_t num_attached() const noexcept {
+    return entries_.size();
+  }
+  [[nodiscard]] const Monitor& monitor(std::size_t i) const;
+  [[nodiscard]] Monitor& monitor(std::size_t i);
+  [[nodiscard]] std::size_t layer_of(std::size_t i) const;
+  [[nodiscard]] WarnPolicy policy() const noexcept { return policy_; }
+
+  /// Standard construction: one forward pass per input feeds every
+  /// attached monitor.
+  void build_standard(const std::vector<Tensor>& data);
+
+  /// Robust construction: one abstract propagation per input (box or
+  /// zonotope per `spec.domain`), observed at every attached layer.
+  /// Requires spec.kp < the smallest attached layer.
+  void build_robust(const std::vector<Tensor>& data,
+                    const PerturbationSpec& spec);
+
+  /// Combined operation-time warning under the vote policy.
+  [[nodiscard]] bool warns(const Tensor& input) const;
+  /// Per-monitor warnings for diagnosis (index-aligned with attach order).
+  [[nodiscard]] std::vector<bool> warns_each(const Tensor& input) const;
+
+ private:
+  struct Entry {
+    std::size_t layer_k;
+    NeuronSelection selection;
+    std::unique_ptr<Monitor> monitor;
+  };
+
+  [[nodiscard]] bool combine(const std::vector<bool>& votes) const;
+  /// Runs one forward pass, invoking `visit(entry, features)` at each
+  /// attached layer.
+  template <typename Visit>
+  void for_each_layer_features(const Tensor& input, Visit&& visit) const;
+
+  Network& net_;
+  WarnPolicy policy_;
+  std::vector<Entry> entries_;
+  std::size_t max_layer_ = 0;
+};
+
+}  // namespace ranm

@@ -1,0 +1,114 @@
+#include "core/neuron_selection.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/neuron_stats.hpp"
+
+namespace ranm {
+
+NeuronSelection::NeuronSelection(std::size_t dim,
+                                 std::vector<std::size_t> kept)
+    : dim_(dim), kept_(std::move(kept)) {
+  if (dim_ == 0) throw std::invalid_argument("NeuronSelection: zero dim");
+  if (kept_.empty()) {
+    throw std::invalid_argument("NeuronSelection: empty selection");
+  }
+  std::unordered_set<std::size_t> seen;
+  for (std::size_t i : kept_) {
+    if (i >= dim_) {
+      throw std::invalid_argument("NeuronSelection: index out of range");
+    }
+    if (!seen.insert(i).second) {
+      throw std::invalid_argument("NeuronSelection: duplicate index");
+    }
+  }
+}
+
+NeuronSelection NeuronSelection::all(std::size_t dim) {
+  std::vector<std::size_t> idx(dim);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  return NeuronSelection(dim, std::move(idx));
+}
+
+NeuronSelection NeuronSelection::indices(std::size_t dim,
+                                         std::vector<std::size_t> idx) {
+  return NeuronSelection(dim, std::move(idx));
+}
+
+namespace {
+
+NeuronSelection top_by_score(const NeuronStats& stats, std::size_t count,
+                             const std::vector<double>& score) {
+  const std::size_t d = stats.dimension();
+  if (count == 0 || count > d) {
+    throw std::invalid_argument(
+        "NeuronSelection: count must be in 1..dimension");
+  }
+  std::vector<std::size_t> order(d);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return score[a] > score[b];
+                   });
+  order.resize(count);
+  std::sort(order.begin(), order.end());  // natural order for readability
+  return NeuronSelection::indices(d, std::move(order));
+}
+
+}  // namespace
+
+NeuronSelection NeuronSelection::top_variance(const NeuronStats& stats,
+                                              std::size_t count) {
+  const std::size_t d = stats.dimension();
+  std::vector<double> var(d);
+  for (std::size_t j = 0; j < d; ++j) var[j] = stats.variance(j);
+  return top_by_score(stats, count, var);
+}
+
+NeuronSelection NeuronSelection::top_range(const NeuronStats& stats,
+                                           std::size_t count) {
+  const std::size_t d = stats.dimension();
+  std::vector<double> range(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    range[j] = double(stats.max(j)) - double(stats.min(j));
+  }
+  return top_by_score(stats, count, range);
+}
+
+bool NeuronSelection::is_identity() const noexcept {
+  if (kept_.size() != dim_) return false;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    if (kept_[i] != i) return false;
+  }
+  return true;
+}
+
+std::vector<float> NeuronSelection::project(
+    std::span<const float> feature) const {
+  if (feature.size() != dim_) {
+    throw std::invalid_argument("NeuronSelection::project: size mismatch");
+  }
+  std::vector<float> out(kept_.size());
+  for (std::size_t i = 0; i < kept_.size(); ++i) out[i] = feature[kept_[i]];
+  return out;
+}
+
+std::pair<std::vector<float>, std::vector<float>>
+NeuronSelection::project_bounds(std::span<const float> lo,
+                                std::span<const float> hi) const {
+  if (lo.size() != dim_ || hi.size() != dim_) {
+    throw std::invalid_argument(
+        "NeuronSelection::project_bounds: size mismatch");
+  }
+  std::vector<float> plo(kept_.size()), phi(kept_.size());
+  for (std::size_t i = 0; i < kept_.size(); ++i) {
+    plo[i] = lo[kept_[i]];
+    phi[i] = hi[kept_[i]];
+  }
+  return {std::move(plo), std::move(phi)};
+}
+
+}  // namespace ranm

@@ -1,0 +1,62 @@
+// Neuron selection — "selecting a subset of neurons to be monitored is
+// straightforward" (paper §III-A). In practice monitoring all neurons of a
+// wide layer is wasteful: many neurons are dead or near-constant and
+// contribute no discriminative power. A NeuronSelection projects full
+// feature vectors (and bound vectors) onto the monitored subset.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace ranm {
+
+class NeuronStats;
+
+/// Immutable index subset of a d-dimensional feature space.
+class NeuronSelection {
+ public:
+  /// Monitor every neuron (identity projection).
+  static NeuronSelection all(std::size_t dim);
+  /// Monitor an explicit index set (indices must be < dim, unique; they
+  /// are kept in the given order).
+  static NeuronSelection indices(std::size_t dim,
+                                 std::vector<std::size_t> idx);
+  /// Monitor the `count` neurons with the largest training variance
+  /// (requires stats collected with keep_samples).
+  static NeuronSelection top_variance(const NeuronStats& stats,
+                                      std::size_t count);
+  /// Monitor the `count` neurons with the widest training range
+  /// (max - min).
+  static NeuronSelection top_range(const NeuronStats& stats,
+                                   std::size_t count);
+
+  /// Dimension of the full feature space.
+  [[nodiscard]] std::size_t input_dim() const noexcept { return dim_; }
+  /// Number of monitored neurons.
+  [[nodiscard]] std::size_t output_dim() const noexcept {
+    return kept_.size();
+  }
+  /// The monitored indices, in projection order.
+  [[nodiscard]] const std::vector<std::size_t>& kept() const noexcept {
+    return kept_;
+  }
+  /// True if this selection keeps every neuron in natural order.
+  [[nodiscard]] bool is_identity() const noexcept;
+
+  /// Projects a full feature vector onto the monitored subset.
+  [[nodiscard]] std::vector<float> project(
+      std::span<const float> feature) const;
+  /// Projects per-neuron bounds; returns (lo, hi) in projection order.
+  [[nodiscard]] std::pair<std::vector<float>, std::vector<float>>
+  project_bounds(std::span<const float> lo, std::span<const float> hi) const;
+
+ private:
+  NeuronSelection(std::size_t dim, std::vector<std::size_t> kept);
+
+  std::size_t dim_;
+  std::vector<std::size_t> kept_;
+};
+
+}  // namespace ranm

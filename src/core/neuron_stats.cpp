@@ -1,0 +1,118 @@
+#include "core/neuron_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ranm {
+
+NeuronStats::NeuronStats(std::size_t dim, bool keep_samples)
+    : dim_(dim),
+      keep_samples_(keep_samples),
+      min_(dim, std::numeric_limits<float>::infinity()),
+      max_(dim, -std::numeric_limits<float>::infinity()),
+      sum_(dim, 0.0),
+      sum_sq_(dim, 0.0) {
+  if (dim == 0) throw std::invalid_argument("NeuronStats: zero dimension");
+  if (keep_samples_) samples_.resize(dim);
+}
+
+void NeuronStats::add(std::span<const float> feature) {
+  if (feature.size() != dim_) {
+    throw std::invalid_argument("NeuronStats::add: dimension mismatch");
+  }
+  for (std::size_t j = 0; j < dim_; ++j) {
+    min_[j] = std::min(min_[j], feature[j]);
+    max_[j] = std::max(max_[j], feature[j]);
+    sum_[j] += feature[j];
+    sum_sq_[j] += double(feature[j]) * feature[j];
+    if (keep_samples_) samples_[j].push_back(feature[j]);
+  }
+  ++count_;
+  sorted_ = false;
+}
+
+void NeuronStats::check_index(std::size_t j) const {
+  if (j >= dim_) throw std::out_of_range("NeuronStats: neuron index");
+}
+
+void NeuronStats::check_nonempty() const {
+  if (count_ == 0) {
+    throw std::logic_error("NeuronStats: no samples observed");
+  }
+}
+
+float NeuronStats::min(std::size_t j) const {
+  check_index(j);
+  check_nonempty();
+  return min_[j];
+}
+
+float NeuronStats::max(std::size_t j) const {
+  check_index(j);
+  check_nonempty();
+  return max_[j];
+}
+
+float NeuronStats::mean(std::size_t j) const {
+  check_index(j);
+  check_nonempty();
+  return static_cast<float>(sum_[j] / double(count_));
+}
+
+double NeuronStats::variance(std::size_t j) const {
+  check_index(j);
+  check_nonempty();
+  const double mean_j = sum_[j] / double(count_);
+  const double var = sum_sq_[j] / double(count_) - mean_j * mean_j;
+  return var > 0.0 ? var : 0.0;  // guard tiny negative rounding
+}
+
+std::vector<float> NeuronStats::mins() const {
+  check_nonempty();
+  return min_;
+}
+
+std::vector<float> NeuronStats::maxs() const {
+  check_nonempty();
+  return max_;
+}
+
+std::vector<float> NeuronStats::means() const {
+  check_nonempty();
+  std::vector<float> out(dim_);
+  for (std::size_t j = 0; j < dim_; ++j) {
+    out[j] = static_cast<float>(sum_[j] / double(count_));
+  }
+  return out;
+}
+
+float NeuronStats::percentile(std::size_t j, double p) const {
+  check_index(j);
+  check_nonempty();
+  if (!keep_samples_) {
+    throw std::logic_error("NeuronStats: percentile requires keep_samples");
+  }
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("NeuronStats: p out of [0, 1]");
+  }
+  if (!sorted_) {
+    for (auto& s : samples_) std::sort(s.begin(), s.end());
+    sorted_ = true;
+  }
+  const auto& s = samples_[j];
+  const double pos = p * double(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - double(lo);
+  return static_cast<float>((1.0 - frac) * s[lo] + frac * s[hi]);
+}
+
+std::vector<float> NeuronStats::percentiles(double p) const {
+  std::vector<float> out(dim_);
+  for (std::size_t j = 0; j < dim_; ++j) out[j] = percentile(j, p);
+  return out;
+}
+
+}  // namespace ranm

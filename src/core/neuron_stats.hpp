@@ -1,0 +1,59 @@
+// Per-neuron statistics over a stream of feature vectors.
+//
+// Threshold selection for on-off and interval monitors needs to know how
+// each monitored neuron's value is distributed over the training set
+// (the paper suggests "sign of the neuron value, or average of all visited
+// values" as thresholds; percentile thresholds generalise this for the
+// multi-bit monitors).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ranm {
+
+/// Streaming min/max/mean per neuron, with optional full-sample retention
+/// for percentile queries.
+class NeuronStats {
+ public:
+  /// `keep_samples` enables percentile() at the cost of storing every
+  /// observed value.
+  explicit NeuronStats(std::size_t dim, bool keep_samples = false);
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+  /// Folds one feature vector into the statistics.
+  void add(std::span<const float> feature);
+
+  [[nodiscard]] float min(std::size_t j) const;
+  [[nodiscard]] float max(std::size_t j) const;
+  [[nodiscard]] float mean(std::size_t j) const;
+  /// Population variance of neuron j's observed values.
+  [[nodiscard]] double variance(std::size_t j) const;
+  [[nodiscard]] std::vector<float> mins() const;
+  [[nodiscard]] std::vector<float> maxs() const;
+  [[nodiscard]] std::vector<float> means() const;
+
+  /// p-quantile (p in [0, 1]) of neuron j's observed values, by linear
+  /// interpolation between order statistics. Requires keep_samples.
+  [[nodiscard]] float percentile(std::size_t j, double p) const;
+  /// p-quantile for every neuron.
+  [[nodiscard]] std::vector<float> percentiles(double p) const;
+
+ private:
+  void check_index(std::size_t j) const;
+  void check_nonempty() const;
+
+  std::size_t dim_;
+  bool keep_samples_;
+  std::size_t count_ = 0;
+  std::vector<float> min_, max_;
+  std::vector<double> sum_, sum_sq_;
+  // samples_[j] holds neuron j's values; sorted lazily on demand.
+  mutable std::vector<std::vector<float>> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace ranm

@@ -1,0 +1,105 @@
+#include "core/onoff_monitor.hpp"
+
+#include <stdexcept>
+
+namespace ranm {
+
+OnOffMonitor::OnOffMonitor(ThresholdSpec spec)
+    : spec_(std::move(spec)),
+      mgr_(static_cast<std::uint32_t>(spec_.dimension())),
+      set_(bdd::kFalse) {
+  if (spec_.bits() != 1) {
+    throw std::invalid_argument(
+        "OnOffMonitor: threshold spec must be 1 bit per neuron");
+  }
+}
+
+void OnOffMonitor::observe(std::span<const float> feature) {
+  if (feature.size() != dimension()) {
+    throw std::invalid_argument("OnOffMonitor::observe: dimension mismatch");
+  }
+  std::vector<bdd::CubeBit> bits(dimension());
+  for (std::size_t j = 0; j < dimension(); ++j) {
+    bits[j] = spec_.code(j, feature[j]) == 1 ? bdd::CubeBit::kOne
+                                             : bdd::CubeBit::kZero;
+  }
+  set_ = mgr_.or_(set_, mgr_.cube(bits));
+}
+
+void OnOffMonitor::observe_bounds(std::span<const float> lo,
+                                  std::span<const float> hi) {
+  if (lo.size() != dimension() || hi.size() != dimension()) {
+    throw std::invalid_argument(
+        "OnOffMonitor::observe_bounds: dimension mismatch");
+  }
+  // abR of the paper: 1 if l_j > c_j, 0 if u_j <= c_j, else don't-care.
+  // In code terms: the code range of [l_j, u_j] is {1}, {0}, or {0, 1}.
+  std::vector<bdd::CubeBit> bits(dimension());
+  for (std::size_t j = 0; j < dimension(); ++j) {
+    const auto [clo, chi] = spec_.code_range(j, lo[j], hi[j]);
+    if (clo == chi) {
+      bits[j] = clo == 1 ? bdd::CubeBit::kOne : bdd::CubeBit::kZero;
+    } else {
+      bits[j] = bdd::CubeBit::kDontCare;  // word2set resolves both values
+    }
+  }
+  set_ = mgr_.or_(set_, mgr_.cube(bits));
+}
+
+bool OnOffMonitor::contains(std::span<const float> feature) const {
+  if (feature.size() != dimension()) {
+    throw std::invalid_argument("OnOffMonitor::contains: dimension mismatch");
+  }
+  std::vector<bool> assignment(dimension());
+  for (std::size_t j = 0; j < dimension(); ++j) {
+    assignment[j] = spec_.code(j, feature[j]) == 1;
+  }
+  return mgr_.eval(set_, assignment);
+}
+
+std::string OnOffMonitor::describe() const {
+  return "OnOffMonitor(d=" + std::to_string(dimension()) +
+         ", patterns=" + std::to_string(pattern_count()) +
+         ", bdd_nodes=" + std::to_string(bdd_node_count()) + ")";
+}
+
+std::vector<bool> OnOffMonitor::pattern(
+    std::span<const float> feature) const {
+  if (feature.size() != dimension()) {
+    throw std::invalid_argument("OnOffMonitor::pattern: dimension mismatch");
+  }
+  std::vector<bool> bits(dimension());
+  for (std::size_t j = 0; j < dimension(); ++j) {
+    bits[j] = spec_.code(j, feature[j]) == 1;
+  }
+  return bits;
+}
+
+void OnOffMonitor::enlarge_hamming(unsigned radius) {
+  std::vector<std::uint32_t> vars(dimension());
+  for (std::size_t j = 0; j < dimension(); ++j) {
+    vars[j] = static_cast<std::uint32_t>(j);
+  }
+  for (unsigned r = 0; r < radius; ++r) {
+    set_ = mgr_.hamming_expand(set_, vars);
+  }
+}
+
+std::optional<unsigned> OnOffMonitor::hamming_distance(
+    std::span<const float> feature, unsigned max_radius) const {
+  if (set_ == bdd::kFalse) return std::nullopt;
+  const std::vector<bool> bits = pattern(feature);
+  // Exact shortest-path DP over the BDD: O(nodes) per query, no set
+  // expansion (which blows up combinatorially on large pattern sets).
+  const auto d = mgr_.min_hamming_distance(set_, bits);
+  if (!d || *d > max_radius) return std::nullopt;
+  return *d;
+}
+
+double OnOffMonitor::pattern_count() const { return mgr_.sat_count(set_); }
+
+std::size_t OnOffMonitor::bdd_node_count() const {
+  return mgr_.node_count(set_);
+}
+
+}  // namespace ranm

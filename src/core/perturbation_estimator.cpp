@@ -1,0 +1,63 @@
+#include "core/perturbation_estimator.hpp"
+
+#include <stdexcept>
+
+#include "absint/zonotope.hpp"
+
+namespace ranm {
+
+std::string_view bound_domain_name(BoundDomain domain) noexcept {
+  switch (domain) {
+    case BoundDomain::kBox:
+      return "box";
+    case BoundDomain::kZonotope:
+      return "zonotope";
+  }
+  return "?";
+}
+
+PerturbationEstimator::PerturbationEstimator(Network& net,
+                                             std::size_t layer_k,
+                                             PerturbationSpec spec)
+    : net_(net), k_(layer_k), spec_(spec) {
+  if (k_ == 0 || k_ > net.num_layers()) {
+    throw std::invalid_argument(
+        "PerturbationEstimator: layer k out of range");
+  }
+  if (spec_.kp >= k_) {
+    throw std::invalid_argument(
+        "PerturbationEstimator: requires kp < k (Definition 1)");
+  }
+  if (spec_.delta < 0.0F) {
+    throw std::invalid_argument("PerturbationEstimator: negative delta");
+  }
+}
+
+std::size_t PerturbationEstimator::feature_dim() const {
+  return net_.layer(k_).output_size();
+}
+
+IntervalVector PerturbationEstimator::estimate(const Tensor& input) const {
+  // Concrete prefix: ˘v's centre is G^{kp}(input); kp = 0 keeps the input.
+  const Tensor at_kp = net_.forward_to(spec_.kp, input);
+  switch (spec_.domain) {
+    case BoundDomain::kBox: {
+      const IntervalVector ball =
+          IntervalVector::linf_ball(at_kp.span(), spec_.delta);
+      return net_.propagate_box(spec_.kp + 1, k_, ball);
+    }
+    case BoundDomain::kZonotope: {
+      const Zonotope ball = Zonotope::linf_ball(at_kp.span(), spec_.delta);
+      return net_.propagate_zonotope(spec_.kp + 1, k_, ball).to_box();
+    }
+  }
+  throw std::logic_error("PerturbationEstimator: unknown domain");
+}
+
+std::vector<float> PerturbationEstimator::features(
+    const Tensor& input) const {
+  const Tensor f = net_.forward_to(k_, input);
+  return {f.data(), f.data() + f.numel()};
+}
+
+}  // namespace ranm

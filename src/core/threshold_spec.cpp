@@ -1,0 +1,149 @@
+#include "core/threshold_spec.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/neuron_stats.hpp"
+
+namespace ranm {
+namespace {
+
+// Strictly ascending threshold values are required so that buckets are
+// well-defined. Values may still be +-inf at the extremes (footnote 3).
+void validate_thresholds(const std::vector<Threshold>& ts,
+                         std::size_t expected) {
+  if (ts.size() != expected) {
+    throw std::invalid_argument("ThresholdSpec: neuron has " +
+                                std::to_string(ts.size()) +
+                                " thresholds, expected " +
+                                std::to_string(expected));
+  }
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    if (!(ts[i - 1].value < ts[i].value)) {
+      throw std::invalid_argument(
+          "ThresholdSpec: thresholds must be strictly ascending");
+    }
+  }
+}
+
+}  // namespace
+
+ThresholdSpec::ThresholdSpec(std::size_t bits,
+                             std::vector<std::vector<Threshold>> per_neuron)
+    : bits_(bits), per_neuron_(std::move(per_neuron)) {
+  if (bits_ == 0 || bits_ > 16) {
+    throw std::invalid_argument("ThresholdSpec: bits must be in 1..16");
+  }
+  if (per_neuron_.empty()) {
+    throw std::invalid_argument("ThresholdSpec: zero neurons");
+  }
+  const std::size_t expected = (1ULL << bits_) - 1;
+  for (const auto& ts : per_neuron_) validate_thresholds(ts, expected);
+}
+
+std::span<const Threshold> ThresholdSpec::thresholds(std::size_t j) const {
+  if (j >= per_neuron_.size()) {
+    throw std::out_of_range("ThresholdSpec::thresholds");
+  }
+  return per_neuron_[j];
+}
+
+std::uint64_t ThresholdSpec::code(std::size_t j, float v) const noexcept {
+  const auto& ts = per_neuron_[j];
+  // Thresholds are ascending, so "exceeds" is monotone: linear scan from
+  // the top finds the count quickly for the small m used in practice.
+  std::uint64_t c = 0;
+  for (const auto& t : ts) {
+    const bool exceeds = t.inclusive_below ? (v > t.value) : (v >= t.value);
+    if (exceeds) {
+      ++c;
+    } else {
+      break;  // ascending thresholds: no later threshold can be exceeded
+    }
+  }
+  return c;
+}
+
+std::pair<std::uint64_t, std::uint64_t> ThresholdSpec::code_range(
+    std::size_t j, float lo, float hi) const {
+  if (lo > hi) {
+    throw std::invalid_argument("ThresholdSpec::code_range: lo > hi");
+  }
+  return {code(j, lo), code(j, hi)};
+}
+
+ThresholdSpec ThresholdSpec::onoff(std::span<const float> c) {
+  std::vector<std::vector<Threshold>> per_neuron(c.size());
+  for (std::size_t j = 0; j < c.size(); ++j) {
+    per_neuron[j] = {Threshold{c[j], /*inclusive_below=*/true}};
+  }
+  return ThresholdSpec(1, std::move(per_neuron));
+}
+
+ThresholdSpec ThresholdSpec::paper_two_bit(std::span<const float> c1,
+                                           std::span<const float> c2,
+                                           std::span<const float> c3) {
+  if (c1.size() != c2.size() || c2.size() != c3.size()) {
+    throw std::invalid_argument("paper_two_bit: size mismatch");
+  }
+  std::vector<std::vector<Threshold>> per_neuron(c1.size());
+  for (std::size_t j = 0; j < c1.size(); ++j) {
+    per_neuron[j] = {
+        Threshold{c1[j], /*inclusive_below=*/true},   // (c1, .. is strict
+        Threshold{c2[j], /*inclusive_below=*/false},  // [c2 belongs upward
+        Threshold{c3[j], /*inclusive_below=*/true},   // ..c3] belongs down
+    };
+  }
+  return ThresholdSpec(2, std::move(per_neuron));
+}
+
+ThresholdSpec ThresholdSpec::from_minmax(std::span<const float> mins,
+                                         std::span<const float> maxs) {
+  if (mins.size() != maxs.size()) {
+    throw std::invalid_argument("from_minmax: size mismatch");
+  }
+  const float neg_inf = -std::numeric_limits<float>::infinity();
+  std::vector<float> c1(mins.size(), neg_inf);
+  // Degenerate neurons (min == max) would collapse thresholds; nudge the
+  // upper threshold by the smallest representable step so ordering holds.
+  std::vector<float> c2(mins.begin(), mins.end());
+  std::vector<float> c3(maxs.begin(), maxs.end());
+  for (std::size_t j = 0; j < c2.size(); ++j) {
+    if (!(c2[j] < c3[j])) {
+      c3[j] = std::nextafter(c2[j], std::numeric_limits<float>::infinity());
+    }
+  }
+  return paper_two_bit(c1, c2, c3);
+}
+
+ThresholdSpec ThresholdSpec::from_percentiles(const NeuronStats& stats,
+                                              std::size_t bits) {
+  if (bits == 0 || bits > 16) {
+    throw std::invalid_argument("from_percentiles: bits must be in 1..16");
+  }
+  const std::size_t m = (1ULL << bits) - 1;
+  const std::size_t d = stats.dimension();
+  std::vector<std::vector<Threshold>> per_neuron(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    per_neuron[j].reserve(m);
+    float prev = -std::numeric_limits<float>::infinity();
+    for (std::size_t i = 1; i <= m; ++i) {
+      float v = stats.percentile(j, double(i) / double(m + 1));
+      // Enforce strict ascent in the presence of repeated sample values.
+      if (!(v > prev)) {
+        v = std::nextafter(prev, std::numeric_limits<float>::infinity());
+      }
+      per_neuron[j].push_back(Threshold{v, /*inclusive_below=*/true});
+      prev = v;
+    }
+  }
+  return ThresholdSpec(bits, std::move(per_neuron));
+}
+
+ThresholdSpec ThresholdSpec::from_means(const NeuronStats& stats) {
+  const auto means = stats.means();
+  return onoff(means);
+}
+
+}  // namespace ranm

@@ -1,0 +1,90 @@
+// Per-neuron threshold sets that map a real neuron value to a B-bit code
+// (paper §III-C). For B bits a neuron has m = 2^B - 1 ascending thresholds
+// c_1 < ... < c_m; the code of value v is the number of thresholds v
+// "exceeds".
+//
+// The paper's 2-bit table uses mixed boundary conventions — the buckets are
+// (-inf, c1], (c1, c2), [c2, c3], (c3, inf) — so each threshold carries an
+// inclusivity flag: with `inclusive_below` the value v == c belongs to the
+// lower bucket (the code increments only for v > c); without it, equality
+// already exceeds (v >= c increments). This makes the footnote-3 reductions
+// (interval monitor == min-max monitor, interval monitor == on-off monitor)
+// hold exactly, which the test suite asserts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace ranm {
+
+class NeuronStats;
+
+/// One threshold with its boundary convention.
+struct Threshold {
+  float value = 0.0F;
+  /// true: v == value stays in the lower bucket (increment on v > value).
+  /// false: v == value belongs to the upper bucket (increment on v >= value).
+  bool inclusive_below = true;
+};
+
+/// Threshold table for `dim` neurons with B bits each.
+class ThresholdSpec {
+ public:
+  /// `per_neuron[j]` must contain exactly 2^bits - 1 thresholds with
+  /// strictly ascending values.
+  ThresholdSpec(std::size_t bits,
+                std::vector<std::vector<Threshold>> per_neuron);
+
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return per_neuron_.size();
+  }
+  [[nodiscard]] std::size_t bits() const noexcept { return bits_; }
+  /// Number of codes per neuron: 2^bits.
+  [[nodiscard]] std::uint64_t num_codes() const noexcept {
+    return 1ULL << bits_;
+  }
+  /// Thresholds of neuron j.
+  [[nodiscard]] std::span<const Threshold> thresholds(std::size_t j) const;
+
+  /// Code of value v at neuron j: |{i : v exceeds c_i}|.
+  [[nodiscard]] std::uint64_t code(std::size_t j, float v) const noexcept;
+  /// Codes reachable by any value in [lo, hi]: the inclusive code range
+  /// {code(lo), ..., code(hi)} (codes are monotone in v). Requires lo<=hi.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> code_range(
+      std::size_t j, float lo, float hi) const;
+
+  // ---- factories -----------------------------------------------------------
+
+  /// One-bit on-off spec (paper §III-A): b_j = 1 iff v_j > c_j.
+  static ThresholdSpec onoff(std::span<const float> c);
+
+  /// The paper's exact 2-bit convention for thresholds c1 < c2 < c3:
+  /// buckets (-inf,c1], (c1,c2), [c2,c3], (c3,inf).
+  static ThresholdSpec paper_two_bit(
+      std::span<const float> c1, std::span<const float> c2,
+      std::span<const float> c3);
+
+  /// Footnote-3 reduction to a min-max monitor: for each neuron,
+  /// c3 = max visited, c2 = min visited, c1 = -inf, with the paper's 2-bit
+  /// boundary flags, so code 2 <=> min <= v <= max.
+  static ThresholdSpec from_minmax(std::span<const float> mins,
+                                   std::span<const float> maxs);
+
+  /// Equal-probability thresholds from observed samples: 2^bits - 1
+  /// percentile cut points per neuron (all inclusive_below). Stats must
+  /// have been built with keep_samples.
+  static ThresholdSpec from_percentiles(const NeuronStats& stats,
+                                        std::size_t bits);
+
+  /// Thresholds at each neuron's training mean (1 bit, inclusive_below) —
+  /// the "average of all visited values" strategy from the paper.
+  static ThresholdSpec from_means(const NeuronStats& stats);
+
+ private:
+  std::size_t bits_;
+  std::vector<std::vector<Threshold>> per_neuron_;
+};
+
+}  // namespace ranm

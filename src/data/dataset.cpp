@@ -1,0 +1,48 @@
+#include "data/dataset.hpp"
+
+#include <stdexcept>
+
+namespace ranm {
+
+void Dataset::append(const Dataset& other) {
+  inputs.insert(inputs.end(), other.inputs.begin(), other.inputs.end());
+  targets.insert(targets.end(), other.targets.begin(), other.targets.end());
+}
+
+void Dataset::shuffle(Rng& rng) {
+  if (inputs.size() != targets.size()) {
+    throw std::logic_error("Dataset::shuffle: inputs/targets out of sync");
+  }
+  const auto perm = rng.permutation(inputs.size());
+  std::vector<Tensor> in(inputs.size()), tg(targets.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    in[i] = std::move(inputs[perm[i]]);
+    tg[i] = std::move(targets[perm[i]]);
+  }
+  inputs = std::move(in);
+  targets = std::move(tg);
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double frac) const {
+  if (frac < 0.0 || frac > 1.0) {
+    throw std::invalid_argument("Dataset::split: frac out of [0, 1]");
+  }
+  const auto cut = static_cast<std::size_t>(frac * double(size()) + 0.5);
+  Dataset first, second;
+  for (std::size_t i = 0; i < size(); ++i) {
+    Dataset& dst = i < cut ? first : second;
+    dst.inputs.push_back(inputs[i]);
+    dst.targets.push_back(targets[i]);
+  }
+  return {std::move(first), std::move(second)};
+}
+
+Dataset Dataset::take(std::size_t n) const {
+  Dataset out;
+  const std::size_t m = std::min(n, size());
+  out.inputs.assign(inputs.begin(), inputs.begin() + m);
+  out.targets.assign(targets.begin(), targets.begin() + m);
+  return out;
+}
+
+}  // namespace ranm

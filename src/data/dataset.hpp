@@ -1,0 +1,33 @@
+// Dataset container shared by the generators, the trainer, and the
+// evaluation harness.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace ranm {
+
+/// Paired inputs and targets. Targets may be regression vectors or class
+/// indices stored as 1-element tensors.
+struct Dataset {
+  std::vector<Tensor> inputs;
+  std::vector<Tensor> targets;
+
+  [[nodiscard]] std::size_t size() const noexcept { return inputs.size(); }
+  [[nodiscard]] bool empty() const noexcept { return inputs.empty(); }
+
+  /// Appends another dataset's samples.
+  void append(const Dataset& other);
+  /// In-place random permutation of sample order.
+  void shuffle(Rng& rng);
+  /// Splits into (first, second) where first receives round(frac * size)
+  /// samples. frac must be in [0, 1].
+  [[nodiscard]] std::pair<Dataset, Dataset> split(double frac) const;
+  /// A copy of the first n samples (n clamped to size).
+  [[nodiscard]] Dataset take(std::size_t n) const;
+};
+
+}  // namespace ranm

@@ -1,0 +1,160 @@
+#include "data/digits.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace ranm {
+
+std::string_view digit_variant_name(DigitVariant variant) noexcept {
+  switch (variant) {
+    case DigitVariant::kNominal:
+      return "digits";
+    case DigitVariant::kLetters:
+      return "letters";
+    case DigitVariant::kInverted:
+      return "inverted";
+    case DigitVariant::kNoisy:
+      return "heavy-noise";
+  }
+  return "?";
+}
+
+namespace {
+
+// Segment bitmasks: bit 0..6 = A (top), B (top-right), C (bottom-right),
+// D (bottom), E (bottom-left), F (top-left), G (middle).
+constexpr std::array<std::uint8_t, 10> kDigitSegments = {
+    0b0111111,  // 0
+    0b0000110,  // 1
+    0b1011011,  // 2
+    0b1001111,  // 3
+    0b1100110,  // 4
+    0b1101101,  // 5
+    0b1111101,  // 6
+    0b0000111,  // 7
+    0b1111111,  // 8
+    0b1101111,  // 9
+};
+
+// Letters renderable on seven segments: A C E F H J L P U.
+constexpr std::array<std::uint8_t, 9> kLetterSegments = {
+    0b1110111,  // A
+    0b0111001,  // C
+    0b1111001,  // E
+    0b1110001,  // F
+    0b1110110,  // H
+    0b0011110,  // J
+    0b0111000,  // L
+    0b1110011,  // P
+    0b0111110,  // U
+};
+
+float clamp01(float v) noexcept { return std::clamp(v, 0.0F, 1.0F); }
+
+/// Draws one segment as a filled rectangle in glyph-local coordinates.
+/// The glyph occupies a (gh x gw) box; thickness t.
+void draw_segment(Tensor& img, int seg, int top, int left, int gh, int gw,
+                  int t, float intensity) {
+  const std::size_t h = img.dim(1), w = img.dim(2);
+  auto fill = [&](int y0, int y1, int x0, int x1) {
+    for (int y = y0; y < y1; ++y) {
+      for (int x = x0; x < x1; ++x) {
+        if (y < 0 || x < 0 || y >= int(h) || x >= int(w)) continue;
+        img(0, std::size_t(y), std::size_t(x)) = intensity;
+      }
+    }
+  };
+  const int mid = top + gh / 2;
+  switch (seg) {
+    case 0:  // A: top bar
+      fill(top, top + t, left + t, left + gw - t);
+      break;
+    case 1:  // B: top-right column
+      fill(top + t, mid, left + gw - t, left + gw);
+      break;
+    case 2:  // C: bottom-right column
+      fill(mid + t, top + gh - t, left + gw - t, left + gw);
+      break;
+    case 3:  // D: bottom bar
+      fill(top + gh - t, top + gh, left + t, left + gw - t);
+      break;
+    case 4:  // E: bottom-left column
+      fill(mid + t, top + gh - t, left, left + t);
+      break;
+    case 5:  // F: top-left column
+      fill(top + t, mid, left, left + t);
+      break;
+    case 6:  // G: middle bar
+      fill(mid, mid + t, left + t, left + gw - t);
+      break;
+    default:
+      throw std::logic_error("draw_segment: bad segment index");
+  }
+}
+
+}  // namespace
+
+Tensor render_digit(const DigitConfig& cfg, DigitVariant variant, Rng& rng,
+                    std::size_t* label) {
+  if (cfg.size < 12) {
+    throw std::invalid_argument("render_digit: size must be >= 12");
+  }
+  const std::size_t s = cfg.size;
+  Tensor img({1, s, s}, 0.05F);
+
+  std::uint8_t mask;
+  std::size_t cls;
+  if (variant == DigitVariant::kLetters) {
+    cls = rng.below(kLetterSegments.size());
+    mask = kLetterSegments[cls];
+  } else {
+    cls = rng.below(10);
+    mask = kDigitSegments[cls];
+  }
+  if (label) *label = cls;
+
+  const int gh = int(s) - 6;
+  const int gw = int(s) / 2;
+  const int shift_y = int(rng.between(-cfg.max_shift, cfg.max_shift));
+  const int shift_x = int(rng.between(-cfg.max_shift, cfg.max_shift));
+  const int top = 3 + shift_y;
+  const int left = int(s) / 4 + shift_x;
+  const int thickness = 1 + int(rng.below(2));
+  const float intensity =
+      0.9F * rng.uniform_f(1.0F - cfg.intensity_jitter,
+                           1.0F + cfg.intensity_jitter);
+
+  for (int seg = 0; seg < 7; ++seg) {
+    if (mask & (1U << seg)) {
+      draw_segment(img, seg, top, left, gh, gw, thickness, intensity);
+    }
+  }
+
+  const float noise =
+      variant == DigitVariant::kNoisy ? cfg.heavy_noise : cfg.noise;
+  for (std::size_t i = 0; i < img.numel(); ++i) {
+    float v = img[i] + static_cast<float>(rng.normal(0.0, noise));
+    if (variant == DigitVariant::kInverted) v = 1.0F - v;
+    img[i] = clamp01(v);
+  }
+  return img;
+}
+
+Dataset make_digit_dataset(const DigitConfig& cfg, DigitVariant variant,
+                           std::size_t n, Rng& rng) {
+  Dataset ds;
+  ds.inputs.reserve(n);
+  ds.targets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t label = 0;
+    ds.inputs.push_back(render_digit(cfg, variant, rng, &label));
+    Tensor t({1});
+    t[0] = static_cast<float>(label);
+    ds.targets.push_back(std::move(t));
+  }
+  return ds;
+}
+
+}  // namespace ranm

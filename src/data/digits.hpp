@@ -1,0 +1,49 @@
+// Synthetic seven-segment digit classification workload.
+//
+// The prior activation-monitoring papers evaluate on MNIST/GTSRB; we
+// provide a self-contained classification analogue: 16x16 renderings of
+// seven-segment digits 0-9 with positional jitter, stroke-thickness and
+// intensity variation, plus noise. Out-of-distribution variants (letters,
+// inverted video, heavy noise) exercise the monitors on a classification
+// network.
+#pragma once
+
+#include <string_view>
+
+#include "data/dataset.hpp"
+
+namespace ranm {
+
+/// In-distribution digits vs. three OOD variants.
+enum class DigitVariant {
+  kNominal,   // digits 0-9
+  kLetters,   // seven-segment letters A,C,E,F,H,J,L,P,U (unseen classes)
+  kInverted,  // digits with inverted video
+  kNoisy,     // digits under heavy pixel noise
+};
+
+[[nodiscard]] std::string_view digit_variant_name(
+    DigitVariant variant) noexcept;
+
+/// Generator configuration; images have shape {1, size, size}.
+struct DigitConfig {
+  std::size_t size = 16;
+  float intensity_jitter = 0.15F;  // stroke brightness ~ U(1-j, 1+j) * 0.9
+  float noise = 0.03F;             // nominal additive Gaussian noise
+  float heavy_noise = 0.35F;       // used by kNoisy
+  int max_shift = 2;               // positional jitter in pixels
+};
+
+/// Renders one glyph. For kNominal/kInverted/kNoisy, `label` receives the
+/// digit class 0-9; for kLetters it receives the letter index (0-based,
+/// not a digit class).
+[[nodiscard]] Tensor render_digit(const DigitConfig& cfg,
+                                  DigitVariant variant, Rng& rng,
+                                  std::size_t* label = nullptr);
+
+/// Generates n labelled samples (targets are 1-element class tensors).
+[[nodiscard]] Dataset make_digit_dataset(const DigitConfig& cfg,
+                                         DigitVariant variant, std::size_t n,
+                                         Rng& rng);
+
+}  // namespace ranm

@@ -1,0 +1,107 @@
+#include "data/perturb.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ranm {
+namespace {
+float clamp01(float v) noexcept { return std::clamp(v, 0.0F, 1.0F); }
+}  // namespace
+
+Tensor perturb_linf(const Tensor& t, float delta, Rng& rng) {
+  if (delta < 0.0F) throw std::invalid_argument("perturb_linf: delta < 0");
+  Tensor out = t;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    out[i] += rng.uniform_f(-delta, delta);
+  }
+  return out;
+}
+
+Tensor perturb_linf_corner(const Tensor& t, float delta, Rng& rng) {
+  if (delta < 0.0F) {
+    throw std::invalid_argument("perturb_linf_corner: delta < 0");
+  }
+  Tensor out = t;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    out[i] += rng.chance(0.5) ? delta : -delta;
+  }
+  return out;
+}
+
+Tensor perturb_brightness(const Tensor& t, float factor) {
+  Tensor out = t;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    out[i] = clamp01(out[i] * factor);
+  }
+  return out;
+}
+
+Tensor perturb_contrast(const Tensor& t, float factor) {
+  Tensor out = t;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    out[i] = clamp01(0.5F + (out[i] - 0.5F) * factor);
+  }
+  return out;
+}
+
+Tensor perturb_gaussian(const Tensor& t, float stddev, Rng& rng) {
+  Tensor out = t;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    out[i] = clamp01(out[i] + static_cast<float>(rng.normal(0.0, stddev)));
+  }
+  return out;
+}
+
+Tensor perturb_occlude(const Tensor& t, std::size_t size, float value,
+                       Rng& rng) {
+  if (t.rank() != 3) {
+    throw std::invalid_argument("perturb_occlude: CHW tensor required");
+  }
+  const std::size_t h = t.dim(1), w = t.dim(2);
+  if (size == 0 || size > h || size > w) {
+    throw std::invalid_argument("perturb_occlude: bad patch size");
+  }
+  Tensor out = t;
+  const std::size_t y0 = rng.below(h - size + 1);
+  const std::size_t x0 = rng.below(w - size + 1);
+  for (std::size_t ch = 0; ch < t.dim(0); ++ch) {
+    for (std::size_t y = y0; y < y0 + size; ++y) {
+      for (std::size_t x = x0; x < x0 + size; ++x) {
+        out(ch, y, x) = value;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor perturb_blur(const Tensor& t) {
+  if (t.rank() != 3) {
+    throw std::invalid_argument("perturb_blur: CHW tensor required");
+  }
+  const std::size_t c = t.dim(0), h = t.dim(1), w = t.dim(2);
+  Tensor out = t;
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        float acc = 0.0F;
+        int cnt = 0;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const auto yy = static_cast<std::ptrdiff_t>(y) + dy;
+            const auto xx = static_cast<std::ptrdiff_t>(x) + dx;
+            if (yy < 0 || xx < 0 || yy >= std::ptrdiff_t(h) ||
+                xx >= std::ptrdiff_t(w)) {
+              continue;
+            }
+            acc += t(ch, std::size_t(yy), std::size_t(xx));
+            ++cnt;
+          }
+        }
+        out(ch, y, x) = acc / static_cast<float>(cnt);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ranm

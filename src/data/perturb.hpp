@@ -1,0 +1,39 @@
+// Input perturbations used to stress monitors and to validate robustness
+// claims: bounded noise (the Δ of Definition 1 when kp = 0), photometric
+// changes, occlusion, and blur.
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace ranm {
+
+/// Adds i.i.d. uniform noise in [-delta, +delta] to every element
+/// (an L-infinity perturbation of radius delta). No clamping, so the
+/// perturbed input stays within the Δ-ball — required when checking
+/// Lemma 1 exactly.
+[[nodiscard]] Tensor perturb_linf(const Tensor& t, float delta, Rng& rng);
+
+/// Worst-case corner of the L-infinity ball: each element moves by
+/// +delta or -delta (randomly signed).
+[[nodiscard]] Tensor perturb_linf_corner(const Tensor& t, float delta,
+                                         Rng& rng);
+
+/// Multiplies all elements by `factor` and clamps to [0, 1].
+[[nodiscard]] Tensor perturb_brightness(const Tensor& t, float factor);
+
+/// Linear contrast change around 0.5, clamped to [0, 1].
+[[nodiscard]] Tensor perturb_contrast(const Tensor& t, float factor);
+
+/// Adds Gaussian noise with the given stddev, clamped to [0, 1].
+[[nodiscard]] Tensor perturb_gaussian(const Tensor& t, float stddev,
+                                      Rng& rng);
+
+/// Sets a random (size x size) patch of a CHW image to `value`.
+[[nodiscard]] Tensor perturb_occlude(const Tensor& t, std::size_t size,
+                                     float value, Rng& rng);
+
+/// 3x3 box blur on a CHW image.
+[[nodiscard]] Tensor perturb_blur(const Tensor& t);
+
+}  // namespace ranm

@@ -1,0 +1,204 @@
+#include "data/racetrack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ranm {
+
+std::string_view track_scenario_name(TrackScenario scenario) noexcept {
+  switch (scenario) {
+    case TrackScenario::kNominal:
+      return "nominal";
+    case TrackScenario::kDark:
+      return "dark";
+    case TrackScenario::kConstruction:
+      return "construction";
+    case TrackScenario::kIce:
+      return "ice";
+    case TrackScenario::kFog:
+      return "fog";
+    case TrackScenario::kNight:
+      return "night";
+  }
+  return "?";
+}
+
+const std::vector<TrackScenario>& track_departure_scenarios() {
+  static const std::vector<TrackScenario> kAll = {
+      TrackScenario::kDark, TrackScenario::kConstruction,
+      TrackScenario::kIce, TrackScenario::kFog, TrackScenario::kNight};
+  return kAll;
+}
+
+namespace {
+
+float clamp01(float v) noexcept { return std::clamp(v, 0.0F, 1.0F); }
+
+/// Lane-centre column (in pixels) at a given row. Row 0 is the bottom of
+/// the image (vehicle position); the track curves away with depth.
+float lane_center(const RacetrackConfig& cfg, float curvature, float offset,
+                  std::size_t row_from_bottom) {
+  const float t =
+      static_cast<float>(row_from_bottom) / static_cast<float>(cfg.height);
+  return 0.5F * static_cast<float>(cfg.width) + offset +
+         curvature * t * t * static_cast<float>(cfg.width) * 0.5F;
+}
+
+}  // namespace
+
+Tensor render_track(const RacetrackConfig& cfg, TrackScenario scenario,
+                    Rng& rng, Tensor* waypoint) {
+  if (cfg.height < 8 || cfg.width < 8) {
+    throw std::invalid_argument("render_track: image too small");
+  }
+  const std::size_t h = cfg.height, w = cfg.width;
+  Tensor img({1, h, w});
+
+  const float curvature = rng.uniform_f(-cfg.max_curvature, cfg.max_curvature);
+  const float offset = rng.uniform_f(-cfg.max_offset, cfg.max_offset);
+  const float gain =
+      rng.uniform_f(1.0F - cfg.lighting_jitter, 1.0F + cfg.lighting_jitter);
+
+  // Base scene: grass, asphalt between boundaries, bright lane markings.
+  for (std::size_t row = 0; row < h; ++row) {
+    const std::size_t from_bottom = h - 1 - row;
+    const float cx = lane_center(cfg, curvature, offset, from_bottom);
+    const float left = cx - cfg.lane_half_width;
+    const float right = cx + cfg.lane_half_width;
+    for (std::size_t col = 0; col < w; ++col) {
+      const auto x = static_cast<float>(col);
+      float v;
+      if (std::fabs(x - left) <= 0.6F || std::fabs(x - right) <= 0.6F) {
+        v = 0.9F;  // lane boundary marking
+      } else if (x > left && x < right) {
+        v = 0.45F;  // asphalt
+      } else {
+        v = 0.2F;  // off-track
+      }
+      img(0, row, col) = v;
+    }
+  }
+
+  // Waypoint: normalised lane-centre position at the lookahead row.
+  if (waypoint) {
+    const auto look_row =
+        static_cast<std::size_t>(cfg.lookahead * double(h - 1));
+    const float cx = lane_center(cfg, curvature, offset, look_row);
+    *waypoint = Tensor({2});
+    (*waypoint)[0] = 2.0F * cx / static_cast<float>(w) - 1.0F;
+    (*waypoint)[1] = 2.0F * static_cast<float>(look_row) /
+                         static_cast<float>(h) -
+                     1.0F;
+  }
+
+  // Scenario transforms applied before nominal lighting/noise.
+  switch (scenario) {
+    case TrackScenario::kNominal:
+      break;
+    case TrackScenario::kDark:
+      for (std::size_t i = 0; i < img.numel(); ++i) img[i] *= 0.25F;
+      break;
+    case TrackScenario::kConstruction: {
+      const int blocks = static_cast<int>(rng.between(2, 4));
+      for (int b = 0; b < blocks; ++b) {
+        const std::size_t by = rng.below(h - 4);
+        const std::size_t bx = rng.below(w - 4);
+        const std::size_t bh = 3 + rng.below(3);
+        const std::size_t bw = 3 + rng.below(3);
+        for (std::size_t y = by; y < std::min(h, by + bh); ++y) {
+          for (std::size_t x = bx; x < std::min(w, bx + bw); ++x) {
+            // Orange-striped barrier rendered as alternating bright rows.
+            img(0, y, x) = (y % 2 == 0) ? 0.95F : 0.75F;
+          }
+        }
+      }
+      break;
+    }
+    case TrackScenario::kIce: {
+      const int patches = static_cast<int>(rng.between(3, 6));
+      for (int p = 0; p < patches; ++p) {
+        const std::size_t cy = rng.below(h);
+        const std::size_t cx2 = rng.below(w);
+        const float r = 1.5F + rng.uniform_f(0.0F, 2.5F);
+        for (std::size_t y = 0; y < h; ++y) {
+          for (std::size_t x = 0; x < w; ++x) {
+            const float dy = static_cast<float>(y) - static_cast<float>(cy);
+            const float dx = static_cast<float>(x) - static_cast<float>(cx2);
+            if (dy * dy + dx * dx <= r * r) img(0, y, x) = 0.97F;
+          }
+        }
+      }
+      // Speckle glare.
+      for (std::size_t i = 0; i < img.numel(); ++i) {
+        if (rng.chance(0.03)) img[i] = 1.0F;
+      }
+      break;
+    }
+    case TrackScenario::kFog: {
+      // 3x3 box blur followed by contrast compression toward white.
+      Tensor blurred = img;
+      for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+          float acc = 0.0F;
+          int cnt = 0;
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              const auto yy = static_cast<std::ptrdiff_t>(y) + dy;
+              const auto xx = static_cast<std::ptrdiff_t>(x) + dx;
+              if (yy < 0 || xx < 0 || yy >= std::ptrdiff_t(h) ||
+                  xx >= std::ptrdiff_t(w)) {
+                continue;
+              }
+              acc += img(0, std::size_t(yy), std::size_t(xx));
+              ++cnt;
+            }
+          }
+          blurred(0, y, x) = acc / static_cast<float>(cnt);
+        }
+      }
+      for (std::size_t i = 0; i < img.numel(); ++i) {
+        img[i] = 0.55F + 0.45F * blurred[i];
+      }
+      break;
+    }
+    case TrackScenario::kNight: {
+      // Near-black scene with a headlight cone from the bottom centre.
+      for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+          const float dy = static_cast<float>(h - 1 - y);
+          const float dx =
+              std::fabs(static_cast<float>(x) - 0.5F * static_cast<float>(w));
+          const float cone =
+              dx <= 0.25F * dy + 2.0F ? std::exp(-dy / (0.5F * float(h))) : 0.0F;
+          img(0, y, x) *= 0.05F + 0.75F * cone;
+        }
+      }
+      break;
+    }
+  }
+
+  // Nominal aleatory variation: lighting gain + sensor noise.
+  for (std::size_t i = 0; i < img.numel(); ++i) {
+    const float noisy =
+        img[i] * gain +
+        static_cast<float>(rng.normal(0.0, cfg.sensor_noise));
+    img[i] = clamp01(noisy);
+  }
+  return img;
+}
+
+Dataset make_track_dataset(const RacetrackConfig& cfg,
+                           TrackScenario scenario, std::size_t n, Rng& rng) {
+  Dataset ds;
+  ds.inputs.reserve(n);
+  ds.targets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Tensor waypoint;
+    ds.inputs.push_back(render_track(cfg, scenario, rng, &waypoint));
+    ds.targets.push_back(std::move(waypoint));
+  }
+  return ds;
+}
+
+}  // namespace ranm

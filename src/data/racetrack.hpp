@@ -1,0 +1,62 @@
+// Synthetic race-track scene generator.
+//
+// The paper's evaluation deploys a DNN that "generates visual waypoints
+// from images" on a physical race track and tests the monitor against
+// out-of-ODD scenarios (dark conditions, construction site, ice on the
+// track — Fig. 2). We reproduce that setting synthetically: a top-down
+// grayscale rendering of a curved two-boundary track with a regression
+// target (the waypoint: normalised lane-centre coordinates at a lookahead
+// row). In-ODD aleatory variation — lighting jitter and sensor noise, the
+// very effects the paper says cause false alarms — is part of the nominal
+// distribution. Out-of-ODD scenarios are controlled transforms that move
+// inputs off the training manifold.
+#pragma once
+
+#include <string_view>
+
+#include "data/dataset.hpp"
+
+namespace ranm {
+
+/// Scene variants. kNominal is the ODD; the rest are the paper's departure
+/// scenarios (fog and night are extra).
+enum class TrackScenario {
+  kNominal,
+  kDark,          // severe lighting drop (paper: "dark conditions")
+  kConstruction,  // bright clutter blocks on/near the track
+  kIce,           // white patches and speckle on the asphalt
+  kFog,           // blur + contrast loss
+  kNight,         // near-black with a headlight cone
+};
+
+[[nodiscard]] std::string_view track_scenario_name(
+    TrackScenario scenario) noexcept;
+
+/// All departure scenarios (everything but kNominal).
+[[nodiscard]] const std::vector<TrackScenario>& track_departure_scenarios();
+
+/// Generator configuration. Defaults give a 1x32x32 image and a 2-D
+/// waypoint target in [-1, 1]^2.
+struct RacetrackConfig {
+  std::size_t height = 32;
+  std::size_t width = 32;
+  float lane_half_width = 4.0F;   // pixels from centre to each boundary
+  float max_curvature = 0.9F;     // lateral pixels-per-row^2 scale
+  float max_offset = 4.0F;        // lateral lane offset in pixels
+  float lighting_jitter = 0.15F;  // multiplicative gain ~ U(1-j, 1+j)
+  float sensor_noise = 0.02F;     // additive Gaussian, per pixel
+  double lookahead = 0.8;         // waypoint row as fraction of height
+};
+
+/// Renders one scene and returns the image (shape {1, H, W}); `waypoint`
+/// receives the 2-D target.
+[[nodiscard]] Tensor render_track(const RacetrackConfig& cfg,
+                                  TrackScenario scenario, Rng& rng,
+                                  Tensor* waypoint = nullptr);
+
+/// Generates n samples of one scenario.
+[[nodiscard]] Dataset make_track_dataset(const RacetrackConfig& cfg,
+                                         TrackScenario scenario,
+                                         std::size_t n, Rng& rng);
+
+}  // namespace ranm

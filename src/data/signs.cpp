@@ -1,0 +1,188 @@
+#include "data/signs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ranm {
+
+std::string_view sign_variant_name(SignVariant variant) noexcept {
+  switch (variant) {
+    case SignVariant::kNominal:
+      return "signs";
+    case SignVariant::kUnseen:
+      return "unseen-shape";
+    case SignVariant::kGraffiti:
+      return "graffiti";
+    case SignVariant::kBlurred:
+      return "blurred";
+  }
+  return "?";
+}
+
+namespace {
+
+enum class Shape2D { kCircle, kTriangle, kInvTriangle, kOctagon, kDiamond };
+enum class Glyph { kBar, kDot, kChevron, kBlank };
+
+float clamp01(float v) noexcept { return std::clamp(v, 0.0F, 1.0F); }
+
+/// Signed membership test of point (dx, dy) relative to the sign centre,
+/// for a sign of radius r.
+bool inside_shape(Shape2D shape, float dx, float dy, float r) {
+  switch (shape) {
+    case Shape2D::kCircle:
+      return dx * dx + dy * dy <= r * r;
+    case Shape2D::kTriangle:
+      // Upward triangle: apex at (0, -r), base at y = +r * 0.6.
+      return dy <= 0.6F * r && dy >= -r &&
+             std::fabs(dx) <= 0.75F * (dy + r) * 0.75F;
+    case Shape2D::kInvTriangle:
+      return dy >= -0.6F * r && dy <= r &&
+             std::fabs(dx) <= 0.75F * (r - dy) * 0.75F;
+    case Shape2D::kOctagon:
+      return std::fabs(dx) <= r && std::fabs(dy) <= r &&
+             std::fabs(dx) + std::fabs(dy) <= 1.4F * r;
+    case Shape2D::kDiamond:
+      return std::fabs(dx) + std::fabs(dy) <= r;
+  }
+  return false;
+}
+
+bool inside_glyph(Glyph glyph, float dx, float dy, float r) {
+  switch (glyph) {
+    case Glyph::kBar:
+      return std::fabs(dy) <= 0.18F * r && std::fabs(dx) <= 0.55F * r;
+    case Glyph::kDot:
+      return dx * dx + dy * dy <= (0.3F * r) * (0.3F * r);
+    case Glyph::kChevron:
+      return std::fabs(dy - std::fabs(dx) * 0.6F + 0.2F * r) <= 0.15F * r &&
+             std::fabs(dx) <= 0.6F * r;
+    case Glyph::kBlank:
+      return false;
+  }
+  return false;
+}
+
+/// The eight nominal classes: (shape, glyph) combinations.
+struct ClassSpec {
+  Shape2D shape;
+  Glyph glyph;
+};
+constexpr ClassSpec kClasses[kNumSignClasses] = {
+    {Shape2D::kCircle, Glyph::kBar},       // 0: no-entry style
+    {Shape2D::kCircle, Glyph::kDot},       // 1
+    {Shape2D::kCircle, Glyph::kBlank},     // 2
+    {Shape2D::kTriangle, Glyph::kChevron}, // 3: warning
+    {Shape2D::kTriangle, Glyph::kDot},     // 4
+    {Shape2D::kInvTriangle, Glyph::kBlank},// 5: yield
+    {Shape2D::kOctagon, Glyph::kBar},      // 6: stop
+    {Shape2D::kOctagon, Glyph::kBlank},    // 7
+};
+
+}  // namespace
+
+Tensor render_sign(const SignConfig& cfg, SignVariant variant, Rng& rng,
+                   std::size_t* label) {
+  if (cfg.size < 16) {
+    throw std::invalid_argument("render_sign: size must be >= 16");
+  }
+  const std::size_t s = cfg.size;
+  Tensor img({1, s, s}, 0.35F);  // street background
+
+  Shape2D shape;
+  Glyph glyph;
+  std::size_t cls = 0;
+  if (variant == SignVariant::kUnseen) {
+    shape = Shape2D::kDiamond;
+    glyph = static_cast<Glyph>(rng.below(3));
+  } else {
+    cls = rng.below(kNumSignClasses);
+    shape = kClasses[cls].shape;
+    glyph = kClasses[cls].glyph;
+  }
+  if (label) *label = cls;
+
+  const float r = rng.uniform_f(cfg.min_radius, cfg.max_radius);
+  const float cx = 0.5F * float(s) +
+                   float(rng.between(-cfg.max_shift, cfg.max_shift));
+  const float cy = 0.5F * float(s) +
+                   float(rng.between(-cfg.max_shift, cfg.max_shift));
+
+  for (std::size_t y = 0; y < s; ++y) {
+    for (std::size_t x = 0; x < s; ++x) {
+      const float dx = float(x) - cx;
+      const float dy = float(y) - cy;
+      if (!inside_shape(shape, dx, dy, r)) continue;
+      // Rim (outer 18% of the radius scale) dark, face bright, glyph dark.
+      const bool rim = !inside_shape(shape, dx * 1.22F, dy * 1.22F, r);
+      if (rim) {
+        img(0, y, x) = 0.85F;
+      } else if (inside_glyph(glyph, dx, dy, r)) {
+        img(0, y, x) = 0.1F;
+      } else {
+        img(0, y, x) = 0.7F;
+      }
+    }
+  }
+
+  if (variant == SignVariant::kGraffiti) {
+    const int blobs = int(rng.between(2, 4));
+    for (int b = 0; b < blobs; ++b) {
+      const float gx = cx + rng.uniform_f(-r, r);
+      const float gy = cy + rng.uniform_f(-r, r);
+      const float gr = rng.uniform_f(1.5F, 3.0F);
+      for (std::size_t y = 0; y < s; ++y) {
+        for (std::size_t x = 0; x < s; ++x) {
+          const float dx = float(x) - gx;
+          const float dy = float(y) - gy;
+          if (dx * dx + dy * dy <= gr * gr) img(0, y, x) = 0.02F;
+        }
+      }
+    }
+  }
+
+  if (variant == SignVariant::kBlurred) {
+    // Horizontal motion blur over 5 taps.
+    Tensor blurred = img;
+    for (std::size_t y = 0; y < s; ++y) {
+      for (std::size_t x = 0; x < s; ++x) {
+        float acc = 0.0F;
+        int cnt = 0;
+        for (int d = -2; d <= 2; ++d) {
+          const auto xx = std::ptrdiff_t(x) + d;
+          if (xx < 0 || xx >= std::ptrdiff_t(s)) continue;
+          acc += img(0, y, std::size_t(xx));
+          ++cnt;
+        }
+        blurred(0, y, x) = acc / float(cnt);
+      }
+    }
+    img = blurred;
+  }
+
+  const float gain = rng.uniform_f(1.0F - cfg.illumination_jitter,
+                                   1.0F + cfg.illumination_jitter);
+  for (std::size_t i = 0; i < img.numel(); ++i) {
+    img[i] = clamp01(img[i] * gain +
+                     static_cast<float>(rng.normal(0.0, cfg.noise)));
+  }
+  return img;
+}
+
+Dataset make_sign_dataset(const SignConfig& cfg, SignVariant variant,
+                          std::size_t n, Rng& rng) {
+  Dataset ds;
+  ds.inputs.reserve(n);
+  ds.targets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t label = 0;
+    ds.inputs.push_back(render_sign(cfg, variant, rng, &label));
+    Tensor t({1});
+    t[0] = static_cast<float>(label);
+    ds.targets.push_back(std::move(t));
+  }
+  return ds;
+}
+
+}  // namespace ranm

@@ -1,0 +1,52 @@
+// Synthetic traffic-sign classification workload (GTSRB analogue —
+// the paper cites GTSRB as a standard benchmark for prior
+// activation-monitoring work).
+//
+// 24x24 grayscale renderings of eight sign classes built from an outer
+// shape (circle / triangle / inverted triangle / octagon) and an inner
+// glyph (bar / dot / chevron / blank), with positional jitter, scale and
+// illumination variation. Out-of-distribution variants: an unseen shape
+// (diamond), graffiti occlusion, and motion blur.
+#pragma once
+
+#include <string_view>
+
+#include "data/dataset.hpp"
+
+namespace ranm {
+
+/// In-distribution signs vs three OOD variants.
+enum class SignVariant {
+  kNominal,   // the eight training classes
+  kUnseen,    // diamond-shaped signs (shape never trained on)
+  kGraffiti,  // nominal signs with paint blotches
+  kBlurred,   // nominal signs under motion blur
+};
+
+[[nodiscard]] std::string_view sign_variant_name(
+    SignVariant variant) noexcept;
+
+/// Number of in-distribution classes.
+inline constexpr std::size_t kNumSignClasses = 8;
+
+/// Generator configuration; images have shape {1, size, size}.
+struct SignConfig {
+  std::size_t size = 24;
+  float illumination_jitter = 0.2F;  // multiplicative gain ~ U(1-j, 1+j)
+  float noise = 0.02F;               // additive Gaussian
+  int max_shift = 2;                 // centre jitter in pixels
+  float min_radius = 7.0F;           // sign radius range in pixels
+  float max_radius = 9.0F;
+};
+
+/// Renders one sign; `label` receives the class (0..7) for kNominal /
+/// kGraffiti / kBlurred, or 0 for kUnseen (no trained class applies).
+[[nodiscard]] Tensor render_sign(const SignConfig& cfg, SignVariant variant,
+                                 Rng& rng, std::size_t* label = nullptr);
+
+/// Generates n labelled samples (targets are 1-element class tensors).
+[[nodiscard]] Dataset make_sign_dataset(const SignConfig& cfg,
+                                        SignVariant variant, std::size_t n,
+                                        Rng& rng);
+
+}  // namespace ranm

@@ -1,0 +1,53 @@
+#include "eval/metrics.hpp"
+
+#include <stdexcept>
+
+namespace ranm {
+
+double warning_rate(const MonitorBuilder& builder, const Monitor& monitor,
+                    const std::vector<Tensor>& inputs) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("warning_rate: empty input set");
+  }
+  std::size_t warned = 0;
+  for (const Tensor& v : inputs) {
+    if (builder.warns(monitor, v)) ++warned;
+  }
+  return double(warned) / double(inputs.size());
+}
+
+double warning_rate_features(
+    const Monitor& monitor,
+    const std::vector<std::vector<float>>& features) {
+  if (features.empty()) {
+    throw std::invalid_argument("warning_rate_features: empty input set");
+  }
+  std::size_t warned = 0;
+  for (const auto& f : features) {
+    if (monitor.warn(f)) ++warned;
+  }
+  return double(warned) / double(features.size());
+}
+
+double MonitorEval::mean_detection() const noexcept {
+  if (detection.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& s : detection) acc += s.rate;
+  return acc / double(detection.size());
+}
+
+MonitorEval evaluate_monitor(
+    const MonitorBuilder& builder, const Monitor& monitor,
+    const std::vector<Tensor>& in_distribution,
+    const std::vector<std::pair<std::string, std::vector<Tensor>>>&
+        ood_sets) {
+  MonitorEval eval;
+  eval.false_positive_rate = warning_rate(builder, monitor, in_distribution);
+  eval.detection.reserve(ood_sets.size());
+  for (const auto& [name, inputs] : ood_sets) {
+    eval.detection.push_back({name, warning_rate(builder, monitor, inputs)});
+  }
+  return eval;
+}
+
+}  // namespace ranm

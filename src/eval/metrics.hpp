@@ -1,0 +1,48 @@
+// Monitor quality metrics.
+//
+// The paper's §IV evaluation is phrased in two numbers: the false-positive
+// rate (vehicle inside the ODD, monitor warns anyway) and the detection
+// rate on out-of-ODD scenarios. Both are warning rates of the same monitor
+// on different input populations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "core/monitor_builder.hpp"
+
+namespace ranm {
+
+/// Fraction of inputs (in [0, 1]) on which the monitor warns.
+[[nodiscard]] double warning_rate(const MonitorBuilder& builder,
+                                  const Monitor& monitor,
+                                  const std::vector<Tensor>& inputs);
+
+/// Warning rate over pre-computed feature vectors.
+[[nodiscard]] double warning_rate_features(
+    const Monitor& monitor, const std::vector<std::vector<float>>& features);
+
+/// One named scenario with its measured warning rate.
+struct ScenarioRate {
+  std::string name;
+  double rate = 0.0;
+};
+
+/// Full monitor evaluation: FP rate on the in-distribution set plus
+/// detection rate per out-of-distribution scenario.
+struct MonitorEval {
+  double false_positive_rate = 0.0;
+  std::vector<ScenarioRate> detection;
+
+  /// Mean detection rate across scenarios (0 if none).
+  [[nodiscard]] double mean_detection() const noexcept;
+};
+
+/// Evaluates a built monitor on a test split and named OOD input sets.
+[[nodiscard]] MonitorEval evaluate_monitor(
+    const MonitorBuilder& builder, const Monitor& monitor,
+    const std::vector<Tensor>& in_distribution,
+    const std::vector<std::pair<std::string, std::vector<Tensor>>>& ood_sets);
+
+}  // namespace ranm

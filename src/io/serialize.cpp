@@ -1,0 +1,437 @@
+#include "io/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "bdd/bdd_io.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/normalization.hpp"
+#include "nn/pooling.hpp"
+
+namespace ranm {
+namespace {
+
+constexpr std::uint32_t kNetMagic = 0x524E4E31U;    // "RNN1"
+constexpr std::uint32_t kSpecMagic = 0x52545331U;   // "RTS1"
+constexpr std::uint32_t kMonMagic = 0x524D4F31U;    // "RMO1"
+constexpr std::uint32_t kDataMagic = 0x52445331U;   // "RDS1"
+
+enum class LayerTag : std::uint32_t {
+  kDense = 1,
+  kConv2D = 2,
+  kReLU = 3,
+  kLeakyReLU = 4,
+  kSigmoid = 5,
+  kTanh = 6,
+  kMaxPool2D = 7,
+  kAvgPool2D = 8,
+  kFlatten = 9,
+  kNormalization = 10,
+};
+
+enum class MonitorTag : std::uint32_t {
+  kMinMax = 1,
+  kOnOff = 2,
+  kInterval = 3,
+};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) throw std::runtime_error("ranm::io: truncated stream");
+  return v;
+}
+
+void write_u64(std::ostream& out, std::uint64_t v) { write_pod(out, v); }
+std::uint64_t read_u64(std::istream& in) { return read_pod<std::uint64_t>(in); }
+
+void write_shape(std::ostream& out, const Shape& shape) {
+  write_u64(out, shape.size());
+  for (std::size_t d : shape) write_u64(out, d);
+}
+
+Shape read_shape(std::istream& in) {
+  const std::uint64_t rank = read_u64(in);
+  if (rank > 8) throw std::runtime_error("ranm::io: implausible tensor rank");
+  Shape shape(rank);
+  for (auto& d : shape) d = static_cast<std::size_t>(read_u64(in));
+  return shape;
+}
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+  write_shape(out, t.shape());
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+Tensor read_tensor(std::istream& in) {
+  Shape shape = read_shape(in);
+  Tensor t(std::move(shape));
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!in) throw std::runtime_error("ranm::io: truncated tensor");
+  return t;
+}
+
+void copy_params(Layer& layer, std::istream& in) {
+  for (Tensor* p : layer.parameters()) {
+    Tensor loaded = read_tensor(in);
+    if (loaded.shape() != p->shape()) {
+      throw std::runtime_error("ranm::io: parameter shape mismatch");
+    }
+    *p = std::move(loaded);
+  }
+}
+
+}  // namespace
+
+void save_network(std::ostream& out, Network& net) {
+  write_pod(out, kNetMagic);
+  write_u64(out, net.num_layers());
+  for (std::size_t k = 1; k <= net.num_layers(); ++k) {
+    Layer& layer = net.layer(k);
+    if (auto* d = dynamic_cast<Dense*>(&layer)) {
+      write_pod(out, LayerTag::kDense);
+      write_u64(out, d->input_size());
+      write_u64(out, d->output_size());
+    } else if (auto* c = dynamic_cast<Conv2D*>(&layer)) {
+      write_pod(out, LayerTag::kConv2D);
+      const Conv2D::Config& cfg = c->config();
+      write_u64(out, cfg.in_channels);
+      write_u64(out, cfg.in_height);
+      write_u64(out, cfg.in_width);
+      write_u64(out, cfg.out_channels);
+      write_u64(out, cfg.kernel_h);
+      write_u64(out, cfg.kernel_w);
+      write_u64(out, cfg.stride);
+      write_u64(out, cfg.padding);
+    } else if (dynamic_cast<ReLU*>(&layer)) {
+      write_pod(out, LayerTag::kReLU);
+      write_shape(out, layer.input_shape());
+    } else if (auto* lr = dynamic_cast<LeakyReLU*>(&layer)) {
+      write_pod(out, LayerTag::kLeakyReLU);
+      write_shape(out, layer.input_shape());
+      write_pod(out, lr->alpha());
+    } else if (dynamic_cast<Sigmoid*>(&layer)) {
+      write_pod(out, LayerTag::kSigmoid);
+      write_shape(out, layer.input_shape());
+    } else if (dynamic_cast<Tanh*>(&layer)) {
+      write_pod(out, LayerTag::kTanh);
+      write_shape(out, layer.input_shape());
+    } else if (auto* mp = dynamic_cast<MaxPool2D*>(&layer)) {
+      write_pod(out, LayerTag::kMaxPool2D);
+      const Pooling::Config& cfg = mp->config();
+      write_u64(out, cfg.channels);
+      write_u64(out, cfg.in_height);
+      write_u64(out, cfg.in_width);
+      write_u64(out, cfg.window);
+      write_u64(out, cfg.stride);
+    } else if (auto* ap = dynamic_cast<AvgPool2D*>(&layer)) {
+      write_pod(out, LayerTag::kAvgPool2D);
+      const Pooling::Config& cfg = ap->config();
+      write_u64(out, cfg.channels);
+      write_u64(out, cfg.in_height);
+      write_u64(out, cfg.in_width);
+      write_u64(out, cfg.window);
+      write_u64(out, cfg.stride);
+    } else if (dynamic_cast<Flatten*>(&layer)) {
+      write_pod(out, LayerTag::kFlatten);
+      write_shape(out, layer.input_shape());
+    } else if (auto* nz = dynamic_cast<Normalization*>(&layer)) {
+      write_pod(out, LayerTag::kNormalization);
+      write_shape(out, layer.input_shape());
+      for (float v : nz->mean()) write_pod(out, v);
+      for (float v : nz->inv_std()) write_pod(out, v);
+    } else {
+      throw std::invalid_argument("save_network: unsupported layer " +
+                                  layer.name());
+    }
+    for (Tensor* p : layer.parameters()) write_tensor(out, *p);
+  }
+}
+
+Network load_network(std::istream& in) {
+  if (read_pod<std::uint32_t>(in) != kNetMagic) {
+    throw std::runtime_error("load_network: bad magic");
+  }
+  const std::uint64_t n = read_u64(in);
+  Network net;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto tag = read_pod<LayerTag>(in);
+    switch (tag) {
+      case LayerTag::kDense: {
+        const auto din = static_cast<std::size_t>(read_u64(in));
+        const auto dout = static_cast<std::size_t>(read_u64(in));
+        auto& layer = net.emplace<Dense>(din, dout);
+        copy_params(layer, in);
+        break;
+      }
+      case LayerTag::kReLU: {
+        auto& layer = net.emplace<ReLU>(read_shape(in));
+        copy_params(layer, in);
+        break;
+      }
+      case LayerTag::kLeakyReLU: {
+        Shape shape = read_shape(in);
+        const float alpha = read_pod<float>(in);
+        auto& layer = net.emplace<LeakyReLU>(std::move(shape), alpha);
+        copy_params(layer, in);
+        break;
+      }
+      case LayerTag::kSigmoid: {
+        auto& layer = net.emplace<Sigmoid>(read_shape(in));
+        copy_params(layer, in);
+        break;
+      }
+      case LayerTag::kTanh: {
+        auto& layer = net.emplace<Tanh>(read_shape(in));
+        copy_params(layer, in);
+        break;
+      }
+      case LayerTag::kFlatten: {
+        auto& layer = net.emplace<Flatten>(read_shape(in));
+        copy_params(layer, in);
+        break;
+      }
+      case LayerTag::kConv2D: {
+        Conv2D::Config cfg;
+        cfg.in_channels = static_cast<std::size_t>(read_u64(in));
+        cfg.in_height = static_cast<std::size_t>(read_u64(in));
+        cfg.in_width = static_cast<std::size_t>(read_u64(in));
+        cfg.out_channels = static_cast<std::size_t>(read_u64(in));
+        cfg.kernel_h = static_cast<std::size_t>(read_u64(in));
+        cfg.kernel_w = static_cast<std::size_t>(read_u64(in));
+        cfg.stride = static_cast<std::size_t>(read_u64(in));
+        cfg.padding = static_cast<std::size_t>(read_u64(in));
+        auto& layer = net.emplace<Conv2D>(cfg);
+        copy_params(layer, in);
+        break;
+      }
+      case LayerTag::kNormalization: {
+        Shape shape = read_shape(in);
+        const std::size_t count = shape_numel(shape);
+        if (count == 0 || count > (1ULL << 24)) {
+          throw std::runtime_error("load_network: implausible layer size");
+        }
+        std::vector<float> mean(count), inv_std(count);
+        for (auto& v : mean) v = read_pod<float>(in);
+        for (auto& v : inv_std) v = read_pod<float>(in);
+        try {
+          copy_params(net.emplace<Normalization>(std::move(shape),
+                                                 std::move(mean),
+                                                 std::move(inv_std)),
+                      in);
+        } catch (const std::invalid_argument& e) {
+          throw std::runtime_error(std::string("load_network: ") + e.what());
+        }
+        break;
+      }
+      case LayerTag::kMaxPool2D:
+      case LayerTag::kAvgPool2D: {
+        Pooling::Config cfg;
+        cfg.channels = static_cast<std::size_t>(read_u64(in));
+        cfg.in_height = static_cast<std::size_t>(read_u64(in));
+        cfg.in_width = static_cast<std::size_t>(read_u64(in));
+        cfg.window = static_cast<std::size_t>(read_u64(in));
+        cfg.stride = static_cast<std::size_t>(read_u64(in));
+        if (tag == LayerTag::kMaxPool2D) {
+          copy_params(net.emplace<MaxPool2D>(cfg), in);
+        } else {
+          copy_params(net.emplace<AvgPool2D>(cfg), in);
+        }
+        break;
+      }
+      default:
+        throw std::runtime_error("load_network: unsupported layer tag");
+    }
+  }
+  return net;
+}
+
+void save_network_file(const std::string& path, Network& net) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_network_file: cannot open " + path);
+  save_network(out, net);
+}
+
+Network load_network_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_network_file: cannot open " + path);
+  return load_network(in);
+}
+
+void save_threshold_spec(std::ostream& out, const ThresholdSpec& spec) {
+  write_pod(out, kSpecMagic);
+  write_u64(out, spec.dimension());
+  write_u64(out, spec.bits());
+  for (std::size_t j = 0; j < spec.dimension(); ++j) {
+    for (const Threshold& t : spec.thresholds(j)) {
+      write_pod(out, t.value);
+      write_pod(out, static_cast<std::uint8_t>(t.inclusive_below ? 1 : 0));
+    }
+  }
+}
+
+ThresholdSpec load_threshold_spec(std::istream& in) {
+  if (read_pod<std::uint32_t>(in) != kSpecMagic) {
+    throw std::runtime_error("load_threshold_spec: bad magic");
+  }
+  const auto dim = static_cast<std::size_t>(read_u64(in));
+  const auto bits = static_cast<std::size_t>(read_u64(in));
+  if (bits == 0 || bits > 16 || dim == 0) {
+    throw std::runtime_error("load_threshold_spec: implausible header");
+  }
+  const std::size_t m = (std::size_t(1) << bits) - 1;
+  std::vector<std::vector<Threshold>> per_neuron(dim);
+  for (auto& ts : per_neuron) {
+    ts.resize(m);
+    for (auto& t : ts) {
+      t.value = read_pod<float>(in);
+      t.inclusive_below = read_pod<std::uint8_t>(in) != 0;
+    }
+  }
+  return ThresholdSpec(bits, std::move(per_neuron));
+}
+
+void save_monitor(std::ostream& out, const MinMaxMonitor& monitor) {
+  write_pod(out, kMonMagic);
+  write_pod(out, MonitorTag::kMinMax);
+  write_u64(out, monitor.dimension());
+  write_u64(out, monitor.observation_count());
+  for (std::size_t j = 0; j < monitor.dimension(); ++j) {
+    write_pod(out, monitor.lower(j));
+    write_pod(out, monitor.upper(j));
+  }
+}
+
+namespace {
+
+MinMaxMonitor load_minmax_body(std::istream& in) {
+  const auto dim = static_cast<std::size_t>(read_u64(in));
+  const auto count = static_cast<std::size_t>(read_u64(in));
+  std::vector<float> lower(dim), upper(dim);
+  for (std::size_t j = 0; j < dim; ++j) {
+    lower[j] = read_pod<float>(in);
+    upper[j] = read_pod<float>(in);
+  }
+  return MinMaxMonitor::from_bounds(std::move(lower), std::move(upper),
+                                    count);
+}
+
+OnOffMonitor load_onoff_body(std::istream& in) {
+  OnOffMonitor monitor(load_threshold_spec(in));
+  monitor.set_root(bdd::load_bdd(in, monitor.manager()));
+  return monitor;
+}
+
+IntervalMonitor load_interval_body(std::istream& in) {
+  IntervalMonitor monitor(load_threshold_spec(in));
+  monitor.set_root(bdd::load_bdd(in, monitor.manager()));
+  return monitor;
+}
+
+MonitorTag read_monitor_header(std::istream& in) {
+  if (read_pod<std::uint32_t>(in) != kMonMagic) {
+    throw std::runtime_error("load monitor: bad magic");
+  }
+  return read_pod<MonitorTag>(in);
+}
+
+}  // namespace
+
+MinMaxMonitor load_minmax_monitor(std::istream& in) {
+  if (read_monitor_header(in) != MonitorTag::kMinMax) {
+    throw std::runtime_error("load_minmax_monitor: bad header");
+  }
+  return load_minmax_body(in);
+}
+
+void save_monitor(std::ostream& out, const OnOffMonitor& monitor) {
+  write_pod(out, kMonMagic);
+  write_pod(out, MonitorTag::kOnOff);
+  save_threshold_spec(out, monitor.spec());
+  bdd::save_bdd(out, monitor.manager(), monitor.root());
+}
+
+OnOffMonitor load_onoff_monitor(std::istream& in) {
+  if (read_monitor_header(in) != MonitorTag::kOnOff) {
+    throw std::runtime_error("load_onoff_monitor: bad header");
+  }
+  return load_onoff_body(in);
+}
+
+void save_monitor(std::ostream& out, const IntervalMonitor& monitor) {
+  write_pod(out, kMonMagic);
+  write_pod(out, MonitorTag::kInterval);
+  save_threshold_spec(out, monitor.spec());
+  bdd::save_bdd(out, monitor.manager(), monitor.root());
+}
+
+IntervalMonitor load_interval_monitor(std::istream& in) {
+  if (read_monitor_header(in) != MonitorTag::kInterval) {
+    throw std::runtime_error("load_interval_monitor: bad header");
+  }
+  return load_interval_body(in);
+}
+
+void save_any_monitor(std::ostream& out, const Monitor& monitor) {
+  if (const auto* mm = dynamic_cast<const MinMaxMonitor*>(&monitor)) {
+    save_monitor(out, *mm);
+  } else if (const auto* oo = dynamic_cast<const OnOffMonitor*>(&monitor)) {
+    save_monitor(out, *oo);
+  } else if (const auto* iv =
+                 dynamic_cast<const IntervalMonitor*>(&monitor)) {
+    save_monitor(out, *iv);
+  } else {
+    throw std::invalid_argument("save_any_monitor: unsupported type " +
+                                monitor.describe());
+  }
+}
+
+std::unique_ptr<Monitor> load_any_monitor(std::istream& in) {
+  switch (read_monitor_header(in)) {
+    case MonitorTag::kMinMax:
+      return std::make_unique<MinMaxMonitor>(load_minmax_body(in));
+    case MonitorTag::kOnOff:
+      return std::make_unique<OnOffMonitor>(load_onoff_body(in));
+    case MonitorTag::kInterval:
+      return std::make_unique<IntervalMonitor>(load_interval_body(in));
+  }
+  throw std::runtime_error("load_any_monitor: unknown monitor tag");
+}
+
+void save_dataset(std::ostream& out, const Dataset& ds) {
+  write_pod(out, kDataMagic);
+  write_u64(out, ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    write_tensor(out, ds.inputs[i]);
+    write_tensor(out, ds.targets[i]);
+  }
+}
+
+Dataset load_dataset(std::istream& in) {
+  if (read_pod<std::uint32_t>(in) != kDataMagic) {
+    throw std::runtime_error("load_dataset: bad magic");
+  }
+  const std::uint64_t n = read_u64(in);
+  Dataset ds;
+  ds.inputs.reserve(n);
+  ds.targets.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ds.inputs.push_back(read_tensor(in));
+    ds.targets.push_back(read_tensor(in));
+  }
+  return ds;
+}
+
+}  // namespace ranm

@@ -1,0 +1,62 @@
+// Binary serialisation of networks, monitors, and datasets.
+//
+// Monitors built in the lab are deployed on the vehicle, so every monitor
+// (and the network it watches) must round-trip through storage. The format
+// is a simple tagged little-endian stream with a magic/version header; all
+// loaders validate structure and throw std::runtime_error on malformed
+// input.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "core/interval_monitor.hpp"
+#include "core/minmax_monitor.hpp"
+#include "core/onoff_monitor.hpp"
+#include "data/dataset.hpp"
+#include "nn/network.hpp"
+
+namespace ranm {
+
+// ---- networks -----------------------------------------------------------
+
+/// Saves layer structure plus all parameters. Supported layer types:
+/// Dense, Conv2D, ReLU, LeakyReLU, Sigmoid, Tanh, MaxPool2D, AvgPool2D,
+/// Flatten. Throws std::invalid_argument on an unsupported layer.
+void save_network(std::ostream& out, Network& net);
+[[nodiscard]] Network load_network(std::istream& in);
+
+void save_network_file(const std::string& path, Network& net);
+[[nodiscard]] Network load_network_file(const std::string& path);
+
+// ---- threshold specs ------------------------------------------------------
+
+void save_threshold_spec(std::ostream& out, const ThresholdSpec& spec);
+[[nodiscard]] ThresholdSpec load_threshold_spec(std::istream& in);
+
+// ---- monitors ---------------------------------------------------------------
+
+void save_monitor(std::ostream& out, const MinMaxMonitor& monitor);
+[[nodiscard]] MinMaxMonitor load_minmax_monitor(std::istream& in);
+
+void save_monitor(std::ostream& out, const OnOffMonitor& monitor);
+[[nodiscard]] OnOffMonitor load_onoff_monitor(std::istream& in);
+
+void save_monitor(std::ostream& out, const IntervalMonitor& monitor);
+[[nodiscard]] IntervalMonitor load_interval_monitor(std::istream& in);
+
+/// Type-erased save: dispatches on the monitor's dynamic type.
+/// Supported: MinMaxMonitor, OnOffMonitor, IntervalMonitor. Throws
+/// std::invalid_argument for other types (BoxClusterMonitor is a
+/// baseline, not a deployment artifact).
+void save_any_monitor(std::ostream& out, const Monitor& monitor);
+/// Type-erased load: returns whichever monitor type the stream contains.
+[[nodiscard]] std::unique_ptr<Monitor> load_any_monitor(std::istream& in);
+
+// ---- datasets ---------------------------------------------------------------
+
+void save_dataset(std::ostream& out, const Dataset& ds);
+[[nodiscard]] Dataset load_dataset(std::istream& in);
+
+}  // namespace ranm

@@ -1,0 +1,121 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ranm {
+
+Activation::Activation(Shape shape) : shape_(std::move(shape)) {
+  if (shape_numel(shape_) == 0) {
+    throw std::invalid_argument("Activation: empty shape");
+  }
+}
+
+Tensor Activation::forward(const Tensor& x) {
+  if (x.numel() != shape_numel(shape_)) {
+    throw std::invalid_argument(name() + ": input size mismatch");
+  }
+  last_in_ = x;
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i) y[i] = f(y[i]);
+  last_out_ = y;
+  return y;
+}
+
+Tensor Activation::backward(const Tensor& grad_out) {
+  if (last_in_.empty()) {
+    throw std::logic_error(name() + ": backward before forward");
+  }
+  if (grad_out.numel() != last_in_.numel()) {
+    throw std::invalid_argument(name() + ": gradient size mismatch");
+  }
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.numel(); ++i) {
+    g[i] *= df(last_in_[i], last_out_[i]);
+  }
+  return g;
+}
+
+// ---- ReLU -----------------------------------------------------------------
+
+float ReLU::f(float v) const noexcept { return v > 0.0F ? v : 0.0F; }
+float ReLU::df(float v, float /*y*/) const noexcept {
+  return v > 0.0F ? 1.0F : 0.0F;
+}
+
+IntervalVector ReLU::propagate(const IntervalVector& in) const {
+  IntervalVector out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[i].relu();
+  return out;
+}
+
+Zonotope ReLU::propagate(const Zonotope& in) const { return in.relu(); }
+
+// ---- LeakyReLU ------------------------------------------------------------
+
+LeakyReLU::LeakyReLU(Shape shape, float alpha)
+    : Activation(std::move(shape)), alpha_(alpha) {
+  if (alpha < 0.0F || alpha >= 1.0F) {
+    throw std::invalid_argument("LeakyReLU: alpha must be in [0, 1)");
+  }
+}
+
+std::string LeakyReLU::name() const {
+  return "LeakyReLU(" + std::to_string(alpha_) + ")";
+}
+
+float LeakyReLU::f(float v) const noexcept {
+  return v > 0.0F ? v : alpha_ * v;
+}
+float LeakyReLU::df(float v, float /*y*/) const noexcept {
+  return v > 0.0F ? 1.0F : alpha_;
+}
+
+IntervalVector LeakyReLU::propagate(const IntervalVector& in) const {
+  IntervalVector out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = in[i].leaky_relu(alpha_);
+  }
+  return out;
+}
+
+Zonotope LeakyReLU::propagate(const Zonotope& in) const {
+  return in.leaky_relu(alpha_);
+}
+
+// ---- Sigmoid ----------------------------------------------------------------
+
+float Sigmoid::f(float v) const noexcept {
+  return 1.0F / (1.0F + std::exp(-v));
+}
+float Sigmoid::df(float /*v*/, float y) const noexcept {
+  return y * (1.0F - y);
+}
+
+IntervalVector Sigmoid::propagate(const IntervalVector& in) const {
+  IntervalVector out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[i].sigmoid();
+  return out;
+}
+
+Zonotope Sigmoid::propagate(const Zonotope& in) const {
+  return in.monotone_via_box(
+      +[](const Interval& iv) { return iv.sigmoid(); });
+}
+
+// ---- Tanh -----------------------------------------------------------------
+
+float Tanh::f(float v) const noexcept { return std::tanh(v); }
+float Tanh::df(float /*v*/, float y) const noexcept { return 1.0F - y * y; }
+
+IntervalVector Tanh::propagate(const IntervalVector& in) const {
+  IntervalVector out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[i].tanh_();
+  return out;
+}
+
+Zonotope Tanh::propagate(const Zonotope& in) const {
+  return in.monotone_via_box(+[](const Interval& iv) { return iv.tanh_(); });
+}
+
+}  // namespace ranm

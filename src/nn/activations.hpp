@@ -1,0 +1,88 @@
+// Elementwise activation layers: ReLU, LeakyReLU, Sigmoid, Tanh.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace ranm {
+
+/// Common base for shape-preserving elementwise activations.
+class Activation : public Layer {
+ public:
+  explicit Activation(Shape shape);
+  [[nodiscard]] Shape input_shape() const override { return shape_; }
+  [[nodiscard]] Shape output_shape() const override { return shape_; }
+  [[nodiscard]] Tensor forward(const Tensor& x) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+
+ protected:
+  /// Scalar function value.
+  [[nodiscard]] virtual float f(float v) const noexcept = 0;
+  /// Scalar derivative, given input v and cached output y = f(v).
+  [[nodiscard]] virtual float df(float v, float y) const noexcept = 0;
+
+  Shape shape_;
+  Tensor last_in_;
+  Tensor last_out_;
+};
+
+/// Rectified linear unit: max(0, x).
+class ReLU final : public Activation {
+ public:
+  explicit ReLU(Shape shape) : Activation(std::move(shape)) {}
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+  [[nodiscard]] IntervalVector propagate(
+      const IntervalVector& in) const override;
+  [[nodiscard]] Zonotope propagate(const Zonotope& in) const override;
+
+ protected:
+  [[nodiscard]] float f(float v) const noexcept override;
+  [[nodiscard]] float df(float v, float y) const noexcept override;
+};
+
+/// Leaky rectified linear unit: x > 0 ? x : alpha * x.
+class LeakyReLU final : public Activation {
+ public:
+  LeakyReLU(Shape shape, float alpha = 0.01F);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] float alpha() const noexcept { return alpha_; }
+  [[nodiscard]] IntervalVector propagate(
+      const IntervalVector& in) const override;
+  [[nodiscard]] Zonotope propagate(const Zonotope& in) const override;
+
+ protected:
+  [[nodiscard]] float f(float v) const noexcept override;
+  [[nodiscard]] float df(float v, float y) const noexcept override;
+
+ private:
+  float alpha_;
+};
+
+/// Logistic sigmoid: 1 / (1 + exp(-x)).
+class Sigmoid final : public Activation {
+ public:
+  explicit Sigmoid(Shape shape) : Activation(std::move(shape)) {}
+  [[nodiscard]] std::string name() const override { return "Sigmoid"; }
+  [[nodiscard]] IntervalVector propagate(
+      const IntervalVector& in) const override;
+  [[nodiscard]] Zonotope propagate(const Zonotope& in) const override;
+
+ protected:
+  [[nodiscard]] float f(float v) const noexcept override;
+  [[nodiscard]] float df(float v, float y) const noexcept override;
+};
+
+/// Hyperbolic tangent.
+class Tanh final : public Activation {
+ public:
+  explicit Tanh(Shape shape) : Activation(std::move(shape)) {}
+  [[nodiscard]] std::string name() const override { return "Tanh"; }
+  [[nodiscard]] IntervalVector propagate(
+      const IntervalVector& in) const override;
+  [[nodiscard]] Zonotope propagate(const Zonotope& in) const override;
+
+ protected:
+  [[nodiscard]] float f(float v) const noexcept override;
+  [[nodiscard]] float df(float v, float y) const noexcept override;
+};
+
+}  // namespace ranm

@@ -1,0 +1,228 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ranm {
+
+Conv2D::Conv2D(const Config& cfg)
+    : cfg_(cfg),
+      oh_(0),
+      ow_(0),
+      w_({cfg.out_channels, cfg.in_channels, cfg.kernel_h, cfg.kernel_w}),
+      b_({cfg.out_channels}),
+      gw_({cfg.out_channels, cfg.in_channels, cfg.kernel_h, cfg.kernel_w}),
+      gb_({cfg.out_channels}) {
+  if (cfg.in_channels == 0 || cfg.out_channels == 0 || cfg.kernel_h == 0 ||
+      cfg.kernel_w == 0 || cfg.stride == 0) {
+    throw std::invalid_argument("Conv2D: zero-sized configuration");
+  }
+  const std::size_t padded_h = cfg.in_height + 2 * cfg.padding;
+  const std::size_t padded_w = cfg.in_width + 2 * cfg.padding;
+  if (padded_h < cfg.kernel_h || padded_w < cfg.kernel_w) {
+    throw std::invalid_argument("Conv2D: kernel larger than padded input");
+  }
+  oh_ = (padded_h - cfg.kernel_h) / cfg.stride + 1;
+  ow_ = (padded_w - cfg.kernel_w) / cfg.stride + 1;
+}
+
+std::string Conv2D::name() const {
+  return "Conv2D(" + std::to_string(cfg_.in_channels) + "x" +
+         std::to_string(cfg_.in_height) + "x" + std::to_string(cfg_.in_width) +
+         "->" + std::to_string(cfg_.out_channels) + "x" + std::to_string(oh_) +
+         "x" + std::to_string(ow_) + ", k=" + std::to_string(cfg_.kernel_h) +
+         "x" + std::to_string(cfg_.kernel_w) +
+         ", s=" + std::to_string(cfg_.stride) +
+         ", p=" + std::to_string(cfg_.padding) + ")";
+}
+
+Shape Conv2D::input_shape() const {
+  return {cfg_.in_channels, cfg_.in_height, cfg_.in_width};
+}
+
+Shape Conv2D::output_shape() const { return {cfg_.out_channels, oh_, ow_}; }
+
+void Conv2D::linear_apply(const float* in, float* out) const noexcept {
+  const auto& c = cfg_;
+  const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(c.padding);
+  for (std::size_t oc = 0; oc < c.out_channels; ++oc) {
+    for (std::size_t oy = 0; oy < oh_; ++oy) {
+      for (std::size_t ox = 0; ox < ow_; ++ox) {
+        double acc = 0.0;
+        for (std::size_t ic = 0; ic < c.in_channels; ++ic) {
+          for (std::size_t ky = 0; ky < c.kernel_h; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * c.stride + ky) - pad;
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(c.in_height)) {
+              continue;
+            }
+            for (std::size_t kx = 0; kx < c.kernel_w; ++kx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * c.stride + kx) - pad;
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(c.in_width)) {
+                continue;
+              }
+              const float wv =
+                  w_[((oc * c.in_channels + ic) * c.kernel_h + ky) *
+                         c.kernel_w +
+                     kx];
+              acc += double(wv) *
+                     in[(ic * c.in_height + std::size_t(iy)) * c.in_width +
+                        std::size_t(ix)];
+            }
+          }
+        }
+        out[(oc * oh_ + oy) * ow_ + ox] = static_cast<float>(acc);
+      }
+    }
+  }
+}
+
+Tensor Conv2D::forward(const Tensor& x) {
+  if (x.numel() != input_size()) {
+    throw std::invalid_argument(name() + ": input size mismatch");
+  }
+  last_in_ = x.rank() == 3 ? x : x.reshaped(input_shape());
+  Tensor y(output_shape());
+  linear_apply(last_in_.data(), y.data());
+  for (std::size_t oc = 0; oc < cfg_.out_channels; ++oc) {
+    float* plane = y.data() + oc * oh_ * ow_;
+    for (std::size_t i = 0; i < oh_ * ow_; ++i) plane[i] += b_[oc];
+  }
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  if (last_in_.empty()) {
+    throw std::logic_error(name() + ": backward before forward");
+  }
+  if (grad_out.numel() != output_size()) {
+    throw std::invalid_argument(name() + ": gradient size mismatch");
+  }
+  const auto& c = cfg_;
+  const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(c.padding);
+  Tensor grad_in(input_shape());
+  const float* g = grad_out.data();
+  const float* in = last_in_.data();
+  for (std::size_t oc = 0; oc < c.out_channels; ++oc) {
+    for (std::size_t oy = 0; oy < oh_; ++oy) {
+      for (std::size_t ox = 0; ox < ow_; ++ox) {
+        const float gv = g[(oc * oh_ + oy) * ow_ + ox];
+        if (gv == 0.0F) continue;
+        gb_[oc] += gv;
+        for (std::size_t ic = 0; ic < c.in_channels; ++ic) {
+          for (std::size_t ky = 0; ky < c.kernel_h; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * c.stride + ky) - pad;
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(c.in_height)) {
+              continue;
+            }
+            for (std::size_t kx = 0; kx < c.kernel_w; ++kx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * c.stride + kx) - pad;
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(c.in_width)) {
+                continue;
+              }
+              const std::size_t widx =
+                  ((oc * c.in_channels + ic) * c.kernel_h + ky) * c.kernel_w +
+                  kx;
+              const std::size_t iidx =
+                  (ic * c.in_height + std::size_t(iy)) * c.in_width +
+                  std::size_t(ix);
+              gw_[widx] += gv * in[iidx];
+              grad_in[iidx] += gv * w_[widx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+IntervalVector Conv2D::propagate(const IntervalVector& in) const {
+  if (in.size() != input_size()) {
+    throw std::invalid_argument(name() + ": interval input size mismatch");
+  }
+  // Centre/radius form: centre goes through the affine map (with bias),
+  // radius through |W|. Zero padding contributes (0, 0).
+  std::vector<float> cen(in.size()), rad(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    cen[i] = in[i].center();
+    rad[i] = in[i].radius();
+  }
+  const auto& c = cfg_;
+  const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(c.padding);
+  IntervalVector out(output_size());
+  for (std::size_t oc = 0; oc < c.out_channels; ++oc) {
+    for (std::size_t oy = 0; oy < oh_; ++oy) {
+      for (std::size_t ox = 0; ox < ow_; ++ox) {
+        double acc_c = b_[oc];
+        double acc_r = 0.0;
+        for (std::size_t ic = 0; ic < c.in_channels; ++ic) {
+          for (std::size_t ky = 0; ky < c.kernel_h; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * c.stride + ky) - pad;
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(c.in_height)) {
+              continue;
+            }
+            for (std::size_t kx = 0; kx < c.kernel_w; ++kx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * c.stride + kx) - pad;
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(c.in_width)) {
+                continue;
+              }
+              const float wv =
+                  w_[((oc * c.in_channels + ic) * c.kernel_h + ky) *
+                         c.kernel_w +
+                     kx];
+              const std::size_t iidx =
+                  (ic * c.in_height + std::size_t(iy)) * c.in_width +
+                  std::size_t(ix);
+              acc_c += double(wv) * cen[iidx];
+              acc_r += std::fabs(double(wv)) * rad[iidx];
+            }
+          }
+        }
+        out[(oc * oh_ + oy) * ow_ + ox] = Interval::make_unchecked(
+            round_down(acc_c - acc_r), round_up(acc_c + acc_r));
+      }
+    }
+  }
+  return out;
+}
+
+Zonotope Conv2D::propagate(const Zonotope& in) const {
+  if (in.dim() != input_size()) {
+    throw std::invalid_argument(name() + ": zonotope input size mismatch");
+  }
+  const std::size_t od = output_size();
+  std::vector<float> center(od);
+  linear_apply(in.center().data(), center.data());
+  for (std::size_t oc = 0; oc < cfg_.out_channels; ++oc) {
+    for (std::size_t i = 0; i < oh_ * ow_; ++i) {
+      center[oc * oh_ * ow_ + i] += b_[oc];
+    }
+  }
+  const std::size_t ng = in.num_generators();
+  std::vector<float> gens(ng * od);
+  for (std::size_t i = 0; i < ng; ++i) {
+    linear_apply(in.generator(i).data(), gens.data() + i * od);
+  }
+  return Zonotope(std::move(center), std::move(gens));
+}
+
+void Conv2D::init_params(Rng& rng) {
+  const float fan_in = static_cast<float>(cfg_.in_channels * cfg_.kernel_h *
+                                          cfg_.kernel_w);
+  const float stddev = std::sqrt(2.0F / fan_in);
+  for (std::size_t i = 0; i < w_.numel(); ++i) {
+    w_[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+  b_.zero();
+}
+
+}  // namespace ranm

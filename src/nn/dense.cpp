@@ -1,0 +1,84 @@
+#include "nn/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/linalg.hpp"
+#include "util/rng.hpp"
+
+namespace ranm {
+
+Dense::Dense(std::size_t in, std::size_t out)
+    : in_(in),
+      out_(out),
+      w_({out, in}),
+      b_({out}),
+      gw_({out, in}),
+      gb_({out}) {
+  if (in == 0 || out == 0) {
+    throw std::invalid_argument("Dense: zero dimension");
+  }
+}
+
+std::string Dense::name() const {
+  return "Dense(" + std::to_string(in_) + "->" + std::to_string(out_) + ")";
+}
+
+Tensor Dense::forward(const Tensor& x) {
+  if (x.numel() != in_) {
+    throw std::invalid_argument(name() + ": input has " +
+                                std::to_string(x.numel()) + " elements");
+  }
+  last_in_ = x.rank() == 1 ? x : x.reshaped({in_});
+  Tensor y = matvec(w_, last_in_);
+  y += b_;
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  if (grad_out.numel() != out_) {
+    throw std::invalid_argument(name() + ": gradient size mismatch");
+  }
+  if (last_in_.empty()) {
+    throw std::logic_error(name() + ": backward before forward");
+  }
+  const Tensor g = grad_out.rank() == 1 ? grad_out : grad_out.reshaped({out_});
+  gw_ += outer(g, last_in_);
+  gb_ += g;
+  return matvec_t(w_, g);
+}
+
+IntervalVector Dense::propagate(const IntervalVector& in) const {
+  if (in.size() != in_) {
+    throw std::invalid_argument(name() + ": interval input size mismatch");
+  }
+  IntervalVector out(out_);
+  for (std::size_t r = 0; r < out_; ++r) {
+    // Centre/radius form avoids 2x min/max per term.
+    double c = b_[r], rad = 0.0;
+    const float* row = w_.data() + r * in_;
+    for (std::size_t j = 0; j < in_; ++j) {
+      c += double(row[j]) * in[j].center();
+      rad += std::fabs(double(row[j])) * in[j].radius();
+    }
+    out[r] = Interval::make_unchecked(round_down(c - rad), round_up(c + rad));
+  }
+  return out;
+}
+
+Zonotope Dense::propagate(const Zonotope& in) const {
+  if (in.dim() != in_) {
+    throw std::invalid_argument(name() + ": zonotope input size mismatch");
+  }
+  return in.affine(w_.span(), out_, b_.span());
+}
+
+void Dense::init_params(Rng& rng) {
+  const float stddev = std::sqrt(2.0F / static_cast<float>(in_));
+  for (std::size_t i = 0; i < w_.numel(); ++i) {
+    w_[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+  b_.zero();
+}
+
+}  // namespace ranm

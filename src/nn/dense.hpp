@@ -1,0 +1,44 @@
+// Fully-connected layer: y = W x + b.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace ranm {
+
+/// Affine layer with weight matrix W (out x in) and bias b (out).
+class Dense final : public Layer {
+ public:
+  /// Creates a zero-initialised layer; call init_params to randomise.
+  Dense(std::size_t in, std::size_t out);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Shape input_shape() const override { return {in_}; }
+  [[nodiscard]] Shape output_shape() const override { return {out_}; }
+
+  [[nodiscard]] Tensor forward(const Tensor& x) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] IntervalVector propagate(
+      const IntervalVector& in) const override;
+  [[nodiscard]] Zonotope propagate(const Zonotope& in) const override;
+
+  [[nodiscard]] std::vector<Tensor*> parameters() override {
+    return {&w_, &b_};
+  }
+  [[nodiscard]] std::vector<Tensor*> gradients() override {
+    return {&gw_, &gb_};
+  }
+  void init_params(Rng& rng) override;
+
+  [[nodiscard]] Tensor& weights() noexcept { return w_; }
+  [[nodiscard]] const Tensor& weights() const noexcept { return w_; }
+  [[nodiscard]] Tensor& bias() noexcept { return b_; }
+  [[nodiscard]] const Tensor& bias() const noexcept { return b_; }
+
+ private:
+  std::size_t in_, out_;
+  Tensor w_, b_;    // parameters
+  Tensor gw_, gb_;  // gradient accumulators
+  Tensor last_in_;  // cached by forward for backward
+};
+
+}  // namespace ranm

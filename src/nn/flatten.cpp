@@ -1,0 +1,33 @@
+#include "nn/flatten.hpp"
+
+#include <stdexcept>
+
+namespace ranm {
+
+Flatten::Flatten(Shape in_shape) : in_shape_(std::move(in_shape)) {
+  if (shape_numel(in_shape_) == 0) {
+    throw std::invalid_argument("Flatten: empty shape");
+  }
+}
+
+Tensor Flatten::forward(const Tensor& x) {
+  if (x.numel() != input_size()) {
+    throw std::invalid_argument("Flatten: input size mismatch");
+  }
+  return x.reshaped({x.numel()});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  if (grad_out.numel() != input_size()) {
+    throw std::invalid_argument("Flatten: gradient size mismatch");
+  }
+  return grad_out.reshaped(in_shape_);
+}
+
+IntervalVector Flatten::propagate(const IntervalVector& in) const {
+  return in;
+}
+
+Zonotope Flatten::propagate(const Zonotope& in) const { return in; }
+
+}  // namespace ranm

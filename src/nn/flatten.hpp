@@ -1,0 +1,30 @@
+// Flatten layer: reshapes CHW feature maps to a rank-1 vector.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace ranm {
+
+/// Identity on data; only the shape changes. Abstract transformers are
+/// the identity because IntervalVector/Zonotope are already flat.
+class Flatten final : public Layer {
+ public:
+  explicit Flatten(Shape in_shape);
+
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+  [[nodiscard]] Shape input_shape() const override { return in_shape_; }
+  [[nodiscard]] Shape output_shape() const override {
+    return {shape_numel(in_shape_)};
+  }
+
+  [[nodiscard]] Tensor forward(const Tensor& x) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] IntervalVector propagate(
+      const IntervalVector& in) const override;
+  [[nodiscard]] Zonotope propagate(const Zonotope& in) const override;
+
+ private:
+  Shape in_shape_;
+};
+
+}  // namespace ranm

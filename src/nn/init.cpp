@@ -1,0 +1,59 @@
+#include "nn/init.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/pooling.hpp"
+
+namespace ranm {
+
+Network make_mlp(const std::vector<std::size_t>& dims, Rng& rng) {
+  if (dims.size() < 2) {
+    throw std::invalid_argument("make_mlp: need at least in and out dims");
+  }
+  Network net;
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    net.emplace<Dense>(dims[i], dims[i + 1]);
+    if (i + 2 < dims.size()) net.emplace<ReLU>(Shape{dims[i + 1]});
+  }
+  net.init_params(rng);
+  return net;
+}
+
+Network make_small_convnet(std::size_t height, std::size_t width,
+                           std::size_t conv_channels, std::size_t hidden,
+                           std::size_t out, Rng& rng) {
+  Network net;
+  Conv2D::Config conv_cfg;
+  conv_cfg.in_channels = 1;
+  conv_cfg.in_height = height;
+  conv_cfg.in_width = width;
+  conv_cfg.out_channels = conv_channels;
+  conv_cfg.kernel_h = 3;
+  conv_cfg.kernel_w = 3;
+  conv_cfg.stride = 1;
+  conv_cfg.padding = 1;
+  auto& conv = net.emplace<Conv2D>(conv_cfg);
+  net.emplace<LeakyReLU>(conv.output_shape(), 0.01F);
+
+  Pooling::Config pool_cfg;
+  pool_cfg.channels = conv_channels;
+  pool_cfg.in_height = conv.out_height();
+  pool_cfg.in_width = conv.out_width();
+  pool_cfg.window = 2;
+  pool_cfg.stride = 2;
+  auto& pool = net.emplace<MaxPool2D>(pool_cfg);
+
+  net.emplace<Flatten>(pool.output_shape());
+  const std::size_t flat = shape_numel(pool.output_shape());
+  net.emplace<Dense>(flat, hidden);
+  net.emplace<LeakyReLU>(Shape{hidden}, 0.01F);
+  net.emplace<Dense>(hidden, out);
+  net.init_params(rng);
+  return net;
+}
+
+}  // namespace ranm

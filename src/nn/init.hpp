@@ -1,0 +1,28 @@
+// Weight-initialisation helpers and small network factories used by tests,
+// examples and benches.
+#pragma once
+
+#include <memory>
+
+#include "nn/network.hpp"
+
+namespace ranm {
+
+/// Builds an MLP with ReLU activations between Dense layers:
+/// dims = {in, h1, ..., out}. The final Dense has no activation.
+[[nodiscard]] Network make_mlp(const std::vector<std::size_t>& dims,
+                               Rng& rng);
+
+/// Builds a small conv net for 1xHxW images:
+/// Conv(3x3, c1) + LeakyReLU + MaxPool2 + Flatten + Dense(hidden) +
+/// LeakyReLU + Dense(out). LeakyReLU (not ReLU) keeps the monitored
+/// hidden layer alive: a fully dead ReLU layer has constant features and
+/// nothing to monitor — the "monitorability" concern the paper's
+/// conclusion raises. Suitable for the racetrack and digit workloads.
+[[nodiscard]] Network make_small_convnet(std::size_t height,
+                                         std::size_t width,
+                                         std::size_t conv_channels,
+                                         std::size_t hidden,
+                                         std::size_t out, Rng& rng);
+
+}  // namespace ranm

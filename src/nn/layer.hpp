@@ -1,0 +1,76 @@
+// Layer abstraction for the feed-forward DNN substrate.
+//
+// The paper models a trained DNN as G = g_n ∘ ... ∘ g_1 with fixed
+// parameters. Each Layer here is one g_k. Besides the concrete forward
+// pass, every layer implements two *abstract transformers* — one for the
+// interval (box) domain and one for the zonotope domain — which is what
+// lets the monitor construction compute the perturbation estimate of
+// Definition 1 with either bound engine.
+//
+// Layers fix their input shape at construction time so that the abstract
+// transformers can operate on flat vectors (row-major CHW order for
+// convolutional layers).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "absint/interval.hpp"
+#include "absint/zonotope.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ranm {
+
+class Rng;
+
+/// One transformation g_k of the network. Stateful across
+/// forward()/backward() pairs (activations are cached for the gradient);
+/// the abstract transformers and shape queries are const and reentrant.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Short human-readable identifier, e.g. "Dense(64->32)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Shape of the input this layer was constructed for.
+  [[nodiscard]] virtual Shape input_shape() const = 0;
+  /// Shape this layer produces.
+  [[nodiscard]] virtual Shape output_shape() const = 0;
+  /// Flattened input dimension.
+  [[nodiscard]] std::size_t input_size() const {
+    return shape_numel(input_shape());
+  }
+  /// Flattened output dimension.
+  [[nodiscard]] std::size_t output_size() const {
+    return shape_numel(output_shape());
+  }
+
+  /// Concrete forward pass. Caches whatever backward() needs.
+  [[nodiscard]] virtual Tensor forward(const Tensor& x) = 0;
+
+  /// Gradient of the loss w.r.t. this layer's input, given the gradient
+  /// w.r.t. its output. Accumulates parameter gradients (+=). Must be
+  /// called after forward() on the same sample.
+  [[nodiscard]] virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Sound interval transfer function: the returned box contains
+  /// g_k(x) for every x in the input box.
+  [[nodiscard]] virtual IntervalVector propagate(
+      const IntervalVector& in) const = 0;
+
+  /// Sound zonotope transfer function.
+  [[nodiscard]] virtual Zonotope propagate(const Zonotope& in) const = 0;
+
+  /// Trainable parameter tensors (empty for stateless layers).
+  [[nodiscard]] virtual std::vector<Tensor*> parameters() { return {}; }
+  /// Gradient accumulators matching parameters() element-wise.
+  [[nodiscard]] virtual std::vector<Tensor*> gradients() { return {}; }
+
+  /// Re-randomises parameters with a scheme appropriate for the layer
+  /// (He-normal for ReLU-family weight layers). No-op if parameterless.
+  virtual void init_params(Rng& /*rng*/) {}
+};
+
+}  // namespace ranm

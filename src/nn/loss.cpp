@@ -1,0 +1,60 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ranm {
+
+LossResult MSELoss::evaluate(const Tensor& prediction,
+                             const Tensor& target) const {
+  if (prediction.numel() != target.numel()) {
+    throw std::invalid_argument("MSELoss: size mismatch");
+  }
+  const std::size_t d = prediction.numel();
+  LossResult r;
+  r.grad = Tensor({d});
+  double acc = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    const float e = prediction[i] - target[i];
+    acc += double(e) * e;
+    r.grad[i] = 2.0F * e / static_cast<float>(d);
+  }
+  r.value = static_cast<float>(acc / double(d));
+  return r;
+}
+
+Tensor softmax(const Tensor& logits) {
+  const std::size_t d = logits.numel();
+  if (d == 0) throw std::invalid_argument("softmax: empty input");
+  Tensor p({d});
+  const float m = logits.max();
+  double z = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    p[i] = std::exp(logits[i] - m);
+    z += p[i];
+  }
+  const float inv = static_cast<float>(1.0 / z);
+  for (std::size_t i = 0; i < d; ++i) p[i] *= inv;
+  return p;
+}
+
+LossResult SoftmaxCrossEntropyLoss::evaluate(const Tensor& logits,
+                                             const Tensor& target) const {
+  if (target.numel() < 1) {
+    throw std::invalid_argument("SoftmaxCrossEntropyLoss: empty target");
+  }
+  const auto cls = static_cast<std::size_t>(target[0]);
+  const std::size_t d = logits.numel();
+  if (cls >= d) {
+    throw std::invalid_argument(
+        "SoftmaxCrossEntropyLoss: class index out of range");
+  }
+  Tensor p = softmax(logits);
+  LossResult r;
+  r.value = -std::log(std::max(p[cls], 1e-12F));
+  r.grad = p;
+  r.grad[cls] -= 1.0F;
+  return r;
+}
+
+}  // namespace ranm

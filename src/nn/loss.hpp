@@ -1,0 +1,45 @@
+// Training losses: mean squared error (waypoint regression) and softmax
+// cross-entropy (classification).
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace ranm {
+
+/// Result of a loss evaluation: scalar value plus gradient w.r.t. the
+/// prediction.
+struct LossResult {
+  float value = 0.0F;
+  Tensor grad;
+};
+
+/// Loss interface over a single (prediction, target) pair.
+class Loss {
+ public:
+  virtual ~Loss() = default;
+  [[nodiscard]] virtual LossResult evaluate(const Tensor& prediction,
+                                            const Tensor& target) const = 0;
+};
+
+/// Mean squared error: (1/d) * sum_j (p_j - t_j)^2.
+class MSELoss final : public Loss {
+ public:
+  [[nodiscard]] LossResult evaluate(const Tensor& prediction,
+                                    const Tensor& target) const override;
+};
+
+/// Softmax followed by cross-entropy against a one-hot target. The target
+/// tensor holds the class index in element 0 (an integer stored as float),
+/// which avoids materialising one-hot vectors in datasets.
+class SoftmaxCrossEntropyLoss final : public Loss {
+ public:
+  [[nodiscard]] LossResult evaluate(const Tensor& logits,
+                                    const Tensor& target) const override;
+};
+
+/// Numerically-stable softmax of a rank-1 tensor.
+[[nodiscard]] Tensor softmax(const Tensor& logits);
+
+}  // namespace ranm

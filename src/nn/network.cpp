@@ -1,0 +1,143 @@
+#include "nn/network.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ranm {
+
+void Network::add(std::unique_ptr<Layer> layer) {
+  if (!layer) throw std::invalid_argument("Network::add: null layer");
+  if (!layers_.empty()) {
+    const std::size_t expected = layers_.back()->output_size();
+    if (layer->input_size() != expected) {
+      throw std::invalid_argument(
+          "Network::add: layer " + layer->name() + " expects input size " +
+          std::to_string(layer->input_size()) + " but previous layer " +
+          layers_.back()->name() + " produces " + std::to_string(expected));
+    }
+  }
+  layers_.push_back(std::move(layer));
+}
+
+void Network::check_layer_index(std::size_t k, const char* what) const {
+  if (k == 0 || k > layers_.size()) {
+    throw std::invalid_argument(std::string("Network::") + what +
+                                ": layer index " + std::to_string(k) +
+                                " out of range 1.." +
+                                std::to_string(layers_.size()));
+  }
+}
+
+Layer& Network::layer(std::size_t k) {
+  check_layer_index(k, "layer");
+  return *layers_[k - 1];
+}
+
+const Layer& Network::layer(std::size_t k) const {
+  check_layer_index(k, "layer");
+  return *layers_[k - 1];
+}
+
+Shape Network::input_shape() const {
+  if (layers_.empty()) throw std::logic_error("Network: no layers");
+  return layers_.front()->input_shape();
+}
+
+Shape Network::output_shape() const {
+  if (layers_.empty()) throw std::logic_error("Network: no layers");
+  return layers_.back()->output_shape();
+}
+
+Tensor Network::forward(const Tensor& x) {
+  return forward_to(layers_.size(), x);
+}
+
+Tensor Network::forward_to(std::size_t k, const Tensor& x) {
+  if (k == 0) return x;
+  check_layer_index(k, "forward_to");
+  Tensor v = x;
+  for (std::size_t i = 0; i < k; ++i) v = layers_[i]->forward(v);
+  return v;
+}
+
+Tensor Network::forward_range(std::size_t l, std::size_t k, const Tensor& x) {
+  check_layer_index(l, "forward_range");
+  check_layer_index(k, "forward_range");
+  if (l > k) throw std::invalid_argument("Network::forward_range: l > k");
+  Tensor v = x;
+  for (std::size_t i = l - 1; i < k; ++i) v = layers_[i]->forward(v);
+  return v;
+}
+
+Tensor Network::backward(const Tensor& grad_out) {
+  if (layers_.empty()) throw std::logic_error("Network: no layers");
+  Tensor g = grad_out;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    g = layers_[i]->backward(g);
+  }
+  return g;
+}
+
+IntervalVector Network::propagate_box(std::size_t l, std::size_t k,
+                                      const IntervalVector& in) const {
+  check_layer_index(l, "propagate_box");
+  check_layer_index(k, "propagate_box");
+  if (l > k) throw std::invalid_argument("Network::propagate_box: l > k");
+  IntervalVector v = in;
+  for (std::size_t i = l - 1; i < k; ++i) v = layers_[i]->propagate(v);
+  return v;
+}
+
+Zonotope Network::propagate_zonotope(std::size_t l, std::size_t k,
+                                     const Zonotope& in) const {
+  check_layer_index(l, "propagate_zonotope");
+  check_layer_index(k, "propagate_zonotope");
+  if (l > k) {
+    throw std::invalid_argument("Network::propagate_zonotope: l > k");
+  }
+  Zonotope v = in;
+  for (std::size_t i = l - 1; i < k; ++i) v = layers_[i]->propagate(v);
+  return v;
+}
+
+std::vector<Tensor*> Network::parameters() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Network::gradients() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* g : layer->gradients()) out.push_back(g);
+  }
+  return out;
+}
+
+std::size_t Network::num_parameters() {
+  std::size_t n = 0;
+  for (Tensor* p : parameters()) n += p->numel();
+  return n;
+}
+
+void Network::zero_gradients() {
+  for (Tensor* g : gradients()) g->zero();
+}
+
+void Network::init_params(Rng& rng) {
+  for (auto& layer : layers_) layer->init_params(rng);
+}
+
+std::string Network::summary() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    out << "  g" << (i + 1) << ": " << layers_[i]->name() << "  "
+        << shape_str(layers_[i]->input_shape()) << " -> "
+        << shape_str(layers_[i]->output_shape()) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ranm

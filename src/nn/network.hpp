@@ -1,0 +1,83 @@
+// Sequential feed-forward network G = g_n ∘ ... ∘ g_1 with the paper's
+// layer-slicing operators: G^k (prefix up to layer k) and G^{l↪k}
+// (layers l..k), plus abstract-domain propagation over any slice.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.hpp"
+
+namespace ranm {
+
+/// Owns an ordered list of layers. Layer indices follow the paper:
+/// layers are numbered 1..n, G^0 is the identity (the input itself).
+class Network {
+ public:
+  Network() = default;
+  Network(Network&&) noexcept = default;
+  Network& operator=(Network&&) noexcept = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Appends a layer; its input shape must match the current output shape.
+  void add(std::unique_ptr<Layer> layer);
+
+  /// Constructs a layer in place and appends it.
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    add(std::move(layer));
+    return ref;
+  }
+
+  [[nodiscard]] std::size_t num_layers() const noexcept {
+    return layers_.size();
+  }
+  /// Layer k, 1-indexed as in the paper.
+  [[nodiscard]] Layer& layer(std::size_t k);
+  [[nodiscard]] const Layer& layer(std::size_t k) const;
+
+  [[nodiscard]] Shape input_shape() const;
+  [[nodiscard]] Shape output_shape() const;
+
+  /// Full forward pass G(x).
+  [[nodiscard]] Tensor forward(const Tensor& x);
+  /// Prefix G^k(x): layers 1..k. k = 0 returns x unchanged.
+  [[nodiscard]] Tensor forward_to(std::size_t k, const Tensor& x);
+  /// Slice G^{l↪k}(x): layers l..k, 1 <= l <= k <= n. The input must have
+  /// the shape expected by layer l.
+  [[nodiscard]] Tensor forward_range(std::size_t l, std::size_t k,
+                                     const Tensor& x);
+
+  /// Backward pass through all layers (after a full forward on the same
+  /// sample); returns the gradient w.r.t. the input.
+  [[nodiscard]] Tensor backward(const Tensor& grad_out);
+
+  /// Sound box propagation through layers l..k (1 <= l <= k <= n).
+  [[nodiscard]] IntervalVector propagate_box(std::size_t l, std::size_t k,
+                                             const IntervalVector& in) const;
+  /// Sound zonotope propagation through layers l..k.
+  [[nodiscard]] Zonotope propagate_zonotope(std::size_t l, std::size_t k,
+                                            const Zonotope& in) const;
+
+  /// All trainable parameters / gradients across layers.
+  [[nodiscard]] std::vector<Tensor*> parameters();
+  [[nodiscard]] std::vector<Tensor*> gradients();
+  /// Total trainable scalar count.
+  [[nodiscard]] std::size_t num_parameters();
+  /// Sets all gradient accumulators to zero.
+  void zero_gradients();
+  /// He/Xavier-initialises every layer from the given generator.
+  void init_params(Rng& rng);
+
+  /// One line per layer.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  void check_layer_index(std::size_t k, const char* what) const;
+
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace ranm

@@ -1,0 +1,78 @@
+#include "nn/normalization.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ranm {
+
+Normalization::Normalization(Shape shape, std::vector<float> mean,
+                             std::vector<float> inv_std)
+    : shape_(std::move(shape)),
+      mean_(std::move(mean)),
+      inv_std_(std::move(inv_std)) {
+  const std::size_t n = shape_numel(shape_);
+  if (n == 0) throw std::invalid_argument("Normalization: empty shape");
+  if (mean_.size() != n || inv_std_.size() != n) {
+    throw std::invalid_argument("Normalization: statistics size mismatch");
+  }
+  for (float s : inv_std_) {
+    if (!(s > 0.0F) || !std::isfinite(s)) {
+      throw std::invalid_argument(
+          "Normalization: inv_std must be positive and finite");
+    }
+  }
+}
+
+Normalization::Normalization(Shape shape, float mean, float inv_std)
+    : Normalization(shape,
+                    std::vector<float>(shape_numel(shape), mean),
+                    std::vector<float>(shape_numel(shape), inv_std)) {}
+
+Tensor Normalization::forward(const Tensor& x) {
+  if (x.numel() != input_size()) {
+    throw std::invalid_argument("Normalization: input size mismatch");
+  }
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    y[i] = (y[i] - mean_[i]) * inv_std_[i];
+  }
+  return y;
+}
+
+Tensor Normalization::backward(const Tensor& grad_out) {
+  if (grad_out.numel() != input_size()) {
+    throw std::invalid_argument("Normalization: gradient size mismatch");
+  }
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.numel(); ++i) g[i] *= inv_std_[i];
+  return g;
+}
+
+IntervalVector Normalization::propagate(const IntervalVector& in) const {
+  if (in.size() != input_size()) {
+    throw std::invalid_argument(
+        "Normalization: interval input size mismatch");
+  }
+  IntervalVector out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    // inv_std > 0, so the map is monotone; endpoints map to endpoints with
+    // the same scalar expression the concrete path uses.
+    out[i] = Interval::make_unchecked((in[i].lo - mean_[i]) * inv_std_[i],
+                                      (in[i].hi - mean_[i]) * inv_std_[i]);
+  }
+  return out;
+}
+
+Zonotope Normalization::propagate(const Zonotope& in) const {
+  if (in.dim() != input_size()) {
+    throw std::invalid_argument(
+        "Normalization: zonotope input size mismatch");
+  }
+  std::vector<float> shift(input_size());
+  for (std::size_t i = 0; i < shift.size(); ++i) {
+    shift[i] = -mean_[i] * inv_std_[i];
+  }
+  return in.scale_shift(inv_std_, shift);
+}
+
+}  // namespace ranm

@@ -1,0 +1,211 @@
+#include "nn/pooling.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace ranm {
+
+Pooling::Pooling(const Config& cfg) : cfg_(cfg), oh_(0), ow_(0) {
+  if (cfg.channels == 0 || cfg.window == 0 || cfg.stride == 0) {
+    throw std::invalid_argument("Pooling: zero-sized configuration");
+  }
+  if (cfg.in_height < cfg.window || cfg.in_width < cfg.window) {
+    throw std::invalid_argument("Pooling: window larger than input");
+  }
+  oh_ = (cfg.in_height - cfg.window) / cfg.stride + 1;
+  ow_ = (cfg.in_width - cfg.window) / cfg.stride + 1;
+}
+
+Shape Pooling::input_shape() const {
+  return {cfg_.channels, cfg_.in_height, cfg_.in_width};
+}
+
+Shape Pooling::output_shape() const { return {cfg_.channels, oh_, ow_}; }
+
+// ---- MaxPool2D --------------------------------------------------------------
+
+std::string MaxPool2D::name() const {
+  return "MaxPool2D(k=" + std::to_string(cfg_.window) +
+         ", s=" + std::to_string(cfg_.stride) + ")";
+}
+
+Tensor MaxPool2D::forward(const Tensor& x) {
+  if (x.numel() != input_size()) {
+    throw std::invalid_argument(name() + ": input size mismatch");
+  }
+  const float* in = x.data();
+  Tensor y(output_shape());
+  argmax_.assign(output_size(), 0);
+  for (std::size_t ch = 0; ch < cfg_.channels; ++ch) {
+    for (std::size_t oy = 0; oy < oh_; ++oy) {
+      for (std::size_t ox = 0; ox < ow_; ++ox) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::size_t best_idx = 0;
+        for (std::size_t ky = 0; ky < cfg_.window; ++ky) {
+          for (std::size_t kx = 0; kx < cfg_.window; ++kx) {
+            const std::size_t iy = oy * cfg_.stride + ky;
+            const std::size_t ix = ox * cfg_.stride + kx;
+            const std::size_t idx =
+                (ch * cfg_.in_height + iy) * cfg_.in_width + ix;
+            if (in[idx] > best) {
+              best = in[idx];
+              best_idx = idx;
+            }
+          }
+        }
+        const std::size_t out_idx = (ch * oh_ + oy) * ow_ + ox;
+        y[out_idx] = best;
+        argmax_[out_idx] = best_idx;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_out) {
+  if (argmax_.empty()) {
+    throw std::logic_error(name() + ": backward before forward");
+  }
+  if (grad_out.numel() != output_size()) {
+    throw std::invalid_argument(name() + ": gradient size mismatch");
+  }
+  Tensor grad_in(input_shape());
+  for (std::size_t i = 0; i < argmax_.size(); ++i) {
+    grad_in[argmax_[i]] += grad_out[i];
+  }
+  return grad_in;
+}
+
+IntervalVector MaxPool2D::propagate(const IntervalVector& in) const {
+  if (in.size() != input_size()) {
+    throw std::invalid_argument(name() + ": interval input size mismatch");
+  }
+  IntervalVector out(output_size());
+  for (std::size_t ch = 0; ch < cfg_.channels; ++ch) {
+    for (std::size_t oy = 0; oy < oh_; ++oy) {
+      for (std::size_t ox = 0; ox < ow_; ++ox) {
+        Interval acc = Interval::make_unchecked(
+            -std::numeric_limits<float>::infinity(),
+            -std::numeric_limits<float>::infinity());
+        for (std::size_t ky = 0; ky < cfg_.window; ++ky) {
+          for (std::size_t kx = 0; kx < cfg_.window; ++kx) {
+            const std::size_t iy = oy * cfg_.stride + ky;
+            const std::size_t ix = ox * cfg_.stride + kx;
+            acc = acc.max_with(
+                in[(ch * cfg_.in_height + iy) * cfg_.in_width + ix]);
+          }
+        }
+        out[(ch * oh_ + oy) * ow_ + ox] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Zonotope MaxPool2D::propagate(const Zonotope& in) const {
+  // Max is not affine; soundly coarsen to the bounding box and pool that.
+  return Zonotope::from_box(propagate(in.to_box()));
+}
+
+// ---- AvgPool2D --------------------------------------------------------------
+
+std::string AvgPool2D::name() const {
+  return "AvgPool2D(k=" + std::to_string(cfg_.window) +
+         ", s=" + std::to_string(cfg_.stride) + ")";
+}
+
+void AvgPool2D::linear_apply(const float* in, float* out) const noexcept {
+  const float inv = 1.0F / static_cast<float>(cfg_.window * cfg_.window);
+  for (std::size_t ch = 0; ch < cfg_.channels; ++ch) {
+    for (std::size_t oy = 0; oy < oh_; ++oy) {
+      for (std::size_t ox = 0; ox < ow_; ++ox) {
+        double acc = 0.0;
+        for (std::size_t ky = 0; ky < cfg_.window; ++ky) {
+          for (std::size_t kx = 0; kx < cfg_.window; ++kx) {
+            const std::size_t iy = oy * cfg_.stride + ky;
+            const std::size_t ix = ox * cfg_.stride + kx;
+            acc += in[(ch * cfg_.in_height + iy) * cfg_.in_width + ix];
+          }
+        }
+        out[(ch * oh_ + oy) * ow_ + ox] = static_cast<float>(acc) * inv;
+      }
+    }
+  }
+}
+
+Tensor AvgPool2D::forward(const Tensor& x) {
+  if (x.numel() != input_size()) {
+    throw std::invalid_argument(name() + ": input size mismatch");
+  }
+  Tensor y(output_shape());
+  linear_apply(x.data(), y.data());
+  return y;
+}
+
+Tensor AvgPool2D::backward(const Tensor& grad_out) {
+  if (grad_out.numel() != output_size()) {
+    throw std::invalid_argument(name() + ": gradient size mismatch");
+  }
+  const float inv = 1.0F / static_cast<float>(cfg_.window * cfg_.window);
+  Tensor grad_in(input_shape());
+  for (std::size_t ch = 0; ch < cfg_.channels; ++ch) {
+    for (std::size_t oy = 0; oy < oh_; ++oy) {
+      for (std::size_t ox = 0; ox < ow_; ++ox) {
+        const float g = grad_out[(ch * oh_ + oy) * ow_ + ox] * inv;
+        for (std::size_t ky = 0; ky < cfg_.window; ++ky) {
+          for (std::size_t kx = 0; kx < cfg_.window; ++kx) {
+            const std::size_t iy = oy * cfg_.stride + ky;
+            const std::size_t ix = ox * cfg_.stride + kx;
+            grad_in[(ch * cfg_.in_height + iy) * cfg_.in_width + ix] += g;
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+IntervalVector AvgPool2D::propagate(const IntervalVector& in) const {
+  if (in.size() != input_size()) {
+    throw std::invalid_argument(name() + ": interval input size mismatch");
+  }
+  const double inv = 1.0 / double(cfg_.window * cfg_.window);
+  IntervalVector out(output_size());
+  for (std::size_t ch = 0; ch < cfg_.channels; ++ch) {
+    for (std::size_t oy = 0; oy < oh_; ++oy) {
+      for (std::size_t ox = 0; ox < ow_; ++ox) {
+        double lo = 0.0, hi = 0.0;
+        for (std::size_t ky = 0; ky < cfg_.window; ++ky) {
+          for (std::size_t kx = 0; kx < cfg_.window; ++kx) {
+            const std::size_t iy = oy * cfg_.stride + ky;
+            const std::size_t ix = ox * cfg_.stride + kx;
+            const Interval& iv =
+                in[(ch * cfg_.in_height + iy) * cfg_.in_width + ix];
+            lo += iv.lo;
+            hi += iv.hi;
+          }
+        }
+        out[(ch * oh_ + oy) * ow_ + ox] = Interval::make_unchecked(
+            round_down(lo * inv), round_up(hi * inv));
+      }
+    }
+  }
+  return out;
+}
+
+Zonotope AvgPool2D::propagate(const Zonotope& in) const {
+  if (in.dim() != input_size()) {
+    throw std::invalid_argument(name() + ": zonotope input size mismatch");
+  }
+  const std::size_t od = output_size();
+  std::vector<float> center(od);
+  linear_apply(in.center().data(), center.data());
+  const std::size_t ng = in.num_generators();
+  std::vector<float> gens(ng * od);
+  for (std::size_t i = 0; i < ng; ++i) {
+    linear_apply(in.generator(i).data(), gens.data() + i * od);
+  }
+  return Zonotope(std::move(center), std::move(gens));
+}
+
+}  // namespace ranm

@@ -1,0 +1,60 @@
+// Spatial pooling layers over CHW images.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace ranm {
+
+/// Shared geometry for pooling layers (window k x k, stride s, no padding).
+class Pooling : public Layer {
+ public:
+  struct Config {
+    std::size_t channels;
+    std::size_t in_height;
+    std::size_t in_width;
+    std::size_t window = 2;
+    std::size_t stride = 2;
+  };
+
+  explicit Pooling(const Config& cfg);
+  [[nodiscard]] Shape input_shape() const override;
+  [[nodiscard]] Shape output_shape() const override;
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+ protected:
+  Config cfg_;
+  std::size_t oh_, ow_;
+};
+
+/// Max pooling. The zonotope transformer falls back to the bounding box of
+/// the input zonotope (sound; maxima are not affine).
+class MaxPool2D final : public Pooling {
+ public:
+  explicit MaxPool2D(const Config& cfg) : Pooling(cfg) {}
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Tensor forward(const Tensor& x) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] IntervalVector propagate(
+      const IntervalVector& in) const override;
+  [[nodiscard]] Zonotope propagate(const Zonotope& in) const override;
+
+ private:
+  std::vector<std::size_t> argmax_;  // flat input index per output element
+};
+
+/// Average pooling (linear, so both abstract transformers are exact).
+class AvgPool2D final : public Pooling {
+ public:
+  explicit AvgPool2D(const Config& cfg) : Pooling(cfg) {}
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Tensor forward(const Tensor& x) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] IntervalVector propagate(
+      const IntervalVector& in) const override;
+  [[nodiscard]] Zonotope propagate(const Zonotope& in) const override;
+
+ private:
+  void linear_apply(const float* in, float* out) const noexcept;
+};
+
+}  // namespace ranm

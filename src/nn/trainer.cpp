@@ -1,0 +1,78 @@
+#include "nn/trainer.hpp"
+
+#include <stdexcept>
+
+#include "nn/optimizer.hpp"
+
+namespace ranm {
+
+std::vector<EpochStats> train(Network& net, Optimizer& optimizer,
+                              const Loss& loss,
+                              const std::vector<Tensor>& inputs,
+                              const std::vector<Tensor>& targets,
+                              const TrainConfig& cfg, Rng& rng) {
+  if (inputs.size() != targets.size()) {
+    throw std::invalid_argument("train: inputs/targets size mismatch");
+  }
+  if (inputs.empty()) throw std::invalid_argument("train: empty dataset");
+  if (cfg.batch_size == 0) {
+    throw std::invalid_argument("train: zero batch size");
+  }
+
+  std::vector<EpochStats> history;
+  history.reserve(cfg.epochs);
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    const auto order = rng.permutation(inputs.size());
+    double epoch_loss = 0.0;
+    std::size_t batch_count = 0;
+    net.zero_gradients();
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      const std::size_t idx = order[pos];
+      const Tensor pred = net.forward(inputs[idx]);
+      LossResult lr = loss.evaluate(pred, targets[idx]);
+      epoch_loss += lr.value;
+      lr.grad *= 1.0F / static_cast<float>(cfg.batch_size);
+      (void)net.backward(lr.grad);
+      ++batch_count;
+      if (batch_count == cfg.batch_size || pos + 1 == order.size()) {
+        optimizer.step();  // also zeroes the gradient accumulators
+        batch_count = 0;
+      }
+    }
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.mean_loss =
+        static_cast<float>(epoch_loss / double(inputs.size()));
+    if (cfg.on_epoch) cfg.on_epoch(stats);
+    history.push_back(stats);
+  }
+  return history;
+}
+
+float evaluate_loss(Network& net, const Loss& loss,
+                    const std::vector<Tensor>& inputs,
+                    const std::vector<Tensor>& targets) {
+  if (inputs.size() != targets.size() || inputs.empty()) {
+    throw std::invalid_argument("evaluate_loss: bad dataset");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    acc += loss.evaluate(net.forward(inputs[i]), targets[i]).value;
+  }
+  return static_cast<float>(acc / double(inputs.size()));
+}
+
+float evaluate_accuracy(Network& net, const std::vector<Tensor>& inputs,
+                        const std::vector<Tensor>& targets) {
+  if (inputs.size() != targets.size() || inputs.empty()) {
+    throw std::invalid_argument("evaluate_accuracy: bad dataset");
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const Tensor pred = net.forward(inputs[i]);
+    if (pred.argmax() == static_cast<std::size_t>(targets[i][0])) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(inputs.size());
+}
+
+}  // namespace ranm

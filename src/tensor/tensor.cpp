@@ -1,0 +1,217 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ranm {
+
+std::size_t shape_numel(const Shape& shape) noexcept {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return n;
+}
+
+std::string shape_str(const Shape& shape) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) out << ", ";
+    out << shape[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0F) {}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_numel(shape_)) {
+    throw std::invalid_argument("Tensor: data size " +
+                                std::to_string(data_.size()) +
+                                " does not match shape " + shape_str(shape_));
+  }
+}
+
+Tensor Tensor::vector(std::initializer_list<float> values) {
+  return Tensor({values.size()}, std::vector<float>(values));
+}
+
+Tensor Tensor::from_span(std::span<const float> values) {
+  return Tensor({values.size()},
+                std::vector<float>(values.begin(), values.end()));
+}
+
+Tensor Tensor::random_uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = rng.uniform_f(lo, hi);
+  return t;
+}
+
+Tensor Tensor::random_normal(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+std::size_t Tensor::dim(std::size_t axis) const {
+  if (axis >= shape_.size()) {
+    throw std::invalid_argument("Tensor::dim: axis " + std::to_string(axis) +
+                                " out of range for shape " +
+                                shape_str(shape_));
+  }
+  return shape_[axis];
+}
+
+float& Tensor::at(std::size_t i) {
+  if (i >= data_.size()) throw std::out_of_range("Tensor::at");
+  return data_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+  if (i >= data_.size()) throw std::out_of_range("Tensor::at");
+  return data_[i];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (shape_numel(new_shape) != data_.size()) {
+    throw std::invalid_argument("Tensor::reshaped: cannot reshape " +
+                                shape_str(shape_) + " to " +
+                                shape_str(new_shape));
+  }
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string("Tensor::") + op +
+                                ": shape mismatch " + shape_str(a.shape()) +
+                                " vs " + shape_str(b.shape()));
+  }
+}
+}  // namespace
+
+Tensor& Tensor::operator+=(const Tensor& rhs) {
+  check_same_shape(*this, rhs, "operator+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& rhs) {
+  check_same_shape(*this, rhs, "operator-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(const Tensor& rhs) {
+  check_same_shape(*this, rhs, "operator*=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= rhs.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) noexcept {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+Tensor& Tensor::operator/=(float scalar) {
+  if (scalar == 0.0F) throw std::invalid_argument("Tensor: division by zero");
+  return *this *= (1.0F / scalar);
+}
+
+Tensor Tensor::operator+(const Tensor& rhs) const {
+  Tensor t = *this;
+  t += rhs;
+  return t;
+}
+
+Tensor Tensor::operator-(const Tensor& rhs) const {
+  Tensor t = *this;
+  t -= rhs;
+  return t;
+}
+
+Tensor Tensor::operator*(float scalar) const {
+  Tensor t = *this;
+  t *= scalar;
+  return t;
+}
+
+float Tensor::sum() const noexcept {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  if (data_.empty()) throw std::invalid_argument("Tensor::mean: empty");
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::min() const {
+  if (data_.empty()) throw std::invalid_argument("Tensor::min: empty");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  if (data_.empty()) throw std::invalid_argument("Tensor::max: empty");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::size_t Tensor::argmax() const {
+  if (data_.empty()) throw std::invalid_argument("Tensor::argmax: empty");
+  return static_cast<std::size_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+float Tensor::norm2() const noexcept {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float Tensor::norm_inf() const noexcept {
+  float m = 0.0F;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+bool Tensor::allclose(const Tensor& rhs, float tol) const noexcept {
+  if (shape_ != rhs.shape_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - rhs.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Tensor::str() const {
+  std::ostringstream out;
+  out << "Tensor" << shape_str(shape_) << " {";
+  const std::size_t show = std::min<std::size_t>(data_.size(), 16);
+  for (std::size_t i = 0; i < show; ++i) {
+    if (i) out << ", ";
+    out << data_[i];
+  }
+  if (data_.size() > show) out << ", ...";
+  out << '}';
+  return out.str();
+}
+
+}  // namespace ranm

@@ -1,0 +1,114 @@
+#include "util/args.hpp"
+
+#include <stdexcept>
+
+namespace ranm {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  parse(tokens);
+}
+
+ArgParser::ArgParser(const std::vector<std::string>& tokens) {
+  parse(tokens);
+}
+
+void ArgParser::parse(const std::vector<std::string>& tokens) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    if (tok.rfind("--", 0) != 0) {
+      positionals_.push_back(tok);
+      continue;
+    }
+    const std::string body = tok.substr(2);
+    if (body.empty()) {
+      throw std::invalid_argument("ArgParser: bare '--' not supported");
+    }
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      is_flag_[body.substr(0, eq)] = false;
+      continue;
+    }
+    // `--key value` if the next token exists and is not an option;
+    // otherwise a bare flag.
+    if (i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0) {
+      values_[body] = tokens[i + 1];
+      is_flag_[body] = false;
+      ++i;
+    } else {
+      values_[body] = "";
+      is_flag_[body] = true;
+    }
+  }
+}
+
+const std::string& ArgParser::positional(std::size_t i) const {
+  if (i >= positionals_.size()) {
+    throw std::invalid_argument("ArgParser: missing positional argument " +
+                                std::to_string(i));
+  }
+  return positionals_[i];
+}
+
+bool ArgParser::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+std::string ArgParser::get(const std::string& key,
+                           const std::string& fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  if (is_flag_.at(key)) {
+    throw std::invalid_argument("ArgParser: option --" + key +
+                                " requires a value");
+  }
+  return it->second;
+}
+
+std::string ArgParser::require(const std::string& key) const {
+  if (!has(key)) {
+    throw std::invalid_argument("ArgParser: required option --" + key +
+                                " missing");
+  }
+  return get(key, "");
+}
+
+std::int64_t ArgParser::get_int(const std::string& key,
+                                std::int64_t fallback) const {
+  if (!has(key)) return fallback;
+  const std::string v = get(key, "");
+  try {
+    std::size_t pos = 0;
+    const std::int64_t parsed = std::stoll(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("ArgParser: --" + key + " expects an " +
+                                "integer, got '" + v + "'");
+  }
+}
+
+double ArgParser::get_double(const std::string& key, double fallback) const {
+  if (!has(key)) return fallback;
+  const std::string v = get(key, "");
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("ArgParser: --" + key + " expects a " +
+                                "number, got '" + v + "'");
+  }
+}
+
+std::vector<std::string> ArgParser::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace ranm

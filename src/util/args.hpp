@@ -1,0 +1,57 @@
+// Minimal command-line argument parser for the ranm tools.
+//
+// Grammar: positional tokens plus `--key value`, `--key=value` and bare
+// boolean flags `--flag`. A token starting with "--" always introduces an
+// option; everything else is positional.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ranm {
+
+/// Parsed argument set with typed accessors. Unknown-option detection is
+/// the caller's job (via known_keys()).
+class ArgParser {
+ public:
+  /// Parses argv[1..argc-1].
+  ArgParser(int argc, const char* const* argv);
+  /// Parses a token list (testing convenience).
+  explicit ArgParser(const std::vector<std::string>& tokens);
+
+  [[nodiscard]] std::size_t positional_count() const noexcept {
+    return positionals_.size();
+  }
+  /// i-th positional token; throws if out of range.
+  [[nodiscard]] const std::string& positional(std::size_t i) const;
+
+  /// True if --key was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& key) const;
+  /// Value of --key, or `fallback` if absent. Throws if --key was given
+  /// as a bare flag (no value).
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  /// Required string option; throws std::invalid_argument if missing.
+  [[nodiscard]] std::string require(const std::string& key) const;
+  /// Integer option with fallback; throws on non-numeric value.
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  /// Floating-point option with fallback.
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+
+  /// All option keys seen (for unknown-option validation).
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+ private:
+  void parse(const std::vector<std::string>& tokens);
+
+  std::vector<std::string> positionals_;
+  // nullopt-like: bare flags store an empty marker entry.
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> is_flag_;
+};
+
+}  // namespace ranm

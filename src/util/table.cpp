@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ranm {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::set_header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::vector<std::string>> all;
+  if (!header_.empty()) all.push_back(header_);
+  for (const auto& r : rows_) all.push_back(r);
+
+  std::size_t ncols = 0;
+  for (const auto& r : all) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> width(ncols, 0);
+  for (const auto& r : all)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  std::ostringstream out;
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      std::string cell = c < r.size() ? r[c] : "";
+      cell.resize(width[c], ' ');
+      out << cell;
+      if (c + 1 < ncols) out << " | ";
+    }
+    out << '\n';
+  };
+  std::size_t row_index = 0;
+  if (!header_.empty()) {
+    emit_row(all[row_index++]);
+    for (std::size_t c = 0; c < ncols; ++c) {
+      out << std::string(width[c], '-');
+      if (c + 1 < ncols) out << "-+-";
+    }
+    out << '\n';
+  }
+  for (; row_index < all.size(); ++row_index) emit_row(all[row_index]);
+  return out.str();
+}
+
+void TextTable::print() const { std::fputs(str().c_str(), stdout); }
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, v);
+  return buf;
+}
+
+}  // namespace ranm

@@ -1,0 +1,43 @@
+// Minimal fixed-width text table renderer used by the benchmark harness to
+// print paper-style result tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ranm {
+
+/// Accumulates rows of strings and renders them with aligned columns,
+/// a header separator, and an optional title, e.g.
+///
+///   == Table: false positive rates ==
+///   monitor     | FP%    | detect%
+///   ------------+--------+--------
+///   standard    | 0.62   | 91.2
+///   robust      | 0.125  | 90.8
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "");
+
+  /// Sets the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> cells);
+  /// Appends a data row; the cell count may differ from the header
+  /// (short rows are padded).
+  void add_row(std::vector<std::string> cells);
+  /// Renders the table to a string (trailing newline included).
+  [[nodiscard]] std::string str() const;
+  /// Renders and writes to stdout.
+  void print() const;
+
+  /// Formats a double with the given precision (helper for callers).
+  static std::string num(double v, int precision = 4);
+  /// Formats a percentage (value already in percent units).
+  static std::string pct(double v, int precision = 3);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ranm

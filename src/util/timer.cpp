@@ -1,0 +1,17 @@
+#include "util/timer.hpp"
+
+namespace ranm {
+
+Timer::Timer() noexcept : start_(std::chrono::steady_clock::now()) {}
+
+void Timer::reset() noexcept { start_ = std::chrono::steady_clock::now(); }
+
+double Timer::seconds() const noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+double Timer::millis() const noexcept { return seconds() * 1e3; }
+
+}  // namespace ranm

@@ -1,0 +1,23 @@
+// Wall-clock stopwatch used by the bench harness.
+#pragma once
+
+#include <chrono>
+
+namespace ranm {
+
+/// Monotonic stopwatch; starts at construction.
+class Timer {
+ public:
+  Timer() noexcept;
+  /// Restarts the stopwatch.
+  void reset() noexcept;
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept;
+  /// Milliseconds elapsed.
+  [[nodiscard]] double millis() const noexcept;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ranm

@@ -1,0 +1,92 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ranm {
+namespace {
+
+TEST(ArgParser, PositionalsAndOptions) {
+  const ArgParser args({"gen", "--count", "5", "extra", "--out=o.bin"});
+  ASSERT_EQ(args.positional_count(), 2U);
+  EXPECT_EQ(args.positional(0), "gen");
+  EXPECT_EQ(args.positional(1), "extra");
+  EXPECT_EQ(args.get("count", ""), "5");
+  EXPECT_EQ(args.get("out", ""), "o.bin");
+  EXPECT_THROW((void)args.positional(2), std::invalid_argument);
+}
+
+TEST(ArgParser, FlagsHaveNoValue) {
+  const ArgParser args({"--robust", "--delta", "0.1"});
+  EXPECT_TRUE(args.has("robust"));
+  EXPECT_TRUE(args.has("delta"));
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_THROW((void)args.get("robust", ""), std::invalid_argument);
+  EXPECT_EQ(args.get("delta", ""), "0.1");
+}
+
+TEST(ArgParser, TrailingFlag) {
+  const ArgParser args({"--verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.positional_count(), 0U);
+}
+
+TEST(ArgParser, Fallbacks) {
+  const ArgParser args({"--a", "1"});
+  EXPECT_EQ(args.get("b", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("b", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("b", 2.5), 2.5);
+}
+
+TEST(ArgParser, TypedAccessors) {
+  const ArgParser args({"--n", "17", "--x", "-3.25", "--neg", "-9"});
+  EXPECT_EQ(args.get_int("n", 0), 17);
+  EXPECT_EQ(args.get_int("neg", 0), -9);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 0.0), -3.25);
+  EXPECT_DOUBLE_EQ(args.get_double("n", 0.0), 17.0);
+}
+
+TEST(ArgParser, TypedErrors) {
+  const ArgParser args({"--n", "17x", "--x", "abc"});
+  EXPECT_THROW((void)args.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("x", 0.0), std::invalid_argument);
+}
+
+TEST(ArgParser, RequireThrowsWhenMissing) {
+  const ArgParser args({"--present", "v"});
+  EXPECT_EQ(args.require("present"), "v");
+  EXPECT_THROW((void)args.require("absent"), std::invalid_argument);
+}
+
+TEST(ArgParser, EqualsSyntaxWithEmbeddedEquals) {
+  const ArgParser args({"--expr=a=b"});
+  EXPECT_EQ(args.get("expr", ""), "a=b");
+}
+
+TEST(ArgParser, NegativeNumberAsValueNotOption) {
+  // "-3" does not start with "--" so it is consumed as the value.
+  const ArgParser args({"--shift", "-3"});
+  EXPECT_EQ(args.get_int("shift", 0), -3);
+}
+
+TEST(ArgParser, BareDoubleDashRejected) {
+  EXPECT_THROW(ArgParser({"--"}), std::invalid_argument);
+}
+
+TEST(ArgParser, KeysLists) {
+  const ArgParser args({"--b", "1", "--a", "2"});
+  const auto keys = args.keys();
+  ASSERT_EQ(keys.size(), 2U);
+  EXPECT_EQ(keys[0], "a");  // map order
+  EXPECT_EQ(keys[1], "b");
+}
+
+TEST(ArgParser, ArgcArgvConstructorSkipsProgramName) {
+  const char* argv[] = {"prog", "cmd", "--k", "v"};
+  const ArgParser args(4, argv);
+  EXPECT_EQ(args.positional_count(), 1U);
+  EXPECT_EQ(args.positional(0), "cmd");
+  EXPECT_EQ(args.get("k", ""), "v");
+}
+
+}  // namespace
+}  // namespace ranm

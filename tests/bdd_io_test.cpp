@@ -1,0 +1,87 @@
+#include "bdd/bdd_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace ranm::bdd {
+namespace {
+
+TEST(BddIo, RoundTripTerminals) {
+  BddManager mgr(4);
+  for (NodeRef f : {kFalse, kTrue}) {
+    std::stringstream ss;
+    save_bdd(ss, mgr, f);
+    BddManager mgr2(4);
+    EXPECT_EQ(load_bdd(ss, mgr2), f);
+  }
+}
+
+TEST(BddIo, RoundTripPreservesSemantics) {
+  Rng rng(31);
+  const std::uint32_t n = 6;
+  BddManager mgr(n);
+  // Random function as OR of random cubes.
+  NodeRef f = kFalse;
+  for (int c = 0; c < 10; ++c) {
+    std::vector<CubeBit> bits(n);
+    for (auto& b : bits) {
+      const auto r = rng.below(3);
+      b = r == 0 ? CubeBit::kZero
+                 : (r == 1 ? CubeBit::kOne : CubeBit::kDontCare);
+    }
+    f = mgr.or_(f, mgr.cube(bits));
+  }
+
+  std::stringstream ss;
+  save_bdd(ss, mgr, f);
+  BddManager mgr2(n);
+  const NodeRef g = load_bdd(ss, mgr2);
+
+  for (std::uint32_t v = 0; v < (1U << n); ++v) {
+    std::vector<bool> a(n);
+    for (std::uint32_t i = 0; i < n; ++i) a[i] = ((v >> i) & 1U) != 0;
+    EXPECT_EQ(mgr.eval(f, a), mgr2.eval(g, a));
+  }
+  EXPECT_DOUBLE_EQ(mgr.sat_count(f), mgr2.sat_count(g));
+}
+
+TEST(BddIo, LoadIntoSameManagerIsIdentical) {
+  BddManager mgr(5);
+  const NodeRef f = mgr.xor_(mgr.var(0), mgr.and_(mgr.var(2), mgr.nvar(4)));
+  std::stringstream ss;
+  save_bdd(ss, mgr, f);
+  EXPECT_EQ(load_bdd(ss, mgr), f);  // hash-consing gives pointer equality
+}
+
+TEST(BddIo, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "garbage data here";
+  BddManager mgr(4);
+  EXPECT_THROW((void)load_bdd(ss, mgr), std::runtime_error);
+}
+
+TEST(BddIo, RejectsTruncatedStream) {
+  BddManager mgr(4);
+  const NodeRef f = mgr.and_(mgr.var(0), mgr.var(1));
+  std::stringstream ss;
+  save_bdd(ss, mgr, f);
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  BddManager mgr2(4);
+  EXPECT_THROW((void)load_bdd(truncated, mgr2), std::runtime_error);
+}
+
+TEST(BddIo, RejectsSmallerManager) {
+  BddManager mgr(8);
+  const NodeRef f = mgr.var(7);
+  std::stringstream ss;
+  save_bdd(ss, mgr, f);
+  BddManager tiny(2);
+  EXPECT_THROW((void)load_bdd(ss, tiny), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ranm::bdd

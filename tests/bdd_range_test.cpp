@@ -1,0 +1,127 @@
+#include "bdd/range.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ranm::bdd {
+namespace {
+
+std::vector<std::uint32_t> make_vars(std::uint32_t first,
+                                     std::uint32_t count) {
+  std::vector<std::uint32_t> v(count);
+  for (std::uint32_t i = 0; i < count; ++i) v[i] = first + i;
+  return v;
+}
+
+TEST(BddRange, CodeEqualsExactlyOne) {
+  BddManager mgr(3);
+  const auto vars = make_vars(0, 3);
+  for (std::uint64_t value = 0; value < 8; ++value) {
+    const NodeRef f = code_equals(mgr, vars, value);
+    EXPECT_DOUBLE_EQ(mgr.sat_count(f), 1.0);
+    std::vector<bool> a(3, false);
+    encode_bits(vars, value, a);
+    EXPECT_TRUE(mgr.eval(f, a));
+    EXPECT_EQ(decode_bits(vars, a), value);
+  }
+}
+
+TEST(BddRange, GeqSemantics) {
+  BddManager mgr(4);
+  const auto vars = make_vars(0, 4);
+  for (std::uint64_t bound = 0; bound < 16; ++bound) {
+    const NodeRef f = code_geq(mgr, vars, bound);
+    for (std::uint64_t v = 0; v < 16; ++v) {
+      std::vector<bool> a(4, false);
+      encode_bits(vars, v, a);
+      EXPECT_EQ(mgr.eval(f, a), v >= bound)
+          << "bound=" << bound << " v=" << v;
+    }
+  }
+}
+
+TEST(BddRange, LeqSemantics) {
+  BddManager mgr(4);
+  const auto vars = make_vars(0, 4);
+  for (std::uint64_t bound = 0; bound < 16; ++bound) {
+    const NodeRef f = code_leq(mgr, vars, bound);
+    for (std::uint64_t v = 0; v < 16; ++v) {
+      std::vector<bool> a(4, false);
+      encode_bits(vars, v, a);
+      EXPECT_EQ(mgr.eval(f, a), v <= bound)
+          << "bound=" << bound << " v=" << v;
+    }
+  }
+}
+
+TEST(BddRange, RangeSemanticsExhaustive) {
+  BddManager mgr(3);
+  const auto vars = make_vars(0, 3);
+  for (std::uint64_t lo = 0; lo < 8; ++lo) {
+    for (std::uint64_t hi = lo; hi < 8; ++hi) {
+      const NodeRef f = code_in_range(mgr, vars, lo, hi);
+      EXPECT_DOUBLE_EQ(mgr.sat_count(f), double(hi - lo + 1));
+      for (std::uint64_t v = 0; v < 8; ++v) {
+        std::vector<bool> a(3, false);
+        encode_bits(vars, v, a);
+        EXPECT_EQ(mgr.eval(f, a), lo <= v && v <= hi);
+      }
+    }
+  }
+}
+
+TEST(BddRange, RangeRejectsInverted) {
+  BddManager mgr(3);
+  const auto vars = make_vars(0, 3);
+  EXPECT_THROW((void)code_in_range(mgr, vars, 5, 2), std::invalid_argument);
+}
+
+TEST(BddRange, FullRangeIsTrue) {
+  BddManager mgr(3);
+  const auto vars = make_vars(0, 3);
+  EXPECT_EQ(code_in_range(mgr, vars, 0, 7), BddManager::true_());
+}
+
+TEST(BddRange, NodeCountLinearInBits) {
+  // Range constraints must be O(bits) nodes — this is what keeps robust
+  // interval-monitor insertion linear (footnote 2 generalised).
+  for (std::uint32_t bits : {4U, 8U, 16U, 24U}) {
+    BddManager mgr(bits);
+    const auto vars = make_vars(0, bits);
+    const std::uint64_t lo = 1;
+    const std::uint64_t hi = (1ULL << bits) - 2;
+    const NodeRef f = code_in_range(mgr, vars, lo, hi);
+    EXPECT_LE(mgr.node_count(f), std::size_t(2 * bits + 2));
+  }
+}
+
+TEST(BddRange, OffsetVariableBlock) {
+  // Ranges over a non-zero variable block (as used per neuron).
+  BddManager mgr(8);
+  const auto vars = make_vars(4, 3);  // bits 4..6
+  const NodeRef f = code_in_range(mgr, vars, 2, 5);
+  std::vector<bool> a(8, false);
+  encode_bits(vars, 3, a);
+  EXPECT_TRUE(mgr.eval(f, a));
+  encode_bits(vars, 6, a);
+  EXPECT_FALSE(mgr.eval(f, a));
+  // Bits outside the block are unconstrained.
+  a[0] = a[7] = true;
+  encode_bits(vars, 4, a);
+  EXPECT_TRUE(mgr.eval(f, a));
+}
+
+TEST(BddRange, EncodeDecodeRoundTrip) {
+  Rng rng(17);
+  const auto vars = make_vars(2, 6);
+  std::vector<bool> a(10, false);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint64_t v = rng.below(64);
+    encode_bits(vars, v, a);
+    EXPECT_EQ(decode_bits(vars, a), v);
+  }
+}
+
+}  // namespace
+}  // namespace ranm::bdd

@@ -1,0 +1,120 @@
+#include "core/box_cluster_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ranm {
+namespace {
+
+TEST(BoxClusterMonitor, QueriesBeforeFinalizeThrow) {
+  BoxClusterMonitor m(2, 2);
+  m.observe(std::vector<float>{0.0F, 0.0F});
+  EXPECT_THROW((void)m.contains(std::vector<float>{0.0F, 0.0F}),
+               std::logic_error);
+  EXPECT_THROW((void)m.boxes(), std::logic_error);
+  EXPECT_THROW(m.enlarge(0.1F), std::logic_error);
+}
+
+TEST(BoxClusterMonitor, FinalizeWithNoDataThrows) {
+  BoxClusterMonitor m(2, 2);
+  Rng rng(1);
+  EXPECT_THROW(m.finalize(rng), std::logic_error);
+}
+
+TEST(BoxClusterMonitor, SingleClusterEqualsMinMax) {
+  Rng rng(2);
+  BoxClusterMonitor m(2, 1);
+  m.observe(std::vector<float>{0.0F, 0.0F});
+  m.observe(std::vector<float>{1.0F, 2.0F});
+  m.finalize(rng);
+  ASSERT_EQ(m.boxes().size(), 1U);
+  EXPECT_FALSE(m.warn(std::vector<float>{0.5F, 1.0F}));
+  EXPECT_TRUE(m.warn(std::vector<float>{1.5F, 1.0F}));
+}
+
+TEST(BoxClusterMonitor, TwoClustersExcludeTheGap) {
+  // Two well-separated clusters: a single box would accept the gap
+  // between them; two boxes must not (ref [2]'s core motivation).
+  Rng rng(3);
+  BoxClusterMonitor m(1, 2);
+  for (float v : {0.0F, 0.1F, 0.2F}) m.observe(std::vector<float>{v});
+  for (float v : {10.0F, 10.1F, 10.2F}) m.observe(std::vector<float>{v});
+  m.finalize(rng);
+  ASSERT_EQ(m.boxes().size(), 2U);
+  EXPECT_FALSE(m.warn(std::vector<float>{0.1F}));
+  EXPECT_FALSE(m.warn(std::vector<float>{10.1F}));
+  EXPECT_TRUE(m.warn(std::vector<float>{5.0F}));  // the gap
+}
+
+TEST(BoxClusterMonitor, ObserveBoundsHullsIntoBoxes) {
+  Rng rng(4);
+  BoxClusterMonitor m(1, 1);
+  m.observe_bounds(std::vector<float>{0.0F}, std::vector<float>{1.0F});
+  m.finalize(rng);
+  EXPECT_FALSE(m.warn(std::vector<float>{0.0F}));
+  EXPECT_FALSE(m.warn(std::vector<float>{1.0F}));
+  EXPECT_TRUE(m.warn(std::vector<float>{1.1F}));
+}
+
+TEST(BoxClusterMonitor, MoreClustersThanPointsIsFine) {
+  Rng rng(5);
+  BoxClusterMonitor m(1, 10);
+  m.observe(std::vector<float>{1.0F});
+  m.observe(std::vector<float>{2.0F});
+  m.finalize(rng);
+  EXPECT_LE(m.boxes().size(), 2U);
+  EXPECT_FALSE(m.warn(std::vector<float>{1.0F}));
+}
+
+TEST(BoxClusterMonitor, AllTrainingPointsAccepted) {
+  Rng rng(6);
+  BoxClusterMonitor m(3, 4);
+  std::vector<std::vector<float>> data;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<float> v(3);
+    for (auto& x : v) x = rng.uniform_f(-1, 1);
+    m.observe(v);
+    data.push_back(std::move(v));
+  }
+  m.finalize(rng);
+  for (const auto& v : data) EXPECT_FALSE(m.warn(v));
+}
+
+TEST(BoxClusterMonitor, EnlargeWidens) {
+  Rng rng(7);
+  BoxClusterMonitor m(1, 1);
+  m.observe(std::vector<float>{0.0F});
+  m.observe(std::vector<float>{2.0F});
+  m.finalize(rng);
+  EXPECT_TRUE(m.warn(std::vector<float>{2.3F}));
+  m.enlarge(0.5F);
+  EXPECT_FALSE(m.warn(std::vector<float>{2.3F}));
+  EXPECT_THROW(m.enlarge(-0.5F), std::invalid_argument);
+}
+
+TEST(BoxClusterMonitor, FinalizeIdempotent) {
+  Rng rng(8);
+  BoxClusterMonitor m(1, 1);
+  m.observe(std::vector<float>{1.0F});
+  m.finalize(rng);
+  const auto boxes = m.boxes().size();
+  m.finalize(rng);
+  EXPECT_EQ(m.boxes().size(), boxes);
+}
+
+TEST(BoxClusterMonitor, ObserveAfterFinalizeThrows) {
+  Rng rng(9);
+  BoxClusterMonitor m(1, 1);
+  m.observe(std::vector<float>{1.0F});
+  m.finalize(rng);
+  EXPECT_THROW(m.observe(std::vector<float>{2.0F}), std::logic_error);
+}
+
+TEST(BoxClusterMonitor, Validation) {
+  EXPECT_THROW(BoxClusterMonitor(0, 1), std::invalid_argument);
+  EXPECT_THROW(BoxClusterMonitor(1, 0), std::invalid_argument);
+  BoxClusterMonitor m(2, 1);
+  EXPECT_THROW(m.observe(std::vector<float>{1.0F}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ranm

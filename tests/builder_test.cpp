@@ -1,0 +1,113 @@
+#include "core/monitor_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/interval_monitor.hpp"
+#include "core/minmax_monitor.hpp"
+#include "nn/init.hpp"
+#include "util/rng.hpp"
+
+namespace ranm {
+namespace {
+
+TEST(MonitorBuilder, FeatureDimMatchesLayer) {
+  Rng rng(1);
+  Network net = make_mlp({4, 10, 6, 2}, rng);
+  // Layers: D(4->10), ReLU, D(10->6), ReLU, D(6->2).
+  EXPECT_EQ(MonitorBuilder(net, 1).feature_dim(), 10U);
+  EXPECT_EQ(MonitorBuilder(net, 3).feature_dim(), 6U);
+  EXPECT_EQ(MonitorBuilder(net, 5).feature_dim(), 2U);
+  EXPECT_THROW(MonitorBuilder(net, 0), std::invalid_argument);
+  EXPECT_THROW(MonitorBuilder(net, 6), std::invalid_argument);
+}
+
+TEST(MonitorBuilder, FeaturesMatchForwardTo) {
+  Rng rng(2);
+  Network net = make_mlp({4, 8, 3}, rng);
+  MonitorBuilder builder(net, 2);
+  const Tensor x = Tensor::random_uniform({4}, rng);
+  const auto f = builder.features(x);
+  const Tensor direct = net.forward_to(2, x);
+  ASSERT_EQ(f.size(), direct.numel());
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_FLOAT_EQ(f[i], direct[i]);
+  }
+}
+
+TEST(MonitorBuilder, CollectStatsCountsSamples) {
+  Rng rng(3);
+  Network net = make_mlp({4, 8, 3}, rng);
+  MonitorBuilder builder(net, 2);
+  std::vector<Tensor> data;
+  for (int i = 0; i < 17; ++i) data.push_back(Tensor::random_uniform({4}, rng));
+  const NeuronStats stats = builder.collect_stats(data);
+  EXPECT_EQ(stats.count(), 17U);
+  EXPECT_EQ(stats.dimension(), 8U);
+}
+
+TEST(MonitorBuilder, BuildStandardAcceptsTrainingData) {
+  Rng rng(4);
+  Network net = make_mlp({4, 8, 3}, rng);
+  MonitorBuilder builder(net, net.num_layers());
+  std::vector<Tensor> data;
+  for (int i = 0; i < 20; ++i) data.push_back(Tensor::random_uniform({4}, rng));
+  MinMaxMonitor m(builder.feature_dim());
+  builder.build_standard(m, data);
+  for (const Tensor& v : data) EXPECT_FALSE(builder.warns(m, v));
+  EXPECT_EQ(m.observation_count(), 20U);
+}
+
+TEST(MonitorBuilder, BuildRobustAcceptsTrainingDataAndMore) {
+  Rng rng(5);
+  Network net = make_mlp({4, 8, 3}, rng);
+  MonitorBuilder builder(net, net.num_layers());
+  std::vector<Tensor> data;
+  for (int i = 0; i < 20; ++i) data.push_back(Tensor::random_uniform({4}, rng));
+
+  MinMaxMonitor standard(builder.feature_dim());
+  MinMaxMonitor robust(builder.feature_dim());
+  builder.build_standard(standard, data);
+  builder.build_robust(robust, data, PerturbationSpec{0, 0.1F,
+                                                      BoundDomain::kBox});
+  // Robust envelope contains the standard envelope.
+  EXPECT_TRUE(robust.envelope().contains(standard.envelope()));
+  // Slight input perturbations are accepted by the robust monitor.
+  for (const Tensor& v : data) {
+    Tensor p = v;
+    for (std::size_t j = 0; j < p.numel(); ++j) {
+      p[j] += rng.uniform_f(-0.1F, 0.1F);
+    }
+    EXPECT_FALSE(builder.warns(robust, p));
+  }
+}
+
+TEST(MonitorBuilder, DimensionMismatchThrows) {
+  Rng rng(6);
+  Network net = make_mlp({4, 8, 3}, rng);
+  MonitorBuilder builder(net, 1);  // feature dim 8
+  MinMaxMonitor wrong(5);
+  std::vector<Tensor> data{Tensor::random_uniform({4}, rng)};
+  EXPECT_THROW(builder.build_standard(wrong, data), std::invalid_argument);
+  EXPECT_THROW(builder.build_robust(wrong, data,
+                                    PerturbationSpec{0, 0.1F,
+                                                     BoundDomain::kBox}),
+               std::invalid_argument);
+}
+
+TEST(MonitorBuilder, MonitoredLayerChoiceMatters) {
+  // Monitors built at different layers see different feature spaces; both
+  // must accept training data.
+  Rng rng(7);
+  Network net = make_mlp({4, 10, 6, 2}, rng);
+  std::vector<Tensor> data;
+  for (int i = 0; i < 10; ++i) data.push_back(Tensor::random_uniform({4}, rng));
+  for (std::size_t k : {2U, 4U, 5U}) {
+    MonitorBuilder builder(net, k);
+    MinMaxMonitor m(builder.feature_dim());
+    builder.build_standard(m, data);
+    for (const Tensor& v : data) EXPECT_FALSE(builder.warns(m, v));
+  }
+}
+
+}  // namespace
+}  // namespace ranm

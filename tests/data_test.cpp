@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/digits.hpp"
+#include "data/racetrack.hpp"
+
+namespace ranm {
+namespace {
+
+TEST(Dataset, AppendAndTake) {
+  Dataset a, b;
+  a.inputs.push_back(Tensor::vector({1.0F}));
+  a.targets.push_back(Tensor::vector({0.0F}));
+  b.inputs.push_back(Tensor::vector({2.0F}));
+  b.targets.push_back(Tensor::vector({1.0F}));
+  a.append(b);
+  EXPECT_EQ(a.size(), 2U);
+  Dataset t = a.take(1);
+  EXPECT_EQ(t.size(), 1U);
+  EXPECT_EQ(t.inputs[0][0], 1.0F);
+  EXPECT_EQ(a.take(99).size(), 2U);
+}
+
+TEST(Dataset, SplitFractions) {
+  Dataset d;
+  for (int i = 0; i < 10; ++i) {
+    d.inputs.push_back(Tensor::vector({float(i)}));
+    d.targets.push_back(Tensor::vector({float(i)}));
+  }
+  auto [a, b] = d.split(0.7);
+  EXPECT_EQ(a.size(), 7U);
+  EXPECT_EQ(b.size(), 3U);
+  EXPECT_EQ(b.inputs[0][0], 7.0F);
+  EXPECT_THROW((void)d.split(1.5), std::invalid_argument);
+}
+
+TEST(Dataset, ShufflePreservesPairs) {
+  Dataset d;
+  for (int i = 0; i < 50; ++i) {
+    d.inputs.push_back(Tensor::vector({float(i)}));
+    d.targets.push_back(Tensor::vector({float(i) * 10.0F}));
+  }
+  Rng rng(1);
+  d.shuffle(rng);
+  EXPECT_EQ(d.size(), 50U);
+  std::set<float> seen;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_FLOAT_EQ(d.targets[i][0], d.inputs[i][0] * 10.0F);
+    seen.insert(d.inputs[i][0]);
+  }
+  EXPECT_EQ(seen.size(), 50U);
+}
+
+TEST(Racetrack, ImageShapeAndRange) {
+  RacetrackConfig cfg;
+  Rng rng(1);
+  Tensor wp;
+  Tensor img = render_track(cfg, TrackScenario::kNominal, rng, &wp);
+  EXPECT_EQ(img.shape(), (Shape{1, 32, 32}));
+  EXPECT_GE(img.min(), 0.0F);
+  EXPECT_LE(img.max(), 1.0F);
+  ASSERT_EQ(wp.numel(), 2U);
+  EXPECT_GE(wp[0], -1.5F);
+  EXPECT_LE(wp[0], 1.5F);
+}
+
+TEST(Racetrack, DeterministicGivenSeed) {
+  RacetrackConfig cfg;
+  Rng r1(7), r2(7);
+  Tensor a = render_track(cfg, TrackScenario::kNominal, r1);
+  Tensor b = render_track(cfg, TrackScenario::kNominal, r2);
+  EXPECT_TRUE(a.allclose(b, 0.0F));
+}
+
+TEST(Racetrack, ScenariosDifferFromNominal) {
+  RacetrackConfig cfg;
+  cfg.sensor_noise = 0.0F;
+  cfg.lighting_jitter = 0.0F;
+  for (TrackScenario s : track_departure_scenarios()) {
+    Rng r1(3), r2(3);
+    Tensor nominal = render_track(cfg, TrackScenario::kNominal, r1);
+    Tensor ood = render_track(cfg, s, r2);
+    EXPECT_FALSE(nominal.allclose(ood, 1e-3F))
+        << track_scenario_name(s) << " should differ from nominal";
+  }
+}
+
+TEST(Racetrack, DarkIsDarker) {
+  RacetrackConfig cfg;
+  cfg.sensor_noise = 0.0F;
+  Rng r1(5), r2(5);
+  Tensor nominal = render_track(cfg, TrackScenario::kNominal, r1);
+  Tensor dark = render_track(cfg, TrackScenario::kDark, r2);
+  EXPECT_LT(dark.mean(), 0.5F * nominal.mean());
+}
+
+TEST(Racetrack, IceIsBrighter) {
+  RacetrackConfig cfg;
+  cfg.sensor_noise = 0.0F;
+  Rng r1(5), r2(5);
+  Tensor nominal = render_track(cfg, TrackScenario::kNominal, r1);
+  Tensor ice = render_track(cfg, TrackScenario::kIce, r2);
+  EXPECT_GT(ice.mean(), nominal.mean());
+}
+
+TEST(Racetrack, DatasetGeneration) {
+  RacetrackConfig cfg;
+  Rng rng(9);
+  Dataset ds = make_track_dataset(cfg, TrackScenario::kNominal, 12, rng);
+  EXPECT_EQ(ds.size(), 12U);
+  for (const auto& t : ds.targets) EXPECT_EQ(t.numel(), 2U);
+}
+
+TEST(Racetrack, WaypointTracksCurvature) {
+  // With zero noise the waypoint x-coordinate must vary with curvature:
+  // generate many scenes and check the spread.
+  RacetrackConfig cfg;
+  cfg.sensor_noise = 0.0F;
+  Rng rng(11);
+  float lo = 1e9F, hi = -1e9F;
+  for (int i = 0; i < 50; ++i) {
+    Tensor wp;
+    (void)render_track(cfg, TrackScenario::kNominal, rng, &wp);
+    lo = std::min(lo, wp[0]);
+    hi = std::max(hi, wp[0]);
+  }
+  EXPECT_GT(hi - lo, 0.3F);
+}
+
+TEST(Racetrack, TooSmallImageThrows) {
+  RacetrackConfig cfg;
+  cfg.height = 4;
+  Rng rng(1);
+  EXPECT_THROW((void)render_track(cfg, TrackScenario::kNominal, rng),
+               std::invalid_argument);
+}
+
+TEST(Racetrack, ScenarioNames) {
+  EXPECT_EQ(track_scenario_name(TrackScenario::kNominal), "nominal");
+  EXPECT_EQ(track_scenario_name(TrackScenario::kIce), "ice");
+  EXPECT_EQ(track_departure_scenarios().size(), 5U);
+}
+
+TEST(Digits, ImageShapeAndLabels) {
+  DigitConfig cfg;
+  Rng rng(1);
+  std::size_t label = 99;
+  Tensor img = render_digit(cfg, DigitVariant::kNominal, rng, &label);
+  EXPECT_EQ(img.shape(), (Shape{1, 16, 16}));
+  EXPECT_LT(label, 10U);
+  EXPECT_GE(img.min(), 0.0F);
+  EXPECT_LE(img.max(), 1.0F);
+}
+
+TEST(Digits, AllClassesGenerated) {
+  DigitConfig cfg;
+  Rng rng(2);
+  std::set<std::size_t> classes;
+  for (int i = 0; i < 200; ++i) {
+    std::size_t label;
+    (void)render_digit(cfg, DigitVariant::kNominal, rng, &label);
+    classes.insert(label);
+  }
+  EXPECT_EQ(classes.size(), 10U);
+}
+
+TEST(Digits, DifferentDigitsDiffer) {
+  DigitConfig cfg;
+  cfg.noise = 0.0F;
+  cfg.max_shift = 0;
+  // Find a 1 and an 8 and compare.
+  Rng rng(3);
+  Tensor one, eight;
+  bool got1 = false, got8 = false;
+  for (int i = 0; i < 500 && !(got1 && got8); ++i) {
+    std::size_t label;
+    Tensor img = render_digit(cfg, DigitVariant::kNominal, rng, &label);
+    if (label == 1 && !got1) {
+      one = img;
+      got1 = true;
+    }
+    if (label == 8 && !got8) {
+      eight = img;
+      got8 = true;
+    }
+  }
+  ASSERT_TRUE(got1 && got8);
+  // An 8 lights strictly more pixels than a 1.
+  EXPECT_GT(eight.sum(), one.sum());
+}
+
+TEST(Digits, InvertedVariantInverts) {
+  DigitConfig cfg;
+  cfg.noise = 0.0F;
+  Rng r1(4), r2(4);
+  Tensor nominal = render_digit(cfg, DigitVariant::kNominal, r1);
+  Tensor inverted = render_digit(cfg, DigitVariant::kInverted, r2);
+  // Same glyph drawn, video inverted: sums complement roughly.
+  EXPECT_NEAR(nominal.sum() + inverted.sum(), float(nominal.numel()), 1.0F);
+}
+
+TEST(Digits, NoisyVariantIsNoisier) {
+  DigitConfig cfg;
+  Rng r1(5), r2(5);
+  Tensor a = render_digit(cfg, DigitVariant::kNominal, r1);
+  Tensor b = render_digit(cfg, DigitVariant::kNoisy, r2);
+  // Heavy noise moves many background pixels off their base value.
+  int changed = 0;
+  for (std::size_t i = 0; i < b.numel(); ++i) {
+    if (std::abs(b[i] - 0.05F) > 0.2F) ++changed;
+  }
+  EXPECT_GT(changed, int(b.numel() / 4));
+  (void)a;
+}
+
+TEST(Digits, DatasetTargetsAreClassIndices) {
+  DigitConfig cfg;
+  Rng rng(6);
+  Dataset ds = make_digit_dataset(cfg, DigitVariant::kNominal, 20, rng);
+  EXPECT_EQ(ds.size(), 20U);
+  for (const auto& t : ds.targets) {
+    ASSERT_EQ(t.numel(), 1U);
+    EXPECT_GE(t[0], 0.0F);
+    EXPECT_LT(t[0], 10.0F);
+  }
+}
+
+TEST(Digits, VariantNames) {
+  EXPECT_EQ(digit_variant_name(DigitVariant::kNominal), "digits");
+  EXPECT_EQ(digit_variant_name(DigitVariant::kLetters), "letters");
+}
+
+TEST(Digits, TooSmallThrows) {
+  DigitConfig cfg;
+  cfg.size = 8;
+  Rng rng(1);
+  EXPECT_THROW((void)render_digit(cfg, DigitVariant::kNominal, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ranm

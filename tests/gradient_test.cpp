@@ -1,0 +1,182 @@
+// Numerical gradient checking for every trainable layer: the analytic
+// backward pass must match central finite differences on both the input
+// gradient and the parameter gradients.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/pooling.hpp"
+#include "util/rng.hpp"
+
+namespace ranm {
+namespace {
+
+/// Scalar objective over a layer's output: sum of coef[i] * out[i], which
+/// gives grad_out = coef and an easy finite-difference target.
+float objective(Layer& layer, const Tensor& x, const Tensor& coef) {
+  Tensor y = layer.forward(x);
+  float acc = 0.0F;
+  for (std::size_t i = 0; i < y.numel(); ++i) acc += coef[i] * y[i];
+  return acc;
+}
+
+void check_input_gradient(Layer& layer, const Tensor& x, Rng& rng,
+                          float tol = 2e-2F) {
+  Tensor coef = Tensor::random_uniform({layer.output_size()}, rng);
+  (void)objective(layer, x, coef);
+  Tensor analytic = layer.backward(coef.reshaped(layer.output_shape()));
+
+  const float eps = 1e-2F;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const float fp = objective(layer, xp, coef);
+    const float fm = objective(layer, xm, coef);
+    const float numeric = (fp - fm) / (2.0F * eps);
+    EXPECT_NEAR(analytic[i], numeric, tol)
+        << layer.name() << " input gradient at " << i;
+  }
+}
+
+void check_param_gradients(Layer& layer, const Tensor& x, Rng& rng,
+                           float tol = 2e-2F) {
+  Tensor coef = Tensor::random_uniform({layer.output_size()}, rng);
+  for (Tensor* g : layer.gradients()) g->zero();
+  (void)objective(layer, x, coef);
+  (void)layer.backward(coef.reshaped(layer.output_shape()));
+
+  auto params = layer.parameters();
+  auto grads = layer.gradients();
+  ASSERT_EQ(params.size(), grads.size());
+  const float eps = 1e-2F;
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    Tensor& param = *params[p];
+    for (std::size_t i = 0; i < param.numel(); ++i) {
+      const float orig = param[i];
+      param[i] = orig + eps;
+      const float fp = objective(layer, x, coef);
+      param[i] = orig - eps;
+      const float fm = objective(layer, x, coef);
+      param[i] = orig;
+      const float numeric = (fp - fm) / (2.0F * eps);
+      EXPECT_NEAR((*grads[p])[i], numeric, tol)
+          << layer.name() << " param " << p << " gradient at " << i;
+    }
+  }
+}
+
+TEST(Gradient, Dense) {
+  Rng rng(1);
+  Dense d(5, 4);
+  d.init_params(rng);
+  Tensor x = Tensor::random_uniform({5}, rng);
+  check_input_gradient(d, x, rng);
+  check_param_gradients(d, x, rng);
+}
+
+TEST(Gradient, Conv2D) {
+  Rng rng(2);
+  Conv2D::Config cfg;
+  cfg.in_channels = 2;
+  cfg.in_height = 5;
+  cfg.in_width = 5;
+  cfg.out_channels = 3;
+  cfg.kernel_h = 3;
+  cfg.kernel_w = 3;
+  cfg.stride = 1;
+  cfg.padding = 1;
+  Conv2D conv(cfg);
+  conv.init_params(rng);
+  Tensor x = Tensor::random_uniform({2, 5, 5}, rng);
+  check_input_gradient(conv, x, rng);
+  check_param_gradients(conv, x, rng);
+}
+
+TEST(Gradient, Conv2DStridedNoPadding) {
+  Rng rng(3);
+  Conv2D::Config cfg;
+  cfg.in_channels = 1;
+  cfg.in_height = 6;
+  cfg.in_width = 6;
+  cfg.out_channels = 2;
+  cfg.kernel_h = 3;
+  cfg.kernel_w = 3;
+  cfg.stride = 2;
+  cfg.padding = 0;
+  Conv2D conv(cfg);
+  conv.init_params(rng);
+  Tensor x = Tensor::random_uniform({1, 6, 6}, rng);
+  check_input_gradient(conv, x, rng);
+  check_param_gradients(conv, x, rng);
+}
+
+TEST(Gradient, ReluAwayFromKink) {
+  Rng rng(4);
+  ReLU relu(Shape{6});
+  // Keep inputs away from 0 where the derivative jumps.
+  Tensor x = Tensor::random_uniform({6}, rng, 0.5F, 2.0F);
+  check_input_gradient(relu, x, rng);
+  Tensor xn = Tensor::random_uniform({6}, rng, -2.0F, -0.5F);
+  check_input_gradient(relu, xn, rng);
+}
+
+TEST(Gradient, LeakyRelu) {
+  Rng rng(5);
+  LeakyReLU lr(Shape{6}, 0.1F);
+  Tensor x = Tensor::random_uniform({6}, rng, 0.5F, 2.0F);
+  check_input_gradient(lr, x, rng);
+}
+
+TEST(Gradient, Sigmoid) {
+  Rng rng(6);
+  Sigmoid s(Shape{5});
+  Tensor x = Tensor::random_uniform({5}, rng, -2.0F, 2.0F);
+  check_input_gradient(s, x, rng);
+}
+
+TEST(Gradient, Tanh) {
+  Rng rng(7);
+  Tanh t(Shape{5});
+  Tensor x = Tensor::random_uniform({5}, rng, -2.0F, 2.0F);
+  check_input_gradient(t, x, rng);
+}
+
+TEST(Gradient, AvgPool) {
+  Rng rng(8);
+  Pooling::Config cfg;
+  cfg.channels = 2;
+  cfg.in_height = 4;
+  cfg.in_width = 4;
+  AvgPool2D pool(cfg);
+  Tensor x = Tensor::random_uniform({2, 4, 4}, rng);
+  check_input_gradient(pool, x, rng);
+}
+
+TEST(Gradient, MaxPoolAwayFromTies) {
+  Rng rng(9);
+  Pooling::Config cfg;
+  cfg.channels = 1;
+  cfg.in_height = 4;
+  cfg.in_width = 4;
+  MaxPool2D pool(cfg);
+  // Distinct values avoid argmax ties under the finite-difference step.
+  Tensor x({1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) x[i] = float(i) * 0.37F;
+  check_input_gradient(pool, x, rng);
+}
+
+TEST(Gradient, Flatten) {
+  Rng rng(10);
+  Flatten f(Shape{2, 3, 2});
+  Tensor x = Tensor::random_uniform({2, 3, 2}, rng);
+  check_input_gradient(f, x, rng);
+}
+
+}  // namespace
+}  // namespace ranm

@@ -1,0 +1,127 @@
+// Lemma 1 (the paper's provable-robustness claim): if the robust monitor
+// M_{G,k,kp,Δ} warns on v_op, then no training input v_tr satisfies
+// |G^{kp}_j(v_op) - G^{kp}_j(v_tr)| <= Δ for all j. Contrapositively: any
+// operational input whose layer-kp activation is Δ-close to some training
+// input's layer-kp activation must NOT trigger a warning. We check the
+// contrapositive by construction: perturb G^{kp}(v_tr) by at most Δ and
+// feed the result through the suffix network — the monitor must accept.
+#include <gtest/gtest.h>
+
+#include "core/interval_monitor.hpp"
+#include "core/minmax_monitor.hpp"
+#include "core/monitor_builder.hpp"
+#include "core/onoff_monitor.hpp"
+#include "nn/init.hpp"
+#include "util/rng.hpp"
+
+namespace ranm {
+namespace {
+
+struct Lemma1Case {
+  int seed;
+  std::size_t kp;
+  float delta;
+  BoundDomain domain;
+};
+
+class Lemma1 : public ::testing::TestWithParam<Lemma1Case> {
+ protected:
+  /// Builds a random net + training set, constructs the three robust
+  /// monitor types, and returns the number of Lemma-1 violations found by
+  /// sampling Δ-close probes. Must be zero for every monitor.
+  void run_check() {
+    const auto param = GetParam();
+    Rng rng(param.seed);
+    Network net = make_mlp({5, 12, 8, 6}, rng);
+    const std::size_t k = net.num_layers();
+
+    std::vector<Tensor> train;
+    for (int i = 0; i < 25; ++i) {
+      train.push_back(Tensor::random_uniform({5}, rng));
+    }
+
+    MonitorBuilder builder(net, k);
+    const std::size_t d = builder.feature_dim();
+    PerturbationSpec spec{param.kp, param.delta, param.domain};
+
+    // Thresholds from the training features.
+    NeuronStats stats = builder.collect_stats(train, /*keep_samples=*/true);
+    MinMaxMonitor minmax(d);
+    OnOffMonitor onoff(ThresholdSpec::from_means(stats));
+    IntervalMonitor interval(ThresholdSpec::from_percentiles(stats, 2));
+
+    builder.build_robust(minmax, train, spec);
+    builder.build_robust(onoff, train, spec);
+    builder.build_robust(interval, train, spec);
+
+    // Probe: v_op whose layer-kp activation is within Δ of a training
+    // input's layer-kp activation (sampled uniformly in the Δ-ball and at
+    // the ball's corners, which are the worst case).
+    for (const Tensor& v : train) {
+      const Tensor at_kp = net.forward_to(spec.kp, v);
+      for (int trial = 0; trial < 60; ++trial) {
+        Tensor probe = at_kp;
+        const bool corner = trial % 2 == 0;
+        for (std::size_t j = 0; j < probe.numel(); ++j) {
+          probe[j] += corner
+                          ? (rng.chance(0.5) ? spec.delta : -spec.delta)
+                          : rng.uniform_f(-spec.delta, spec.delta);
+        }
+        const Tensor feat_t = net.forward_range(spec.kp + 1, k, probe);
+        const std::vector<float> feat(feat_t.data(),
+                                      feat_t.data() + feat_t.numel());
+        EXPECT_FALSE(minmax.warn(feat)) << "min-max monitor violated L1";
+        EXPECT_FALSE(onoff.warn(feat)) << "on-off monitor violated L1";
+        EXPECT_FALSE(interval.warn(feat)) << "interval monitor violated L1";
+      }
+    }
+  }
+};
+
+TEST_P(Lemma1, NoWarningOnDeltaCloseInputs) { run_check(); }
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Lemma1,
+    ::testing::Values(Lemma1Case{1, 0, 0.05F, BoundDomain::kBox},
+                      Lemma1Case{2, 0, 0.3F, BoundDomain::kBox},
+                      Lemma1Case{3, 1, 0.1F, BoundDomain::kBox},
+                      Lemma1Case{4, 2, 0.2F, BoundDomain::kBox},
+                      Lemma1Case{5, 3, 0.15F, BoundDomain::kBox},
+                      Lemma1Case{6, 4, 0.4F, BoundDomain::kBox},
+                      Lemma1Case{7, 0, 0.1F, BoundDomain::kZonotope},
+                      Lemma1Case{8, 2, 0.25F, BoundDomain::kZonotope}));
+
+TEST(Lemma1Standard, StandardMonitorDoesWarnOnPerturbation) {
+  // Sanity check of the paper's *motivation*: the standard (non-robust)
+  // monitor generally does warn on slightly perturbed training inputs —
+  // that is the false-positive problem robust construction removes.
+  Rng rng(99);
+  Network net = make_mlp({5, 12, 8, 6}, rng);
+  const std::size_t k = net.num_layers();
+  std::vector<Tensor> train;
+  for (int i = 0; i < 25; ++i) {
+    train.push_back(Tensor::random_uniform({5}, rng));
+  }
+  MonitorBuilder builder(net, k);
+  NeuronStats stats = builder.collect_stats(train, true);
+  IntervalMonitor standard(ThresholdSpec::from_percentiles(stats, 2));
+  builder.build_standard(standard, train);
+
+  int warned = 0, total = 0;
+  const float delta = 0.3F;
+  for (const Tensor& v : train) {
+    for (int trial = 0; trial < 20; ++trial) {
+      Tensor probe = v;
+      for (std::size_t j = 0; j < probe.numel(); ++j) {
+        probe[j] += rng.chance(0.5) ? delta : -delta;
+      }
+      warned += builder.warns(standard, probe);
+      ++total;
+    }
+  }
+  // The standard monitor has a substantial FP rate under perturbation.
+  EXPECT_GT(warned, total / 10);
+}
+
+}  // namespace
+}  // namespace ranm

@@ -1,0 +1,71 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/minmax_monitor.hpp"
+#include "nn/init.hpp"
+#include "util/rng.hpp"
+
+namespace ranm {
+namespace {
+
+TEST(Metrics, WarningRateBounds) {
+  Rng rng(1);
+  Network net = make_mlp({3, 6, 2}, rng);
+  MonitorBuilder builder(net, net.num_layers());
+  MinMaxMonitor m(builder.feature_dim());
+  std::vector<Tensor> train, test;
+  for (int i = 0; i < 30; ++i) train.push_back(Tensor::random_uniform({3}, rng));
+  builder.build_standard(m, train);
+  // On training data itself the warning rate is 0.
+  EXPECT_DOUBLE_EQ(warning_rate(builder, m, train), 0.0);
+  // On far-away data it is 1.
+  for (int i = 0; i < 10; ++i) {
+    test.push_back(Tensor::random_uniform({3}, rng, 50.0F, 60.0F));
+  }
+  EXPECT_DOUBLE_EQ(warning_rate(builder, m, test), 1.0);
+  EXPECT_THROW((void)warning_rate(builder, m, {}), std::invalid_argument);
+}
+
+TEST(Metrics, WarningRateFeatures) {
+  MinMaxMonitor m(1);
+  m.observe(std::vector<float>{0.0F});
+  m.observe(std::vector<float>{1.0F});
+  std::vector<std::vector<float>> feats{{0.5F}, {2.0F}, {-1.0F}, {0.9F}};
+  EXPECT_DOUBLE_EQ(warning_rate_features(m, feats), 0.5);
+  EXPECT_THROW((void)warning_rate_features(m, {}), std::invalid_argument);
+}
+
+TEST(Metrics, EvaluateMonitorStructure) {
+  Rng rng(2);
+  Network net = make_mlp({3, 6, 2}, rng);
+  MonitorBuilder builder(net, net.num_layers());
+  MinMaxMonitor m(builder.feature_dim());
+  std::vector<Tensor> train;
+  for (int i = 0; i < 30; ++i) train.push_back(Tensor::random_uniform({3}, rng));
+  builder.build_standard(m, train);
+
+  std::vector<Tensor> far;
+  for (int i = 0; i < 5; ++i) {
+    far.push_back(Tensor::random_uniform({3}, rng, 20.0F, 30.0F));
+  }
+  std::vector<std::pair<std::string, std::vector<Tensor>>> ood;
+  ood.emplace_back("far", far);
+  ood.emplace_back("train-again", train);
+
+  const MonitorEval eval = evaluate_monitor(builder, m, train, ood);
+  EXPECT_DOUBLE_EQ(eval.false_positive_rate, 0.0);
+  ASSERT_EQ(eval.detection.size(), 2U);
+  EXPECT_EQ(eval.detection[0].name, "far");
+  EXPECT_DOUBLE_EQ(eval.detection[0].rate, 1.0);
+  EXPECT_DOUBLE_EQ(eval.detection[1].rate, 0.0);
+  EXPECT_DOUBLE_EQ(eval.mean_detection(), 0.5);
+}
+
+TEST(Metrics, MeanDetectionEmpty) {
+  MonitorEval eval;
+  EXPECT_DOUBLE_EQ(eval.mean_detection(), 0.0);
+}
+
+}  // namespace
+}  // namespace ranm

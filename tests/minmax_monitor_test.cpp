@@ -1,0 +1,123 @@
+#include "core/minmax_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ranm {
+namespace {
+
+TEST(MinMaxMonitor, EmptyMonitorWarnsOnEverything) {
+  MinMaxMonitor m(2);
+  EXPECT_TRUE(m.warn(std::vector<float>{0.0F, 0.0F}));
+  EXPECT_EQ(m.observation_count(), 0U);
+}
+
+TEST(MinMaxMonitor, SingleObservationIsAccepted) {
+  MinMaxMonitor m(2);
+  m.observe(std::vector<float>{1.0F, -1.0F});
+  EXPECT_FALSE(m.warn(std::vector<float>{1.0F, -1.0F}));
+  EXPECT_TRUE(m.warn(std::vector<float>{1.0F, -1.1F}));
+  EXPECT_TRUE(m.warn(std::vector<float>{1.1F, -1.0F}));
+}
+
+TEST(MinMaxMonitor, EnvelopeGrowsWithObservations) {
+  MinMaxMonitor m(1);
+  m.observe(std::vector<float>{1.0F});
+  m.observe(std::vector<float>{3.0F});
+  EXPECT_FLOAT_EQ(m.lower(0), 1.0F);
+  EXPECT_FLOAT_EQ(m.upper(0), 3.0F);
+  EXPECT_FALSE(m.warn(std::vector<float>{2.0F}));  // interpolation accepted
+  EXPECT_TRUE(m.warn(std::vector<float>{3.5F}));
+}
+
+TEST(MinMaxMonitor, ObserveBoundsWidensEnvelope) {
+  MinMaxMonitor m(1);
+  m.observe_bounds(std::vector<float>{0.0F}, std::vector<float>{2.0F});
+  EXPECT_FALSE(m.warn(std::vector<float>{0.0F}));
+  EXPECT_FALSE(m.warn(std::vector<float>{2.0F}));
+  EXPECT_TRUE(m.warn(std::vector<float>{2.1F}));
+}
+
+TEST(MinMaxMonitor, RobustContainsStandard) {
+  // The robust envelope (bounds) always contains the standard envelope
+  // (points) for the same data.
+  Rng rng(9);
+  MinMaxMonitor standard(3), robust(3);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<float> v(3), lo(3), hi(3);
+    for (int j = 0; j < 3; ++j) {
+      v[j] = rng.uniform_f(-2, 2);
+      lo[j] = v[j] - 0.1F;
+      hi[j] = v[j] + 0.1F;
+    }
+    standard.observe(v);
+    robust.observe_bounds(lo, hi);
+  }
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_LE(robust.lower(j), standard.lower(j));
+    EXPECT_GE(robust.upper(j), standard.upper(j));
+  }
+  EXPECT_TRUE(robust.envelope().contains(standard.envelope()));
+}
+
+TEST(MinMaxMonitor, RejectsInvertedBounds) {
+  MinMaxMonitor m(1);
+  EXPECT_THROW(
+      m.observe_bounds(std::vector<float>{1.0F}, std::vector<float>{0.0F}),
+      std::invalid_argument);
+}
+
+TEST(MinMaxMonitor, DimensionValidation) {
+  MinMaxMonitor m(2);
+  EXPECT_THROW(m.observe(std::vector<float>{1.0F}), std::invalid_argument);
+  EXPECT_THROW((void)m.contains(std::vector<float>{1.0F}),
+               std::invalid_argument);
+  EXPECT_THROW(MinMaxMonitor(0), std::invalid_argument);
+  EXPECT_THROW((void)m.lower(5), std::out_of_range);
+}
+
+TEST(MinMaxMonitor, EnlargeGamma) {
+  MinMaxMonitor m(1);
+  m.observe(std::vector<float>{0.0F});
+  m.observe(std::vector<float>{2.0F});
+  m.enlarge(0.5F);  // half-width 1 -> widen by 0.5 each side
+  EXPECT_FLOAT_EQ(m.lower(0), -0.5F);
+  EXPECT_FLOAT_EQ(m.upper(0), 2.5F);
+  EXPECT_THROW(m.enlarge(-1.0F), std::invalid_argument);
+}
+
+TEST(MinMaxMonitor, EnlargeAbsolute) {
+  MinMaxMonitor m(1);
+  m.observe(std::vector<float>{1.0F});
+  m.enlarge_absolute(0.25F);
+  EXPECT_FALSE(m.warn(std::vector<float>{0.8F}));
+  EXPECT_TRUE(m.warn(std::vector<float>{0.7F}));
+}
+
+TEST(MinMaxMonitor, EnlargeSkipsUnobservedDims) {
+  MinMaxMonitor m(2);
+  // Never observed: enlarge must not create spurious acceptance.
+  m.enlarge(1.0F);
+  EXPECT_TRUE(m.warn(std::vector<float>{0.0F, 0.0F}));
+}
+
+TEST(MinMaxMonitor, FromBoundsRoundTrip) {
+  auto m = MinMaxMonitor::from_bounds({0.0F, -1.0F}, {1.0F, 1.0F}, 7);
+  EXPECT_EQ(m.observation_count(), 7U);
+  EXPECT_FALSE(m.warn(std::vector<float>{0.5F, 0.0F}));
+  EXPECT_TRUE(m.warn(std::vector<float>{1.5F, 0.0F}));
+  EXPECT_THROW(MinMaxMonitor::from_bounds({0.0F}, {1.0F, 2.0F}, 1),
+               std::invalid_argument);
+}
+
+TEST(MinMaxMonitor, Describe) {
+  MinMaxMonitor m(4);
+  m.observe(std::vector<float>{0, 0, 0, 0});
+  const std::string d = m.describe();
+  EXPECT_NE(d.find("MinMaxMonitor"), std::string::npos);
+  EXPECT_NE(d.find("d=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ranm

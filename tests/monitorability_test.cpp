@@ -1,0 +1,122 @@
+#include "core/monitorability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/monitor_builder.hpp"
+#include "nn/init.hpp"
+#include "util/rng.hpp"
+
+namespace ranm {
+namespace {
+
+std::vector<std::vector<float>> constant_features(std::size_t n,
+                                                  std::vector<float> v) {
+  return std::vector<std::vector<float>>(n, std::move(v));
+}
+
+TEST(Monitorability, AllDeadLayerScoresZero) {
+  const auto report =
+      analyze_monitorability(constant_features(20, {0.0F, 0.0F, 0.0F}));
+  EXPECT_EQ(report.dead_count, 3U);
+  EXPECT_DOUBLE_EQ(report.score, 0.0);
+  for (const auto& n : report.neurons) {
+    EXPECT_TRUE(n.dead);
+    EXPECT_DOUBLE_EQ(n.bit_entropy, 0.0);
+    EXPECT_DOUBLE_EQ(n.variance, 0.0);
+  }
+  EXPECT_TRUE(report.informative_neurons().empty());
+}
+
+TEST(Monitorability, BalancedNeuronScoresOne) {
+  // Neuron alternates below/above its mean -> p(on) = 0.5, entropy 1.
+  std::vector<std::vector<float>> features;
+  for (int i = 0; i < 40; ++i) {
+    features.push_back({i % 2 == 0 ? 0.0F : 1.0F});
+  }
+  const auto report = analyze_monitorability(features);
+  ASSERT_EQ(report.neurons.size(), 1U);
+  EXPECT_FALSE(report.neurons[0].dead);
+  EXPECT_DOUBLE_EQ(report.neurons[0].activation_rate, 0.5);
+  EXPECT_DOUBLE_EQ(report.neurons[0].bit_entropy, 1.0);
+  EXPECT_DOUBLE_EQ(report.score, 1.0);
+}
+
+TEST(Monitorability, SkewedNeuronLowEntropy) {
+  // One sample above threshold out of 40.
+  std::vector<std::vector<float>> features(40, std::vector<float>{0.0F});
+  features[0][0] = 100.0F;
+  const auto report = analyze_monitorability(features);
+  EXPECT_FALSE(report.neurons[0].dead);
+  EXPECT_NEAR(report.neurons[0].activation_rate, 1.0 / 40.0, 1e-12);
+  EXPECT_LT(report.neurons[0].bit_entropy, 0.2);
+}
+
+TEST(Monitorability, ExplicitSpecRespected) {
+  // Threshold at 10: all values 0..1 map to bit 0 -> entropy 0, despite
+  // the neuron being alive.
+  std::vector<std::vector<float>> features;
+  for (int i = 0; i < 20; ++i) features.push_back({float(i % 2)});
+  const auto spec = ThresholdSpec::onoff(std::vector<float>{10.0F});
+  const auto report = analyze_monitorability(features, spec);
+  EXPECT_FALSE(report.neurons[0].dead);
+  EXPECT_DOUBLE_EQ(report.neurons[0].bit_entropy, 0.0);
+}
+
+TEST(Monitorability, InformativeNeuronsSortedByEntropy) {
+  // Neuron 0: balanced; neuron 1: skewed; neuron 2: dead.
+  std::vector<std::vector<float>> features;
+  for (int i = 0; i < 40; ++i) {
+    features.push_back({i % 2 == 0 ? 0.0F : 1.0F,
+                        i == 0 ? 1.0F : 0.0F, 5.0F});
+  }
+  const auto report = analyze_monitorability(features);
+  const auto idx = report.informative_neurons(0.0);
+  ASSERT_GE(idx.size(), 2U);
+  EXPECT_EQ(idx[0], 0U);
+  EXPECT_EQ(idx[1], 1U);
+  // With a high entropy floor only the balanced neuron survives.
+  const auto strict = report.informative_neurons(0.9);
+  ASSERT_EQ(strict.size(), 1U);
+  EXPECT_EQ(strict[0], 0U);
+}
+
+TEST(Monitorability, Validation) {
+  EXPECT_THROW((void)analyze_monitorability({}), std::invalid_argument);
+  const auto spec2 = ThresholdSpec::paper_two_bit(
+      std::vector<float>{0.0F}, std::vector<float>{1.0F},
+      std::vector<float>{2.0F});
+  EXPECT_THROW(
+      (void)analyze_monitorability(constant_features(3, {0.0F}), spec2),
+      std::invalid_argument);
+  const auto spec1 = ThresholdSpec::onoff(std::vector<float>{0.0F});
+  EXPECT_THROW((void)analyze_monitorability(
+                   {std::vector<float>{0.0F, 1.0F}}, spec1),
+               std::invalid_argument);
+}
+
+TEST(Monitorability, LeakyConvnetHiddenLayerIsMonitorable) {
+  // The repo's convnet factory uses LeakyReLU precisely to keep the
+  // monitored layer alive; verify the score is materially above zero.
+  Rng rng(3);
+  Network net = make_small_convnet(12, 12, 4, 16, 2, rng);
+  MonitorBuilder builder(net, 6);
+  std::vector<std::vector<float>> features;
+  for (int i = 0; i < 60; ++i) {
+    features.push_back(
+        builder.features(Tensor::random_uniform({1, 12, 12}, rng)));
+  }
+  const auto report = analyze_monitorability(features);
+  EXPECT_EQ(report.dead_count, 0U);
+  EXPECT_GT(report.score, 0.3);
+}
+
+TEST(Monitorability, ReportStringMentionsDeadNeurons) {
+  const auto report =
+      analyze_monitorability(constant_features(5, {1.0F, 2.0F}));
+  const std::string s = report.str();
+  EXPECT_NE(s.find("2 dead"), std::string::npos);
+  EXPECT_NE(s.find("DEAD"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ranm

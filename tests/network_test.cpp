@@ -1,0 +1,139 @@
+#include "nn/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/init.hpp"
+#include "util/rng.hpp"
+
+namespace ranm {
+namespace {
+
+Network tiny_net(Rng& rng) {
+  Network net;
+  net.emplace<Dense>(3, 4);
+  net.emplace<ReLU>(Shape{4});
+  net.emplace<Dense>(4, 2);
+  net.init_params(rng);
+  return net;
+}
+
+TEST(Network, AddValidatesShapes) {
+  Network net;
+  net.emplace<Dense>(3, 4);
+  EXPECT_THROW(net.emplace<Dense>(5, 2), std::invalid_argument);
+  EXPECT_THROW(net.add(nullptr), std::invalid_argument);
+}
+
+TEST(Network, LayerIndexingIsOneBased) {
+  Rng rng(1);
+  Network net = tiny_net(rng);
+  EXPECT_EQ(net.num_layers(), 3U);
+  EXPECT_EQ(net.layer(1).name().substr(0, 5), "Dense");
+  EXPECT_EQ(net.layer(2).name(), "ReLU");
+  EXPECT_THROW((void)net.layer(0), std::invalid_argument);
+  EXPECT_THROW((void)net.layer(4), std::invalid_argument);
+}
+
+TEST(Network, ForwardEqualsLayerComposition) {
+  Rng rng(2);
+  Network net = tiny_net(rng);
+  Tensor x = Tensor::random_uniform({3}, rng);
+  Tensor manual = net.layer(3).forward(
+      net.layer(2).forward(net.layer(1).forward(x)));
+  EXPECT_TRUE(net.forward(x).allclose(manual));
+}
+
+TEST(Network, ForwardToZeroIsIdentity) {
+  Rng rng(3);
+  Network net = tiny_net(rng);
+  Tensor x = Tensor::random_uniform({3}, rng);
+  EXPECT_TRUE(net.forward_to(0, x).allclose(x));
+}
+
+TEST(Network, PrefixPlusSuffixEqualsFull) {
+  Rng rng(4);
+  Network net = tiny_net(rng);
+  Tensor x = Tensor::random_uniform({3}, rng);
+  // G = G^{k+1..n} o G^k for every split point (the paper's G^{l↪k}).
+  const Tensor full = net.forward(x);
+  for (std::size_t k = 1; k < net.num_layers(); ++k) {
+    Tensor mid = net.forward_to(k, x);
+    Tensor rest = net.forward_range(k + 1, net.num_layers(), mid);
+    EXPECT_TRUE(rest.allclose(full)) << "split at k=" << k;
+  }
+}
+
+TEST(Network, ForwardRangeValidation) {
+  Rng rng(5);
+  Network net = tiny_net(rng);
+  Tensor x({4});
+  EXPECT_THROW((void)net.forward_range(2, 1, x), std::invalid_argument);
+  EXPECT_THROW((void)net.forward_range(0, 2, x), std::invalid_argument);
+}
+
+TEST(Network, ParametersAndGradientsAligned) {
+  Rng rng(6);
+  Network net = tiny_net(rng);
+  const auto params = net.parameters();
+  const auto grads = net.gradients();
+  ASSERT_EQ(params.size(), grads.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(params[i]->shape(), grads[i]->shape());
+  }
+  EXPECT_EQ(net.num_parameters(), 3U * 4 + 4 + 4 * 2 + 2);
+}
+
+TEST(Network, ZeroGradients) {
+  Rng rng(7);
+  Network net = tiny_net(rng);
+  Tensor x = Tensor::random_uniform({3}, rng);
+  (void)net.forward(x);
+  (void)net.backward(Tensor::vector({1.0F, -1.0F}));
+  bool any_nonzero = false;
+  for (Tensor* g : net.gradients()) any_nonzero |= g->norm2() > 0.0F;
+  EXPECT_TRUE(any_nonzero);
+  net.zero_gradients();
+  for (Tensor* g : net.gradients()) EXPECT_EQ(g->norm2(), 0.0F);
+}
+
+TEST(Network, SummaryListsLayers) {
+  Rng rng(8);
+  Network net = tiny_net(rng);
+  const std::string s = net.summary();
+  EXPECT_NE(s.find("g1:"), std::string::npos);
+  EXPECT_NE(s.find("g3:"), std::string::npos);
+  EXPECT_NE(s.find("ReLU"), std::string::npos);
+}
+
+TEST(Network, InputOutputShapes) {
+  Rng rng(9);
+  Network net = tiny_net(rng);
+  EXPECT_EQ(net.input_shape(), (Shape{3}));
+  EXPECT_EQ(net.output_shape(), (Shape{2}));
+  Network empty;
+  EXPECT_THROW((void)empty.input_shape(), std::logic_error);
+}
+
+TEST(MakeMlp, StructureAndValidation) {
+  Rng rng(10);
+  Network mlp = make_mlp({4, 8, 8, 2}, rng);
+  // Dense,ReLU,Dense,ReLU,Dense = 5 layers.
+  EXPECT_EQ(mlp.num_layers(), 5U);
+  EXPECT_EQ(mlp.input_shape(), (Shape{4}));
+  EXPECT_EQ(mlp.output_shape(), (Shape{2}));
+  EXPECT_THROW((void)make_mlp({4}, rng), std::invalid_argument);
+}
+
+TEST(MakeSmallConvnet, EndToEndShapes) {
+  Rng rng(11);
+  Network net = make_small_convnet(16, 16, 4, 10, 3, rng);
+  EXPECT_EQ(net.num_layers(), 7U);
+  Tensor x = Tensor::random_uniform({1, 16, 16}, rng);
+  Tensor y = net.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{3}));
+}
+
+}  // namespace
+}  // namespace ranm

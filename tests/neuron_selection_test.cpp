@@ -1,0 +1,90 @@
+#include "core/neuron_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/neuron_stats.hpp"
+
+namespace ranm {
+namespace {
+
+TEST(NeuronSelection, AllIsIdentity) {
+  const auto sel = NeuronSelection::all(4);
+  EXPECT_TRUE(sel.is_identity());
+  EXPECT_EQ(sel.input_dim(), 4U);
+  EXPECT_EQ(sel.output_dim(), 4U);
+  const std::vector<float> f{1, 2, 3, 4};
+  EXPECT_EQ(sel.project(f), f);
+}
+
+TEST(NeuronSelection, IndicesProjectInOrder) {
+  const auto sel = NeuronSelection::indices(5, {3, 0});
+  EXPECT_FALSE(sel.is_identity());
+  EXPECT_EQ(sel.output_dim(), 2U);
+  const auto p = sel.project(std::vector<float>{10, 11, 12, 13, 14});
+  EXPECT_EQ(p, (std::vector<float>{13, 10}));
+}
+
+TEST(NeuronSelection, ProjectBounds) {
+  const auto sel = NeuronSelection::indices(3, {2, 1});
+  const auto [lo, hi] = sel.project_bounds(std::vector<float>{0, 1, 2},
+                                           std::vector<float>{10, 11, 12});
+  EXPECT_EQ(lo, (std::vector<float>{2, 1}));
+  EXPECT_EQ(hi, (std::vector<float>{12, 11}));
+}
+
+TEST(NeuronSelection, Validation) {
+  EXPECT_THROW(NeuronSelection::all(0), std::invalid_argument);
+  EXPECT_THROW(NeuronSelection::indices(3, {}), std::invalid_argument);
+  EXPECT_THROW(NeuronSelection::indices(3, {3}), std::invalid_argument);
+  EXPECT_THROW(NeuronSelection::indices(3, {1, 1}), std::invalid_argument);
+  const auto sel = NeuronSelection::all(3);
+  EXPECT_THROW((void)sel.project(std::vector<float>{1, 2}),
+               std::invalid_argument);
+  EXPECT_THROW((void)sel.project_bounds(std::vector<float>{1, 2, 3},
+                                        std::vector<float>{1, 2}),
+               std::invalid_argument);
+}
+
+TEST(NeuronSelection, TopVariancePicksSpreadNeurons) {
+  NeuronStats stats(3, true);
+  // Neuron 0 constant, neuron 1 small spread, neuron 2 large spread.
+  stats.add(std::vector<float>{1.0F, 0.0F, -10.0F});
+  stats.add(std::vector<float>{1.0F, 0.1F, 10.0F});
+  stats.add(std::vector<float>{1.0F, -0.1F, 0.0F});
+  const auto top1 = NeuronSelection::top_variance(stats, 1);
+  EXPECT_EQ(top1.kept(), (std::vector<std::size_t>{2}));
+  const auto top2 = NeuronSelection::top_variance(stats, 2);
+  EXPECT_EQ(top2.kept(), (std::vector<std::size_t>{1, 2}));
+  EXPECT_THROW((void)NeuronSelection::top_variance(stats, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)NeuronSelection::top_variance(stats, 4),
+               std::invalid_argument);
+}
+
+TEST(NeuronSelection, TopRangePicksWidestNeurons) {
+  NeuronStats stats(3);
+  stats.add(std::vector<float>{0.0F, 5.0F, 0.0F});
+  stats.add(std::vector<float>{1.0F, 5.5F, 100.0F});
+  const auto top1 = NeuronSelection::top_range(stats, 1);
+  EXPECT_EQ(top1.kept(), (std::vector<std::size_t>{2}));
+  const auto top2 = NeuronSelection::top_range(stats, 2);
+  EXPECT_EQ(top2.kept(), (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(NeuronStats, VarianceMatchesDefinition) {
+  NeuronStats stats(1);
+  for (float v : {2.0F, 4.0F, 4.0F, 4.0F, 5.0F, 5.0F, 7.0F, 9.0F}) {
+    stats.add(std::vector<float>{v});
+  }
+  EXPECT_NEAR(stats.variance(0), 4.0, 1e-9);  // classic example, var = 4
+}
+
+TEST(NeuronStats, VarianceOfConstantIsZero) {
+  NeuronStats stats(1);
+  stats.add(std::vector<float>{3.0F});
+  stats.add(std::vector<float>{3.0F});
+  EXPECT_DOUBLE_EQ(stats.variance(0), 0.0);
+}
+
+}  // namespace
+}  // namespace ranm

@@ -1,0 +1,87 @@
+#include "core/neuron_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ranm {
+namespace {
+
+TEST(NeuronStats, MinMaxMean) {
+  NeuronStats stats(2);
+  stats.add(std::vector<float>{1.0F, -1.0F});
+  stats.add(std::vector<float>{3.0F, -5.0F});
+  stats.add(std::vector<float>{2.0F, 0.0F});
+  EXPECT_EQ(stats.count(), 3U);
+  EXPECT_FLOAT_EQ(stats.min(0), 1.0F);
+  EXPECT_FLOAT_EQ(stats.max(0), 3.0F);
+  EXPECT_FLOAT_EQ(stats.mean(0), 2.0F);
+  EXPECT_FLOAT_EQ(stats.min(1), -5.0F);
+  EXPECT_FLOAT_EQ(stats.max(1), 0.0F);
+  EXPECT_FLOAT_EQ(stats.mean(1), -2.0F);
+}
+
+TEST(NeuronStats, VectorsAccessors) {
+  NeuronStats stats(2);
+  stats.add(std::vector<float>{1.0F, 2.0F});
+  stats.add(std::vector<float>{-1.0F, 4.0F});
+  EXPECT_EQ(stats.mins(), (std::vector<float>{-1.0F, 2.0F}));
+  EXPECT_EQ(stats.maxs(), (std::vector<float>{1.0F, 4.0F}));
+  EXPECT_EQ(stats.means(), (std::vector<float>{0.0F, 3.0F}));
+}
+
+TEST(NeuronStats, ValidatesDimensionsAndEmptiness) {
+  NeuronStats stats(2);
+  EXPECT_THROW(stats.add(std::vector<float>{1.0F}), std::invalid_argument);
+  EXPECT_THROW((void)stats.min(0), std::logic_error);
+  stats.add(std::vector<float>{0.0F, 0.0F});
+  EXPECT_THROW((void)stats.min(2), std::out_of_range);
+  EXPECT_THROW(NeuronStats(0), std::invalid_argument);
+}
+
+TEST(NeuronStats, PercentileRequiresSamples) {
+  NeuronStats stats(1);
+  stats.add(std::vector<float>{1.0F});
+  EXPECT_THROW((void)stats.percentile(0, 0.5), std::logic_error);
+}
+
+TEST(NeuronStats, PercentileOrderStatistics) {
+  NeuronStats stats(1, /*keep_samples=*/true);
+  for (float v : {4.0F, 1.0F, 3.0F, 2.0F, 5.0F}) {
+    stats.add(std::vector<float>{v});
+  }
+  EXPECT_FLOAT_EQ(stats.percentile(0, 0.0), 1.0F);
+  EXPECT_FLOAT_EQ(stats.percentile(0, 1.0), 5.0F);
+  EXPECT_FLOAT_EQ(stats.percentile(0, 0.5), 3.0F);
+  EXPECT_FLOAT_EQ(stats.percentile(0, 0.25), 2.0F);
+  EXPECT_THROW((void)stats.percentile(0, 1.5), std::invalid_argument);
+}
+
+TEST(NeuronStats, PercentileInterpolates) {
+  NeuronStats stats(1, true);
+  stats.add(std::vector<float>{0.0F});
+  stats.add(std::vector<float>{10.0F});
+  EXPECT_FLOAT_EQ(stats.percentile(0, 0.35), 3.5F);
+}
+
+TEST(NeuronStats, PercentilesAllNeurons) {
+  NeuronStats stats(2, true);
+  stats.add(std::vector<float>{0.0F, 100.0F});
+  stats.add(std::vector<float>{10.0F, 200.0F});
+  const auto p = stats.percentiles(0.5);
+  EXPECT_FLOAT_EQ(p[0], 5.0F);
+  EXPECT_FLOAT_EQ(p[1], 150.0F);
+}
+
+TEST(NeuronStats, AddAfterPercentileResorts) {
+  NeuronStats stats(1, true);
+  stats.add(std::vector<float>{5.0F});
+  stats.add(std::vector<float>{1.0F});
+  EXPECT_FLOAT_EQ(stats.percentile(0, 1.0), 5.0F);
+  stats.add(std::vector<float>{9.0F});
+  EXPECT_FLOAT_EQ(stats.percentile(0, 1.0), 9.0F);
+  EXPECT_FLOAT_EQ(stats.percentile(0, 0.5), 5.0F);
+}
+
+}  // namespace
+}  // namespace ranm

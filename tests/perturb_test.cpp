@@ -1,0 +1,102 @@
+#include "data/perturb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ranm {
+namespace {
+
+Tensor test_image() {
+  Tensor t({1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) t[i] = float(i) / 16.0F;
+  return t;
+}
+
+TEST(Perturb, LinfStaysWithinBall) {
+  Rng rng(1);
+  Tensor x = test_image();
+  Tensor y = perturb_linf(x, 0.05F, rng);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    EXPECT_LE(std::fabs(y[i] - x[i]), 0.05F);
+  }
+  EXPECT_THROW((void)perturb_linf(x, -1.0F, rng), std::invalid_argument);
+}
+
+TEST(Perturb, LinfCornerOnBoundary) {
+  Rng rng(2);
+  Tensor x = test_image();
+  Tensor y = perturb_linf_corner(x, 0.1F, rng);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(std::fabs(y[i] - x[i]), 0.1F, 1e-6F);
+  }
+}
+
+TEST(Perturb, BrightnessScalesAndClamps) {
+  Tensor x = test_image();
+  Tensor dark = perturb_brightness(x, 0.5F);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    EXPECT_FLOAT_EQ(dark[i], x[i] * 0.5F);
+  }
+  Tensor blown = perturb_brightness(x, 100.0F);
+  EXPECT_LE(blown.max(), 1.0F);
+}
+
+TEST(Perturb, ContrastFixedPoint) {
+  Tensor x({1, 2, 2}, 0.5F);
+  Tensor y = perturb_contrast(x, 3.0F);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(y[i], 0.5F);
+  // Contrast 0 collapses everything to 0.5.
+  Tensor z = perturb_contrast(test_image(), 0.0F);
+  EXPECT_FLOAT_EQ(z.min(), 0.5F);
+  EXPECT_FLOAT_EQ(z.max(), 0.5F);
+}
+
+TEST(Perturb, GaussianClamps) {
+  Rng rng(3);
+  Tensor y = perturb_gaussian(test_image(), 1.0F, rng);
+  EXPECT_GE(y.min(), 0.0F);
+  EXPECT_LE(y.max(), 1.0F);
+}
+
+TEST(Perturb, OccludeSetsPatch) {
+  Rng rng(4);
+  Tensor x({1, 8, 8}, 0.0F);
+  Tensor y = perturb_occlude(x, 3, 1.0F, rng);
+  int ones = 0;
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    if (y[i] == 1.0F) ++ones;
+  }
+  EXPECT_EQ(ones, 9);
+  EXPECT_THROW((void)perturb_occlude(x, 0, 1.0F, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)perturb_occlude(x, 9, 1.0F, rng),
+               std::invalid_argument);
+  Tensor flat({64});
+  EXPECT_THROW((void)perturb_occlude(flat, 2, 1.0F, rng),
+               std::invalid_argument);
+}
+
+TEST(Perturb, BlurSmoothsConstantUnchanged) {
+  Tensor x({1, 4, 4}, 0.7F);
+  Tensor y = perturb_blur(x);
+  for (std::size_t i = 0; i < y.numel(); ++i) EXPECT_NEAR(y[i], 0.7F, 1e-5F);
+}
+
+TEST(Perturb, BlurReducesVariance) {
+  Tensor x({1, 8, 8});
+  for (std::size_t i = 0; i < 64; ++i) x[i] = (i % 2 == 0) ? 1.0F : 0.0F;
+  Tensor y = perturb_blur(x);
+  auto variance = [](const Tensor& t) {
+    const float m = t.mean();
+    float acc = 0.0F;
+    for (std::size_t i = 0; i < t.numel(); ++i) {
+      acc += (t[i] - m) * (t[i] - m);
+    }
+    return acc / float(t.numel());
+  };
+  EXPECT_LT(variance(y), variance(x));
+}
+
+}  // namespace
+}  // namespace ranm

@@ -1,0 +1,128 @@
+#include "data/signs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ranm {
+namespace {
+
+TEST(Signs, ImageShapeAndRange) {
+  SignConfig cfg;
+  Rng rng(1);
+  std::size_t label = 99;
+  Tensor img = render_sign(cfg, SignVariant::kNominal, rng, &label);
+  EXPECT_EQ(img.shape(), (Shape{1, 24, 24}));
+  EXPECT_LT(label, kNumSignClasses);
+  EXPECT_GE(img.min(), 0.0F);
+  EXPECT_LE(img.max(), 1.0F);
+}
+
+TEST(Signs, AllClassesGenerated) {
+  SignConfig cfg;
+  Rng rng(2);
+  std::set<std::size_t> classes;
+  for (int i = 0; i < 300; ++i) {
+    std::size_t label;
+    (void)render_sign(cfg, SignVariant::kNominal, rng, &label);
+    classes.insert(label);
+  }
+  EXPECT_EQ(classes.size(), kNumSignClasses);
+}
+
+TEST(Signs, DeterministicGivenSeed) {
+  SignConfig cfg;
+  Rng r1(7), r2(7);
+  Tensor a = render_sign(cfg, SignVariant::kNominal, r1);
+  Tensor b = render_sign(cfg, SignVariant::kNominal, r2);
+  EXPECT_TRUE(a.allclose(b, 0.0F));
+}
+
+TEST(Signs, SignBrighterThanBackground) {
+  SignConfig cfg;
+  cfg.noise = 0.0F;
+  cfg.illumination_jitter = 0.0F;
+  Rng rng(3);
+  Tensor img = render_sign(cfg, SignVariant::kNominal, rng);
+  // A sign face at 0.7/0.85 over 0.35 background raises the mean.
+  EXPECT_GT(img.mean(), 0.36F);
+  EXPECT_GT(img.max(), 0.8F);
+}
+
+TEST(Signs, VariantsDifferFromNominal) {
+  SignConfig cfg;
+  cfg.noise = 0.0F;
+  cfg.illumination_jitter = 0.0F;
+  for (SignVariant v : {SignVariant::kUnseen, SignVariant::kGraffiti,
+                        SignVariant::kBlurred}) {
+    Rng r1(5), r2(5);
+    Tensor nominal = render_sign(cfg, SignVariant::kNominal, r1);
+    Tensor ood = render_sign(cfg, v, r2);
+    EXPECT_FALSE(nominal.allclose(ood, 1e-3F)) << sign_variant_name(v);
+  }
+}
+
+TEST(Signs, GraffitiAddsDarkPixels) {
+  SignConfig cfg;
+  cfg.noise = 0.0F;
+  Rng r1(9), r2(9);
+  Tensor nominal = render_sign(cfg, SignVariant::kNominal, r1);
+  Tensor graffiti = render_sign(cfg, SignVariant::kGraffiti, r2);
+  int dark_n = 0, dark_g = 0;
+  for (std::size_t i = 0; i < nominal.numel(); ++i) {
+    dark_n += nominal[i] < 0.05F;
+    dark_g += graffiti[i] < 0.05F;
+  }
+  EXPECT_GT(dark_g, dark_n);
+}
+
+TEST(Signs, BlurReducesEdgeContrast) {
+  SignConfig cfg;
+  cfg.noise = 0.0F;
+  cfg.illumination_jitter = 0.0F;
+  Rng r1(11), r2(11);
+  Tensor sharp = render_sign(cfg, SignVariant::kNominal, r1);
+  Tensor blurred = render_sign(cfg, SignVariant::kBlurred, r2);
+  auto horizontal_gradient_energy = [](const Tensor& t) {
+    double acc = 0.0;
+    for (std::size_t y = 0; y < t.dim(1); ++y) {
+      for (std::size_t x = 0; x + 1 < t.dim(2); ++x) {
+        const double d = double(t(0, y, x + 1)) - t(0, y, x);
+        acc += d * d;
+      }
+    }
+    return acc;
+  };
+  EXPECT_LT(horizontal_gradient_energy(blurred),
+            horizontal_gradient_energy(sharp));
+}
+
+TEST(Signs, DatasetTargetsValid) {
+  SignConfig cfg;
+  Rng rng(13);
+  Dataset ds = make_sign_dataset(cfg, SignVariant::kNominal, 25, rng);
+  EXPECT_EQ(ds.size(), 25U);
+  for (const auto& t : ds.targets) {
+    ASSERT_EQ(t.numel(), 1U);
+    EXPECT_GE(t[0], 0.0F);
+    EXPECT_LT(t[0], float(kNumSignClasses));
+  }
+}
+
+TEST(Signs, VariantNames) {
+  EXPECT_EQ(sign_variant_name(SignVariant::kNominal), "signs");
+  EXPECT_EQ(sign_variant_name(SignVariant::kUnseen), "unseen-shape");
+  EXPECT_EQ(sign_variant_name(SignVariant::kGraffiti), "graffiti");
+  EXPECT_EQ(sign_variant_name(SignVariant::kBlurred), "blurred");
+}
+
+TEST(Signs, TooSmallThrows) {
+  SignConfig cfg;
+  cfg.size = 8;
+  Rng rng(1);
+  EXPECT_THROW((void)render_sign(cfg, SignVariant::kNominal, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ranm

@@ -1,0 +1,56 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ranm {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  // Separator row present.
+  EXPECT_NE(s.find("-+-"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"x"});
+  const std::string s = t.str();
+  // Each rendered line must have the same length.
+  std::size_t prev = std::string::npos;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    const std::size_t end = s.find('\n', start);
+    const std::size_t len = end - start;
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    start = end + 1;
+  }
+}
+
+TEST(TextTable, NoTitleNoHeader) {
+  TextTable t;
+  t.add_row({"only", "data"});
+  const std::string s = t.str();
+  EXPECT_EQ(s.find("=="), std::string::npos);
+  EXPECT_NE(s.find("only"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(1.0, 0), "1");
+  EXPECT_EQ(TextTable::pct(0.62, 2), "0.62%");
+}
+
+}  // namespace
+}  // namespace ranm

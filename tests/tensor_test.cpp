@@ -1,0 +1,180 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ranm {
+namespace {
+
+TEST(Shape, Numel) {
+  EXPECT_EQ(shape_numel({}), 1U);
+  EXPECT_EQ(shape_numel({5}), 5U);
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24U);
+  EXPECT_EQ(shape_numel({2, 0, 4}), 0U);
+}
+
+TEST(Shape, Str) {
+  EXPECT_EQ(shape_str({3, 32, 32}), "[3, 32, 32]");
+  EXPECT_EQ(shape_str({}), "[]");
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0U);
+  EXPECT_EQ(t.rank(), 0U);
+}
+
+TEST(Tensor, ZeroInitialised) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6U);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0F);
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t({4}, 2.5F);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5F);
+}
+
+TEST(Tensor, DataConstructorValidatesSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, VectorFactory) {
+  Tensor t = Tensor::vector({1.0F, 2.0F, 3.0F});
+  EXPECT_EQ(t.rank(), 1U);
+  EXPECT_EQ(t.dim(0), 3U);
+  EXPECT_EQ(t[1], 2.0F);
+}
+
+TEST(Tensor, FromSpan) {
+  const std::vector<float> v{5, 6, 7};
+  Tensor t = Tensor::from_span(v);
+  EXPECT_EQ(t.numel(), 3U);
+  EXPECT_EQ(t[2], 7.0F);
+}
+
+TEST(Tensor, TwoDAccess) {
+  Tensor t({2, 3});
+  t(1, 2) = 9.0F;
+  EXPECT_EQ(t[5], 9.0F);
+  EXPECT_EQ(t(1, 2), 9.0F);
+}
+
+TEST(Tensor, ThreeDAccess) {
+  Tensor t({2, 3, 4});
+  t(1, 2, 3) = 7.0F;
+  EXPECT_EQ(t[(1 * 3 + 2) * 4 + 3], 7.0F);
+}
+
+TEST(Tensor, AtThrowsOutOfRange) {
+  Tensor t({2});
+  EXPECT_THROW((void)t.at(2), std::out_of_range);
+}
+
+TEST(Tensor, DimThrows) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.dim(1), 3U);
+  EXPECT_THROW((void)t.dim(2), std::invalid_argument);
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t({2, 3}, 1.0F);
+  Tensor r = t.reshaped({6});
+  EXPECT_EQ(r.rank(), 1U);
+  EXPECT_EQ(r.numel(), 6U);
+  EXPECT_THROW((void)t.reshaped({5}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseArithmetic) {
+  Tensor a = Tensor::vector({1, 2, 3});
+  Tensor b = Tensor::vector({4, 5, 6});
+  Tensor c = a + b;
+  EXPECT_EQ(c[0], 5.0F);
+  EXPECT_EQ(c[2], 9.0F);
+  Tensor d = b - a;
+  EXPECT_EQ(d[1], 3.0F);
+  a *= b;
+  EXPECT_EQ(a[2], 18.0F);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a({2}), b({3});
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+  EXPECT_THROW(a *= b, std::invalid_argument);
+}
+
+TEST(Tensor, ScalarOps) {
+  Tensor a = Tensor::vector({2, 4});
+  a *= 0.5F;
+  EXPECT_EQ(a[0], 1.0F);
+  a /= 2.0F;
+  EXPECT_EQ(a[1], 1.0F);
+  EXPECT_THROW(a /= 0.0F, std::invalid_argument);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t = Tensor::vector({-1, 3, 2});
+  EXPECT_FLOAT_EQ(t.sum(), 4.0F);
+  EXPECT_FLOAT_EQ(t.mean(), 4.0F / 3.0F);
+  EXPECT_EQ(t.min(), -1.0F);
+  EXPECT_EQ(t.max(), 3.0F);
+  EXPECT_EQ(t.argmax(), 1U);
+  EXPECT_FLOAT_EQ(t.norm_inf(), 3.0F);
+  EXPECT_NEAR(t.norm2(), std::sqrt(14.0F), 1e-5F);
+}
+
+TEST(Tensor, EmptyReductionsThrow) {
+  Tensor t;
+  EXPECT_THROW((void)t.mean(), std::invalid_argument);
+  EXPECT_THROW((void)t.min(), std::invalid_argument);
+  EXPECT_THROW((void)t.max(), std::invalid_argument);
+  EXPECT_THROW((void)t.argmax(), std::invalid_argument);
+}
+
+TEST(Tensor, Allclose) {
+  Tensor a = Tensor::vector({1.0F, 2.0F});
+  Tensor b = Tensor::vector({1.000001F, 2.0F});
+  EXPECT_TRUE(a.allclose(b));
+  EXPECT_FALSE(a.allclose(Tensor::vector({1.1F, 2.0F})));
+  EXPECT_FALSE(a.allclose(Tensor::vector({1.0F, 2.0F, 3.0F})));
+}
+
+TEST(Tensor, RandomUniformRange) {
+  Rng rng(1);
+  Tensor t = Tensor::random_uniform({100}, rng, -2.0F, 3.0F);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -2.0F);
+    EXPECT_LT(t[i], 3.0F);
+  }
+}
+
+TEST(Tensor, RandomNormalMoments) {
+  Rng rng(2);
+  Tensor t = Tensor::random_normal({20000}, rng, 1.0F, 2.0F);
+  EXPECT_NEAR(t.mean(), 1.0F, 0.1F);
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t({3}, 5.0F);
+  t.zero();
+  EXPECT_EQ(t.sum(), 0.0F);
+  t.fill(-1.0F);
+  EXPECT_EQ(t.sum(), -3.0F);
+}
+
+TEST(Tensor, StrAbbreviatesLargeTensors) {
+  Tensor t({100});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ranm

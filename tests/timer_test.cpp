@@ -1,0 +1,37 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ranm {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = t.millis();
+  EXPECT_GE(ms, 15.0);
+  EXPECT_LT(ms, 2000.0);  // generous upper bound for loaded CI machines
+  EXPECT_NEAR(t.seconds() * 1000.0, t.millis(), 50.0);
+}
+
+TEST(Timer, ResetRestarts) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.reset();
+  EXPECT_LT(t.millis(), 15.0);
+}
+
+TEST(Timer, MonotoneNonNegative) {
+  Timer t;
+  double prev = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double now = t.seconds();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace ranm

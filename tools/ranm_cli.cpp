@@ -1,0 +1,302 @@
+// ranm — command-line front end for the monitoring library.
+//
+// Subcommands compose into the full offline pipeline:
+//
+//   ranm gen    --workload track --variant nominal --count 500 --seed 1
+//               --out train.ds
+//   ranm train  --data train.ds --task regression --epochs 6 --out net.bin
+//   ranm build  --net net.bin --data train.ds --layer 6 --type minmax
+//               --robust --delta 0.005 --out monitor.bin
+//   ranm eval   --net net.bin --monitor monitor.bin --layer 6
+//               --in-dist test.ds --ood dark.ds --ood ice.ds
+//   ranm info   --net net.bin | --monitor monitor.bin | --data file.ds
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/interval_monitor.hpp"
+#include "core/minmax_monitor.hpp"
+#include "core/monitor_builder.hpp"
+#include "core/monitorability.hpp"
+#include "core/onoff_monitor.hpp"
+#include "data/digits.hpp"
+#include "data/racetrack.hpp"
+#include "data/signs.hpp"
+#include "eval/metrics.hpp"
+#include "io/serialize.hpp"
+#include "nn/init.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace ranm::cli {
+namespace {
+
+[[noreturn]] void usage() {
+  std::fputs(
+      "usage: ranm <gen|train|build|eval|info> [options]\n"
+      "  gen    --workload track|digits|signs [--variant NAME]\n"
+      "         --count N [--seed S] --out FILE\n"
+      "  train  --data FILE --task regression|classification\n"
+      "         [--epochs N] [--lr F] [--hidden N] [--channels N]\n"
+      "         [--seed S] --out FILE\n"
+      "  build  --net FILE --data FILE --layer K\n"
+      "         --type minmax|onoff|interval [--bits B]\n"
+      "         [--robust] [--delta F] [--kp K] [--domain box|zonotope]\n"
+      "         --out FILE\n"
+      "  eval   --net FILE --monitor FILE --layer K --in-dist FILE\n"
+      "         [--ood FILE ...]\n"
+      "  info   --net FILE | --monitor FILE | --data FILE\n",
+      stderr);
+  std::exit(2);
+}
+
+Dataset load_dataset_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open dataset " + path);
+  return load_dataset(in);
+}
+
+void save_dataset_file(const std::string& path, const Dataset& ds) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write dataset " + path);
+  save_dataset(out, ds);
+}
+
+int cmd_gen(const ArgParser& args) {
+  const std::string workload = args.require("workload");
+  const std::string variant = args.get("variant", "nominal");
+  const auto count = std::size_t(args.get_int("count", 100));
+  Rng rng{std::uint64_t(args.get_int("seed", 1))};
+  Dataset ds;
+  if (workload == "track") {
+    RacetrackConfig cfg;
+    TrackScenario scenario = TrackScenario::kNominal;
+    bool found = variant == "nominal";
+    for (TrackScenario s : track_departure_scenarios()) {
+      if (variant == track_scenario_name(s)) {
+        scenario = s;
+        found = true;
+      }
+    }
+    if (!found) throw std::invalid_argument("unknown track variant " + variant);
+    ds = make_track_dataset(cfg, scenario, count, rng);
+  } else if (workload == "digits") {
+    DigitConfig cfg;
+    DigitVariant v = DigitVariant::kNominal;
+    if (variant == "letters") {
+      v = DigitVariant::kLetters;
+    } else if (variant == "inverted") {
+      v = DigitVariant::kInverted;
+    } else if (variant == "heavy-noise") {
+      v = DigitVariant::kNoisy;
+    } else if (variant != "nominal" && variant != "digits") {
+      throw std::invalid_argument("unknown digits variant " + variant);
+    }
+    ds = make_digit_dataset(cfg, v, count, rng);
+  } else if (workload == "signs") {
+    SignConfig cfg;
+    SignVariant v = SignVariant::kNominal;
+    if (variant == "unseen-shape") {
+      v = SignVariant::kUnseen;
+    } else if (variant == "graffiti") {
+      v = SignVariant::kGraffiti;
+    } else if (variant == "blurred") {
+      v = SignVariant::kBlurred;
+    } else if (variant != "nominal" && variant != "signs") {
+      throw std::invalid_argument("unknown signs variant " + variant);
+    }
+    ds = make_sign_dataset(cfg, v, count, rng);
+  } else {
+    throw std::invalid_argument("unknown workload " + workload);
+  }
+  save_dataset_file(args.require("out"), ds);
+  std::printf("wrote %zu samples (%s/%s) to %s\n", ds.size(),
+              workload.c_str(), variant.c_str(),
+              args.require("out").c_str());
+  return 0;
+}
+
+int cmd_train(const ArgParser& args) {
+  const Dataset ds = load_dataset_file(args.require("data"));
+  if (ds.empty()) throw std::runtime_error("empty training dataset");
+  const std::string task = args.require("task");
+  Rng rng{std::uint64_t(args.get_int("seed", 1))};
+
+  const Shape in_shape = ds.inputs.front().shape();
+  if (in_shape.size() != 3 || in_shape[0] != 1) {
+    throw std::runtime_error("train expects 1xHxW image inputs");
+  }
+  std::size_t out_dim;
+  if (task == "regression") {
+    out_dim = ds.targets.front().numel();
+  } else if (task == "classification") {
+    float max_label = 0.0F;
+    for (const Tensor& t : ds.targets) max_label = std::max(max_label, t[0]);
+    out_dim = std::size_t(max_label) + 1;
+  } else {
+    throw std::invalid_argument("unknown task " + task);
+  }
+
+  Network net = make_small_convnet(
+      in_shape[1], in_shape[2], std::size_t(args.get_int("channels", 6)),
+      std::size_t(args.get_int("hidden", 32)), out_dim, rng);
+
+  Adam::Config adam_cfg;
+  adam_cfg.learning_rate = float(args.get_double("lr", 5e-3));
+  Adam optimizer(net.parameters(), net.gradients(), adam_cfg);
+  TrainConfig cfg;
+  cfg.epochs = std::size_t(args.get_int("epochs", 6));
+  cfg.batch_size = std::size_t(args.get_int("batch", 16));
+  cfg.on_epoch = [](const EpochStats& s) {
+    std::printf("epoch %zu: loss %.4f\n", s.epoch, double(s.mean_loss));
+  };
+  if (task == "regression") {
+    MSELoss loss;
+    (void)train(net, optimizer, loss, ds.inputs, ds.targets, cfg, rng);
+  } else {
+    SoftmaxCrossEntropyLoss loss;
+    (void)train(net, optimizer, loss, ds.inputs, ds.targets, cfg, rng);
+    std::printf("train accuracy: %.1f%%\n",
+                100.0F * evaluate_accuracy(net, ds.inputs, ds.targets));
+  }
+  save_network_file(args.require("out"), net);
+  std::printf("wrote network (%zu layers, %zu parameters) to %s\n",
+              net.num_layers(), net.num_parameters(),
+              args.require("out").c_str());
+  return 0;
+}
+
+int cmd_build(const ArgParser& args) {
+  Network net = load_network_file(args.require("net"));
+  const Dataset ds = load_dataset_file(args.require("data"));
+  const auto layer = std::size_t(args.get_int("layer", 0));
+  MonitorBuilder builder(net, layer);
+  NeuronStats stats = builder.collect_stats(ds.inputs, true);
+
+  std::unique_ptr<Monitor> monitor;
+  const std::string type = args.require("type");
+  if (type == "minmax") {
+    monitor = std::make_unique<MinMaxMonitor>(builder.feature_dim());
+  } else if (type == "onoff") {
+    monitor = std::make_unique<OnOffMonitor>(ThresholdSpec::from_means(stats));
+  } else if (type == "interval") {
+    const auto bits = std::size_t(args.get_int("bits", 2));
+    monitor = std::make_unique<IntervalMonitor>(
+        ThresholdSpec::from_percentiles(stats, bits));
+  } else {
+    throw std::invalid_argument("unknown monitor type " + type);
+  }
+
+  if (args.has("robust")) {
+    PerturbationSpec spec;
+    spec.kp = std::size_t(args.get_int("kp", 0));
+    spec.delta = float(args.get_double("delta", 0.005));
+    const std::string domain = args.get("domain", "box");
+    if (domain == "box") {
+      spec.domain = BoundDomain::kBox;
+    } else if (domain == "zonotope") {
+      spec.domain = BoundDomain::kZonotope;
+    } else {
+      throw std::invalid_argument("unknown domain " + domain);
+    }
+    builder.build_robust(*monitor, ds.inputs, spec);
+  } else {
+    builder.build_standard(*monitor, ds.inputs);
+  }
+
+  std::ofstream out(args.require("out"), std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write monitor file");
+  save_any_monitor(out, *monitor);
+  std::printf("built %s from %zu samples -> %s\n",
+              monitor->describe().c_str(), ds.size(),
+              args.require("out").c_str());
+  return 0;
+}
+
+int cmd_eval(const ArgParser& args) {
+  Network net = load_network_file(args.require("net"));
+  std::ifstream min(args.require("monitor"), std::ios::binary);
+  if (!min) throw std::runtime_error("cannot open monitor file");
+  const auto monitor = load_any_monitor(min);
+  const auto layer = std::size_t(args.get_int("layer", 0));
+  MonitorBuilder builder(net, layer);
+
+  const Dataset in_dist = load_dataset_file(args.require("in-dist"));
+  TextTable table("monitor evaluation");
+  table.set_header({"set", "warning rate"});
+  table.add_row({"in-dist (FP)",
+                 TextTable::pct(100 * warning_rate(builder, *monitor,
+                                                   in_dist.inputs),
+                                3)});
+  // Repeatable --ood is not supported by the parser (last wins), so accept
+  // a comma-separated list.
+  const std::string ood_list = args.get("ood", "");
+  std::size_t start = 0;
+  while (start < ood_list.size()) {
+    std::size_t comma = ood_list.find(',', start);
+    if (comma == std::string::npos) comma = ood_list.size();
+    const std::string path = ood_list.substr(start, comma - start);
+    if (!path.empty()) {
+      const Dataset ood = load_dataset_file(path);
+      table.add_row({path, TextTable::pct(100 * warning_rate(builder,
+                                                             *monitor,
+                                                             ood.inputs),
+                                          2)});
+    }
+    start = comma + 1;
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_info(const ArgParser& args) {
+  if (args.has("net")) {
+    Network net = load_network_file(args.require("net"));
+    std::printf("network: %zu layers, %zu parameters\n%s",
+                net.num_layers(), net.num_parameters(),
+                net.summary().c_str());
+    return 0;
+  }
+  if (args.has("monitor")) {
+    std::ifstream in(args.require("monitor"), std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open monitor file");
+    std::printf("%s\n", load_any_monitor(in)->describe().c_str());
+    return 0;
+  }
+  if (args.has("data")) {
+    const Dataset ds = load_dataset_file(args.require("data"));
+    std::printf("dataset: %zu samples, input %s, target %s\n", ds.size(),
+                shape_str(ds.inputs.front().shape()).c_str(),
+                shape_str(ds.targets.front().shape()).c_str());
+    return 0;
+  }
+  usage();
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const ArgParser args(argc - 1, argv + 1);
+  if (cmd == "gen") return cmd_gen(args);
+  if (cmd == "train") return cmd_train(args);
+  if (cmd == "build") return cmd_build(args);
+  if (cmd == "eval") return cmd_eval(args);
+  if (cmd == "info") return cmd_info(args);
+  usage();
+}
+
+}  // namespace
+}  // namespace ranm::cli
+
+int main(int argc, char** argv) {
+  try {
+    return ranm::cli::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ranm: %s\n", e.what());
+    return 1;
+  }
+}
