@@ -3,6 +3,7 @@
 // on-off and interval monitors watching its hidden layer. Letters,
 // inverted video, and heavy noise are flagged while nominal digits pass.
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/interval_monitor.hpp"
 #include "core/monitor_builder.hpp"
@@ -19,6 +20,14 @@ int main() {
   cfg.test_samples = 500;
   cfg.ood_samples = 200;
   cfg.epochs = 10;
+  // Under the ctest smoke entry (RANM_SMOKE=1) shrink to a step budget
+  // that finishes in seconds while still exercising the full pipeline.
+  if (std::getenv("RANM_SMOKE") != nullptr) {
+    cfg.train_samples = 200;
+    cfg.test_samples = 100;
+    cfg.ood_samples = 60;
+    cfg.epochs = 2;
+  }
   std::printf("Training 7-segment digit classifier (%zu samples)...\n",
               cfg.train_samples);
   DigitLabSetup setup = make_digit_setup(cfg);

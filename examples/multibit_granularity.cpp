@@ -4,6 +4,7 @@
 // detection but (without robust construction) more false positives; robust
 // construction tames the false positives at every bit width.
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/interval_monitor.hpp"
 #include "core/monitor_builder.hpp"
@@ -19,6 +20,14 @@ int main() {
   cfg.test_samples = 600;
   cfg.ood_samples = 100;
   cfg.epochs = 4;
+  // Under the ctest smoke entry (RANM_SMOKE=1) shrink to a step budget
+  // that finishes in seconds while still sweeping every bit width.
+  if (std::getenv("RANM_SMOKE") != nullptr) {
+    cfg.train_samples = 100;
+    cfg.test_samples = 120;
+    cfg.ood_samples = 40;
+    cfg.epochs = 1;
+  }
   std::printf("Preparing race-track setup...\n");
   LabSetup setup = make_lab_setup(cfg);
 

@@ -71,6 +71,11 @@ NodeRef load_bdd(std::istream& in, BddManager& mgr) {
   }
   const auto count = read_pod<std::uint32_t>(in);
   if (count < 2) throw std::runtime_error("load_bdd: node count < 2");
+  // A corrupted count would make the vector below zero-fill gigabytes before
+  // the per-node reads could detect truncation; bound it first.
+  if (count > (1U << 26)) {
+    throw std::runtime_error("load_bdd: implausible node count");
+  }
   std::vector<NodeRef> local(count);
   local[0] = kFalse;
   local[1] = kTrue;

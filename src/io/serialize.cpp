@@ -1,5 +1,6 @@
 #include "io/serialize.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -60,11 +61,42 @@ void write_shape(std::ostream& out, const Shape& shape) {
   for (std::size_t d : shape) write_u64(out, d);
 }
 
+// Upper bound on any loaded dimension or element count. Corrupted headers
+// must fail on these checks, before a constructor allocates from them.
+constexpr std::uint64_t kMaxLoadElems = 1ULL << 26;
+
+std::uint64_t read_dim_u64(std::istream& in) {
+  const std::uint64_t v = read_u64(in);
+  if (v > kMaxLoadElems) {
+    throw std::runtime_error("ranm::io: implausible dimension");
+  }
+  return v;
+}
+
+// Product of already-bounded dimensions, capped after every factor: both
+// operands stay <= kMaxLoadElems (2^26), so the multiply cannot wrap before
+// the check.
+std::uint64_t bounded_numel(std::initializer_list<std::uint64_t> dims) {
+  std::uint64_t p = 1;
+  for (std::uint64_t d : dims) {
+    p *= d;
+    if (p > kMaxLoadElems) {
+      throw std::runtime_error("ranm::io: implausible tensor size");
+    }
+  }
+  return p;
+}
+
 Shape read_shape(std::istream& in) {
   const std::uint64_t rank = read_u64(in);
   if (rank > 8) throw std::runtime_error("ranm::io: implausible tensor rank");
   Shape shape(rank);
-  for (auto& d : shape) d = static_cast<std::size_t>(read_u64(in));
+  std::uint64_t numel = 1;
+  for (auto& d : shape) {
+    const std::uint64_t v = read_dim_u64(in);
+    numel = bounded_numel({numel, v});
+    d = static_cast<std::size_t>(v);
+  }
   return shape;
 }
 
@@ -75,7 +107,7 @@ void write_tensor(std::ostream& out, const Tensor& t) {
 }
 
 Tensor read_tensor(std::istream& in) {
-  Shape shape = read_shape(in);
+  Shape shape = read_shape(in);  // dimensions and element count bounded there
   Tensor t(std::move(shape));
   in.read(reinterpret_cast<char*>(t.data()),
           static_cast<std::streamsize>(t.numel() * sizeof(float)));
@@ -170,8 +202,9 @@ Network load_network(std::istream& in) {
     const auto tag = read_pod<LayerTag>(in);
     switch (tag) {
       case LayerTag::kDense: {
-        const auto din = static_cast<std::size_t>(read_u64(in));
-        const auto dout = static_cast<std::size_t>(read_u64(in));
+        const auto din = static_cast<std::size_t>(read_dim_u64(in));
+        const auto dout = static_cast<std::size_t>(read_dim_u64(in));
+        (void)bounded_numel({din, dout});  // weight matrix allocation bound
         auto& layer = net.emplace<Dense>(din, dout);
         copy_params(layer, in);
         break;
@@ -205,14 +238,17 @@ Network load_network(std::istream& in) {
       }
       case LayerTag::kConv2D: {
         Conv2D::Config cfg;
-        cfg.in_channels = static_cast<std::size_t>(read_u64(in));
-        cfg.in_height = static_cast<std::size_t>(read_u64(in));
-        cfg.in_width = static_cast<std::size_t>(read_u64(in));
-        cfg.out_channels = static_cast<std::size_t>(read_u64(in));
-        cfg.kernel_h = static_cast<std::size_t>(read_u64(in));
-        cfg.kernel_w = static_cast<std::size_t>(read_u64(in));
-        cfg.stride = static_cast<std::size_t>(read_u64(in));
-        cfg.padding = static_cast<std::size_t>(read_u64(in));
+        cfg.in_channels = static_cast<std::size_t>(read_dim_u64(in));
+        cfg.in_height = static_cast<std::size_t>(read_dim_u64(in));
+        cfg.in_width = static_cast<std::size_t>(read_dim_u64(in));
+        cfg.out_channels = static_cast<std::size_t>(read_dim_u64(in));
+        cfg.kernel_h = static_cast<std::size_t>(read_dim_u64(in));
+        cfg.kernel_w = static_cast<std::size_t>(read_dim_u64(in));
+        cfg.stride = static_cast<std::size_t>(read_dim_u64(in));
+        cfg.padding = static_cast<std::size_t>(read_dim_u64(in));
+        (void)bounded_numel({cfg.out_channels, cfg.in_channels, cfg.kernel_h,
+                             cfg.kernel_w});  // weight allocation bound
+        (void)bounded_numel({cfg.in_channels, cfg.in_height, cfg.in_width});
         auto& layer = net.emplace<Conv2D>(cfg);
         copy_params(layer, in);
         break;
@@ -239,11 +275,12 @@ Network load_network(std::istream& in) {
       case LayerTag::kMaxPool2D:
       case LayerTag::kAvgPool2D: {
         Pooling::Config cfg;
-        cfg.channels = static_cast<std::size_t>(read_u64(in));
-        cfg.in_height = static_cast<std::size_t>(read_u64(in));
-        cfg.in_width = static_cast<std::size_t>(read_u64(in));
-        cfg.window = static_cast<std::size_t>(read_u64(in));
-        cfg.stride = static_cast<std::size_t>(read_u64(in));
+        cfg.channels = static_cast<std::size_t>(read_dim_u64(in));
+        cfg.in_height = static_cast<std::size_t>(read_dim_u64(in));
+        cfg.in_width = static_cast<std::size_t>(read_dim_u64(in));
+        cfg.window = static_cast<std::size_t>(read_dim_u64(in));
+        cfg.stride = static_cast<std::size_t>(read_dim_u64(in));
+        (void)bounded_numel({cfg.channels, cfg.in_height, cfg.in_width});
         if (tag == LayerTag::kMaxPool2D) {
           copy_params(net.emplace<MaxPool2D>(cfg), in);
         } else {
@@ -288,7 +325,7 @@ ThresholdSpec load_threshold_spec(std::istream& in) {
   }
   const auto dim = static_cast<std::size_t>(read_u64(in));
   const auto bits = static_cast<std::size_t>(read_u64(in));
-  if (bits == 0 || bits > 16 || dim == 0) {
+  if (bits == 0 || bits > 16 || dim == 0 || dim > (1ULL << 24)) {
     throw std::runtime_error("load_threshold_spec: implausible header");
   }
   const std::size_t m = (std::size_t(1) << bits) - 1;
@@ -318,6 +355,12 @@ namespace {
 
 MinMaxMonitor load_minmax_body(std::istream& in) {
   const auto dim = static_cast<std::size_t>(read_u64(in));
+  // Guard before the vector allocations below: a corrupted dimension field
+  // would otherwise zero-fill gigabytes (Linux overcommit makes the
+  // allocation itself succeed) and hang instead of failing loudly.
+  if (dim > (1ULL << 24)) {
+    throw std::runtime_error("load_minmax_monitor: implausible dimension");
+  }
   const auto count = static_cast<std::size_t>(read_u64(in));
   std::vector<float> lower(dim), upper(dim);
   for (std::size_t j = 0; j < dim; ++j) {
@@ -425,8 +468,11 @@ Dataset load_dataset(std::istream& in) {
   }
   const std::uint64_t n = read_u64(in);
   Dataset ds;
-  ds.inputs.reserve(n);
-  ds.targets.reserve(n);
+  // Cap the up-front reservation: `n` is attacker/corruption-controlled and a
+  // huge value must fail on the first short tensor read, not on reserve().
+  const auto reserve_n = static_cast<std::size_t>(std::min<std::uint64_t>(n, 1U << 16));
+  ds.inputs.reserve(reserve_n);
+  ds.targets.reserve(reserve_n);
   for (std::uint64_t i = 0; i < n; ++i) {
     ds.inputs.push_back(read_tensor(in));
     ds.targets.push_back(read_tensor(in));
