@@ -1,20 +1,44 @@
-// E9 — operational cost. A runtime monitor rides along with every
-// inference, so query latency and construction throughput matter.
-// google-benchmark microbenchmarks for: monitor queries (all families),
-// robust vs standard construction steps, perturbation estimation, and the
-// underlying BDD operations.
-#include <benchmark/benchmark.h>
+// E9 — operational cost, batched vs scalar. A runtime monitor rides along
+// with every inference, and deployment evaluates whole frames/minibatches,
+// so the number that matters is query throughput at batch size. This bench
+// drives every monitor family through both paths:
+//
+//   scalar  — one Monitor::contains call per sample (the paper's
+//             one-vector-at-a-time operation loop)
+//   batched — one Monitor::contains_batch call per minibatch
+//
+// plus the end-to-end pipeline (feature extraction + query) and the
+// construction loops (observe vs observe_batch). Results are printed as a
+// table and written as machine-readable JSON (BENCH_throughput.json, or
+// the path given as argv[1]) so the perf trajectory is tracked per-PR.
+// RANM_SMOKE=1 shrinks repetition counts for CI smoke runs.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/box_cluster_monitor.hpp"
 #include "core/interval_monitor.hpp"
 #include "core/minmax_monitor.hpp"
 #include "core/monitor_builder.hpp"
+#include "core/multi_layer_monitor.hpp"
 #include "core/onoff_monitor.hpp"
 #include "nn/init.hpp"
 #include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace ranm {
 namespace {
+
+bool smoke_mode() {
+  const char* env = std::getenv("RANM_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
 
 struct Fixture {
   Rng rng{123};
@@ -22,11 +46,13 @@ struct Fixture {
   std::size_t k = 4;  // ReLU after second Dense, dim 32
   MonitorBuilder builder{net, k};
   std::vector<Tensor> train;
-  std::vector<std::vector<float>> features;
+  std::vector<std::vector<float>> features;  // sample-major, for scalar
   NeuronStats stats{32, true};
 
-  Fixture() {
-    for (int i = 0; i < 200; ++i) {
+  explicit Fixture(std::size_t samples) {
+    train.reserve(samples);
+    features.reserve(samples);
+    for (std::size_t i = 0; i < samples; ++i) {
       train.push_back(Tensor::random_uniform({16}, rng));
       features.push_back(builder.features(train.back()));
       stats.add(features.back());
@@ -34,159 +60,252 @@ struct Fixture {
   }
 };
 
-Fixture& fixture() {
-  static Fixture f;
-  return f;
-}
+/// Keeps query results observable so the compiler cannot drop the loops.
+std::size_t g_sink = 0;
 
-void BM_MinMaxQuery(benchmark::State& state) {
-  auto& f = fixture();
-  MinMaxMonitor m(32);
-  f.builder.build_standard(m, f.train);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(m.warn(f.features[i++ % f.features.size()]));
+struct Measurement {
+  std::string monitor;
+  std::string mode;  // "query", "end_to_end", "construct"
+  std::size_t batch_size = 0;
+  double scalar_ns = 0.0;   // per sample
+  double batched_ns = 0.0;  // per sample
+  [[nodiscard]] double speedup() const {
+    return batched_ns > 0.0 ? scalar_ns / batched_ns : 0.0;
   }
-}
-BENCHMARK(BM_MinMaxQuery);
+};
 
-void BM_OnOffQuery(benchmark::State& state) {
-  auto& f = fixture();
-  OnOffMonitor m(ThresholdSpec::from_means(f.stats));
-  f.builder.build_standard(m, f.train);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(m.warn(f.features[i++ % f.features.size()]));
+/// Times `fn(reps)` and returns nanoseconds per sample, after one warmup.
+template <typename Fn>
+double time_per_sample(std::size_t reps, std::size_t samples_per_rep,
+                       Fn&& fn) {
+  fn(std::size_t{1});  // warmup
+  Timer timer;
+  fn(reps);
+  const double secs = timer.seconds();
+  return secs * 1e9 / double(reps) / double(samples_per_rep);
+}
+
+/// Scalar-loop vs contains_batch on pre-extracted features.
+Measurement bench_query(const std::string& name, const Monitor& monitor,
+                        const Fixture& f, std::size_t batch_size,
+                        std::size_t reps) {
+  FeatureBatch batch(monitor.dimension(), batch_size);
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    batch.set_sample(i, f.features[i % f.features.size()]);
   }
-}
-BENCHMARK(BM_OnOffQuery);
-
-void BM_IntervalQuery(benchmark::State& state) {
-  auto& f = fixture();
-  const auto bits = std::size_t(state.range(0));
-  IntervalMonitor m(ThresholdSpec::from_percentiles(f.stats, bits));
-  f.builder.build_standard(m, f.train);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(m.warn(f.features[i++ % f.features.size()]));
-  }
-}
-BENCHMARK(BM_IntervalQuery)->Arg(1)->Arg(2)->Arg(4);
-
-void BM_BoxClusterQuery(benchmark::State& state) {
-  auto& f = fixture();
-  BoxClusterMonitor m(32, 8);
-  f.builder.build_standard(m, f.train);
-  Rng rng(7);
-  m.finalize(rng);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(m.warn(f.features[i++ % f.features.size()]));
-  }
-}
-BENCHMARK(BM_BoxClusterQuery);
-
-void BM_FeatureExtraction(benchmark::State& state) {
-  auto& f = fixture();
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.builder.features(f.train[i++ % f.train.size()]));
-  }
-}
-BENCHMARK(BM_FeatureExtraction);
-
-void BM_StandardObserve(benchmark::State& state) {
-  auto& f = fixture();
-  IntervalMonitor m(ThresholdSpec::from_percentiles(f.stats, 2));
-  std::size_t i = 0;
-  for (auto _ : state) {
-    m.observe(f.features[i++ % f.features.size()]);
-  }
-}
-BENCHMARK(BM_StandardObserve);
-
-void BM_RobustBuild50(benchmark::State& state) {
-  // Cost of constructing a robust 2-bit monitor from 50 pre-computed
-  // bound vectors. A fresh monitor per iteration keeps the measurement
-  // bounded (inserting into an ever-growing set is not a steady state).
-  auto& f = fixture();
-  PerturbationEstimator pe(f.net, f.k,
-                           PerturbationSpec{0, 0.01F, BoundDomain::kBox});
-  std::vector<IntervalVector> bounds;
-  for (int i = 0; i < 50; ++i) bounds.push_back(pe.estimate(f.train[i]));
-  for (auto _ : state) {
-    IntervalMonitor m(ThresholdSpec::from_percentiles(f.stats, 2));
-    for (const auto& b : bounds) m.observe_bounds(b.lowers(), b.uppers());
-    benchmark::DoNotOptimize(m.bdd_node_count());
-  }
-}
-BENCHMARK(BM_RobustBuild50);
-
-void BM_PerturbationEstimateBox(benchmark::State& state) {
-  auto& f = fixture();
-  PerturbationEstimator pe(f.net, f.k,
-                           PerturbationSpec{0, 0.05F, BoundDomain::kBox});
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pe.estimate(f.train[i++ % f.train.size()]));
-  }
-}
-BENCHMARK(BM_PerturbationEstimateBox);
-
-void BM_PerturbationEstimateZonotope(benchmark::State& state) {
-  auto& f = fixture();
-  PerturbationEstimator pe(
-      f.net, f.k, PerturbationSpec{0, 0.05F, BoundDomain::kZonotope});
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pe.estimate(f.train[i++ % f.train.size()]));
-  }
-}
-BENCHMARK(BM_PerturbationEstimateZonotope);
-
-void BM_BddBuild256Words(benchmark::State& state) {
-  // Cost of building a fresh pattern set of 256 random full words over 64
-  // variables — the standard-monitor construction workload (manager
-  // allocation, cube construction, OR chain). Sparse random cubes with
-  // many scattered don't-cares are deliberately NOT benchmarked here:
-  // they are the BDD worst case and not what monitor construction emits
-  // (robust inserts have contiguous per-neuron structure; see E4).
-  for (auto _ : state) {
-    bdd::BddManager mgr(64);
-    Rng rng(5);
-    bdd::NodeRef acc = bdd::kFalse;
-    for (int i = 0; i < 256; ++i) {
-      std::vector<bdd::CubeBit> bits(64);
-      for (auto& b : bits) {
-        b = rng.chance(0.5) ? bdd::CubeBit::kOne : bdd::CubeBit::kZero;
+  Measurement m;
+  m.monitor = name;
+  m.mode = "query";
+  m.batch_size = batch_size;
+  m.scalar_ns = time_per_sample(reps, batch_size, [&](std::size_t n) {
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t i = 0; i < batch_size; ++i) {
+        g_sink += monitor.contains(f.features[i % f.features.size()]);
       }
-      acc = mgr.or_(acc, mgr.cube(bits));
     }
-    benchmark::DoNotOptimize(acc);
-  }
+  });
+  auto out = std::make_unique<bool[]>(batch_size);
+  std::span<bool> out_span(out.get(), batch_size);
+  m.batched_ns = time_per_sample(reps, batch_size, [&](std::size_t n) {
+    for (std::size_t r = 0; r < n; ++r) {
+      monitor.contains_batch(batch, out_span);
+      g_sink += out_span.front();
+    }
+  });
+  return m;
 }
-BENCHMARK(BM_BddBuild256Words);
 
-void BM_BddEval(benchmark::State& state) {
-  bdd::BddManager mgr(64);
-  Rng rng(6);
-  bdd::NodeRef set = bdd::kFalse;
-  for (int i = 0; i < 100; ++i) {
-    std::vector<bdd::CubeBit> bits(64);
-    for (auto& b : bits) {
-      b = rng.chance(0.5) ? bdd::CubeBit::kOne : bdd::CubeBit::kZero;
+/// Per-sample warns() vs warns_batch(): feature extraction included.
+Measurement bench_end_to_end(const std::string& name,
+                             const Monitor& monitor, Fixture& f,
+                             std::size_t batch_size, std::size_t reps) {
+  Measurement m;
+  m.monitor = name;
+  m.mode = "end_to_end";
+  m.batch_size = batch_size;
+  m.scalar_ns = time_per_sample(reps, batch_size, [&](std::size_t n) {
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t i = 0; i < batch_size; ++i) {
+        g_sink += f.builder.warns(monitor,
+                                  f.train[i % f.train.size()]);
+      }
     }
-    set = mgr.or_(set, mgr.cube(bits));
-  }
-  std::vector<bool> assignment(64);
-  for (std::size_t j = 0; j < 64; ++j) assignment[j] = rng.chance(0.5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(mgr.eval(set, assignment));
-  }
+  });
+  auto out = std::make_unique<bool[]>(batch_size);
+  std::span<bool> out_span(out.get(), batch_size);
+  std::span<const Tensor> inputs(f.train.data(), batch_size);
+  m.batched_ns = time_per_sample(reps, batch_size, [&](std::size_t n) {
+    for (std::size_t r = 0; r < n; ++r) {
+      f.builder.warns_batch(monitor, inputs, out_span);
+      g_sink += out_span.front();
+    }
+  });
+  return m;
 }
-BENCHMARK(BM_BddEval);
+
+/// observe() loop vs observe_batch() on fresh monitors per repetition.
+template <typename MakeMonitor>
+Measurement bench_construct(const std::string& name, const Fixture& f,
+                            std::size_t batch_size, std::size_t reps,
+                            MakeMonitor&& make) {
+  FeatureBatch batch(f.features.front().size(), batch_size);
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    batch.set_sample(i, f.features[i % f.features.size()]);
+  }
+  Measurement m;
+  m.monitor = name;
+  m.mode = "construct";
+  m.batch_size = batch_size;
+  m.scalar_ns = time_per_sample(reps, batch_size, [&](std::size_t n) {
+    for (std::size_t r = 0; r < n; ++r) {
+      auto monitor = make();
+      for (std::size_t i = 0; i < batch_size; ++i) {
+        monitor->observe(f.features[i % f.features.size()]);
+      }
+      g_sink += monitor->dimension();
+    }
+  });
+  m.batched_ns = time_per_sample(reps, batch_size, [&](std::size_t n) {
+    for (std::size_t r = 0; r < n; ++r) {
+      auto monitor = make();
+      monitor->observe_batch(batch);
+      g_sink += monitor->dimension();
+    }
+  });
+  return m;
+}
+
+void write_json(const std::string& path, bool smoke,
+                const std::vector<Measurement>& results) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_throughput: cannot write %s\n",
+                 path.c_str());
+    return;
+  }
+  out << "{\n";
+  out << "  \"bench\": \"bench_throughput\",\n";
+  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    out << "    {\"monitor\": \"" << m.monitor << "\", \"mode\": \""
+        << m.mode << "\", \"batch_size\": " << m.batch_size
+        << ", \"scalar_ns_per_sample\": " << m.scalar_ns
+        << ", \"batched_ns_per_sample\": " << m.batched_ns
+        << ", \"speedup\": " << m.speedup() << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+int run(int argc, char** argv) {
+  const bool smoke = smoke_mode();
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_throughput.json";
+  // Reps chosen so the full run stays in seconds; smoke barely turns the
+  // crank but still exercises every path and emits the JSON schema.
+  const std::size_t query_reps = smoke ? 2 : 2000;
+  const std::size_t e2e_reps = smoke ? 2 : 50;
+  const std::size_t construct_reps = smoke ? 2 : 50;
+  const std::vector<std::size_t> batch_sizes = smoke
+                                                   ? std::vector<std::size_t>{16, 256}
+                                                   : std::vector<std::size_t>{1, 16, 256};
+
+  Fixture f(256);
+
+  MinMaxMonitor minmax(32);
+  f.builder.build_standard(minmax, f.train);
+  OnOffMonitor onoff(ThresholdSpec::from_means(f.stats));
+  f.builder.build_standard(onoff, f.train);
+  IntervalMonitor interval2(ThresholdSpec::from_percentiles(f.stats, 2));
+  f.builder.build_standard(interval2, f.train);
+  IntervalMonitor interval4(ThresholdSpec::from_percentiles(f.stats, 4));
+  f.builder.build_standard(interval4, f.train);
+  BoxClusterMonitor boxes(32, 8);
+  f.builder.build_standard(boxes, f.train);
+  {
+    Rng cluster_rng(7);
+    boxes.finalize(cluster_rng);
+  }
+  MultiLayerMonitor multi(f.net, WarnPolicy::kAny);
+  multi.attach(2, NeuronSelection::all(64),
+               std::make_unique<MinMaxMonitor>(64));
+  multi.attach(4, NeuronSelection::all(32),
+               std::make_unique<MinMaxMonitor>(32));
+  multi.build_standard(f.train);
+
+  std::vector<Measurement> results;
+  const std::vector<std::pair<std::string, const Monitor*>> monitors = {
+      {"minmax", &minmax},     {"onoff", &onoff},
+      {"interval", &interval2}, {"interval4", &interval4},
+      {"box_cluster", &boxes},
+  };
+  for (const std::size_t b : batch_sizes) {
+    // Keep samples-per-measurement constant across batch sizes so small
+    // batches are not drowned in timer noise.
+    const std::size_t reps = query_reps * (256 / b);
+    for (const auto& [name, monitor] : monitors) {
+      results.push_back(bench_query(name, *monitor, f, b, reps));
+    }
+  }
+  results.push_back(
+      bench_end_to_end("minmax", minmax, f, 256, e2e_reps));
+  results.push_back(
+      bench_end_to_end("interval", interval2, f, 256, e2e_reps));
+  // Multi-layer monitor: scalar warns() vs batched warns_batch().
+  {
+    const std::size_t b = 256;
+    Measurement m;
+    m.monitor = "multi_layer";
+    m.mode = "end_to_end";
+    m.batch_size = b;
+    m.scalar_ns = time_per_sample(e2e_reps, b, [&](std::size_t n) {
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t i = 0; i < b; ++i) {
+          g_sink += multi.warns(f.train[i % f.train.size()]);
+        }
+      }
+    });
+    auto out = std::make_unique<bool[]>(b);
+    std::span<bool> out_span(out.get(), b);
+    std::span<const Tensor> inputs(f.train.data(), b);
+    m.batched_ns = time_per_sample(e2e_reps, b, [&](std::size_t n) {
+      for (std::size_t r = 0; r < n; ++r) {
+        multi.warns_batch(inputs, out_span);
+        g_sink += out_span.front();
+      }
+    });
+    results.push_back(m);
+  }
+  results.push_back(bench_construct(
+      "minmax", f, 256, construct_reps,
+      [] { return std::make_unique<MinMaxMonitor>(32); }));
+  results.push_back(bench_construct("interval", f, 256, construct_reps,
+                                    [&f] {
+                                      return std::make_unique<IntervalMonitor>(
+                                          ThresholdSpec::from_percentiles(
+                                              f.stats, 2));
+                                    }));
+
+  TextTable table("batched vs scalar monitor throughput (ns/sample)");
+  table.set_header({"monitor", "mode", "batch", "scalar", "batched",
+                    "speedup"});
+  for (const Measurement& m : results) {
+    table.add_row({m.monitor, m.mode, std::to_string(m.batch_size),
+                   TextTable::num(m.scalar_ns, 1),
+                   TextTable::num(m.batched_ns, 1),
+                   TextTable::num(m.speedup(), 2)});
+  }
+  table.print();
+
+  write_json(json_path, smoke, results);
+  std::printf("wrote %s (sink %zu)\n", json_path.c_str(), g_sink);
+  return 0;
+}
 
 }  // namespace
 }  // namespace ranm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return ranm::run(argc, argv); }

@@ -1,6 +1,8 @@
 #include "core/box_cluster_monitor.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 
@@ -38,11 +40,37 @@ void BoxClusterMonitor::observe_bounds(std::span<const float> lo,
   if (finalized_) {
     throw std::logic_error("BoxClusterMonitor: observe after finalize");
   }
-  if (lo.size() != dim_ || hi.size() != dim_) {
-    throw std::invalid_argument("BoxClusterMonitor: dimension mismatch");
-  }
+  check_bounds_ordered(lo, hi, dim_, "BoxClusterMonitor::observe_bounds");
   lo_buf_.emplace_back(lo.begin(), lo.end());
   hi_buf_.emplace_back(hi.begin(), hi.end());
+}
+
+void BoxClusterMonitor::observe_batch(const FeatureBatch& batch) {
+  if (finalized_) {
+    throw std::logic_error("BoxClusterMonitor: observe after finalize");
+  }
+  check_batch(batch, batch.size(), "BoxClusterMonitor::observe_batch");
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    std::vector<float> mid = batch.sample(i);
+    lo_buf_.push_back(mid);
+    hi_buf_.push_back(std::move(mid));
+  }
+}
+
+void BoxClusterMonitor::observe_bounds_batch(const FeatureBatch& lo,
+                                             const FeatureBatch& hi) {
+  if (finalized_) {
+    throw std::logic_error("BoxClusterMonitor: observe after finalize");
+  }
+  check_bounds_batch(lo, hi, "BoxClusterMonitor::observe_bounds_batch");
+  for (std::size_t i = 0; i < lo.size(); ++i) {
+    std::vector<float> l = lo.sample(i);
+    std::vector<float> h = hi.sample(i);
+    check_bounds_ordered(l, h, dim_,
+                         "BoxClusterMonitor::observe_bounds_batch");
+    lo_buf_.push_back(std::move(l));
+    hi_buf_.push_back(std::move(h));
+  }
 }
 
 void BoxClusterMonitor::finalize(Rng& rng, std::size_t iterations) {
@@ -156,6 +184,43 @@ bool BoxClusterMonitor::contains(std::span<const float> feature) const {
     if (box.contains(feature)) return true;
   }
   return false;
+}
+
+void BoxClusterMonitor::contains_batch(const FeatureBatch& batch,
+                                       std::span<bool> out) const {
+  if (!finalized_) {
+    throw std::logic_error("BoxClusterMonitor: query before finalize");
+  }
+  check_batch(batch, out.size(), "BoxClusterMonitor::contains_batch");
+  const std::size_t n = batch.size();
+  std::fill(out.begin(), out.end(), false);
+  if (n == 0) return;
+  if (n < kMinBitMatrixBatch) {
+    Monitor::contains_batch(batch, out);  // sweep setup would dominate
+    return;
+  }
+  // Box-major sweep: each hull box streams over the contiguous batch rows
+  // once; membership in any box is OR-folded into the output.
+  std::vector<std::uint8_t> in(n);
+  std::size_t remaining = n;
+  for (const auto& box : boxes_) {
+    std::fill(in.begin(), in.end(), std::uint8_t{1});
+    for (std::size_t j = 0; j < dim_; ++j) {
+      const float lo = box[j].lo, hi = box[j].hi;
+      const auto row = batch.neuron(j);
+      for (std::size_t i = 0; i < n; ++i) {
+        in[i] = std::uint8_t(in[i] & std::uint8_t(row[i] >= lo) &
+                             std::uint8_t(row[i] <= hi));
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in[i] != 0 && !out[i]) {
+        out[i] = true;
+        --remaining;
+      }
+    }
+    if (remaining == 0) break;
+  }
 }
 
 std::string BoxClusterMonitor::describe() const {

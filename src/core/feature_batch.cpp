@@ -1,0 +1,67 @@
+#include "core/feature_batch.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace ranm {
+
+FeatureBatch::FeatureBatch(std::size_t dim, std::size_t size)
+    : dim_(dim), size_(size) {
+  if (dim == 0 && size != 0) {
+    throw std::invalid_argument(
+        "FeatureBatch: zero dimension with non-zero size");
+  }
+  if (size != 0 && dim > std::numeric_limits<std::size_t>::max() / size) {
+    throw std::invalid_argument("FeatureBatch: dim * size overflows");
+  }
+  data_.assign(dim * size, 0.0F);
+}
+
+FeatureBatch FeatureBatch::from_samples(
+    std::size_t dim, std::span<const std::vector<float>> samples) {
+  FeatureBatch batch(dim, samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    batch.set_sample(i, samples[i]);
+  }
+  return batch;
+}
+
+std::span<float> FeatureBatch::neuron(std::size_t j) {
+  if (j >= dim_) throw std::out_of_range("FeatureBatch::neuron");
+  return {data_.data() + j * size_, size_};
+}
+
+std::span<const float> FeatureBatch::neuron(std::size_t j) const {
+  if (j >= dim_) throw std::out_of_range("FeatureBatch::neuron");
+  return {data_.data() + j * size_, size_};
+}
+
+void FeatureBatch::set_sample(std::size_t i, std::span<const float> feature) {
+  if (i >= size_) throw std::out_of_range("FeatureBatch::set_sample");
+  if (feature.size() != dim_) {
+    throw std::invalid_argument(
+        "FeatureBatch::set_sample: feature has dimension " +
+        std::to_string(feature.size()) + ", batch has " +
+        std::to_string(dim_));
+  }
+  for (std::size_t j = 0; j < dim_; ++j) data_[j * size_ + i] = feature[j];
+}
+
+void FeatureBatch::copy_sample(std::size_t i, std::span<float> out) const {
+  if (i >= size_) throw std::out_of_range("FeatureBatch::copy_sample");
+  if (out.size() != dim_) {
+    throw std::invalid_argument(
+        "FeatureBatch::copy_sample: output has dimension " +
+        std::to_string(out.size()) + ", batch has " + std::to_string(dim_));
+  }
+  for (std::size_t j = 0; j < dim_; ++j) out[j] = data_[j * size_ + i];
+}
+
+std::vector<float> FeatureBatch::sample(std::size_t i) const {
+  std::vector<float> out(dim_);
+  copy_sample(i, out);
+  return out;
+}
+
+}  // namespace ranm

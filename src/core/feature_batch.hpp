@@ -1,0 +1,69 @@
+// Batch-first feature container for the monitoring hot path.
+//
+// Deployment-side monitoring evaluates whole frames/minibatches, not single
+// inputs, so the query pipeline is organised around a FeatureBatch: the
+// layer-k activations of n samples stored as a row-major dim × n matrix
+// over one contiguous allocation. Row j holds neuron j's value for every
+// sample in the batch, so per-neuron work (min-max envelopes, threshold
+// coding, interval sweeps) runs over contiguous memory with the neuron's
+// parameters loaded once — the cache-friendly orientation for every monitor
+// family — while per-sample views are gathered on demand.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ranm {
+
+/// Row-major dim × n matrix of feature vectors (neuron-major storage).
+class FeatureBatch {
+ public:
+  /// Empty batch over a zero-dimensional space.
+  FeatureBatch() = default;
+  /// Zero-filled batch of `size` samples in R^dim. dim == 0 is only valid
+  /// together with size == 0.
+  FeatureBatch(std::size_t dim, std::size_t size);
+
+  /// Packs sample-major vectors (one per sample) into a batch.
+  static FeatureBatch from_samples(
+      std::size_t dim, std::span<const std::vector<float>> samples);
+
+  /// Feature-space dimension d (rows).
+  [[nodiscard]] std::size_t dimension() const noexcept { return dim_; }
+  /// Number of samples n (columns).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Element (neuron j, sample i); unchecked.
+  [[nodiscard]] float& at(std::size_t j, std::size_t i) noexcept {
+    return data_[j * size_ + i];
+  }
+  [[nodiscard]] float at(std::size_t j, std::size_t i) const noexcept {
+    return data_[j * size_ + i];
+  }
+
+  /// Contiguous row of neuron j: its value for every sample. Checked.
+  [[nodiscard]] std::span<float> neuron(std::size_t j);
+  [[nodiscard]] std::span<const float> neuron(std::size_t j) const;
+
+  /// Scatters one sample's feature vector into column i. Checked.
+  void set_sample(std::size_t i, std::span<const float> feature);
+  /// Gathers column i into `out` (out.size() must equal dimension()).
+  void copy_sample(std::size_t i, std::span<float> out) const;
+  /// Gathers column i into a fresh vector.
+  [[nodiscard]] std::vector<float> sample(std::size_t i) const;
+
+  /// The whole dim × n storage, row-major.
+  [[nodiscard]] std::span<const float> storage() const noexcept {
+    return data_;
+  }
+  [[nodiscard]] std::span<float> storage() noexcept { return data_; }
+
+ private:
+  std::size_t dim_ = 0;
+  std::size_t size_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace ranm

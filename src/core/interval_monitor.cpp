@@ -1,5 +1,6 @@
 #include "core/interval_monitor.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "bdd/range.hpp"
@@ -9,14 +10,11 @@ namespace ranm {
 IntervalMonitor::IntervalMonitor(ThresholdSpec spec)
     : spec_(std::move(spec)),
       mgr_(static_cast<std::uint32_t>(spec_.dimension() * spec_.bits())),
-      set_(bdd::kFalse) {}
-
-std::vector<std::uint32_t> IntervalMonitor::neuron_vars(std::size_t j) const {
-  std::vector<std::uint32_t> vars(spec_.bits());
-  for (std::size_t b = 0; b < spec_.bits(); ++b) {
-    vars[b] = static_cast<std::uint32_t>(j * spec_.bits() + b);
+      set_(bdd::kFalse),
+      vars_(spec_.dimension() * spec_.bits()) {
+  for (std::size_t v = 0; v < vars_.size(); ++v) {
+    vars_[v] = static_cast<std::uint32_t>(v);
   }
-  return vars;
 }
 
 void IntervalMonitor::observe(std::span<const float> feature) {
@@ -39,18 +37,16 @@ void IntervalMonitor::observe(std::span<const float> feature) {
 
 void IntervalMonitor::observe_bounds(std::span<const float> lo,
                                      std::span<const float> hi) {
-  if (lo.size() != dimension() || hi.size() != dimension()) {
-    throw std::invalid_argument(
-        "IntervalMonitor::observe_bounds: dimension mismatch");
-  }
+  check_bounds_ordered(lo, hi, dimension(),
+                       "IntervalMonitor::observe_bounds");
   // word2set: the conjunction over neurons of "code_j in [code(l_j),
   // code(u_j)]". Built from the highest-variable neuron downward so each
   // conjunction touches already-built structure below it only.
   bdd::NodeRef word = bdd::kTrue;
   for (std::size_t j = dimension(); j-- > 0;) {
     const auto [clo, chi] = spec_.code_range(j, lo[j], hi[j]);
-    const auto vars = neuron_vars(j);
-    const bdd::NodeRef range = bdd::code_in_range(mgr_, vars, clo, chi);
+    const bdd::NodeRef range =
+        bdd::code_in_range(mgr_, neuron_vars(j), clo, chi);
     word = mgr_.and_(range, word);
   }
   set_ = mgr_.or_(set_, word);
@@ -66,6 +62,113 @@ void IntervalMonitor::fill_assignment(std::span<const float> feature,
       assignment[j * nbits + b] = ((code >> (nbits - 1 - b)) & 1ULL) != 0;
     }
   }
+}
+
+void IntervalMonitor::fill_bit_matrix(const FeatureBatch& batch,
+                                      std::vector<std::uint8_t>& bits) const {
+  const std::size_t n = batch.size();
+  const std::size_t nbits = spec_.bits();
+  bits.resize(dimension() * nbits * n);
+  std::vector<std::uint32_t> codes(n);
+  for (std::size_t j = 0; j < dimension(); ++j) {
+    // Threshold-major code sweep over the contiguous batch row. Because
+    // thresholds ascend, the exceeded set is always a prefix, so the code
+    // equals the branchless count of exceeded thresholds — each pass is a
+    // vectorisable compare-and-accumulate.
+    const auto ts = spec_.thresholds(j);
+    const auto row = batch.neuron(j);
+    std::fill(codes.begin(), codes.end(), 0U);
+    for (const Threshold& t : ts) {
+      const float c = t.value;
+      if (t.inclusive_below) {
+        for (std::size_t i = 0; i < n; ++i) codes[i] += row[i] > c;
+      } else {
+        for (std::size_t i = 0; i < n; ++i) codes[i] += row[i] >= c;
+      }
+    }
+    for (std::size_t b = 0; b < nbits; ++b) {
+      std::uint8_t* dst = bits.data() + (j * nbits + b) * n;
+      const std::uint32_t mask = 1U << (nbits - 1 - b);
+      for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = (codes[i] & mask) != 0 ? 1 : 0;
+      }
+    }
+  }
+}
+
+void IntervalMonitor::observe_batch(const FeatureBatch& batch) {
+  check_batch(batch, batch.size(), "IntervalMonitor::observe_batch");
+  const std::size_t n = batch.size();
+  if (n == 0) return;
+  const std::size_t nvars = dimension() * spec_.bits();
+  std::vector<std::uint8_t> bits;
+  fill_bit_matrix(batch, bits);
+  // One cube scratch buffer for the whole batch.
+  std::vector<bdd::CubeBit> cube(nvars);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t v = 0; v < nvars; ++v) {
+      cube[v] = bits[v * n + i] != 0 ? bdd::CubeBit::kOne
+                                     : bdd::CubeBit::kZero;
+    }
+    set_ = mgr_.or_(set_, mgr_.cube(cube));
+  }
+}
+
+void IntervalMonitor::observe_bounds_batch(const FeatureBatch& lo,
+                                           const FeatureBatch& hi) {
+  check_bounds_batch(lo, hi, "IntervalMonitor::observe_bounds_batch");
+  const std::size_t n = lo.size();
+  const std::size_t d = dimension();
+  if (n == 0) return;
+  std::vector<float> lo_scratch(d), hi_scratch(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    lo.copy_sample(i, lo_scratch);
+    hi.copy_sample(i, hi_scratch);
+    check_bounds_ordered(lo_scratch, hi_scratch, d,
+                         "IntervalMonitor::observe_bounds_batch");
+    bdd::NodeRef word = bdd::kTrue;
+    for (std::size_t j = d; j-- > 0;) {
+      const auto [clo, chi] =
+          spec_.code_range(j, lo_scratch[j], hi_scratch[j]);
+      const bdd::NodeRef range =
+          bdd::code_in_range(mgr_, neuron_vars(j), clo, chi);
+      word = mgr_.and_(range, word);
+    }
+    set_ = mgr_.or_(set_, word);
+  }
+}
+
+void IntervalMonitor::contains_batch(const FeatureBatch& batch,
+                                     std::span<bool> out) const {
+  check_batch(batch, out.size(), "IntervalMonitor::contains_batch");
+  const std::size_t n = batch.size();
+  if (n == 0) return;
+  if (n < kMinBitMatrixBatch) {
+    // Matrix setup would dominate; walk the BDD per sample instead,
+    // coding neurons lazily as their bit variables are visited.
+    const std::size_t nbits = spec_.bits();
+    std::vector<float> sample(dimension());
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.copy_sample(i, sample);
+      out[i] = mgr_.eval_with(
+          set_, [this, &sample, nbits](std::uint32_t var) {
+            const std::size_t j = var / nbits;
+            const std::size_t b = var % nbits;
+            const std::uint64_t code = spec_.code(j, sample[j]);
+            return ((code >> (nbits - 1 - b)) & 1ULL) != 0;
+          });
+    }
+    return;
+  }
+  std::vector<std::uint8_t> bits;
+  fill_bit_matrix(batch, bits);
+  const std::uint8_t* b = bits.data();
+  mgr_.eval_batch(
+      set_, n,
+      [b, n](std::uint32_t var, std::size_t i) {
+        return b[std::size_t(var) * n + i] != 0;
+      },
+      out.data());
 }
 
 bool IntervalMonitor::contains(std::span<const float> feature) const {

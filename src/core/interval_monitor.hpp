@@ -37,6 +37,16 @@ class IntervalMonitor final : public Monitor {
   [[nodiscard]] bool contains(std::span<const float> feature) const override;
   [[nodiscard]] std::string describe() const override;
 
+  // Batch path. Codes are computed neuron-major (each neuron's threshold
+  // table stays hot across the whole batch row), expanded once into a
+  // shared bit matrix, and each sample's membership is a direct BDD walk
+  // against it — no per-query assignment vector.
+  void observe_batch(const FeatureBatch& batch) override;
+  void observe_bounds_batch(const FeatureBatch& lo,
+                            const FeatureBatch& hi) override;
+  void contains_batch(const FeatureBatch& batch,
+                      std::span<bool> out) const override;
+
   /// The code word ab(v): one code per neuron.
   [[nodiscard]] std::vector<std::uint64_t> codes(
       std::span<const float> feature) const;
@@ -62,14 +72,23 @@ class IntervalMonitor final : public Monitor {
   void set_root(bdd::NodeRef root) noexcept { set_ = root; }
 
  private:
-  /// Bit variables of neuron j, MSB first.
-  [[nodiscard]] std::vector<std::uint32_t> neuron_vars(std::size_t j) const;
+  /// Bit variables of neuron j, MSB first (view into the precomputed
+  /// variable table — no per-call allocation).
+  [[nodiscard]] std::span<const std::uint32_t> neuron_vars(
+      std::size_t j) const noexcept {
+    return {vars_.data() + j * spec_.bits(), spec_.bits()};
+  }
   void fill_assignment(std::span<const float> feature,
                        std::vector<bool>& assignment) const;
+  /// bits[v * n + i] = value of BDD variable v for sample i.
+  void fill_bit_matrix(const FeatureBatch& batch,
+                       std::vector<std::uint8_t>& bits) const;
 
   ThresholdSpec spec_;
   bdd::BddManager mgr_;
   bdd::NodeRef set_;
+  /// Flat variable table: neuron j owns vars_[j*bits .. j*bits+bits-1].
+  std::vector<std::uint32_t> vars_;
 };
 
 }  // namespace ranm

@@ -42,14 +42,9 @@ void MinMaxMonitor::observe(std::span<const float> feature) {
 
 void MinMaxMonitor::observe_bounds(std::span<const float> lo,
                                    std::span<const float> hi) {
-  check_dim(lo.size(), "observe_bounds");
-  check_dim(hi.size(), "observe_bounds");
+  check_bounds_ordered(lo, hi, lower_.size(),
+                       "MinMaxMonitor::observe_bounds");
   for (std::size_t j = 0; j < lo.size(); ++j) {
-    if (lo[j] > hi[j]) {
-      throw std::invalid_argument(
-          "MinMaxMonitor::observe_bounds: lo > hi at neuron " +
-          std::to_string(j));
-    }
     lower_[j] = std::min(lower_[j], lo[j]);
     upper_[j] = std::max(upper_[j], hi[j]);
   }
@@ -62,6 +57,81 @@ bool MinMaxMonitor::contains(std::span<const float> feature) const {
     if (feature[j] < lower_[j] || feature[j] > upper_[j]) return false;
   }
   return true;
+}
+
+void MinMaxMonitor::observe_batch(const FeatureBatch& batch) {
+  check_batch(batch, batch.size(), "MinMaxMonitor::observe_batch");
+  if (batch.empty()) return;
+  const std::size_t n = batch.size();
+  for (std::size_t j = 0; j < lower_.size(); ++j) {
+    const auto row = batch.neuron(j);
+    // Four independent accumulator lanes keep the reduction throughput-
+    // bound instead of serialising on one min/max dependency chain.
+    float lo0 = lower_[j], lo1 = lo0, lo2 = lo0, lo3 = lo0;
+    float hi0 = upper_[j], hi1 = hi0, hi2 = hi0, hi3 = hi0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      lo0 = std::min(lo0, row[i]);
+      hi0 = std::max(hi0, row[i]);
+      lo1 = std::min(lo1, row[i + 1]);
+      hi1 = std::max(hi1, row[i + 1]);
+      lo2 = std::min(lo2, row[i + 2]);
+      hi2 = std::max(hi2, row[i + 2]);
+      lo3 = std::min(lo3, row[i + 3]);
+      hi3 = std::max(hi3, row[i + 3]);
+    }
+    for (; i < n; ++i) {
+      lo0 = std::min(lo0, row[i]);
+      hi0 = std::max(hi0, row[i]);
+    }
+    lower_[j] = std::min(std::min(lo0, lo1), std::min(lo2, lo3));
+    upper_[j] = std::max(std::max(hi0, hi1), std::max(hi2, hi3));
+  }
+  observations_ += n;
+}
+
+void MinMaxMonitor::observe_bounds_batch(const FeatureBatch& lo,
+                                         const FeatureBatch& hi) {
+  check_bounds_batch(lo, hi, "MinMaxMonitor::observe_bounds_batch");
+  if (lo.empty()) return;
+  // Validate the whole batch before folding anything in, so a violated
+  // bound cannot leave a partially updated envelope behind.
+  for (std::size_t j = 0; j < lower_.size(); ++j) {
+    const auto lo_row = lo.neuron(j);
+    const auto hi_row = hi.neuron(j);
+    for (std::size_t i = 0; i < lo_row.size(); ++i) {
+      if (!(lo_row[i] <= hi_row[i])) {
+        throw std::invalid_argument(
+            "MinMaxMonitor::observe_bounds_batch: bound violated (lo > hi) "
+            "at neuron " +
+            std::to_string(j) + ", sample " + std::to_string(i));
+      }
+    }
+  }
+  for (std::size_t j = 0; j < lower_.size(); ++j) {
+    float l = lower_[j], u = upper_[j];
+    for (const float v : lo.neuron(j)) l = std::min(l, v);
+    for (const float v : hi.neuron(j)) u = std::max(u, v);
+    lower_[j] = l;
+    upper_[j] = u;
+  }
+  observations_ += lo.size();
+}
+
+void MinMaxMonitor::contains_batch(const FeatureBatch& batch,
+                                   std::span<bool> out) const {
+  check_batch(batch, out.size(), "MinMaxMonitor::contains_batch");
+  if (batch.empty()) return;
+  std::fill(out.begin(), out.end(), true);
+  for (std::size_t j = 0; j < lower_.size(); ++j) {
+    const auto row = batch.neuron(j);
+    const float lo = lower_[j], hi = upper_[j];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      // Same comparison shape as the scalar path so NaN features resolve
+      // identically (neither < lo nor > hi, hence contained).
+      out[i] = out[i] && !(row[i] < lo || row[i] > hi);
+    }
+  }
 }
 
 std::string MinMaxMonitor::describe() const {

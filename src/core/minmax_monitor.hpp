@@ -32,6 +32,14 @@ class MinMaxMonitor final : public Monitor {
   [[nodiscard]] bool contains(std::span<const float> feature) const override;
   [[nodiscard]] std::string describe() const override;
 
+  // Batch path: per-neuron sweeps over the contiguous batch rows, with
+  // [L_j, U_j] loaded once per neuron instead of once per sample.
+  void observe_batch(const FeatureBatch& batch) override;
+  void observe_bounds_batch(const FeatureBatch& lo,
+                            const FeatureBatch& hi) override;
+  void contains_batch(const FeatureBatch& batch,
+                      std::span<bool> out) const override;
+
   /// Number of observe/observe_bounds calls folded in so far.
   [[nodiscard]] std::size_t observation_count() const noexcept {
     return observations_;

@@ -1,0 +1,79 @@
+#include "core/monitor.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace ranm {
+
+void Monitor::check_batch(const FeatureBatch& batch, std::size_t out_size,
+                          const char* what) const {
+  if (batch.dimension() != dimension() && !batch.empty()) {
+    throw std::invalid_argument(std::string(what) +
+                                ": batch dimension mismatch");
+  }
+  if (out_size != batch.size()) {
+    throw std::invalid_argument(std::string(what) +
+                                ": output size does not match batch size");
+  }
+}
+
+void Monitor::check_bounds_batch(const FeatureBatch& lo,
+                                 const FeatureBatch& hi,
+                                 const char* what) const {
+  if (lo.size() != hi.size() || lo.dimension() != hi.dimension()) {
+    throw std::invalid_argument(std::string(what) +
+                                ": lo/hi batch shapes differ");
+  }
+  if (!lo.empty() && lo.dimension() != dimension()) {
+    throw std::invalid_argument(std::string(what) +
+                                ": batch dimension mismatch");
+  }
+}
+
+void Monitor::check_bounds_ordered(std::span<const float> lo,
+                                   std::span<const float> hi,
+                                   std::size_t dim, const char* what) {
+  if (lo.size() != dim || hi.size() != dim) {
+    throw std::invalid_argument(std::string(what) + ": dimension mismatch");
+  }
+  for (std::size_t j = 0; j < dim; ++j) {
+    if (!(lo[j] <= hi[j])) {
+      throw std::invalid_argument(std::string(what) +
+                                  ": bound violated (lo > hi) at neuron " +
+                                  std::to_string(j));
+    }
+  }
+}
+
+void Monitor::observe_batch(const FeatureBatch& batch) {
+  check_batch(batch, batch.size(), "Monitor::observe_batch");
+  std::vector<float> scratch(batch.dimension());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch.copy_sample(i, scratch);
+    observe(scratch);
+  }
+}
+
+void Monitor::observe_bounds_batch(const FeatureBatch& lo,
+                                   const FeatureBatch& hi) {
+  check_bounds_batch(lo, hi, "Monitor::observe_bounds_batch");
+  std::vector<float> lo_scratch(lo.dimension());
+  std::vector<float> hi_scratch(hi.dimension());
+  for (std::size_t i = 0; i < lo.size(); ++i) {
+    lo.copy_sample(i, lo_scratch);
+    hi.copy_sample(i, hi_scratch);
+    observe_bounds(lo_scratch, hi_scratch);
+  }
+}
+
+void Monitor::contains_batch(const FeatureBatch& batch,
+                             std::span<bool> out) const {
+  check_batch(batch, out.size(), "Monitor::contains_batch");
+  std::vector<float> scratch(batch.dimension());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch.copy_sample(i, scratch);
+    out[i] = contains(scratch);
+  }
+}
+
+}  // namespace ranm

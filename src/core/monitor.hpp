@@ -12,10 +12,19 @@
 // and the perturbation estimate is the job of PerturbationEstimator and
 // MonitorBuilder, mirroring the paper's separation between the abstraction
 // (M0, ⊎, ab) and the DNN.
+//
+// Every entry point exists in a scalar and a batch form. The batch form is
+// the deployment hot path: it answers one membership query per column of a
+// FeatureBatch and lets implementations hoist per-query setup (assignment
+// buffers, threshold loads, BDD cube scratch) out of the sample loop. The
+// base-class defaults fall back to the scalar virtuals so new monitor
+// types only have to implement the scalar path to be correct.
 #pragma once
 
 #include <span>
 #include <string>
+
+#include "core/feature_batch.hpp"
 
 namespace ranm {
 
@@ -32,7 +41,8 @@ class Monitor {
 
   /// Robust construction step: M <- M ⊎R abR(<(lo_1,hi_1),...>).
   /// `lo` and `hi` are the per-neuron conservative bounds of the
-  /// perturbation estimate (Definition 1); lo[j] <= hi[j] must hold.
+  /// perturbation estimate (Definition 1); lo[j] <= hi[j] must hold and
+  /// is validated (std::invalid_argument on violation).
   virtual void observe_bounds(std::span<const float> lo,
                               std::span<const float> hi) = 0;
 
@@ -46,8 +56,49 @@ class Monitor {
     return !contains(feature);
   }
 
+  // -- batch API ----------------------------------------------------------
+
+  /// Standard construction over a whole batch: folds ab of every column.
+  /// Equivalent to observe() on each sample in column order.
+  virtual void observe_batch(const FeatureBatch& batch);
+
+  /// Robust construction over a whole batch of per-neuron bounds.
+  /// lo and hi must agree in shape; lo(j, i) <= hi(j, i) must hold.
+  virtual void observe_bounds_batch(const FeatureBatch& lo,
+                                    const FeatureBatch& hi);
+
+  /// Membership query per column: out[i] = contains(column i). out.size()
+  /// must equal batch.size(). Element-wise identical to the scalar path.
+  virtual void contains_batch(const FeatureBatch& batch,
+                              std::span<bool> out) const;
+
+  /// Warning signal per column: out[i] = !contains(column i).
+  void warn_batch(const FeatureBatch& batch, std::span<bool> out) const {
+    contains_batch(batch, out);
+    for (auto& b : out) b = !b;
+  }
+
   /// One-line description (type + key parameters) for logs and tables.
   [[nodiscard]] virtual std::string describe() const = 0;
+
+ protected:
+  /// Below this batch size the batched kernels fall back to the scalar
+  /// loop: the shared setup (bit matrices, sweep buffers) would dominate
+  /// the query work itself.
+  static constexpr std::size_t kMinBitMatrixBatch = 8;
+
+  /// Validates a (batch, out) query pair against this monitor's dimension.
+  void check_batch(const FeatureBatch& batch, std::size_t out_size,
+                   const char* what) const;
+  /// Validates a bounds-batch pair (shape agreement with the monitor).
+  /// Per-element lo <= hi is checked where the bounds are consumed.
+  void check_bounds_batch(const FeatureBatch& lo, const FeatureBatch& hi,
+                          const char* what) const;
+  /// Validates the observe_bounds precondition: matching dimensions and
+  /// lo[j] <= hi[j] for every neuron. Throws std::invalid_argument.
+  static void check_bounds_ordered(std::span<const float> lo,
+                                   std::span<const float> hi,
+                                   std::size_t dim, const char* what);
 };
 
 }  // namespace ranm

@@ -1,5 +1,6 @@
 #include "core/monitor_builder.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ranm {
@@ -20,39 +21,84 @@ std::vector<float> MonitorBuilder::features(const Tensor& input) const {
   return {f.data(), f.data() + f.numel()};
 }
 
+FeatureBatch MonitorBuilder::features_batch(
+    std::span<const Tensor> inputs) const {
+  return net_.forward_batch(k_, inputs);
+}
+
 NeuronStats MonitorBuilder::collect_stats(const std::vector<Tensor>& data,
                                           bool keep_samples) const {
   NeuronStats stats(feature_dim(), keep_samples);
-  for (const Tensor& v : data) stats.add(features(v));
+  std::vector<float> scratch(feature_dim());
+  for (std::size_t start = 0; start < data.size();
+       start += kDefaultBatch) {
+    const std::size_t n = std::min(kDefaultBatch, data.size() - start);
+    const FeatureBatch batch =
+        features_batch({data.data() + start, n});
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.copy_sample(i, scratch);
+      stats.add(scratch);
+    }
+  }
   return stats;
 }
 
 void MonitorBuilder::build_standard(Monitor& monitor,
-                                    const std::vector<Tensor>& data) const {
+                                    const std::vector<Tensor>& data,
+                                    std::size_t batch_size) const {
   if (monitor.dimension() != feature_dim()) {
     throw std::invalid_argument(
         "MonitorBuilder::build_standard: monitor dimension mismatch");
   }
-  for (const Tensor& v : data) monitor.observe(features(v));
+  if (batch_size == 0) {
+    throw std::invalid_argument(
+        "MonitorBuilder::build_standard: zero batch size");
+  }
+  for (std::size_t start = 0; start < data.size(); start += batch_size) {
+    const std::size_t n = std::min(batch_size, data.size() - start);
+    monitor.observe_batch(features_batch({data.data() + start, n}));
+  }
 }
 
 void MonitorBuilder::build_robust(Monitor& monitor,
                                   const std::vector<Tensor>& data,
-                                  const PerturbationSpec& spec) const {
+                                  const PerturbationSpec& spec,
+                                  std::size_t batch_size) const {
   if (monitor.dimension() != feature_dim()) {
     throw std::invalid_argument(
         "MonitorBuilder::build_robust: monitor dimension mismatch");
   }
+  if (batch_size == 0) {
+    throw std::invalid_argument(
+        "MonitorBuilder::build_robust: zero batch size");
+  }
   const PerturbationEstimator pe(net_, k_, spec);
-  for (const Tensor& v : data) {
-    const IntervalVector bounds = pe.estimate(v);
-    monitor.observe_bounds(bounds.lowers(), bounds.uppers());
+  const std::size_t d = feature_dim();
+  for (std::size_t start = 0; start < data.size(); start += batch_size) {
+    const std::size_t n = std::min(batch_size, data.size() - start);
+    FeatureBatch lo(d, n), hi(d, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const IntervalVector bounds = pe.estimate(data[start + i]);
+      lo.set_sample(i, bounds.lowers());
+      hi.set_sample(i, bounds.uppers());
+    }
+    monitor.observe_bounds_batch(lo, hi);
   }
 }
 
 bool MonitorBuilder::warns(const Monitor& monitor,
                            const Tensor& input) const {
   return monitor.warn(features(input));
+}
+
+void MonitorBuilder::warns_batch(const Monitor& monitor,
+                                 std::span<const Tensor> inputs,
+                                 std::span<bool> out) const {
+  if (out.size() != inputs.size()) {
+    throw std::invalid_argument(
+        "MonitorBuilder::warns_batch: output size does not match inputs");
+  }
+  monitor.warn_batch(features_batch(inputs), out);
 }
 
 }  // namespace ranm

@@ -7,6 +7,7 @@
 // threshold selection needs, and the operation-time query helper.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/monitor.hpp"
@@ -30,21 +31,38 @@ class MonitorBuilder {
   /// G^k(input) as a flat vector.
   [[nodiscard]] std::vector<float> features(const Tensor& input) const;
 
+  /// G^k over a whole minibatch as a dim × n FeatureBatch — the batched
+  /// feature-extraction entry point the query pipeline is built on.
+  [[nodiscard]] FeatureBatch features_batch(
+      std::span<const Tensor> inputs) const;
+
   /// Per-neuron statistics over a dataset (for threshold selection).
   [[nodiscard]] NeuronStats collect_stats(const std::vector<Tensor>& data,
                                           bool keep_samples = false) const;
 
-  /// Standard construction: folds ab(G^k(v)) for every v in data.
-  void build_standard(Monitor& monitor,
-                      const std::vector<Tensor>& data) const;
+  /// Standard construction: folds ab(G^k(v)) for every v in data. Drives
+  /// the batched observe path in chunks of `batch_size`.
+  void build_standard(Monitor& monitor, const std::vector<Tensor>& data,
+                      std::size_t batch_size = kDefaultBatch) const;
 
-  /// Robust construction: folds abR(pe(v, kp, Δ)) for every v in data.
+  /// Robust construction: folds abR(pe(v, kp, Δ)) for every v in data,
+  /// feeding the bounds to the monitor in batched chunks.
   void build_robust(Monitor& monitor, const std::vector<Tensor>& data,
-                    const PerturbationSpec& spec) const;
+                    const PerturbationSpec& spec,
+                    std::size_t batch_size = kDefaultBatch) const;
 
   /// Operation-time query: M(v_op) — true iff the monitor warns.
   [[nodiscard]] bool warns(const Monitor& monitor,
                            const Tensor& input) const;
+
+  /// Batched operation-time query: out[i] = M(inputs[i]). One feature
+  /// extraction pass plus one batched membership query. out.size() must
+  /// equal inputs.size().
+  void warns_batch(const Monitor& monitor, std::span<const Tensor> inputs,
+                   std::span<bool> out) const;
+
+  /// Chunk size used by the batched construction loops.
+  static constexpr std::size_t kDefaultBatch = 256;
 
  private:
   Network& net_;

@@ -1,5 +1,7 @@
 #include "core/multi_layer_monitor.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 namespace ranm {
@@ -77,20 +79,53 @@ void MultiLayerMonitor::for_each_layer_features(const Tensor& input,
   }
 }
 
-void MultiLayerMonitor::build_standard(const std::vector<Tensor>& data) {
+template <typename Visit>
+void MultiLayerMonitor::for_each_layer_features_batch(
+    std::span<const Tensor> inputs, Visit&& visit) const {
+  const std::size_t n = inputs.size();
+  // One traversal of the shared layer prefix for the whole batch: the
+  // per-layer activations are kept per sample, and each attached layer
+  // gets its selection projected straight into a dim × n FeatureBatch.
+  std::vector<Tensor> acts(inputs.begin(), inputs.end());
+  for (std::size_t k = 1; k <= max_layer_; ++k) {
+    Layer& layer = net_.layer(k);
+    for (std::size_t i = 0; i < n; ++i) acts[i] = layer.forward(acts[i]);
+    for (const Entry& e : entries_) {
+      if (e.layer_k != k) continue;
+      FeatureBatch batch(e.selection.output_dim(), n);
+      const auto& kept = e.selection.kept();
+      for (std::size_t jj = 0; jj < kept.size(); ++jj) {
+        const auto row = batch.neuron(jj);
+        const std::size_t src = kept[jj];
+        for (std::size_t i = 0; i < n; ++i) row[i] = acts[i][src];
+      }
+      visit(e, batch);
+    }
+  }
+}
+
+void MultiLayerMonitor::build_standard(const std::vector<Tensor>& data,
+                                       std::size_t batch_size) {
   if (entries_.empty()) {
     throw std::logic_error("MultiLayerMonitor: no monitors attached");
   }
-  for (const Tensor& input : data) {
-    for_each_layer_features(input, [](const Entry& e,
-                                      const std::vector<float>& feat) {
-      e.monitor->observe(feat);
-    });
+  if (batch_size == 0) {
+    throw std::invalid_argument(
+        "MultiLayerMonitor::build_standard: zero batch size");
+  }
+  for (std::size_t start = 0; start < data.size(); start += batch_size) {
+    const std::size_t n = std::min(batch_size, data.size() - start);
+    for_each_layer_features_batch(
+        {data.data() + start, n},
+        [](const Entry& e, const FeatureBatch& batch) {
+          e.monitor->observe_batch(batch);
+        });
   }
 }
 
 void MultiLayerMonitor::build_robust(const std::vector<Tensor>& data,
-                                     const PerturbationSpec& spec) {
+                                     const PerturbationSpec& spec,
+                                     std::size_t batch_size) {
   if (entries_.empty()) {
     throw std::logic_error("MultiLayerMonitor: no monitors attached");
   }
@@ -105,35 +140,93 @@ void MultiLayerMonitor::build_robust(const std::vector<Tensor>& data,
     throw std::invalid_argument(
         "MultiLayerMonitor::build_robust: negative delta");
   }
+  if (batch_size == 0) {
+    throw std::invalid_argument(
+        "MultiLayerMonitor::build_robust: zero batch size");
+  }
 
-  for (const Tensor& input : data) {
-    const Tensor at_kp = net_.forward_to(spec.kp, input);
-    auto observe_at = [&](std::size_t k, const IntervalVector& box) {
-      for (const Entry& e : entries_) {
-        if (e.layer_k != k) continue;
-        auto [lo, hi] =
-            e.selection.project_bounds(box.lowers(), box.uppers());
-        e.monitor->observe_bounds(lo, hi);
-      }
-    };
-    switch (spec.domain) {
-      case BoundDomain::kBox: {
-        IntervalVector box =
-            IntervalVector::linf_ball(at_kp.span(), spec.delta);
-        for (std::size_t k = spec.kp + 1; k <= max_layer_; ++k) {
-          box = net_.layer(k).propagate(box);
-          observe_at(k, box);
+  // The abstract propagation is inherently per-sample, but the resulting
+  // bounds are folded into each attached monitor one batched call per
+  // chunk, so the monitors' per-call setup amortises over the chunk.
+  for (std::size_t start = 0; start < data.size(); start += batch_size) {
+    const std::size_t n = std::min(batch_size, data.size() - start);
+    std::vector<FeatureBatch> lo_batches, hi_batches;
+    lo_batches.reserve(entries_.size());
+    hi_batches.reserve(entries_.size());
+    for (const Entry& e : entries_) {
+      lo_batches.emplace_back(e.selection.output_dim(), n);
+      hi_batches.emplace_back(e.selection.output_dim(), n);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const Tensor at_kp = net_.forward_to(spec.kp, data[start + i]);
+      auto record_at = [&](std::size_t k, const IntervalVector& box) {
+        for (std::size_t e = 0; e < entries_.size(); ++e) {
+          if (entries_[e].layer_k != k) continue;
+          auto [lo, hi] = entries_[e].selection.project_bounds(
+              box.lowers(), box.uppers());
+          lo_batches[e].set_sample(i, lo);
+          hi_batches[e].set_sample(i, hi);
         }
-        break;
-      }
-      case BoundDomain::kZonotope: {
-        Zonotope zono = Zonotope::linf_ball(at_kp.span(), spec.delta);
-        for (std::size_t k = spec.kp + 1; k <= max_layer_; ++k) {
-          zono = net_.layer(k).propagate(zono);
-          observe_at(k, zono.to_box());
+      };
+      switch (spec.domain) {
+        case BoundDomain::kBox: {
+          IntervalVector box =
+              IntervalVector::linf_ball(at_kp.span(), spec.delta);
+          for (std::size_t k = spec.kp + 1; k <= max_layer_; ++k) {
+            box = net_.layer(k).propagate(box);
+            record_at(k, box);
+          }
+          break;
         }
-        break;
+        case BoundDomain::kZonotope: {
+          Zonotope zono = Zonotope::linf_ball(at_kp.span(), spec.delta);
+          for (std::size_t k = spec.kp + 1; k <= max_layer_; ++k) {
+            zono = net_.layer(k).propagate(zono);
+            record_at(k, zono.to_box());
+          }
+          break;
+        }
       }
+    }
+    for (std::size_t e = 0; e < entries_.size(); ++e) {
+      entries_[e].monitor->observe_bounds_batch(lo_batches[e],
+                                                hi_batches[e]);
+    }
+  }
+}
+
+void MultiLayerMonitor::warns_batch(std::span<const Tensor> inputs,
+                                    std::span<bool> out) const {
+  if (entries_.empty()) {
+    throw std::logic_error("MultiLayerMonitor: no monitors attached");
+  }
+  if (out.size() != inputs.size()) {
+    throw std::invalid_argument(
+        "MultiLayerMonitor::warns_batch: output size does not match "
+        "inputs");
+  }
+  const std::size_t n = inputs.size();
+  if (n == 0) return;
+  // warn_count[i] = number of attached monitors warning on sample i.
+  std::vector<std::size_t> warn_count(n, 0);
+  auto member_out = std::make_unique<bool[]>(n);
+  for_each_layer_features_batch(
+      inputs, [&](const Entry& e, const FeatureBatch& batch) {
+        std::span<bool> votes(member_out.get(), n);
+        e.monitor->contains_batch(batch, votes);
+        for (std::size_t i = 0; i < n; ++i) warn_count[i] += !votes[i];
+      });
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (policy_) {
+      case WarnPolicy::kAny:
+        out[i] = warn_count[i] > 0;
+        break;
+      case WarnPolicy::kAll:
+        out[i] = warn_count[i] == entries_.size();
+        break;
+      case WarnPolicy::kMajority:
+        out[i] = 2 * warn_count[i] > entries_.size();
+        break;
     }
   }
 }

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "core/monitor.hpp"
 #include "core/neuron_selection.hpp"
@@ -45,20 +46,34 @@ class MultiLayerMonitor {
   [[nodiscard]] std::size_t layer_of(std::size_t i) const;
   [[nodiscard]] WarnPolicy policy() const noexcept { return policy_; }
 
-  /// Standard construction: one forward pass per input feeds every
-  /// attached monitor.
-  void build_standard(const std::vector<Tensor>& data);
+  /// Standard construction: one layer-by-layer batched pass per chunk of
+  /// `batch_size` inputs feeds every attached monitor through its batched
+  /// observe path.
+  void build_standard(const std::vector<Tensor>& data,
+                      std::size_t batch_size = kDefaultBatch);
 
   /// Robust construction: one abstract propagation per input (box or
-  /// zonotope per `spec.domain`), observed at every attached layer.
+  /// zonotope per `spec.domain`), with the resulting bounds folded into
+  /// each attached monitor in batched chunks.
   /// Requires spec.kp < the smallest attached layer.
   void build_robust(const std::vector<Tensor>& data,
-                    const PerturbationSpec& spec);
+                    const PerturbationSpec& spec,
+                    std::size_t batch_size = kDefaultBatch);
 
   /// Combined operation-time warning under the vote policy.
   [[nodiscard]] bool warns(const Tensor& input) const;
   /// Per-monitor warnings for diagnosis (index-aligned with attach order).
   [[nodiscard]] std::vector<bool> warns_each(const Tensor& input) const;
+
+  /// Batched combined warning: out[i] = warns(inputs[i]), computed with
+  /// one forward pass of the whole batch through the shared layer prefix
+  /// and one batched membership query per attached monitor. out.size()
+  /// must equal inputs.size().
+  void warns_batch(std::span<const Tensor> inputs,
+                   std::span<bool> out) const;
+
+  /// Chunk size used by the batched construction loops.
+  static constexpr std::size_t kDefaultBatch = 256;
 
  private:
   struct Entry {
@@ -72,6 +87,12 @@ class MultiLayerMonitor {
   /// attached layer.
   template <typename Visit>
   void for_each_layer_features(const Tensor& input, Visit&& visit) const;
+  /// Runs one batched forward pass over `inputs`, invoking
+  /// `visit(entry, batch)` with the selection-projected dim × n
+  /// FeatureBatch at each attached layer.
+  template <typename Visit>
+  void for_each_layer_features_batch(std::span<const Tensor> inputs,
+                                     Visit&& visit) const;
 
   Network& net_;
   WarnPolicy policy_;

@@ -1,8 +1,30 @@
 #include "core/onoff_monitor.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 
 namespace ranm {
+namespace {
+
+// bits[j * n + i] = 1-bit code of sample i at neuron j. Neuron-major sweep:
+// each threshold is loaded once and applied to a contiguous batch row.
+void fill_bit_matrix(const ThresholdSpec& spec, const FeatureBatch& batch,
+                     std::vector<std::uint8_t>& bits) {
+  const std::size_t n = batch.size();
+  bits.resize(spec.dimension() * n);
+  for (std::size_t j = 0; j < spec.dimension(); ++j) {
+    const Threshold t = spec.thresholds(j).front();
+    const auto row = batch.neuron(j);
+    std::uint8_t* dst = bits.data() + j * n;
+    if (t.inclusive_below) {
+      for (std::size_t i = 0; i < n; ++i) dst[i] = row[i] > t.value ? 1 : 0;
+    } else {
+      for (std::size_t i = 0; i < n; ++i) dst[i] = row[i] >= t.value ? 1 : 0;
+    }
+  }
+}
+
+}  // namespace
 
 OnOffMonitor::OnOffMonitor(ThresholdSpec spec)
     : spec_(std::move(spec)),
@@ -28,10 +50,7 @@ void OnOffMonitor::observe(std::span<const float> feature) {
 
 void OnOffMonitor::observe_bounds(std::span<const float> lo,
                                   std::span<const float> hi) {
-  if (lo.size() != dimension() || hi.size() != dimension()) {
-    throw std::invalid_argument(
-        "OnOffMonitor::observe_bounds: dimension mismatch");
-  }
+  check_bounds_ordered(lo, hi, dimension(), "OnOffMonitor::observe_bounds");
   // abR of the paper: 1 if l_j > c_j, 0 if u_j <= c_j, else don't-care.
   // In code terms: the code range of [l_j, u_j] is {1}, {0}, or {0, 1}.
   std::vector<bdd::CubeBit> bits(dimension());
@@ -55,6 +74,80 @@ bool OnOffMonitor::contains(std::span<const float> feature) const {
     assignment[j] = spec_.code(j, feature[j]) == 1;
   }
   return mgr_.eval(set_, assignment);
+}
+
+void OnOffMonitor::observe_batch(const FeatureBatch& batch) {
+  check_batch(batch, batch.size(), "OnOffMonitor::observe_batch");
+  const std::size_t n = batch.size();
+  const std::size_t d = dimension();
+  if (n == 0) return;
+  std::vector<std::uint8_t> bits;
+  fill_bit_matrix(spec_, batch, bits);
+  // One cube scratch buffer for the whole batch.
+  std::vector<bdd::CubeBit> cube(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      cube[j] = bits[j * n + i] != 0 ? bdd::CubeBit::kOne
+                                     : bdd::CubeBit::kZero;
+    }
+    set_ = mgr_.or_(set_, mgr_.cube(cube));
+  }
+}
+
+void OnOffMonitor::observe_bounds_batch(const FeatureBatch& lo,
+                                        const FeatureBatch& hi) {
+  check_bounds_batch(lo, hi, "OnOffMonitor::observe_bounds_batch");
+  const std::size_t n = lo.size();
+  const std::size_t d = dimension();
+  if (n == 0) return;
+  std::vector<bdd::CubeBit> cube(d);
+  std::vector<float> lo_scratch(d), hi_scratch(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    lo.copy_sample(i, lo_scratch);
+    hi.copy_sample(i, hi_scratch);
+    check_bounds_ordered(lo_scratch, hi_scratch, d,
+                         "OnOffMonitor::observe_bounds_batch");
+    for (std::size_t j = 0; j < d; ++j) {
+      const auto [clo, chi] = spec_.code_range(j, lo_scratch[j],
+                                               hi_scratch[j]);
+      if (clo == chi) {
+        cube[j] = clo == 1 ? bdd::CubeBit::kOne : bdd::CubeBit::kZero;
+      } else {
+        cube[j] = bdd::CubeBit::kDontCare;
+      }
+    }
+    set_ = mgr_.or_(set_, mgr_.cube(cube));
+  }
+}
+
+void OnOffMonitor::contains_batch(const FeatureBatch& batch,
+                                  std::span<bool> out) const {
+  check_batch(batch, out.size(), "OnOffMonitor::contains_batch");
+  const std::size_t n = batch.size();
+  if (n == 0) return;
+  const std::size_t d = dimension();
+  if (n < kMinBitMatrixBatch) {
+    // Matrix setup would dominate; walk the BDD per sample instead,
+    // thresholding lazily — only variables on the walked path are coded,
+    // and no per-query assignment vector is allocated.
+    std::vector<float> sample(d);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.copy_sample(i, sample);
+      out[i] = mgr_.eval_with(set_, [this, &sample](std::uint32_t var) {
+        return spec_.code(var, sample[var]) == 1;
+      });
+    }
+    return;
+  }
+  std::vector<std::uint8_t> bits;
+  fill_bit_matrix(spec_, batch, bits);
+  const std::uint8_t* b = bits.data();
+  mgr_.eval_batch(
+      set_, n,
+      [b, n](std::uint32_t var, std::size_t i) {
+        return b[std::size_t(var) * n + i] != 0;
+      },
+      out.data());
 }
 
 std::string OnOffMonitor::describe() const {

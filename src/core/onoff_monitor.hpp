@@ -34,6 +34,16 @@ class OnOffMonitor final : public Monitor {
   [[nodiscard]] bool contains(std::span<const float> feature) const override;
   [[nodiscard]] std::string describe() const override;
 
+  // Batch path. Thresholding runs neuron-major over the contiguous batch
+  // rows (each neuron's threshold loaded once per batch), and membership
+  // is a direct BDD walk per sample against the shared bit matrix — no
+  // per-query assignment vector or cube scratch allocation.
+  void observe_batch(const FeatureBatch& batch) override;
+  void observe_bounds_batch(const FeatureBatch& lo,
+                            const FeatureBatch& hi) override;
+  void contains_batch(const FeatureBatch& batch,
+                      std::span<bool> out) const override;
+
   /// The Boolean abstraction ab of a feature vector.
   [[nodiscard]] std::vector<bool> pattern(
       std::span<const float> feature) const;

@@ -81,4 +81,14 @@ DigitLabSetup make_digit_setup(const DigitLabConfig& cfg) {
   return setup;
 }
 
+FeatureBatch monitor_features(LabSetup& setup,
+                              std::span<const Tensor> inputs) {
+  return setup.net.forward_batch(setup.monitor_layer, inputs);
+}
+
+FeatureBatch monitor_features(DigitLabSetup& setup,
+                              std::span<const Tensor> inputs) {
+  return setup.net.forward_batch(setup.monitor_layer, inputs);
+}
+
 }  // namespace ranm

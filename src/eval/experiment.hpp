@@ -70,4 +70,12 @@ struct DigitLabSetup {
 
 [[nodiscard]] DigitLabSetup make_digit_setup(const DigitLabConfig& cfg);
 
+/// Monitored-layer features of `inputs` under the setup's network as a
+/// dim × n FeatureBatch — the batch-first entry point benches and examples
+/// feed straight into Monitor::contains_batch.
+[[nodiscard]] FeatureBatch monitor_features(LabSetup& setup,
+                                            std::span<const Tensor> inputs);
+[[nodiscard]] FeatureBatch monitor_features(DigitLabSetup& setup,
+                                            std::span<const Tensor> inputs);
+
 }  // namespace ranm

@@ -1,5 +1,7 @@
 #include "eval/metrics.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 namespace ranm {
@@ -9,11 +11,32 @@ double warning_rate(const MonitorBuilder& builder, const Monitor& monitor,
   if (inputs.empty()) {
     throw std::invalid_argument("warning_rate: empty input set");
   }
+  // Batched hot path: one feature-extraction pass and one membership
+  // query per chunk instead of one of each per sample.
+  constexpr std::size_t kChunk = MonitorBuilder::kDefaultBatch;
+  auto warned_buf = std::make_unique<bool[]>(std::min(kChunk,
+                                                      inputs.size()));
   std::size_t warned = 0;
-  for (const Tensor& v : inputs) {
-    if (builder.warns(monitor, v)) ++warned;
+  for (std::size_t start = 0; start < inputs.size(); start += kChunk) {
+    const std::size_t n = std::min(kChunk, inputs.size() - start);
+    std::span<bool> out(warned_buf.get(), n);
+    builder.warns_batch(monitor, {inputs.data() + start, n}, out);
+    for (std::size_t i = 0; i < n; ++i) warned += out[i];
   }
   return double(warned) / double(inputs.size());
+}
+
+double warning_rate_features(const Monitor& monitor,
+                             const FeatureBatch& features) {
+  if (features.empty()) {
+    throw std::invalid_argument("warning_rate_features: empty input set");
+  }
+  auto out = std::make_unique<bool[]>(features.size());
+  std::span<bool> warned(out.get(), features.size());
+  monitor.warn_batch(features, warned);
+  std::size_t count = 0;
+  for (const bool w : warned) count += w;
+  return double(count) / double(features.size());
 }
 
 double warning_rate_features(
@@ -22,11 +45,12 @@ double warning_rate_features(
   if (features.empty()) {
     throw std::invalid_argument("warning_rate_features: empty input set");
   }
-  std::size_t warned = 0;
-  for (const auto& f : features) {
-    if (monitor.warn(f)) ++warned;
+  if (features.front().empty()) {
+    throw std::invalid_argument("warning_rate_features: empty features");
   }
-  return double(warned) / double(features.size());
+  return warning_rate_features(
+      monitor,
+      FeatureBatch::from_samples(features.front().size(), features));
 }
 
 double MonitorEval::mean_detection() const noexcept {

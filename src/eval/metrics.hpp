@@ -14,12 +14,17 @@
 
 namespace ranm {
 
-/// Fraction of inputs (in [0, 1]) on which the monitor warns.
+/// Fraction of inputs (in [0, 1]) on which the monitor warns. Drives the
+/// batched query pipeline (features_batch + contains_batch) in chunks.
 [[nodiscard]] double warning_rate(const MonitorBuilder& builder,
                                   const Monitor& monitor,
                                   const std::vector<Tensor>& inputs);
 
-/// Warning rate over pre-computed feature vectors.
+/// Warning rate over a pre-computed feature batch.
+[[nodiscard]] double warning_rate_features(const Monitor& monitor,
+                                           const FeatureBatch& features);
+
+/// Warning rate over pre-computed sample-major feature vectors.
 [[nodiscard]] double warning_rate_features(
     const Monitor& monitor, const std::vector<std::vector<float>>& features);
 

@@ -52,11 +52,20 @@ std::vector<double> hamming_scores(const MonitorBuilder& builder,
                                    unsigned max_radius) {
   std::vector<double> scores;
   scores.reserve(inputs.size());
-  for (const Tensor& v : inputs) {
-    const auto feat = builder.features(v);
-    const std::optional<unsigned> d =
-        monitor.hamming_distance(feat, max_radius);
-    scores.push_back(d ? double(*d) : double(max_radius) + 1.0);
+  // Features are extracted through the batched pipeline; the Hamming DP
+  // itself is per-sample, fed from one reused gather buffer.
+  constexpr std::size_t kChunk = MonitorBuilder::kDefaultBatch;
+  std::vector<float> feat(builder.feature_dim());
+  for (std::size_t start = 0; start < inputs.size(); start += kChunk) {
+    const std::size_t n = std::min(kChunk, inputs.size() - start);
+    const FeatureBatch batch =
+        builder.features_batch({inputs.data() + start, n});
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.copy_sample(i, feat);
+      const std::optional<unsigned> d =
+          monitor.hamming_distance(feat, max_radius);
+      scores.push_back(d ? double(*d) : double(max_radius) + 1.0);
+    }
   }
   return scores;
 }

@@ -69,6 +69,34 @@ Tensor Network::forward_range(std::size_t l, std::size_t k, const Tensor& x) {
   return v;
 }
 
+FeatureBatch Network::forward_batch(std::size_t k,
+                                    std::span<const Tensor> inputs) {
+  if (k != 0) check_layer_index(k, "forward_batch");
+  if (inputs.empty()) {
+    const std::size_t dim =
+        k == 0 ? 0 : layers_[k - 1]->output_size();
+    return FeatureBatch(dim, 0);
+  }
+  if (k == 0) {
+    FeatureBatch out(inputs.front().numel(), inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      out.set_sample(i, inputs[i].span());
+    }
+    return out;
+  }
+  FeatureBatch out(layers_[k - 1]->output_size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    Tensor v = inputs[i];
+    for (std::size_t l = 0; l < k; ++l) v = layers_[l]->forward(v);
+    out.set_sample(i, v.span());
+  }
+  return out;
+}
+
+FeatureBatch Network::forward_batch(std::span<const Tensor> inputs) {
+  return forward_batch(layers_.size(), inputs);
+}
+
 Tensor Network::backward(const Tensor& grad_out) {
   if (layers_.empty()) throw std::logic_error("Network: no layers");
   Tensor g = grad_out;

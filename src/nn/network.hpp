@@ -4,7 +4,9 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
+#include "core/feature_batch.hpp"
 #include "nn/layer.hpp"
 
 namespace ranm {
@@ -49,6 +51,15 @@ class Network {
   /// the shape expected by layer l.
   [[nodiscard]] Tensor forward_range(std::size_t l, std::size_t k,
                                      const Tensor& x);
+
+  /// Batched feature extraction G^k over a minibatch: the layer-k
+  /// activations of every input, produced in one pass and scattered
+  /// straight into a dim × n FeatureBatch (no per-sample feature-vector
+  /// allocations). k = 0 packs the flattened inputs themselves.
+  [[nodiscard]] FeatureBatch forward_batch(std::size_t k,
+                                           std::span<const Tensor> inputs);
+  /// Full-network minibatch pass: forward_batch(num_layers(), inputs).
+  [[nodiscard]] FeatureBatch forward_batch(std::span<const Tensor> inputs);
 
   /// Backward pass through all layers (after a full forward on the same
   /// sample); returns the gradient w.r.t. the input.

@@ -1,5 +1,7 @@
 #include "nn/trainer.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "nn/optimizer.hpp"
@@ -67,10 +69,31 @@ float evaluate_accuracy(Network& net, const std::vector<Tensor>& inputs,
   if (inputs.size() != targets.size() || inputs.empty()) {
     throw std::invalid_argument("evaluate_accuracy: bad dataset");
   }
+  // Batched forward pass; argmax runs class-major over the batch rows.
+  constexpr std::size_t kChunk = 256;
   std::size_t correct = 0;
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    const Tensor pred = net.forward(inputs[i]);
-    if (pred.argmax() == static_cast<std::size_t>(targets[i][0])) ++correct;
+  std::vector<float> best;
+  std::vector<std::size_t> best_idx;
+  for (std::size_t start = 0; start < inputs.size(); start += kChunk) {
+    const std::size_t n = std::min(kChunk, inputs.size() - start);
+    const FeatureBatch preds =
+        net.forward_batch({inputs.data() + start, n});
+    best.assign(n, -std::numeric_limits<float>::infinity());
+    best_idx.assign(n, 0);
+    for (std::size_t c = 0; c < preds.dimension(); ++c) {
+      const auto row = preds.neuron(c);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (row[i] > best[i]) {
+          best[i] = row[i];
+          best_idx[i] = c;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (best_idx[i] == static_cast<std::size_t>(targets[start + i][0])) {
+        ++correct;
+      }
+    }
   }
   return static_cast<float>(correct) / static_cast<float>(inputs.size());
 }

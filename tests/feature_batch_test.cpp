@@ -1,0 +1,144 @@
+// FeatureBatch container semantics and the batched feature-extraction
+// pipeline: Network::forward_batch and MonitorBuilder::features_batch /
+// warns_batch must agree element-wise with the scalar paths.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/minmax_monitor.hpp"
+#include "core/monitor_builder.hpp"
+#include "nn/init.hpp"
+#include "util/rng.hpp"
+
+namespace ranm {
+namespace {
+
+TEST(FeatureBatch, LayoutIsNeuronMajor) {
+  FeatureBatch batch(3, 4);
+  EXPECT_EQ(batch.dimension(), 3U);
+  EXPECT_EQ(batch.size(), 4U);
+  batch.at(1, 2) = 7.0F;
+  // Row-major dim x n: element (j, i) lives at j * n + i.
+  EXPECT_FLOAT_EQ(batch.storage()[1 * 4 + 2], 7.0F);
+  EXPECT_EQ(batch.neuron(1).size(), 4U);
+  EXPECT_FLOAT_EQ(batch.neuron(1)[2], 7.0F);
+}
+
+TEST(FeatureBatch, SampleRoundTrip) {
+  FeatureBatch batch(3, 2);
+  const std::vector<float> a{1.0F, 2.0F, 3.0F};
+  const std::vector<float> b{-1.0F, -2.0F, -3.0F};
+  batch.set_sample(0, a);
+  batch.set_sample(1, b);
+  EXPECT_EQ(batch.sample(0), a);
+  EXPECT_EQ(batch.sample(1), b);
+  std::vector<float> out(3);
+  batch.copy_sample(1, out);
+  EXPECT_EQ(out, b);
+  // Columns interleave in neuron-major storage.
+  EXPECT_FLOAT_EQ(batch.neuron(0)[0], 1.0F);
+  EXPECT_FLOAT_EQ(batch.neuron(0)[1], -1.0F);
+}
+
+TEST(FeatureBatch, FromSamplesPacksColumns) {
+  const std::vector<std::vector<float>> samples{{1.0F, 2.0F},
+                                                {3.0F, 4.0F},
+                                                {5.0F, 6.0F}};
+  const FeatureBatch batch = FeatureBatch::from_samples(2, samples);
+  EXPECT_EQ(batch.size(), 3U);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(batch.sample(i), samples[i]);
+  }
+}
+
+TEST(FeatureBatch, EmptyAndErrors) {
+  const FeatureBatch empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.dimension(), 0U);
+  const FeatureBatch no_samples(5, 0);
+  EXPECT_TRUE(no_samples.empty());
+  EXPECT_EQ(no_samples.dimension(), 5U);
+  EXPECT_THROW(FeatureBatch(0, 3), std::invalid_argument);
+
+  FeatureBatch batch(2, 2);
+  EXPECT_THROW(batch.set_sample(2, std::vector<float>{1.0F, 2.0F}),
+               std::out_of_range);
+  EXPECT_THROW(batch.set_sample(0, std::vector<float>{1.0F}),
+               std::invalid_argument);
+  std::vector<float> short_out(1);
+  EXPECT_THROW(batch.copy_sample(0, short_out), std::invalid_argument);
+  EXPECT_THROW((void)batch.neuron(2), std::out_of_range);
+  EXPECT_THROW(
+      (void)FeatureBatch::from_samples(
+          2, std::vector<std::vector<float>>{{1.0F}}),
+      std::invalid_argument);
+}
+
+TEST(ForwardBatch, MatchesPerSampleForwardTo) {
+  Rng rng(42);
+  Network net = make_mlp({6, 10, 8, 3}, rng);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 9; ++i) {
+    inputs.push_back(Tensor::random_uniform({6}, rng));
+  }
+  for (const std::size_t k : {0UL, 1UL, 2UL, 5UL}) {
+    const FeatureBatch batch = net.forward_batch(k, inputs);
+    EXPECT_EQ(batch.size(), inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const Tensor expected = net.forward_to(k, inputs[i]);
+      EXPECT_EQ(batch.dimension(), expected.numel());
+      const auto got = batch.sample(i);
+      for (std::size_t j = 0; j < expected.numel(); ++j) {
+        EXPECT_FLOAT_EQ(got[j], expected[j]) << "k=" << k << " i=" << i;
+      }
+    }
+  }
+  // Full-network overload and the empty minibatch.
+  const FeatureBatch full = net.forward_batch(inputs);
+  EXPECT_EQ(full.dimension(), 3U);
+  const FeatureBatch none = net.forward_batch(2, {});
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(none.dimension(), 10U);
+}
+
+TEST(ForwardBatch, BuilderFeaturesBatchMatchesFeatures) {
+  Rng rng(43);
+  Network net = make_mlp({4, 8, 6}, rng);
+  MonitorBuilder builder(net, 2);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 7; ++i) {
+    inputs.push_back(Tensor::random_uniform({4}, rng));
+  }
+  const FeatureBatch batch = builder.features_batch(inputs);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(batch.sample(i), builder.features(inputs[i]));
+  }
+}
+
+TEST(ForwardBatch, BuilderWarnsBatchMatchesWarns) {
+  Rng rng(44);
+  Network net = make_mlp({4, 8, 6}, rng);
+  MonitorBuilder builder(net, 2);
+  std::vector<Tensor> train;
+  for (int i = 0; i < 12; ++i) {
+    train.push_back(Tensor::random_uniform({4}, rng));
+  }
+  MinMaxMonitor monitor(builder.feature_dim());
+  builder.build_standard(monitor, train);
+  std::vector<Tensor> probes;
+  for (int i = 0; i < 10; ++i) {
+    probes.push_back(Tensor::random_uniform({4}, rng, -3.0F, 3.0F));
+  }
+  auto buf = std::make_unique<bool[]>(probes.size());
+  std::span<bool> out(buf.get(), probes.size());
+  builder.warns_batch(monitor, probes, out);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(out[i], builder.warns(monitor, probes[i]));
+  }
+  EXPECT_THROW(builder.warns_batch(monitor, probes, {buf.get(), 3}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ranm

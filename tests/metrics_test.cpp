@@ -33,7 +33,11 @@ TEST(Metrics, WarningRateFeatures) {
   m.observe(std::vector<float>{1.0F});
   std::vector<std::vector<float>> feats{{0.5F}, {2.0F}, {-1.0F}, {0.9F}};
   EXPECT_DOUBLE_EQ(warning_rate_features(m, feats), 0.5);
-  EXPECT_THROW((void)warning_rate_features(m, {}), std::invalid_argument);
+  EXPECT_THROW(
+      (void)warning_rate_features(m, std::vector<std::vector<float>>{}),
+      std::invalid_argument);
+  EXPECT_THROW((void)warning_rate_features(m, FeatureBatch{}),
+               std::invalid_argument);
 }
 
 TEST(Metrics, EvaluateMonitorStructure) {

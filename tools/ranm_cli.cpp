@@ -31,6 +31,7 @@
 #include "nn/trainer.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace ranm::cli {
 namespace {
@@ -225,13 +226,24 @@ int cmd_eval(const ArgParser& args) {
   const auto layer = std::size_t(args.get_int("layer", 0));
   MonitorBuilder builder(net, layer);
 
+  // Each set runs through the batched query pipeline (one feature
+  // extraction pass + one membership query per chunk); the measured
+  // end-to-end throughput rides along in the report.
+  auto eval_set = [&](const std::string& label, int precision,
+                      const std::vector<Tensor>& inputs, TextTable& table) {
+    Timer timer;
+    const double rate = warning_rate(builder, *monitor, inputs);
+    const double secs = timer.seconds();
+    const double per_sec =
+        secs > 0.0 ? double(inputs.size()) / secs : 0.0;
+    table.add_row({label, TextTable::pct(100 * rate, precision),
+                   TextTable::num(per_sec, 0)});
+  };
+
   const Dataset in_dist = load_dataset_file(args.require("in-dist"));
   TextTable table("monitor evaluation");
-  table.set_header({"set", "warning rate"});
-  table.add_row({"in-dist (FP)",
-                 TextTable::pct(100 * warning_rate(builder, *monitor,
-                                                   in_dist.inputs),
-                                3)});
+  table.set_header({"set", "warning rate", "samples/s"});
+  eval_set("in-dist (FP)", 3, in_dist.inputs, table);
   // Repeatable --ood is not supported by the parser (last wins), so accept
   // a comma-separated list.
   const std::string ood_list = args.get("ood", "");
@@ -242,10 +254,7 @@ int cmd_eval(const ArgParser& args) {
     const std::string path = ood_list.substr(start, comma - start);
     if (!path.empty()) {
       const Dataset ood = load_dataset_file(path);
-      table.add_row({path, TextTable::pct(100 * warning_rate(builder,
-                                                             *monitor,
-                                                             ood.inputs),
-                                          2)});
+      eval_set(path, 2, ood.inputs, table);
     }
     start = comma + 1;
   }
@@ -264,7 +273,11 @@ int cmd_info(const ArgParser& args) {
   if (args.has("monitor")) {
     std::ifstream in(args.require("monitor"), std::ios::binary);
     if (!in) throw std::runtime_error("cannot open monitor file");
-    std::printf("%s\n", load_any_monitor(in)->describe().c_str());
+    const auto monitor = load_any_monitor(in);
+    std::printf("%s\n", monitor->describe().c_str());
+    std::printf("feature dimension: %zu (batch queries: contains_batch "
+                "over dim x n batches)\n",
+                monitor->dimension());
     return 0;
   }
   if (args.has("data")) {
