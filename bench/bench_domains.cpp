@@ -4,26 +4,66 @@
 // layer and on runtime, across network depth. Expected shape: zonotope
 // bounds are tighter (ratio < 1) and the gap widens with depth, at higher
 // runtime cost. Star sets are not implemented (LP solver out of scope —
-// see DESIGN.md substitutions).
+// see DESIGN.md substitutions). Prints a table and writes machine-readable
+// JSON (BENCH_domains.json, or the path given as argv[1]) so the perf
+// trajectory is tracked per-PR. RANM_SMOKE=1 shrinks the sweep for CI.
 #include <cstdio>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/perturbation_estimator.hpp"
 #include "nn/init.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-using namespace ranm;
+namespace ranm {
+namespace {
 
-int main() {
+struct Measurement {
+  std::size_t hidden_layers = 0;
+  double box_width = 0.0;
+  double zono_width = 0.0;
+  double ratio = 0.0;
+  double box_us_per_input = 0.0;
+  double zono_us_per_input = 0.0;
+};
+
+void write_json(const std::string& path, bool smoke,
+                const std::vector<Measurement>& results) {
+  std::vector<std::string> rows;
+  rows.reserve(results.size());
+  for (const Measurement& m : results) {
+    std::ostringstream row;
+    row << "{\"hidden_layers\": " << m.hidden_layers
+        << ", \"box_width\": " << m.box_width
+        << ", \"zono_width\": " << m.zono_width
+        << ", \"zono_box_ratio\": " << m.ratio
+        << ", \"box_us_per_input\": " << m.box_us_per_input
+        << ", \"zono_us_per_input\": " << m.zono_us_per_input << "}";
+    rows.push_back(row.str());
+  }
+  benchutil::write_json_report(path, "bench_domains", smoke, rows);
+}
+
+int run(int argc, char** argv) {
+  const bool smoke = benchutil::smoke_mode();
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_domains.json";
+  const std::vector<std::size_t> depths =
+      smoke ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 3, 4, 6};
+  const std::size_t num_inputs = smoke ? 10 : 50;
+
   Rng rng(77);
   TextTable table("E5: box vs zonotope perturbation estimates "
                   "(MLP width 32, Δ = 0.05, kp = 0)");
   table.set_header({"hidden layers", "box width", "zono width",
                     "zono/box ratio", "box us/input", "zono us/input"});
 
-  for (std::size_t depth : {1UL, 2UL, 3UL, 4UL, 6UL}) {
+  std::vector<Measurement> results;
+  for (const std::size_t depth : depths) {
     std::vector<std::size_t> dims{16};
     for (std::size_t i = 0; i < depth; ++i) dims.push_back(32);
     dims.push_back(8);
@@ -31,7 +71,8 @@ int main() {
     const std::size_t k = net.num_layers();
 
     std::vector<Tensor> inputs;
-    for (int i = 0; i < 50; ++i) {
+    inputs.reserve(num_inputs);
+    for (std::size_t i = 0; i < num_inputs; ++i) {
       inputs.push_back(Tensor::random_uniform({16}, rng));
     }
 
@@ -40,25 +81,39 @@ int main() {
     PerturbationEstimator zono_pe(
         net, k, PerturbationSpec{0, 0.05F, BoundDomain::kZonotope});
 
-    double box_width = 0.0, zono_width = 0.0;
+    Measurement m;
+    m.hidden_layers = depth;
     Timer box_timer;
-    for (const auto& v : inputs) box_width += box_pe.estimate(v).total_width();
-    const double box_us = box_timer.millis() * 1000.0 / double(inputs.size());
+    for (const auto& v : inputs) m.box_width += box_pe.estimate(v).total_width();
+    m.box_us_per_input = box_timer.millis() * 1000.0 / double(inputs.size());
     Timer zono_timer;
     for (const auto& v : inputs) {
-      zono_width += zono_pe.estimate(v).total_width();
+      m.zono_width += zono_pe.estimate(v).total_width();
     }
-    const double zono_us =
+    m.zono_us_per_input =
         zono_timer.millis() * 1000.0 / double(inputs.size());
+    m.ratio = m.box_width > 0.0 ? m.zono_width / m.box_width : 0.0;
+    m.box_width /= double(inputs.size());
+    m.zono_width /= double(inputs.size());
+    results.push_back(m);
 
-    table.add_row({std::to_string(depth), TextTable::num(box_width / 50, 3),
-                   TextTable::num(zono_width / 50, 3),
-                   TextTable::num(zono_width / box_width, 3),
-                   TextTable::num(box_us, 1), TextTable::num(zono_us, 1)});
+    table.add_row({std::to_string(depth), TextTable::num(m.box_width, 3),
+                   TextTable::num(m.zono_width, 3),
+                   TextTable::num(m.ratio, 3),
+                   TextTable::num(m.box_us_per_input, 1),
+                   TextTable::num(m.zono_us_per_input, 1)});
   }
   table.print();
-  std::printf("\n[E5] expected shape: ratio < 1 everywhere and shrinking "
+  write_json(json_path, smoke, results);
+  std::printf("wrote %s\n"
+              "\n[E5] expected shape: ratio < 1 everywhere and shrinking "
               "with depth (zonotopes track affine correlations that boxes "
-              "lose); zonotope runtime grows with generator count.\n");
+              "lose); zonotope runtime grows with generator count.\n",
+              json_path.c_str());
   return 0;
 }
+
+}  // namespace
+}  // namespace ranm
+
+int main(int argc, char** argv) { return ranm::run(argc, argv); }

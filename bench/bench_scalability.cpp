@@ -4,9 +4,17 @@
 // feasibility hinges on the per-sample cost of the abstraction update and
 // on the BDD not growing out of control as patterns accumulate. This
 // bench sweeps the training-set size and reports construction time and
-// monitor size for standard and robust interval monitors.
+// monitor size for standard and robust interval monitors, printing a
+// table and writing machine-readable JSON (BENCH_scalability.json, or the
+// path given as argv[1]) so the perf trajectory is tracked per-PR.
+// RANM_SMOKE=1 shrinks the sweep for CI smoke runs.
+#include <algorithm>
 #include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "core/interval_monitor.hpp"
 #include "core/monitor_builder.hpp"
 #include "nn/init.hpp"
@@ -14,9 +22,43 @@
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-using namespace ranm;
+namespace ranm {
+namespace {
 
-int main() {
+struct Measurement {
+  std::size_t train_size = 0;
+  bool robust = false;
+  double build_ms = 0.0;
+  double us_per_sample = 0.0;
+  double patterns = 0.0;
+  std::size_t bdd_nodes = 0;
+};
+
+void write_json(const std::string& path, bool smoke,
+                const std::vector<Measurement>& results) {
+  std::vector<std::string> rows;
+  rows.reserve(results.size());
+  for (const Measurement& m : results) {
+    std::ostringstream row;
+    row << "{\"train_size\": " << m.train_size << ", \"mode\": \""
+        << (m.robust ? "robust" : "standard")
+        << "\", \"build_ms\": " << m.build_ms
+        << ", \"us_per_sample\": " << m.us_per_sample
+        << ", \"patterns\": " << m.patterns
+        << ", \"bdd_nodes\": " << m.bdd_nodes << "}";
+    rows.push_back(row.str());
+  }
+  benchutil::write_json_report(path, "bench_scalability", smoke, rows);
+}
+
+int run(int argc, char** argv) {
+  const bool smoke = benchutil::smoke_mode();
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_scalability.json";
+  const std::vector<std::size_t> sweep =
+      smoke ? std::vector<std::size_t>{64, 256}
+            : std::vector<std::size_t>{64, 256, 1024};
+
   Rng rng(321);
   Network net = make_mlp({12, 48, 32, 8}, rng);
   const std::size_t k = 4;  // activation after the second Dense (dim 32)
@@ -24,11 +66,14 @@ int main() {
 
   // One big pool; prefixes of it form the sweep.
   std::vector<Tensor> pool;
-  for (int i = 0; i < 4096; ++i) {
+  const std::size_t pool_size = sweep.back();
+  pool.reserve(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) {
     pool.push_back(Tensor::random_uniform({12}, rng));
   }
   NeuronStats stats(builder.feature_dim(), true);
-  for (std::size_t i = 0; i < 512; ++i) {
+  const std::size_t stat_samples = std::min<std::size_t>(512, pool.size());
+  for (std::size_t i = 0; i < stat_samples; ++i) {
     stats.add(builder.features(pool[i]));
   }
 
@@ -37,9 +82,10 @@ int main() {
   table.set_header({"|Dtr|", "mode", "build ms", "us/sample", "patterns",
                     "bdd nodes"});
 
-  for (std::size_t n : {64UL, 256UL, 1024UL}) {
+  std::vector<Measurement> results;
+  for (const std::size_t n : sweep) {
     const std::vector<Tensor> data(pool.begin(), pool.begin() + long(n));
-    for (bool robust : {false, true}) {
+    for (const bool robust : {false, true}) {
       IntervalMonitor m(ThresholdSpec::from_percentiles(stats, 2));
       Timer t;
       if (robust) {
@@ -48,23 +94,39 @@ int main() {
       } else {
         builder.build_standard(m, data);
       }
-      const double ms = t.millis();
+      Measurement r;
+      r.train_size = n;
+      r.robust = robust;
+      r.build_ms = t.millis();
+      r.us_per_sample = r.build_ms * 1000.0 / double(n);
+      r.patterns = m.pattern_count();
+      r.bdd_nodes = m.bdd_node_count();
+      results.push_back(r);
       table.add_row({std::to_string(n), robust ? "robust" : "standard",
-                     TextTable::num(ms, 1),
-                     TextTable::num(ms * 1000.0 / double(n), 1),
-                     TextTable::num(m.pattern_count(), 0),
-                     std::to_string(m.bdd_node_count())});
+                     TextTable::num(r.build_ms, 1),
+                     TextTable::num(r.us_per_sample, 1),
+                     TextTable::num(r.patterns, 0),
+                     std::to_string(r.bdd_nodes)});
     }
   }
   table.print();
+  write_json(json_path, smoke, results);
   std::printf(
+      "wrote %s\n"
       "\n[E12] expected shape: standard construction stays ~10 us/sample "
       "(one forward + one cube insert). Robust construction on *random* "
       "inputs is the adversarial case: every insert contributes fresh "
       "straddling code ranges, so the BDD grows super-linearly — this is "
       "the documented scalability limit of word2set on uncorrelated "
-      "features. On the structured perception workloads (E3) robust "
-      "construction of 500 samples costs ~0.5 ms/sample because feature "
-      "vectors repeat and correlate.\n");
+      "features (sharded monitors exist to cut exactly this growth). On "
+      "the structured perception workloads (E3) robust construction of "
+      "500 samples costs ~0.5 ms/sample because feature vectors repeat "
+      "and correlate.\n",
+      json_path.c_str());
   return 0;
 }
+
+}  // namespace
+}  // namespace ranm
+
+int main(int argc, char** argv) { return ranm::run(argc, argv); }

@@ -7,26 +7,29 @@
 //             one-vector-at-a-time operation loop)
 //   batched — one Monitor::contains_batch call per minibatch
 //
-// plus the end-to-end pipeline (feature extraction + query) and the
-// construction loops (observe vs observe_batch). Results are printed as a
+// plus the end-to-end pipeline (feature extraction + query), the
+// construction loops (observe vs observe_batch), and a sharded mode that
+// sweeps S ∈ {1, 2, 4, 8} shards (T = min(S, 4) threads) against the
+// one-manager baseline for the BDD families. Results are printed as a
 // table and written as machine-readable JSON (BENCH_throughput.json, or
 // the path given as argv[1]) so the perf trajectory is tracked per-PR.
 // RANM_SMOKE=1 shrinks repetition counts for CI smoke runs.
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
 #include <memory>
 #include <span>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/box_cluster_monitor.hpp"
 #include "core/interval_monitor.hpp"
 #include "core/minmax_monitor.hpp"
 #include "core/monitor_builder.hpp"
 #include "core/multi_layer_monitor.hpp"
 #include "core/onoff_monitor.hpp"
+#include "core/sharded_monitor.hpp"
 #include "nn/init.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -34,11 +37,6 @@
 
 namespace ranm {
 namespace {
-
-bool smoke_mode() {
-  const char* env = std::getenv("RANM_SMOKE");
-  return env != nullptr && env[0] != '\0' && env[0] != '0';
-}
 
 struct Fixture {
   Rng rng{123};
@@ -65,8 +63,14 @@ std::size_t g_sink = 0;
 
 struct Measurement {
   std::string monitor;
-  std::string mode;  // "query", "end_to_end", "construct"
+  std::string mode;  // "query", "end_to_end", "construct", "shard_*"
   std::size_t batch_size = 0;
+  // Sharded modes: shards/threads of the measured configuration; 0 marks
+  // an unsharded row. For shard_* rows scalar_ns holds the unsharded
+  // (S=1, one manager) baseline and batched_ns the sharded time, so
+  // `speedup` is the sharded-vs-unsharded ratio.
+  std::size_t shards = 0;
+  std::size_t threads = 0;
   double scalar_ns = 0.0;   // per sample
   double batched_ns = 0.0;  // per sample
   [[nodiscard]] double speedup() const {
@@ -175,33 +179,169 @@ Measurement bench_construct(const std::string& name, const Fixture& f,
   return m;
 }
 
+/// ns/sample of `fold(monitor)` over fresh monitors, with monitor setup
+/// (manager allocation, thread-pool spawn) excluded from the timed
+/// region so sharded and unsharded rows compare pure fold cost.
+template <typename Make, typename Fold>
+double time_fold_per_sample(std::size_t reps, std::size_t samples,
+                            Make&& make, Fold&& fold) {
+  {
+    auto monitor = make();  // warmup
+    fold(*monitor);
+    g_sink += monitor->dimension();
+  }
+  double secs = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    auto monitor = make();
+    Timer timer;
+    fold(*monitor);
+    secs += timer.seconds();
+    g_sink += monitor->dimension();
+  }
+  return secs * 1e9 / double(reps) / double(samples);
+}
+
+/// Sharded-vs-unsharded sweep for one BDD monitor family. `make_plain`
+/// builds the S=1 single-manager monitor, `make_sharded(S)` the sharded
+/// one; both fold the same batch, and queries run on the built sets.
+template <typename MakePlain, typename MakeSharded>
+void bench_sharded(const std::string& name, const Fixture& f,
+                   std::size_t batch_size, std::size_t construct_reps,
+                   std::size_t query_reps,
+                   std::span<const std::size_t> shard_counts,
+                   std::vector<Measurement>& results, MakePlain&& make_plain,
+                   MakeSharded&& make_sharded) {
+  FeatureBatch batch(f.features.front().size(), batch_size);
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    batch.set_sample(i, f.features[i % f.features.size()]);
+  }
+  // Unsharded baseline: one manager over all neurons.
+  auto fold_batch = [&batch](Monitor& m) { m.observe_batch(batch); };
+  const double base_construct_ns = time_fold_per_sample(
+      construct_reps, batch_size, make_plain, fold_batch);
+  auto plain = make_plain();
+  plain->observe_batch(batch);
+  auto out = std::make_unique<bool[]>(batch_size);
+  std::span<bool> out_span(out.get(), batch_size);
+  const double base_query_ns =
+      time_per_sample(query_reps, batch_size, [&](std::size_t n) {
+        for (std::size_t r = 0; r < n; ++r) {
+          plain->contains_batch(batch, out_span);
+          g_sink += out_span.front();
+        }
+      });
+  for (const std::size_t s : shard_counts) {
+    // Thread lanes track the shard count up to 4 — the shape the
+    // acceptance target (S=4/T=4 vs S=1) pins down.
+    const std::size_t threads = std::min<std::size_t>(s, 4);
+    auto make_sh = [&make_sharded, s, threads] {
+      auto monitor =
+          std::make_unique<ShardedMonitor>(make_sharded(s));
+      monitor->set_threads(threads);
+      return monitor;
+    };
+    Measurement construct;
+    construct.monitor = name;
+    construct.mode = "shard_construct";
+    construct.batch_size = batch_size;
+    construct.shards = s;
+    construct.threads = threads;
+    construct.scalar_ns = base_construct_ns;
+    construct.batched_ns = time_fold_per_sample(construct_reps, batch_size,
+                                                make_sh, fold_batch);
+    results.push_back(construct);
+
+    auto sharded_ptr = make_sh();
+    ShardedMonitor& sharded = *sharded_ptr;
+    sharded.observe_batch(batch);
+    Measurement query;
+    query.monitor = name;
+    query.mode = "shard_query";
+    query.batch_size = batch_size;
+    query.shards = s;
+    query.threads = threads;
+    query.scalar_ns = base_query_ns;
+    query.batched_ns =
+        time_per_sample(query_reps, batch_size, [&](std::size_t n) {
+          for (std::size_t r = 0; r < n; ++r) {
+            sharded.contains_batch(batch, out_span);
+            g_sink += out_span.front();
+          }
+        });
+    results.push_back(query);
+  }
+}
+
+/// Robust (don't-care) sharded construction: the adversarial word2set
+/// case where the joint BDD grows super-linearly (every insert
+/// contributes fresh straddling code ranges — see bench_scalability).
+/// Sharding is the remedy: each shard's small word space saturates under
+/// the don't-care coverage instead of exploding.
+template <typename MakePlain, typename MakeSharded>
+void bench_sharded_robust(const std::string& name, const Fixture& f,
+                          std::size_t batch_size, std::size_t reps,
+                          std::span<const std::size_t> shard_counts,
+                          std::vector<Measurement>& results,
+                          MakePlain&& make_plain, MakeSharded&& make_sharded) {
+  const std::size_t dim = f.features.front().size();
+  FeatureBatch lo(dim, batch_size), hi(dim, batch_size);
+  Rng rng(97);
+  std::vector<float> lo_s(dim), hi_s(dim);
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    const auto& v = f.features[i % f.features.size()];
+    for (std::size_t j = 0; j < dim; ++j) {
+      const float d = rng.uniform_f(0.05F, 0.3F);
+      lo_s[j] = v[j] - d;
+      hi_s[j] = v[j] + d;
+    }
+    lo.set_sample(i, lo_s);
+    hi.set_sample(i, hi_s);
+  }
+  auto fold_bounds = [&lo, &hi](Monitor& m) {
+    m.observe_bounds_batch(lo, hi);
+  };
+  const double base_ns =
+      time_fold_per_sample(reps, batch_size, make_plain, fold_bounds);
+  for (const std::size_t s : shard_counts) {
+    const std::size_t threads = std::min<std::size_t>(s, 4);
+    auto make_sh = [&make_sharded, s, threads] {
+      auto monitor =
+          std::make_unique<ShardedMonitor>(make_sharded(s));
+      monitor->set_threads(threads);
+      return monitor;
+    };
+    Measurement m;
+    m.monitor = name;
+    m.mode = "shard_construct_robust";
+    m.batch_size = batch_size;
+    m.shards = s;
+    m.threads = threads;
+    m.scalar_ns = base_ns;
+    m.batched_ns =
+        time_fold_per_sample(reps, batch_size, make_sh, fold_bounds);
+    results.push_back(m);
+  }
+}
+
 void write_json(const std::string& path, bool smoke,
                 const std::vector<Measurement>& results) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "bench_throughput: cannot write %s\n",
-                 path.c_str());
-    return;
-  }
-  out << "{\n";
-  out << "  \"bench\": \"bench_throughput\",\n";
-  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
-  out << "  \"results\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const Measurement& m = results[i];
-    out << "    {\"monitor\": \"" << m.monitor << "\", \"mode\": \""
-        << m.mode << "\", \"batch_size\": " << m.batch_size
+  std::vector<std::string> rows;
+  rows.reserve(results.size());
+  for (const Measurement& m : results) {
+    std::ostringstream row;
+    row << "{\"monitor\": \"" << m.monitor << "\", \"mode\": \"" << m.mode
+        << "\", \"batch_size\": " << m.batch_size
+        << ", \"shards\": " << m.shards << ", \"threads\": " << m.threads
         << ", \"scalar_ns_per_sample\": " << m.scalar_ns
         << ", \"batched_ns_per_sample\": " << m.batched_ns
-        << ", \"speedup\": " << m.speedup() << "}"
-        << (i + 1 < results.size() ? "," : "") << "\n";
+        << ", \"speedup\": " << m.speedup() << "}";
+    rows.push_back(row.str());
   }
-  out << "  ]\n";
-  out << "}\n";
+  benchutil::write_json_report(path, "bench_throughput", smoke, rows);
 }
 
 int run(int argc, char** argv) {
-  const bool smoke = smoke_mode();
+  const bool smoke = benchutil::smoke_mode();
   const std::string json_path =
       argc > 1 ? argv[1] : "BENCH_throughput.json";
   // Reps chosen so the full run stays in seconds; smoke barely turns the
@@ -289,11 +429,51 @@ int run(int argc, char** argv) {
                                               f.stats, 2));
                                     }));
 
+  // Sharded mode: S managers of ~32/S neurons each vs the one-manager
+  // monitor. Construction wins come from cutting BDD growth (smaller
+  // cubes, smaller sets) plus the shard-parallel fan-out; rows record
+  // sharded time against the unsharded baseline.
+  const std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
+  const ThresholdSpec spec2 = ThresholdSpec::from_percentiles(f.stats, 2);
+  const ThresholdSpec spec4 = ThresholdSpec::from_percentiles(f.stats, 4);
+  const ThresholdSpec spec_means = ThresholdSpec::from_means(f.stats);
+  bench_sharded(
+      "onoff", f, 256, construct_reps, query_reps, shard_counts, results,
+      [&] { return std::make_unique<OnOffMonitor>(spec_means); },
+      [&](std::size_t s) {
+        return ShardedMonitor::onoff(ShardPlan::contiguous(32, s),
+                                     spec_means);
+      });
+  bench_sharded(
+      "interval", f, 256, construct_reps, query_reps, shard_counts, results,
+      [&] { return std::make_unique<IntervalMonitor>(spec2); },
+      [&](std::size_t s) {
+        return ShardedMonitor::interval(ShardPlan::contiguous(32, s), spec2);
+      });
+  bench_sharded(
+      "interval4", f, 256, construct_reps, query_reps, shard_counts,
+      results,
+      [&] { return std::make_unique<IntervalMonitor>(spec4); },
+      [&](std::size_t s) {
+        return ShardedMonitor::interval(ShardPlan::contiguous(32, s), spec4);
+      });
+  // Robust construction is the super-linear word2set case, so fewer reps
+  // keep the unsharded baseline affordable.
+  const std::size_t robust_reps = smoke ? 2 : 5;
+  bench_sharded_robust(
+      "interval", f, 256, robust_reps, shard_counts, results,
+      [&] { return std::make_unique<IntervalMonitor>(spec2); },
+      [&](std::size_t s) {
+        return ShardedMonitor::interval(ShardPlan::contiguous(32, s), spec2);
+      });
+
   TextTable table("batched vs scalar monitor throughput (ns/sample)");
-  table.set_header({"monitor", "mode", "batch", "scalar", "batched",
-                    "speedup"});
+  table.set_header({"monitor", "mode", "batch", "S", "T", "scalar",
+                    "batched", "speedup"});
   for (const Measurement& m : results) {
     table.add_row({m.monitor, m.mode, std::to_string(m.batch_size),
+                   m.shards == 0 ? "-" : std::to_string(m.shards),
+                   m.threads == 0 ? "-" : std::to_string(m.threads),
                    TextTable::num(m.scalar_ns, 1),
                    TextTable::num(m.batched_ns, 1),
                    TextTable::num(m.speedup(), 2)});

@@ -1,0 +1,46 @@
+// Shared scaffolding for the self-timed benches: the RANM_SMOKE switch
+// and the BENCH_*.json report shape ({"bench", "smoke", "results": [...]})
+// live here once so every bench emits the same schema and a format tweak
+// (a new top-level field, say) lands everywhere at once.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ranm::benchutil {
+
+/// True when RANM_SMOKE is set non-empty and not "0": CI smoke runs
+/// shrink sweeps/repetitions but still exercise every path and emit the
+/// full JSON schema.
+inline bool smoke_mode() {
+  const char* env = std::getenv("RANM_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Writes the per-PR report: each entry of `rows` is one pre-rendered
+/// JSON object. Failure to open the path is reported on stderr, not
+/// fatal — the bench's table output already happened.
+inline void write_json_report(const std::string& path,
+                              const std::string& bench, bool smoke,
+                              const std::vector<std::string>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "%s: cannot write %s\n", bench.c_str(),
+                 path.c_str());
+    return;
+  }
+  out << "{\n";
+  out << "  \"bench\": \"" << bench << "\",\n";
+  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << "    " << rows[i] << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+}  // namespace ranm::benchutil

@@ -27,17 +27,45 @@ FeatureBatch FeatureBatch::from_samples(
   return batch;
 }
 
+FeatureBatch FeatureBatch::view_rows(
+    std::span<const std::uint32_t> rows) const {
+  FeatureBatch view;
+  view.dim_ = rows.size();
+  view.size_ = size_;
+  view.rows_.reserve(rows.size());
+  for (const std::uint32_t r : rows) {
+    if (r >= dim_) {
+      throw std::out_of_range("FeatureBatch::view_rows: row out of range");
+    }
+    // Resolving through row_ptr lets views compose (a view of a view
+    // aliases the original owner directly).
+    view.rows_.push_back(row_ptr(r));
+  }
+  if (view.rows_.empty()) {
+    throw std::invalid_argument("FeatureBatch::view_rows: empty row set");
+  }
+  return view;
+}
+
 std::span<float> FeatureBatch::neuron(std::size_t j) {
+  if (is_view()) {
+    throw std::logic_error(
+        "FeatureBatch::neuron: view batches are read-only");
+  }
   if (j >= dim_) throw std::out_of_range("FeatureBatch::neuron");
   return {data_.data() + j * size_, size_};
 }
 
 std::span<const float> FeatureBatch::neuron(std::size_t j) const {
   if (j >= dim_) throw std::out_of_range("FeatureBatch::neuron");
-  return {data_.data() + j * size_, size_};
+  return {row_ptr(j), size_};
 }
 
 void FeatureBatch::set_sample(std::size_t i, std::span<const float> feature) {
+  if (is_view()) {
+    throw std::logic_error(
+        "FeatureBatch::set_sample: view batches are read-only");
+  }
   if (i >= size_) throw std::out_of_range("FeatureBatch::set_sample");
   if (feature.size() != dim_) {
     throw std::invalid_argument(
@@ -55,13 +83,29 @@ void FeatureBatch::copy_sample(std::size_t i, std::span<float> out) const {
         "FeatureBatch::copy_sample: output has dimension " +
         std::to_string(out.size()) + ", batch has " + std::to_string(dim_));
   }
-  for (std::size_t j = 0; j < dim_; ++j) out[j] = data_[j * size_ + i];
+  for (std::size_t j = 0; j < dim_; ++j) out[j] = row_ptr(j)[i];
 }
 
 std::vector<float> FeatureBatch::sample(std::size_t i) const {
   std::vector<float> out(dim_);
   copy_sample(i, out);
   return out;
+}
+
+std::span<const float> FeatureBatch::storage() const {
+  if (is_view()) {
+    throw std::logic_error(
+        "FeatureBatch::storage: view batches have no contiguous storage");
+  }
+  return data_;
+}
+
+std::span<float> FeatureBatch::storage() {
+  if (is_view()) {
+    throw std::logic_error(
+        "FeatureBatch::storage: view batches have no contiguous storage");
+  }
+  return data_;
 }
 
 }  // namespace ranm

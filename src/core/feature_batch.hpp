@@ -8,9 +8,16 @@
 // coding, interval sweeps) runs over contiguous memory with the neuron's
 // parameters loaded once — the cache-friendly orientation for every monitor
 // family — while per-sample views are gathered on demand.
+//
+// A batch can also be a non-owning *row-subset view* of another batch
+// (view_rows): the sharding layer hands each shard a view of its own
+// neurons' rows, so one feature-extraction pass feeds every shard with no
+// copies. Views keep the same per-row contiguity guarantees the batched
+// monitor kernels rely on.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -35,12 +42,25 @@ class FeatureBatch {
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
-  /// Element (neuron j, sample i); unchecked.
+  /// Non-owning row-subset view: neuron j of the view aliases neuron
+  /// rows[j] of this batch, sharing the same samples. No feature data is
+  /// copied — the view holds one pointer per selected row — so per-shard
+  /// projections of one batch compose with the batched query path for
+  /// free. The viewed batch must outlive the view and must not be resized
+  /// or moved while views exist. Views are read-only: the mutating checked
+  /// accessors throw std::logic_error.
+  [[nodiscard]] FeatureBatch view_rows(
+      std::span<const std::uint32_t> rows) const;
+  /// True for row-subset views (which alias another batch's storage).
+  [[nodiscard]] bool is_view() const noexcept { return !rows_.empty(); }
+
+  /// Element (neuron j, sample i); unchecked. The mutable overload
+  /// requires an owning batch.
   [[nodiscard]] float& at(std::size_t j, std::size_t i) noexcept {
     return data_[j * size_ + i];
   }
   [[nodiscard]] float at(std::size_t j, std::size_t i) const noexcept {
-    return data_[j * size_ + i];
+    return rows_.empty() ? data_[j * size_ + i] : rows_[j][i];
   }
 
   /// Contiguous row of neuron j: its value for every sample. Checked.
@@ -54,16 +74,22 @@ class FeatureBatch {
   /// Gathers column i into a fresh vector.
   [[nodiscard]] std::vector<float> sample(std::size_t i) const;
 
-  /// The whole dim × n storage, row-major.
-  [[nodiscard]] std::span<const float> storage() const noexcept {
-    return data_;
-  }
-  [[nodiscard]] std::span<float> storage() noexcept { return data_; }
+  /// The whole dim × n storage, row-major. Owning batches only: a view's
+  /// rows are not contiguous in its parent, so views throw
+  /// std::logic_error here.
+  [[nodiscard]] std::span<const float> storage() const;
+  [[nodiscard]] std::span<float> storage();
 
  private:
+  /// First element of neuron j's row (owning or view). Unchecked.
+  [[nodiscard]] const float* row_ptr(std::size_t j) const noexcept {
+    return rows_.empty() ? data_.data() + j * size_ : rows_[j];
+  }
+
   std::size_t dim_ = 0;
   std::size_t size_ = 0;
-  std::vector<float> data_;
+  std::vector<float> data_;         // owning storage; empty for views
+  std::vector<const float*> rows_;  // view row table; empty when owning
 };
 
 }  // namespace ranm

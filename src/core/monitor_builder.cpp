@@ -26,6 +26,12 @@ FeatureBatch MonitorBuilder::features_batch(
   return net_.forward_batch(k_, inputs);
 }
 
+ShardPlan MonitorBuilder::shard_plan(std::size_t shards,
+                                     ShardStrategy strategy,
+                                     std::uint64_t seed) const {
+  return ShardPlan::make(strategy, feature_dim(), shards, seed);
+}
+
 NeuronStats MonitorBuilder::collect_stats(const std::vector<Tensor>& data,
                                           bool keep_samples) const {
   NeuronStats stats(feature_dim(), keep_samples);

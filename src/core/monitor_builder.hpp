@@ -13,6 +13,7 @@
 #include "core/monitor.hpp"
 #include "core/neuron_stats.hpp"
 #include "core/perturbation_estimator.hpp"
+#include "core/shard_plan.hpp"
 #include "nn/network.hpp"
 
 namespace ranm {
@@ -40,13 +41,26 @@ class MonitorBuilder {
   [[nodiscard]] NeuronStats collect_stats(const std::vector<Tensor>& data,
                                           bool keep_samples = false) const;
 
+  /// Partition of this layer's d_k neurons for a sharded monitor. The
+  /// plan's dimension is feature_dim(); `seed` only matters for
+  /// ShardStrategy::kShuffled.
+  [[nodiscard]] ShardPlan shard_plan(
+      std::size_t shards,
+      ShardStrategy strategy = ShardStrategy::kContiguous,
+      std::uint64_t seed = 0) const;
+
   /// Standard construction: folds ab(G^k(v)) for every v in data. Drives
-  /// the batched observe path in chunks of `batch_size`.
+  /// the batched observe path in chunks of `batch_size`: each chunk's
+  /// features are extracted once into a FeatureBatch and handed to
+  /// observe_batch — for a ShardedMonitor that call fans per-shard row
+  /// views of the chunk out across its thread pool, so the shard-parallel
+  /// build path is this same loop.
   void build_standard(Monitor& monitor, const std::vector<Tensor>& data,
                       std::size_t batch_size = kDefaultBatch) const;
 
   /// Robust construction: folds abR(pe(v, kp, Δ)) for every v in data,
-  /// feeding the bounds to the monitor in batched chunks.
+  /// feeding the bounds to the monitor in batched chunks (sharded
+  /// monitors fan each chunk's bound views out per shard, as above).
   void build_robust(Monitor& monitor, const std::vector<Tensor>& data,
                     const PerturbationSpec& spec,
                     std::size_t batch_size = kDefaultBatch) const;

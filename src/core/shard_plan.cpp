@@ -1,0 +1,159 @@
+#include "core/shard_plan.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace ranm {
+namespace {
+
+void check_shape(std::size_t dim, std::size_t shards, const char* what) {
+  if (dim == 0) {
+    throw std::invalid_argument(std::string(what) + ": zero dimension");
+  }
+  if (shards == 0 || shards > dim) {
+    throw std::invalid_argument(std::string(what) +
+                                ": shard count must be in 1..dimension");
+  }
+}
+
+/// Slices an ordering of [0, dim) into `shards` near-equal groups.
+std::vector<std::vector<std::uint32_t>> slice(
+    const std::vector<std::uint32_t>& order, std::size_t shards) {
+  const std::size_t dim = order.size();
+  std::vector<std::vector<std::uint32_t>> groups(shards);
+  std::size_t start = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t end = ((s + 1) * dim) / shards;
+    groups[s].assign(order.begin() + long(start), order.begin() + long(end));
+    start = end;
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::string_view shard_strategy_name(ShardStrategy strategy) noexcept {
+  switch (strategy) {
+    case ShardStrategy::kContiguous:
+      return "contiguous";
+    case ShardStrategy::kRoundRobin:
+      return "round-robin";
+    case ShardStrategy::kShuffled:
+      return "shuffled";
+  }
+  return "unknown";
+}
+
+ShardStrategy parse_shard_strategy(std::string_view name) {
+  if (name == "contiguous") return ShardStrategy::kContiguous;
+  if (name == "round-robin") return ShardStrategy::kRoundRobin;
+  if (name == "shuffled") return ShardStrategy::kShuffled;
+  throw std::invalid_argument("unknown shard strategy " + std::string(name));
+}
+
+ShardPlan::ShardPlan(std::size_t dim,
+                     std::vector<std::vector<std::uint32_t>> groups,
+                     ShardStrategy strategy, std::uint64_t seed)
+    : dim_(dim),
+      groups_(std::move(groups)),
+      shard_of_(dim, std::uint32_t(groups_.size())),
+      index_in_shard_(dim, 0),
+      strategy_(strategy),
+      seed_(seed) {
+  // The groups must partition [0, dim): every neuron exactly once.
+  for (std::size_t s = 0; s < groups_.size(); ++s) {
+    if (groups_[s].empty()) {
+      throw std::invalid_argument("ShardPlan: empty shard");
+    }
+    for (std::size_t lj = 0; lj < groups_[s].size(); ++lj) {
+      const std::uint32_t j = groups_[s][lj];
+      if (j >= dim_) {
+        throw std::invalid_argument("ShardPlan: neuron id out of range");
+      }
+      if (shard_of_[j] != groups_.size()) {
+        throw std::invalid_argument("ShardPlan: neuron assigned twice");
+      }
+      shard_of_[j] = std::uint32_t(s);
+      index_in_shard_[j] = std::uint32_t(lj);
+    }
+  }
+  for (std::size_t j = 0; j < dim_; ++j) {
+    if (shard_of_[j] == groups_.size()) {
+      throw std::invalid_argument("ShardPlan: neuron not assigned");
+    }
+  }
+}
+
+ShardPlan ShardPlan::contiguous(std::size_t dim, std::size_t shards) {
+  check_shape(dim, shards, "ShardPlan::contiguous");
+  std::vector<std::uint32_t> order(dim);
+  std::iota(order.begin(), order.end(), 0U);
+  return ShardPlan(dim, slice(order, shards), ShardStrategy::kContiguous, 0);
+}
+
+ShardPlan ShardPlan::round_robin(std::size_t dim, std::size_t shards) {
+  check_shape(dim, shards, "ShardPlan::round_robin");
+  std::vector<std::vector<std::uint32_t>> groups(shards);
+  for (std::size_t j = 0; j < dim; ++j) {
+    groups[j % shards].push_back(std::uint32_t(j));
+  }
+  return ShardPlan(dim, std::move(groups), ShardStrategy::kRoundRobin, 0);
+}
+
+ShardPlan ShardPlan::shuffled(std::size_t dim, std::size_t shards,
+                              std::uint64_t seed) {
+  check_shape(dim, shards, "ShardPlan::shuffled");
+  std::vector<std::uint32_t> order(dim);
+  std::iota(order.begin(), order.end(), 0U);
+  Rng rng(seed);
+  for (std::size_t j = dim; j > 1; --j) {
+    std::swap(order[j - 1], order[rng.below(j)]);
+  }
+  ShardPlan plan(dim, slice(order, shards), ShardStrategy::kShuffled, seed);
+  return plan;
+}
+
+ShardPlan ShardPlan::make(ShardStrategy strategy, std::size_t dim,
+                          std::size_t shards, std::uint64_t seed) {
+  switch (strategy) {
+    case ShardStrategy::kContiguous:
+      return contiguous(dim, shards);
+    case ShardStrategy::kRoundRobin:
+      return round_robin(dim, shards);
+    case ShardStrategy::kShuffled:
+      return shuffled(dim, shards, seed);
+  }
+  throw std::invalid_argument("ShardPlan::make: unknown strategy");
+}
+
+ShardPlan ShardPlan::from_groups(
+    std::size_t dim, std::vector<std::vector<std::uint32_t>> groups,
+    ShardStrategy strategy, std::uint64_t seed) {
+  check_shape(dim, groups.size(), "ShardPlan::from_groups");
+  return ShardPlan(dim, std::move(groups), strategy, seed);
+}
+
+std::span<const std::uint32_t> ShardPlan::neurons(std::size_t s) const {
+  if (s >= groups_.size()) throw std::out_of_range("ShardPlan::neurons");
+  return groups_[s];
+}
+
+std::size_t ShardPlan::shard_of(std::size_t j) const {
+  if (j >= dim_) throw std::out_of_range("ShardPlan::shard_of");
+  return shard_of_[j];
+}
+
+std::size_t ShardPlan::index_in_shard(std::size_t j) const {
+  if (j >= dim_) throw std::out_of_range("ShardPlan::index_in_shard");
+  return index_in_shard_[j];
+}
+
+bool ShardPlan::operator==(const ShardPlan& other) const noexcept {
+  return dim_ == other.dim_ && groups_ == other.groups_ &&
+         strategy_ == other.strategy_ && seed_ == other.seed_;
+}
+
+}  // namespace ranm

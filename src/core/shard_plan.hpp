@@ -1,0 +1,87 @@
+// Deterministic partition of a monitored layer's neurons into shards.
+//
+// One BDD over all d_k monitored neurons grows super-linearly with layer
+// width and serialises construction and queries on one manager. A
+// ShardPlan splits the neurons into S disjoint groups; each group gets its
+// own BDD-backed monitor with a private manager and a shard-local variable
+// order (the group's neurons in plan order). The plan is pure data — which
+// neuron lives in which shard, at which local index — so it serialises
+// with the monitor and reproduces bit-for-bit across hosts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace ranm {
+
+/// How neurons are assigned to shards.
+enum class ShardStrategy : std::uint32_t {
+  kContiguous = 0,  // shard s owns one contiguous slice of [0, dim)
+  kRoundRobin = 1,  // neuron j lives in shard j % S
+  kShuffled = 2,    // seeded permutation of [0, dim), sliced contiguously
+};
+
+[[nodiscard]] std::string_view shard_strategy_name(
+    ShardStrategy strategy) noexcept;
+/// Parses a strategy name ("contiguous" | "round-robin" | "shuffled").
+/// Throws std::invalid_argument on anything else.
+[[nodiscard]] ShardStrategy parse_shard_strategy(std::string_view name);
+
+/// Disjoint, exhaustive assignment of `dim` neurons to S shards.
+class ShardPlan {
+ public:
+  /// Shard s owns the contiguous slice [s*dim/S, (s+1)*dim/S).
+  [[nodiscard]] static ShardPlan contiguous(std::size_t dim,
+                                            std::size_t shards);
+  /// Neuron j lives in shard j % S (local order ascending in j).
+  [[nodiscard]] static ShardPlan round_robin(std::size_t dim,
+                                             std::size_t shards);
+  /// Seeded Fisher-Yates permutation of [0, dim), sliced contiguously.
+  /// The same (dim, shards, seed) always yields the same plan.
+  [[nodiscard]] static ShardPlan shuffled(std::size_t dim,
+                                          std::size_t shards,
+                                          std::uint64_t seed);
+  /// Strategy-dispatched factory (seed is ignored unless kShuffled).
+  [[nodiscard]] static ShardPlan make(ShardStrategy strategy,
+                                      std::size_t dim, std::size_t shards,
+                                      std::uint64_t seed = 0);
+  /// Rebuilds a plan from explicit per-shard neuron lists (deserialisation
+  /// path). The groups must partition [0, dim). `strategy` and `seed` are
+  /// carried as provenance only — the groups are authoritative.
+  [[nodiscard]] static ShardPlan from_groups(
+      std::size_t dim, std::vector<std::vector<std::uint32_t>> groups,
+      ShardStrategy strategy, std::uint64_t seed);
+
+  /// Total monitored neurons d_k.
+  [[nodiscard]] std::size_t dimension() const noexcept { return dim_; }
+  /// Number of shards S.
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return groups_.size();
+  }
+  [[nodiscard]] ShardStrategy strategy() const noexcept { return strategy_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Global neuron ids owned by shard s, in shard-local variable order.
+  [[nodiscard]] std::span<const std::uint32_t> neurons(std::size_t s) const;
+  /// Shard owning global neuron j.
+  [[nodiscard]] std::size_t shard_of(std::size_t j) const;
+  /// j's index within its shard's local order.
+  [[nodiscard]] std::size_t index_in_shard(std::size_t j) const;
+
+  [[nodiscard]] bool operator==(const ShardPlan& other) const noexcept;
+
+ private:
+  ShardPlan(std::size_t dim, std::vector<std::vector<std::uint32_t>> groups,
+            ShardStrategy strategy, std::uint64_t seed);
+
+  std::size_t dim_ = 0;
+  std::vector<std::vector<std::uint32_t>> groups_;
+  std::vector<std::uint32_t> shard_of_;        // neuron -> shard
+  std::vector<std::uint32_t> index_in_shard_;  // neuron -> local index
+  ShardStrategy strategy_ = ShardStrategy::kContiguous;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace ranm

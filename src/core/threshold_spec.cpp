@@ -49,6 +49,19 @@ std::span<const Threshold> ThresholdSpec::thresholds(std::size_t j) const {
   return per_neuron_[j];
 }
 
+ThresholdSpec ThresholdSpec::subset(
+    std::span<const std::uint32_t> neurons) const {
+  std::vector<std::vector<Threshold>> per_neuron;
+  per_neuron.reserve(neurons.size());
+  for (const std::uint32_t j : neurons) {
+    if (j >= per_neuron_.size()) {
+      throw std::out_of_range("ThresholdSpec::subset: neuron out of range");
+    }
+    per_neuron.push_back(per_neuron_[j]);
+  }
+  return ThresholdSpec(bits_, std::move(per_neuron));
+}
+
 std::uint64_t ThresholdSpec::code(std::size_t j, float v) const noexcept {
   const auto& ts = per_neuron_[j];
   // Thresholds are ascending, so "exceeds" is monotone: linear scan from

@@ -48,6 +48,13 @@ class ThresholdSpec {
   /// Thresholds of neuron j.
   [[nodiscard]] std::span<const Threshold> thresholds(std::size_t j) const;
 
+  /// Spec restricted to the given neurons, in the given order — the
+  /// per-shard slice a ShardedMonitor hands each inner monitor. Local
+  /// neuron lj of the result carries the thresholds of global neuron
+  /// neurons[lj]. Throws std::out_of_range on a bad id.
+  [[nodiscard]] ThresholdSpec subset(
+      std::span<const std::uint32_t> neurons) const;
+
   /// Code of value v at neuron j: |{i : v exceeds c_i}|.
   [[nodiscard]] std::uint64_t code(std::size_t j, float v) const noexcept;
   /// Codes reachable by any value in [lo, hi]: the inclusive code range

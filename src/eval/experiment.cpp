@@ -1,5 +1,13 @@
 #include "eval/experiment.hpp"
 
+#include <stdexcept>
+#include <string>
+
+#include "core/interval_monitor.hpp"
+#include "core/minmax_monitor.hpp"
+#include "core/onoff_monitor.hpp"
+#include "core/sharded_monitor.hpp"
+#include "core/threshold_spec.hpp"
 #include "nn/init.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
@@ -89,6 +97,66 @@ FeatureBatch monitor_features(LabSetup& setup,
 FeatureBatch monitor_features(DigitLabSetup& setup,
                               std::span<const Tensor> inputs) {
   return setup.net.forward_batch(setup.monitor_layer, inputs);
+}
+
+std::string_view monitor_family_name(MonitorFamily family) noexcept {
+  switch (family) {
+    case MonitorFamily::kMinMax:
+      return "minmax";
+    case MonitorFamily::kOnOff:
+      return "onoff";
+    case MonitorFamily::kInterval:
+      return "interval";
+  }
+  return "unknown";
+}
+
+MonitorFamily parse_monitor_family(std::string_view name) {
+  if (name == "minmax") return MonitorFamily::kMinMax;
+  if (name == "onoff") return MonitorFamily::kOnOff;
+  if (name == "interval") return MonitorFamily::kInterval;
+  throw std::invalid_argument("unknown monitor type " + std::string(name));
+}
+
+std::unique_ptr<Monitor> make_monitor(const MonitorOptions& opts,
+                                      const NeuronStats& stats) {
+  const std::size_t dim = stats.dimension();
+  // Threshold selection is shared between the sharded and unsharded
+  // shapes: the sharded factories slice the full-dimension spec per
+  // shard, so both see identical per-neuron thresholds.
+  if (opts.shards <= 1) {
+    switch (opts.family) {
+      case MonitorFamily::kMinMax:
+        return std::make_unique<MinMaxMonitor>(dim);
+      case MonitorFamily::kOnOff:
+        return std::make_unique<OnOffMonitor>(
+            ThresholdSpec::from_means(stats));
+      case MonitorFamily::kInterval:
+        return std::make_unique<IntervalMonitor>(
+            ThresholdSpec::from_percentiles(stats, opts.bits));
+    }
+    throw std::invalid_argument("make_monitor: unknown family");
+  }
+  ShardPlan plan =
+      ShardPlan::make(opts.strategy, dim, opts.shards, opts.shard_seed);
+  std::unique_ptr<ShardedMonitor> monitor;
+  switch (opts.family) {
+    case MonitorFamily::kMinMax:
+      monitor = std::make_unique<ShardedMonitor>(
+          ShardedMonitor::minmax(std::move(plan)));
+      break;
+    case MonitorFamily::kOnOff:
+      monitor = std::make_unique<ShardedMonitor>(ShardedMonitor::onoff(
+          std::move(plan), ThresholdSpec::from_means(stats)));
+      break;
+    case MonitorFamily::kInterval:
+      monitor = std::make_unique<ShardedMonitor>(ShardedMonitor::interval(
+          std::move(plan), ThresholdSpec::from_percentiles(stats, opts.bits)));
+      break;
+  }
+  if (!monitor) throw std::invalid_argument("make_monitor: unknown family");
+  monitor->set_threads(opts.threads);
+  return monitor;
 }
 
 }  // namespace ranm

@@ -5,7 +5,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string_view>
 
+#include "core/monitor.hpp"
+#include "core/neuron_stats.hpp"
+#include "core/shard_plan.hpp"
 #include "data/digits.hpp"
 #include "data/racetrack.hpp"
 #include "nn/network.hpp"
@@ -77,5 +82,34 @@ struct DigitLabSetup {
                                             std::span<const Tensor> inputs);
 [[nodiscard]] FeatureBatch monitor_features(DigitLabSetup& setup,
                                             std::span<const Tensor> inputs);
+
+// ---- monitor zoo ----------------------------------------------------------
+
+/// Deployable monitor families shared by the CLI, benches, and examples.
+enum class MonitorFamily { kMinMax, kOnOff, kInterval };
+
+[[nodiscard]] std::string_view monitor_family_name(
+    MonitorFamily family) noexcept;
+/// Parses "minmax" | "onoff" | "interval"; throws std::invalid_argument.
+[[nodiscard]] MonitorFamily parse_monitor_family(std::string_view name);
+
+/// One knob set for "which monitor should watch this layer": family plus
+/// the sharding/threading shape. This is what `ranm build --type ...
+/// --shards N --threads T` parses into.
+struct MonitorOptions {
+  MonitorFamily family = MonitorFamily::kInterval;
+  std::size_t bits = 2;      // interval family code width
+  std::size_t shards = 1;    // 1 = plain single-manager monitor
+  std::size_t threads = 1;   // shard-level parallelism (sharded only)
+  ShardStrategy strategy = ShardStrategy::kContiguous;
+  std::uint64_t shard_seed = 0;  // kShuffled partition seed
+};
+
+/// Builds an empty monitor per `opts`, selecting thresholds from the
+/// per-neuron statistics (which must have been collected with
+/// keep_samples for the interval family). shards == 1 returns the plain
+/// monitor; shards > 1 returns a ShardedMonitor with `threads` lanes.
+[[nodiscard]] std::unique_ptr<Monitor> make_monitor(
+    const MonitorOptions& opts, const NeuronStats& stats);
 
 }  // namespace ranm

@@ -19,7 +19,11 @@ namespace {
 constexpr std::uint32_t kNetMagic = 0x524E4E31U;    // "RNN1"
 constexpr std::uint32_t kSpecMagic = 0x52545331U;   // "RTS1"
 constexpr std::uint32_t kMonMagic = 0x524D4F31U;    // "RMO1"
+constexpr std::uint32_t kShardMagic = 0x52534831U;  // "RSH1"
 constexpr std::uint32_t kDataMagic = 0x52445331U;   // "RDS1"
+
+/// Format version of the sharded artifact (header + per-shard payloads).
+constexpr std::uint32_t kShardVersion = 1;
 
 enum class LayerTag : std::uint32_t {
   kDense = 1,
@@ -390,6 +394,76 @@ MonitorTag read_monitor_header(std::istream& in) {
   return read_pod<MonitorTag>(in);
 }
 
+/// Tag-dispatched body of a legacy single-monitor stream (the kMonMagic
+/// header word has already been consumed). The single switch serving
+/// every flat-monitor entry point.
+std::unique_ptr<Monitor> load_tagged_monitor_body(std::istream& in) {
+  switch (read_pod<MonitorTag>(in)) {
+    case MonitorTag::kMinMax:
+      return std::make_unique<MinMaxMonitor>(load_minmax_body(in));
+    case MonitorTag::kOnOff:
+      return std::make_unique<OnOffMonitor>(load_onoff_body(in));
+    case MonitorTag::kInterval:
+      return std::make_unique<IntervalMonitor>(load_interval_body(in));
+  }
+  throw std::runtime_error("load monitor: unknown monitor tag");
+}
+
+/// Loads one legacy single-monitor stream (magic + tag + body). Shard
+/// payloads go through this too, so a corrupted sharded artifact cannot
+/// recurse into nested sharded headers.
+std::unique_ptr<Monitor> load_flat_monitor(std::istream& in) {
+  if (read_pod<std::uint32_t>(in) != kMonMagic) {
+    throw std::runtime_error("load monitor: bad magic");
+  }
+  return load_tagged_monitor_body(in);
+}
+
+ShardedMonitor load_sharded_body(std::istream& in) {
+  if (read_pod<std::uint32_t>(in) != kShardVersion) {
+    throw std::runtime_error("load_sharded_monitor: unsupported version");
+  }
+  const auto dim = static_cast<std::size_t>(read_u64(in));
+  const auto shard_count = static_cast<std::size_t>(read_u64(in));
+  // Bound both before any per-shard allocation: the neuron-id vectors
+  // below are sized from these fields. The shard cap is far above any
+  // real deployment but keeps a corrupted header from provoking a
+  // half-gigabyte vector-of-vectors allocation up front.
+  if (dim == 0 || dim > (1ULL << 24) || shard_count == 0 ||
+      shard_count > dim || shard_count > 4096) {
+    throw std::runtime_error("load_sharded_monitor: implausible header");
+  }
+  const auto strategy_raw = read_pod<std::uint32_t>(in);
+  if (strategy_raw > std::uint32_t(ShardStrategy::kShuffled)) {
+    throw std::runtime_error("load_sharded_monitor: unknown strategy");
+  }
+  const std::uint64_t seed = read_u64(in);
+  const auto observations = static_cast<std::size_t>(read_u64(in));
+
+  std::vector<std::vector<std::uint32_t>> groups(shard_count);
+  std::vector<std::unique_ptr<Monitor>> shards;
+  shards.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const auto count = static_cast<std::size_t>(read_u64(in));
+    if (count == 0 || count > dim) {
+      throw std::runtime_error("load_sharded_monitor: implausible shard");
+    }
+    groups[s].resize(count);
+    for (auto& j : groups[s]) j = read_pod<std::uint32_t>(in);
+    shards.push_back(load_flat_monitor(in));
+  }
+  // ShardPlan validates the partition; the ShardedMonitor constructor
+  // validates per-shard monitor dimensions. Report both as stream errors.
+  try {
+    ShardPlan plan = ShardPlan::from_groups(
+        dim, std::move(groups), ShardStrategy(strategy_raw), seed);
+    return ShardedMonitor(std::move(plan), std::move(shards), observations);
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("load_sharded_monitor: ") +
+                             e.what());
+  }
+}
+
 }  // namespace
 
 MinMaxMonitor load_minmax_monitor(std::istream& in) {
@@ -427,6 +501,38 @@ IntervalMonitor load_interval_monitor(std::istream& in) {
   return load_interval_body(in);
 }
 
+void save_monitor(std::ostream& out, const ShardedMonitor& monitor) {
+  const ShardPlan& plan = monitor.plan();
+  // Reject unsupported shapes before the first byte goes out, so a
+  // failed save cannot leave a truncated artifact behind.
+  for (std::size_t s = 0; s < plan.shard_count(); ++s) {
+    if (dynamic_cast<const ShardedMonitor*>(&monitor.shard(s)) != nullptr) {
+      throw std::invalid_argument(
+          "save_monitor: nested sharded monitors are not serialisable");
+    }
+  }
+  write_pod(out, kShardMagic);
+  write_pod(out, kShardVersion);
+  write_u64(out, plan.dimension());
+  write_u64(out, plan.shard_count());
+  write_pod(out, std::uint32_t(plan.strategy()));
+  write_u64(out, plan.seed());
+  write_u64(out, monitor.observation_count());
+  for (std::size_t s = 0; s < plan.shard_count(); ++s) {
+    const auto neurons = plan.neurons(s);
+    write_u64(out, neurons.size());
+    for (const std::uint32_t j : neurons) write_pod(out, j);
+    save_any_monitor(out, monitor.shard(s));
+  }
+}
+
+ShardedMonitor load_sharded_monitor(std::istream& in) {
+  if (read_pod<std::uint32_t>(in) != kShardMagic) {
+    throw std::runtime_error("load_sharded_monitor: bad magic");
+  }
+  return load_sharded_body(in);
+}
+
 void save_any_monitor(std::ostream& out, const Monitor& monitor) {
   if (const auto* mm = dynamic_cast<const MinMaxMonitor*>(&monitor)) {
     save_monitor(out, *mm);
@@ -435,6 +541,9 @@ void save_any_monitor(std::ostream& out, const Monitor& monitor) {
   } else if (const auto* iv =
                  dynamic_cast<const IntervalMonitor*>(&monitor)) {
     save_monitor(out, *iv);
+  } else if (const auto* sh =
+                 dynamic_cast<const ShardedMonitor*>(&monitor)) {
+    save_monitor(out, *sh);
   } else {
     throw std::invalid_argument("save_any_monitor: unsupported type " +
                                 monitor.describe());
@@ -442,15 +551,14 @@ void save_any_monitor(std::ostream& out, const Monitor& monitor) {
 }
 
 std::unique_ptr<Monitor> load_any_monitor(std::istream& in) {
-  switch (read_monitor_header(in)) {
-    case MonitorTag::kMinMax:
-      return std::make_unique<MinMaxMonitor>(load_minmax_body(in));
-    case MonitorTag::kOnOff:
-      return std::make_unique<OnOffMonitor>(load_onoff_body(in));
-    case MonitorTag::kInterval:
-      return std::make_unique<IntervalMonitor>(load_interval_body(in));
+  const auto magic = read_pod<std::uint32_t>(in);
+  if (magic == kShardMagic) {
+    return std::make_unique<ShardedMonitor>(load_sharded_body(in));
   }
-  throw std::runtime_error("load_any_monitor: unknown monitor tag");
+  if (magic != kMonMagic) {
+    throw std::runtime_error("load_any_monitor: bad magic");
+  }
+  return load_tagged_monitor_body(in);
 }
 
 void save_dataset(std::ostream& out, const Dataset& ds) {

@@ -14,6 +14,7 @@
 #include "core/interval_monitor.hpp"
 #include "core/minmax_monitor.hpp"
 #include "core/onoff_monitor.hpp"
+#include "core/sharded_monitor.hpp"
 #include "data/dataset.hpp"
 #include "nn/network.hpp"
 
@@ -46,12 +47,23 @@ void save_monitor(std::ostream& out, const OnOffMonitor& monitor);
 void save_monitor(std::ostream& out, const IntervalMonitor& monitor);
 [[nodiscard]] IntervalMonitor load_interval_monitor(std::istream& in);
 
+/// Sharded artifact: a versioned header (magic "RSH1", format version,
+/// dimension, shard count, plan strategy/seed, observation count) followed
+/// by each shard's explicit neuron list and its inner monitor payload in
+/// the legacy single-monitor format. The plan's stored neuron lists are
+/// authoritative on load, so artifacts survive strategy changes, and
+/// save -> load -> save round-trips byte-identically. Inner monitors must
+/// be of the serialisable families above.
+void save_monitor(std::ostream& out, const ShardedMonitor& monitor);
+[[nodiscard]] ShardedMonitor load_sharded_monitor(std::istream& in);
+
 /// Type-erased save: dispatches on the monitor's dynamic type.
-/// Supported: MinMaxMonitor, OnOffMonitor, IntervalMonitor. Throws
-/// std::invalid_argument for other types (BoxClusterMonitor is a
-/// baseline, not a deployment artifact).
+/// Supported: MinMaxMonitor, OnOffMonitor, IntervalMonitor,
+/// ShardedMonitor. Throws std::invalid_argument for other types
+/// (BoxClusterMonitor is a baseline, not a deployment artifact).
 void save_any_monitor(std::ostream& out, const Monitor& monitor);
-/// Type-erased load: returns whichever monitor type the stream contains.
+/// Type-erased load: returns whichever monitor type the stream contains
+/// (legacy single-shard streams and sharded artifacts both load).
 [[nodiscard]] std::unique_ptr<Monitor> load_any_monitor(std::istream& in);
 
 // ---- datasets ---------------------------------------------------------------

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/minmax_monitor.hpp"
@@ -73,6 +74,64 @@ TEST(FeatureBatch, EmptyAndErrors) {
       (void)FeatureBatch::from_samples(
           2, std::vector<std::vector<float>>{{1.0F}}),
       std::invalid_argument);
+}
+
+TEST(FeatureBatch, ViewRowsAliasesWithoutCopying) {
+  FeatureBatch batch(5, 4);
+  for (std::size_t j = 0; j < 5; ++j) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      batch.at(j, i) = float(j * 10 + i);
+    }
+  }
+  const std::vector<std::uint32_t> rows{4, 1};
+  const FeatureBatch view = batch.view_rows(rows);
+  EXPECT_TRUE(view.is_view());
+  EXPECT_FALSE(batch.is_view());
+  EXPECT_EQ(view.dimension(), 2U);
+  EXPECT_EQ(view.size(), 4U);
+  // Row 0 of the view is row 4 of the parent, and aliases its storage.
+  EXPECT_EQ(view.neuron(0).data(), batch.neuron(4).data());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(view.at(0, i), batch.at(4, i));
+    EXPECT_EQ(view.at(1, i), batch.at(1, i));
+  }
+  // Mutations to the parent are visible through the view (no copies).
+  batch.at(4, 2) = -7.0F;
+  EXPECT_EQ(view.at(0, 2), -7.0F);
+  // copy_sample gathers through the row table.
+  std::vector<float> sample(2);
+  view.copy_sample(2, sample);
+  EXPECT_EQ(sample[0], -7.0F);
+  EXPECT_EQ(sample[1], batch.at(1, 2));
+}
+
+TEST(FeatureBatch, ViewsCompose) {
+  FeatureBatch batch(6, 3);
+  for (std::size_t j = 0; j < 6; ++j) {
+    for (std::size_t i = 0; i < 3; ++i) batch.at(j, i) = float(j);
+  }
+  const std::vector<std::uint32_t> outer{5, 3, 1};
+  const FeatureBatch first = batch.view_rows(outer);
+  const std::vector<std::uint32_t> inner{2, 0};
+  const FeatureBatch second = first.view_rows(inner);
+  EXPECT_EQ(second.dimension(), 2U);
+  EXPECT_EQ(second.at(0, 0), 1.0F);  // outer[inner[0]] = row 1
+  EXPECT_EQ(second.at(1, 0), 5.0F);  // outer[inner[1]] = row 5
+  EXPECT_EQ(second.neuron(1).data(), batch.neuron(5).data());
+}
+
+TEST(FeatureBatch, ViewsAreReadOnlyAndValidated) {
+  FeatureBatch batch(4, 2);
+  const std::vector<std::uint32_t> rows{0, 3};
+  FeatureBatch view = batch.view_rows(rows);
+  const std::vector<float> sample{1.0F, 2.0F};
+  EXPECT_THROW(view.set_sample(0, sample), std::logic_error);
+  EXPECT_THROW((void)view.neuron(0), std::logic_error);  // mutable overload
+  EXPECT_THROW((void)view.storage(), std::logic_error);
+  EXPECT_THROW((void)std::as_const(view).storage(), std::logic_error);
+  const std::vector<std::uint32_t> bad{4};
+  EXPECT_THROW((void)batch.view_rows(bad), std::out_of_range);
+  EXPECT_THROW((void)batch.view_rows({}), std::invalid_argument);
 }
 
 TEST(ForwardBatch, MatchesPerSampleForwardTo) {

@@ -1,0 +1,134 @@
+// ShardPlan: every strategy yields a deterministic partition of the
+// neurons, the inverse maps agree with the groups, and malformed shapes or
+// group sets are rejected.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/shard_plan.hpp"
+
+namespace ranm {
+namespace {
+
+/// Asserts the plan is a partition of [0, dim) consistent with its
+/// inverse maps.
+void expect_partition(const ShardPlan& plan, std::size_t dim,
+                      std::size_t shards) {
+  EXPECT_EQ(plan.dimension(), dim);
+  EXPECT_EQ(plan.shard_count(), shards);
+  std::set<std::uint32_t> seen;
+  for (std::size_t s = 0; s < plan.shard_count(); ++s) {
+    const auto neurons = plan.neurons(s);
+    EXPECT_FALSE(neurons.empty());
+    for (std::size_t lj = 0; lj < neurons.size(); ++lj) {
+      const std::uint32_t j = neurons[lj];
+      EXPECT_LT(j, dim);
+      EXPECT_TRUE(seen.insert(j).second) << "neuron " << j << " twice";
+      EXPECT_EQ(plan.shard_of(j), s);
+      EXPECT_EQ(plan.index_in_shard(j), lj);
+    }
+  }
+  EXPECT_EQ(seen.size(), dim);
+}
+
+TEST(ShardPlan, ContiguousCoversAllNeuronsInOrder) {
+  for (const std::size_t shards : {1UL, 2UL, 3UL, 7UL, 32UL}) {
+    const ShardPlan plan = ShardPlan::contiguous(32, shards);
+    expect_partition(plan, 32, shards);
+    // Slices are contiguous and ascending across shards.
+    std::uint32_t expected = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (const std::uint32_t j : plan.neurons(s)) {
+        EXPECT_EQ(j, expected++);
+      }
+    }
+  }
+}
+
+TEST(ShardPlan, RoundRobinStripes) {
+  const ShardPlan plan = ShardPlan::round_robin(10, 3);
+  expect_partition(plan, 10, 3);
+  for (std::size_t j = 0; j < 10; ++j) {
+    EXPECT_EQ(plan.shard_of(j), j % 3);
+    EXPECT_EQ(plan.index_in_shard(j), j / 3);
+  }
+}
+
+TEST(ShardPlan, ShuffledIsSeedDeterministic) {
+  const ShardPlan a = ShardPlan::shuffled(32, 4, 42);
+  const ShardPlan b = ShardPlan::shuffled(32, 4, 42);
+  expect_partition(a, 32, 4);
+  EXPECT_TRUE(a == b);
+  const ShardPlan c = ShardPlan::shuffled(32, 4, 43);
+  expect_partition(c, 32, 4);
+  EXPECT_FALSE(a == c);  // different seed, different permutation
+}
+
+TEST(ShardPlan, MakeDispatchesOnStrategy) {
+  EXPECT_TRUE(ShardPlan::make(ShardStrategy::kContiguous, 16, 2) ==
+              ShardPlan::contiguous(16, 2));
+  EXPECT_TRUE(ShardPlan::make(ShardStrategy::kRoundRobin, 16, 2) ==
+              ShardPlan::round_robin(16, 2));
+  EXPECT_TRUE(ShardPlan::make(ShardStrategy::kShuffled, 16, 2, 9) ==
+              ShardPlan::shuffled(16, 2, 9));
+}
+
+TEST(ShardPlan, UnevenSizesDifferByAtMostOne) {
+  const ShardPlan plan = ShardPlan::contiguous(10, 4);
+  std::size_t min_size = 10, max_size = 0;
+  for (std::size_t s = 0; s < 4; ++s) {
+    min_size = std::min(min_size, plan.neurons(s).size());
+    max_size = std::max(max_size, plan.neurons(s).size());
+  }
+  EXPECT_LE(max_size - min_size, 1U);
+}
+
+TEST(ShardPlan, FromGroupsRoundTripsAndValidates) {
+  const ShardPlan original = ShardPlan::shuffled(12, 3, 5);
+  std::vector<std::vector<std::uint32_t>> groups;
+  for (std::size_t s = 0; s < original.shard_count(); ++s) {
+    const auto neurons = original.neurons(s);
+    groups.emplace_back(neurons.begin(), neurons.end());
+  }
+  const ShardPlan rebuilt = ShardPlan::from_groups(
+      12, groups, original.strategy(), original.seed());
+  EXPECT_TRUE(rebuilt == original);
+
+  // Duplicated neuron.
+  auto bad = groups;
+  bad[0][0] = bad[1][0];
+  EXPECT_THROW(
+      ShardPlan::from_groups(12, bad, ShardStrategy::kShuffled, 5),
+      std::invalid_argument);
+  // Out-of-range neuron.
+  bad = groups;
+  bad[2].back() = 12;
+  EXPECT_THROW(
+      ShardPlan::from_groups(12, bad, ShardStrategy::kShuffled, 5),
+      std::invalid_argument);
+  // Missing neuron (drop one and shrink the dimension mismatch).
+  bad = groups;
+  bad[1].pop_back();
+  EXPECT_THROW(
+      ShardPlan::from_groups(12, bad, ShardStrategy::kShuffled, 5),
+      std::invalid_argument);
+}
+
+TEST(ShardPlan, RejectsDegenerateShapes) {
+  EXPECT_THROW((void)ShardPlan::contiguous(0, 1), std::invalid_argument);
+  EXPECT_THROW((void)ShardPlan::contiguous(8, 0), std::invalid_argument);
+  EXPECT_THROW((void)ShardPlan::contiguous(8, 9), std::invalid_argument);
+  EXPECT_THROW((void)ShardPlan::round_robin(4, 5), std::invalid_argument);
+  EXPECT_THROW((void)ShardPlan::shuffled(4, 0, 1), std::invalid_argument);
+}
+
+TEST(ShardPlan, AccessorsRangeCheck) {
+  const ShardPlan plan = ShardPlan::contiguous(8, 2);
+  EXPECT_THROW((void)plan.neurons(2), std::out_of_range);
+  EXPECT_THROW((void)plan.shard_of(8), std::out_of_range);
+  EXPECT_THROW((void)plan.index_in_shard(8), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ranm

@@ -10,6 +10,7 @@
 //   ranm eval   --net net.bin --monitor monitor.bin --layer 6
 //               --in-dist test.ds --ood dark.ds --ood ice.ds
 //   ranm info   --net net.bin | --monitor monitor.bin | --data file.ds
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -20,7 +21,9 @@
 #include "core/monitor_builder.hpp"
 #include "core/monitorability.hpp"
 #include "core/onoff_monitor.hpp"
+#include "core/sharded_monitor.hpp"
 #include "data/digits.hpp"
+#include "eval/experiment.hpp"
 #include "data/racetrack.hpp"
 #include "data/signs.hpp"
 #include "eval/metrics.hpp"
@@ -46,13 +49,26 @@ namespace {
       "         [--seed S] --out FILE\n"
       "  build  --net FILE --data FILE --layer K\n"
       "         --type minmax|onoff|interval [--bits B]\n"
+      "         [--shards N] [--threads T]\n"
+      "         [--shard-strategy contiguous|round-robin|shuffled]\n"
+      "         [--shard-seed S]\n"
       "         [--robust] [--delta F] [--kp K] [--domain box|zonotope]\n"
       "         --out FILE\n"
       "  eval   --net FILE --monitor FILE --layer K --in-dist FILE\n"
-      "         [--ood FILE ...]\n"
+      "         [--ood FILE ...] [--threads T]\n"
       "  info   --net FILE | --monitor FILE | --data FILE\n",
       stderr);
   std::exit(2);
+}
+
+/// --threads: 0 means hardware concurrency; bounded so a typo cannot ask
+/// the pool to spawn thousands of OS threads.
+std::size_t parse_threads(const ArgParser& args) {
+  const std::int64_t t = args.get_int("threads", 1);
+  if (t < 0 || t > 256) {
+    throw std::invalid_argument("--threads must be in 0..256");
+  }
+  return std::size_t(t);
 }
 
 Dataset load_dataset_file(const std::string& path) {
@@ -178,19 +194,21 @@ int cmd_build(const ArgParser& args) {
   MonitorBuilder builder(net, layer);
   NeuronStats stats = builder.collect_stats(ds.inputs, true);
 
-  std::unique_ptr<Monitor> monitor;
-  const std::string type = args.require("type");
-  if (type == "minmax") {
-    monitor = std::make_unique<MinMaxMonitor>(builder.feature_dim());
-  } else if (type == "onoff") {
-    monitor = std::make_unique<OnOffMonitor>(ThresholdSpec::from_means(stats));
-  } else if (type == "interval") {
-    const auto bits = std::size_t(args.get_int("bits", 2));
-    monitor = std::make_unique<IntervalMonitor>(
-        ThresholdSpec::from_percentiles(stats, bits));
-  } else {
-    throw std::invalid_argument("unknown monitor type " + type);
+  MonitorOptions opts;
+  opts.family = parse_monitor_family(args.require("type"));
+  opts.bits = std::size_t(args.get_int("bits", 2));
+  const std::int64_t shards = args.get_int("shards", 1);
+  if (shards < 1 || shards > 4096) {
+    throw std::invalid_argument("--shards must be in 1..4096");
   }
+  // Shard counts above the layer width clamp down so "--shards 8" works
+  // uniformly across layers of any dimension.
+  opts.shards = std::min(std::size_t(shards), builder.feature_dim());
+  opts.threads = parse_threads(args);
+  opts.strategy =
+      parse_shard_strategy(args.get("shard-strategy", "contiguous"));
+  opts.shard_seed = std::uint64_t(args.get_int("shard-seed", 0));
+  std::unique_ptr<Monitor> monitor = make_monitor(opts, stats);
 
   if (args.has("robust")) {
     PerturbationSpec spec;
@@ -212,9 +230,10 @@ int cmd_build(const ArgParser& args) {
   std::ofstream out(args.require("out"), std::ios::binary);
   if (!out) throw std::runtime_error("cannot write monitor file");
   save_any_monitor(out, *monitor);
-  std::printf("built %s from %zu samples -> %s\n",
-              monitor->describe().c_str(), ds.size(),
-              args.require("out").c_str());
+  std::printf("built %s [%s] from %zu samples -> %s\n",
+              monitor->describe().c_str(),
+              std::string(monitor_family_name(opts.family)).c_str(),
+              ds.size(), args.require("out").c_str());
   return 0;
 }
 
@@ -223,6 +242,11 @@ int cmd_eval(const ArgParser& args) {
   std::ifstream min(args.require("monitor"), std::ios::binary);
   if (!min) throw std::runtime_error("cannot open monitor file");
   const auto monitor = load_any_monitor(min);
+  // The thread count is a runtime (host) property, not part of the
+  // artifact: apply --threads to sharded monitors after loading.
+  if (auto* sharded = dynamic_cast<ShardedMonitor*>(monitor.get())) {
+    sharded->set_threads(parse_threads(args));
+  }
   const auto layer = std::size_t(args.get_int("layer", 0));
   MonitorBuilder builder(net, layer);
 
@@ -278,6 +302,33 @@ int cmd_info(const ArgParser& args) {
     std::printf("feature dimension: %zu (batch queries: contains_batch "
                 "over dim x n batches)\n",
                 monitor->dimension());
+    if (const auto* sharded =
+            dynamic_cast<const ShardedMonitor*>(monitor.get())) {
+      const auto stats = sharded->shard_stats();
+      TextTable table("per-shard statistics");
+      table.set_header(
+          {"shard", "neurons", "bdd nodes", "cubes inserted", "patterns"});
+      std::size_t neurons = 0, nodes = 0;
+      for (std::size_t s = 0; s < stats.size(); ++s) {
+        const auto& st = stats[s];
+        table.add_row({std::to_string(s), std::to_string(st.neurons),
+                       std::to_string(st.bdd_nodes),
+                       std::to_string(st.cubes_inserted),
+                       st.patterns < 0 ? std::string("-")
+                                       : TextTable::num(st.patterns, 0)});
+        neurons += st.neurons;
+        nodes += st.bdd_nodes;
+      }
+      table.add_row({"total", std::to_string(neurons),
+                     std::to_string(nodes),
+                     std::to_string(sharded->observation_count()), "-"});
+      table.print();
+      std::printf("plan: %zu shards, strategy %s, seed %llu\n",
+                  sharded->shard_count(),
+                  std::string(shard_strategy_name(sharded->plan().strategy()))
+                      .c_str(),
+                  static_cast<unsigned long long>(sharded->plan().seed()));
+    }
     return 0;
   }
   if (args.has("data")) {
