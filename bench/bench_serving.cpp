@@ -1,0 +1,220 @@
+// Serving-layer cost: what does answering membership through the daemon
+// add over the in-process pipeline, and how does it amortise with batch
+// size? Deployment monitors run next to a live DNN, so the number that
+// matters is sustained queries/s and tail latency at the frame sizes the
+// vehicle actually produces.
+//
+// Two paths per batch size, both against the same MonitorService:
+//
+//   direct — MonitorService::query_warns called in-process (the serving
+//            core with zero transport cost)
+//   socket — the full wire path: frame encode -> Unix socket -> server
+//            thread -> decode -> query -> reply (what `ranm query` pays)
+//
+// for a flat interval monitor and a 4-shard ShardedMonitor. Results are
+// printed as a table and written as BENCH_serving.json (or argv[1]):
+// queries/s, samples/s, p50/p99 request latency vs batch size.
+// RANM_SMOKE=1 shrinks the sweep for CI smoke runs.
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/monitor_builder.hpp"
+#include "eval/experiment.hpp"
+#include "io/serialize.hpp"
+#include "nn/init.hpp"
+#include "serve/client.hpp"
+#include "serve/monitor_service.hpp"
+#include "serve/socket_server.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace ranm {
+namespace {
+
+struct Fixture {
+  Rng rng{123};
+  Network net = make_mlp({16, 64, 32, 8}, rng);
+  std::size_t k = 4;  // ReLU after second Dense, dim 32
+  std::vector<Tensor> train;
+  std::vector<Tensor> pool;  // query inputs, reused across requests
+  NeuronStats stats{32, true};
+
+  explicit Fixture(std::size_t samples, std::size_t pool_size) {
+    MonitorBuilder builder(net, k);
+    train.reserve(samples);
+    for (std::size_t i = 0; i < samples; ++i) {
+      train.push_back(Tensor::random_uniform({16}, rng));
+      stats.add(builder.features(train.back()));
+    }
+    pool.reserve(pool_size);
+    for (std::size_t i = 0; i < pool_size; ++i) {
+      const float scale = i % 2 == 0 ? 1.0F : 3.0F;
+      pool.push_back(Tensor::random_uniform({16}, rng, -scale, scale));
+    }
+  }
+
+  [[nodiscard]] std::unique_ptr<Monitor> build_monitor(
+      std::size_t shards) {
+    MonitorOptions opts;
+    opts.family = MonitorFamily::kInterval;
+    opts.bits = 2;
+    opts.shards = shards;
+    std::unique_ptr<Monitor> monitor = make_monitor(opts, stats);
+    MonitorBuilder builder(net, k);
+    builder.build_standard(*monitor, train);
+    return monitor;
+  }
+
+  [[nodiscard]] Network clone_net() {
+    std::stringstream buf;
+    save_network(buf, net);
+    return load_network(buf);
+  }
+};
+
+struct Measurement {
+  std::string monitor;
+  std::string mode;  // "direct" | "socket"
+  std::size_t batch_size = 0;
+  std::size_t requests = 0;
+  double queries_per_s = 0.0;
+  double samples_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Keeps verdicts observable so the compiler cannot drop the loops.
+std::size_t g_sink = 0;
+
+/// Drives `request(batch_span)` `requests` times and extracts the
+/// latency distribution.
+template <typename Fn>
+Measurement sweep(const Fixture& fx, const std::string& monitor,
+                  const std::string& mode, std::size_t batch,
+                  std::size_t requests, Fn&& request) {
+  const std::span<const Tensor> inputs(fx.pool.data(),
+                                       std::min(batch, fx.pool.size()));
+  (void)request(inputs);  // warmup
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(requests);
+  Timer total;
+  for (std::size_t r = 0; r < requests; ++r) {
+    Timer timer;
+    g_sink += request(inputs);
+    latencies_ms.push_back(timer.millis());
+  }
+  const double secs = total.seconds();
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  Measurement m;
+  m.monitor = monitor;
+  m.mode = mode;
+  m.batch_size = batch;
+  m.requests = requests;
+  m.queries_per_s = secs > 0.0 ? double(requests) / secs : 0.0;
+  m.samples_per_s = secs > 0.0 ? double(requests * batch) / secs : 0.0;
+  m.p50_ms = latencies_ms[latencies_ms.size() / 2];
+  m.p99_ms = latencies_ms[(latencies_ms.size() * 99) / 100];
+  return m;
+}
+
+std::string json_row(const Measurement& m) {
+  std::ostringstream out;
+  out << "{\"monitor\": \"" << m.monitor << "\", \"mode\": \"" << m.mode
+      << "\", \"batch_size\": " << m.batch_size
+      << ", \"requests\": " << m.requests
+      << ", \"queries_per_s\": " << m.queries_per_s
+      << ", \"samples_per_s\": " << m.samples_per_s
+      << ", \"p50_ms\": " << m.p50_ms << ", \"p99_ms\": " << m.p99_ms
+      << "}";
+  return out.str();
+}
+
+int run(int argc, char** argv) {
+  const bool smoke = benchutil::smoke_mode();
+  const std::string report_path =
+      argc > 1 ? argv[1] : "BENCH_serving.json";
+
+  const std::vector<std::size_t> batches =
+      smoke ? std::vector<std::size_t>{1, 32}
+            : std::vector<std::size_t>{1, 8, 32, 128, 256};
+  const auto requests_for = [smoke](std::size_t batch) {
+    if (smoke) return std::size_t{5};
+    return std::clamp<std::size_t>(4096 / batch, 64, 1024);
+  };
+
+  Fixture fx(smoke ? 32 : 256, 256);
+  std::vector<Measurement> results;
+
+  struct Config {
+    std::string name;
+    std::size_t shards;
+    std::size_t threads;
+  };
+  const std::vector<Config> configs = {{"interval", 1, 1},
+                                       {"interval_s4", 4, 2}};
+
+  for (const Config& cfg : configs) {
+    serve::MonitorService service(fx.clone_net(), fx.build_monitor(cfg.shards),
+                                  fx.k, cfg.threads);
+
+    // In-process path: the serving core with zero transport cost.
+    for (const std::size_t batch : batches) {
+      results.push_back(sweep(
+          fx, cfg.name, "direct", batch, requests_for(batch),
+          [&service](std::span<const Tensor> inputs) {
+            return service.query_warns(inputs).size();
+          }));
+    }
+
+    // Wire path: same service behind the socket server, one client.
+    const std::string socket_path =
+        "/tmp/ranm_bench_" + std::to_string(::getpid()) + ".sock";
+    serve::SocketServer server(service, socket_path);
+    std::thread server_thread([&server] { server.run(); });
+    {
+      serve::ServeClient client(socket_path);
+      for (const std::size_t batch : batches) {
+        results.push_back(sweep(
+            fx, cfg.name, "socket", batch, requests_for(batch),
+            [&client](std::span<const Tensor> inputs) {
+              return client.query_warns(inputs).size();
+            }));
+      }
+    }
+    server.stop();
+    server_thread.join();
+  }
+
+  TextTable table("serving throughput and latency");
+  table.set_header({"monitor", "mode", "batch", "queries/s", "samples/s",
+                    "p50 ms", "p99 ms"});
+  std::vector<std::string> rows;
+  rows.reserve(results.size());
+  for (const Measurement& m : results) {
+    table.add_row({m.monitor, m.mode, std::to_string(m.batch_size),
+                   TextTable::num(m.queries_per_s, 0),
+                   TextTable::num(m.samples_per_s, 0),
+                   TextTable::num(m.p50_ms, 4),
+                   TextTable::num(m.p99_ms, 4)});
+    rows.push_back(json_row(m));
+  }
+  table.print();
+  benchutil::write_json_report(report_path, "bench_serving", smoke, rows);
+  std::printf("sink: %zu\n", g_sink);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ranm
+
+int main(int argc, char** argv) { return ranm::run(argc, argv); }

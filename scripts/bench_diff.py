@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Cross-PR benchmark diff: compares freshly emitted BENCH_*.json reports
+against the committed baselines and prints a delta table.
+
+Usage:
+    python3 scripts/bench_diff.py BASELINE_DIR FRESH_DIR [--threshold PCT]
+
+Every BENCH_*.json found in either directory is paired by filename. Result
+rows are matched by their identity fields (every non-numeric value: monitor
+name, mode, batch size is numeric but listed as identity below); numeric
+fields are treated as metrics and reported as percentage deltas. Rows whose
+largest |delta| is below --threshold are suppressed.
+
+The diff is informational: committed baselines are full runs while CI emits
+RANM_SMOKE runs, so absolute deltas across that boundary are expected to be
+large (a warning is printed when the smoke flags differ). Exit code is
+always 0 unless a report fails to parse.
+
+Stdlib only — no pip dependencies.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Fields that identify a row even though they are numeric: sweeps are keyed
+# by these, so a delta between batch sizes would be meaningless.
+IDENTITY_NUMERIC = {"batch_size", "shards", "threads", "bits", "samples",
+                    "dim", "kp"}
+# Run-shape metadata: differs between smoke and full runs by design, and a
+# delta on it is noise — excluded from both identity and metrics.
+IGNORED = {"requests"}
+
+
+def row_identity(row):
+    parts = []
+    for key in sorted(row):
+        value = row[key]
+        if key in IGNORED:
+            continue
+        if isinstance(value, str) or isinstance(value, bool) \
+                or key in IDENTITY_NUMERIC:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def row_metrics(row):
+    return {
+        key: value
+        for key, value in row.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+        and key not in IDENTITY_NUMERIC and key not in IGNORED
+    }
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def diff_report(name, baseline, fresh, threshold):
+    lines = []
+    if baseline.get("smoke") != fresh.get("smoke"):
+        lines.append(
+            f"  note: smoke flags differ (baseline={baseline.get('smoke')}, "
+            f"fresh={fresh.get('smoke')}) — absolute deltas are expected")
+
+    base_rows = {row_identity(r): r for r in baseline.get("results", [])}
+    fresh_rows = {row_identity(r): r for r in fresh.get("results", [])}
+
+    for identity in sorted(set(base_rows) | set(fresh_rows)):
+        if identity not in base_rows:
+            lines.append(f"  + new row: {identity}")
+            continue
+        if identity not in fresh_rows:
+            lines.append(f"  - missing row: {identity}")
+            continue
+        old_metrics = row_metrics(base_rows[identity])
+        new_metrics = row_metrics(fresh_rows[identity])
+        cells = []
+        worst = 0.0
+        for key in sorted(set(old_metrics) | set(new_metrics)):
+            old = old_metrics.get(key)
+            new = new_metrics.get(key)
+            if old is None or new is None:
+                cells.append(f"{key}: {old} -> {new}")
+                worst = float("inf")
+                continue
+            if old == 0:
+                delta = 0.0 if new == 0 else float("inf")
+            else:
+                delta = 100.0 * (new - old) / abs(old)
+            worst = max(worst, abs(delta))
+            marker = " !" if abs(delta) >= 20.0 else ""
+            cells.append(f"{key}: {old:g} -> {new:g} ({delta:+.1f}%{marker})")
+        if worst >= threshold:
+            lines.append(f"  {identity}")
+            for cell in cells:
+                lines.append(f"      {cell}")
+
+    print(f"== {name} ==")
+    if lines:
+        print("\n".join(lines))
+    else:
+        print(f"  no deltas >= {threshold}%")
+    print()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline_dir", type=Path)
+    parser.add_argument("fresh_dir", type=Path)
+    parser.add_argument("--threshold", type=float, default=0.0,
+                        help="suppress rows whose largest |delta| is below "
+                             "this percentage (default: show everything)")
+    args = parser.parse_args()
+
+    names = sorted({p.name for p in args.baseline_dir.glob("BENCH_*.json")} |
+                   {p.name for p in args.fresh_dir.glob("BENCH_*.json")})
+    if not names:
+        print("bench_diff: no BENCH_*.json reports found", file=sys.stderr)
+        return 0
+
+    failed = False
+    for name in names:
+        base_path = args.baseline_dir / name
+        fresh_path = args.fresh_dir / name
+        if not base_path.exists():
+            print(f"== {name} ==\n  new report (no committed baseline)\n")
+            continue
+        if not fresh_path.exists():
+            print(f"== {name} ==\n  baseline exists but no fresh report\n")
+            continue
+        try:
+            diff_report(name, load_report(base_path), load_report(fresh_path),
+                        args.threshold)
+        except (json.JSONDecodeError, OSError) as err:
+            print(f"bench_diff: cannot read {name}: {err}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "bdd/bdd_io.hpp"
+#include "io/wire.hpp"
 #include "nn/activations.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/dense.hpp"
@@ -44,80 +45,18 @@ enum class MonitorTag : std::uint32_t {
   kInterval = 3,
 };
 
-template <typename T>
-void write_pod(std::ostream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof v);
-}
-
-template <typename T>
-T read_pod(std::istream& in) {
-  T v{};
-  in.read(reinterpret_cast<char*>(&v), sizeof v);
-  if (!in) throw std::runtime_error("ranm::io: truncated stream");
-  return v;
-}
-
-void write_u64(std::ostream& out, std::uint64_t v) { write_pod(out, v); }
-std::uint64_t read_u64(std::istream& in) { return read_pod<std::uint64_t>(in); }
-
-void write_shape(std::ostream& out, const Shape& shape) {
-  write_u64(out, shape.size());
-  for (std::size_t d : shape) write_u64(out, d);
-}
-
-// Upper bound on any loaded dimension or element count. Corrupted headers
-// must fail on these checks, before a constructor allocates from them.
-constexpr std::uint64_t kMaxLoadElems = 1ULL << 26;
-
-std::uint64_t read_dim_u64(std::istream& in) {
-  const std::uint64_t v = read_u64(in);
-  if (v > kMaxLoadElems) {
-    throw std::runtime_error("ranm::io: implausible dimension");
-  }
-  return v;
-}
-
-// Product of already-bounded dimensions, capped after every factor: both
-// operands stay <= kMaxLoadElems (2^26), so the multiply cannot wrap before
-// the check.
-std::uint64_t bounded_numel(std::initializer_list<std::uint64_t> dims) {
-  std::uint64_t p = 1;
-  for (std::uint64_t d : dims) {
-    p *= d;
-    if (p > kMaxLoadElems) {
-      throw std::runtime_error("ranm::io: implausible tensor size");
-    }
-  }
-  return p;
-}
-
-Shape read_shape(std::istream& in) {
-  const std::uint64_t rank = read_u64(in);
-  if (rank > 8) throw std::runtime_error("ranm::io: implausible tensor rank");
-  Shape shape(rank);
-  std::uint64_t numel = 1;
-  for (auto& d : shape) {
-    const std::uint64_t v = read_dim_u64(in);
-    numel = bounded_numel({numel, v});
-    d = static_cast<std::size_t>(v);
-  }
-  return shape;
-}
-
-void write_tensor(std::ostream& out, const Tensor& t) {
-  write_shape(out, t.shape());
-  out.write(reinterpret_cast<const char*>(t.data()),
-            static_cast<std::streamsize>(t.numel() * sizeof(float)));
-}
-
-Tensor read_tensor(std::istream& in) {
-  Shape shape = read_shape(in);  // dimensions and element count bounded there
-  Tensor t(std::move(shape));
-  in.read(reinterpret_cast<char*>(t.data()),
-          static_cast<std::streamsize>(t.numel() * sizeof(float)));
-  if (!in) throw std::runtime_error("ranm::io: truncated tensor");
-  return t;
-}
+// The bounded little-endian primitives live in io/wire.hpp, shared with
+// the serving frame protocol; the loaders below are written against them.
+using io::bounded_numel;
+using io::read_dim_u64;
+using io::read_pod;
+using io::read_shape;
+using io::read_tensor;
+using io::read_u64;
+using io::write_pod;
+using io::write_shape;
+using io::write_tensor;
+using io::write_u64;
 
 void copy_params(Layer& layer, std::istream& in) {
   for (Tensor* p : layer.parameters()) {

@@ -1,0 +1,73 @@
+#include "io/wire.hpp"
+
+namespace ranm::io {
+
+std::uint64_t read_dim_u64(std::istream& in) {
+  const std::uint64_t v = read_u64(in);
+  if (v > kMaxLoadElems) {
+    throw std::runtime_error("ranm::io: implausible dimension");
+  }
+  return v;
+}
+
+std::uint64_t bounded_numel(std::initializer_list<std::uint64_t> dims) {
+  std::uint64_t p = 1;
+  for (std::uint64_t d : dims) {
+    p *= d;
+    if (p > kMaxLoadElems) {
+      throw std::runtime_error("ranm::io: implausible tensor size");
+    }
+  }
+  return p;
+}
+
+void write_shape(std::ostream& out, const Shape& shape) {
+  write_u64(out, shape.size());
+  for (std::size_t d : shape) write_u64(out, d);
+}
+
+Shape read_shape(std::istream& in) {
+  const std::uint64_t rank = read_u64(in);
+  if (rank > 8) throw std::runtime_error("ranm::io: implausible tensor rank");
+  Shape shape(rank);
+  std::uint64_t numel = 1;
+  for (auto& d : shape) {
+    const std::uint64_t v = read_dim_u64(in);
+    numel = bounded_numel({numel, v});
+    d = static_cast<std::size_t>(v);
+  }
+  return shape;
+}
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+  write_shape(out, t.shape());
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+Tensor read_tensor(std::istream& in) {
+  Shape shape = read_shape(in);  // dimensions and element count bounded there
+  Tensor t(std::move(shape));
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!in) throw std::runtime_error("ranm::io: truncated tensor");
+  return t;
+}
+
+void write_string(std::ostream& out, std::string_view s) {
+  write_u64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in, std::uint64_t max_len) {
+  const std::uint64_t len = read_u64(in);
+  if (len > max_len) {
+    throw std::runtime_error("ranm::io: implausible string length");
+  }
+  std::string s(static_cast<std::size_t>(len), '\0');
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  if (!in) throw std::runtime_error("ranm::io: truncated string");
+  return s;
+}
+
+}  // namespace ranm::io

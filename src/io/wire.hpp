@@ -1,0 +1,79 @@
+// Bounded little-endian wire primitives shared by the artifact loaders
+// (io/serialize) and the serving frame protocol (serve/protocol).
+//
+// Every length or dimension read from an untrusted stream goes through a
+// bound check *before* anything allocates from it: a corrupted or
+// adversarial header must fail loudly on the check, not zero-fill
+// gigabytes through Linux overcommit. This is the loader-bug class PR 1
+// eliminated from the artifact formats; keeping the primitives in one
+// place means the wire protocol cannot re-introduce it.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "tensor/tensor.hpp"
+
+namespace ranm::io {
+
+/// Upper bound on any loaded dimension or element count. Corrupted headers
+/// must fail on these checks, before a constructor allocates from them.
+constexpr std::uint64_t kMaxLoadElems = 1ULL << 26;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) throw std::runtime_error("ranm::io: truncated stream");
+  return v;
+}
+
+inline void write_u32(std::ostream& out, std::uint32_t v) {
+  write_pod(out, v);
+}
+inline std::uint32_t read_u32(std::istream& in) {
+  return read_pod<std::uint32_t>(in);
+}
+inline void write_u64(std::ostream& out, std::uint64_t v) {
+  write_pod(out, v);
+}
+inline std::uint64_t read_u64(std::istream& in) {
+  return read_pod<std::uint64_t>(in);
+}
+
+/// u64 bounded by kMaxLoadElems — the only way a dimension-like field may
+/// enter an allocation size.
+[[nodiscard]] std::uint64_t read_dim_u64(std::istream& in);
+
+/// Product of already-bounded dimensions, capped after every factor: both
+/// operands stay <= kMaxLoadElems (2^26), so the multiply cannot wrap
+/// before the check. Throws std::runtime_error past the cap.
+[[nodiscard]] std::uint64_t bounded_numel(
+    std::initializer_list<std::uint64_t> dims);
+
+void write_shape(std::ostream& out, const Shape& shape);
+/// Reads a shape whose rank and element count are bounded before any
+/// tensor allocates from it.
+[[nodiscard]] Shape read_shape(std::istream& in);
+
+void write_tensor(std::ostream& out, const Tensor& t);
+/// Reads a tensor; shape (and hence the allocation) is bounded first.
+[[nodiscard]] Tensor read_tensor(std::istream& in);
+
+/// Length-prefixed string, length bounded by `max_len` on the read side
+/// before the string allocates.
+void write_string(std::ostream& out, std::string_view s);
+[[nodiscard]] std::string read_string(std::istream& in,
+                                      std::uint64_t max_len);
+
+}  // namespace ranm::io

@@ -1,0 +1,51 @@
+// Client side of the serving protocol.
+//
+// Connects to a running daemon's Unix-domain socket and exposes the same
+// calls as MonitorService, marshalled through the frame protocol. Used by
+// `ranm_cli query`, bench_serving's wire-path sweep, and the end-to-end
+// tests (which run the server on a thread of the same process — no
+// subprocess needed).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace ranm::serve {
+
+class ServeClient {
+ public:
+  /// Connects immediately; throws std::runtime_error if the daemon is not
+  /// listening on `socket_path`.
+  explicit ServeClient(const std::string& socket_path);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Streams one minibatch through the daemon: returns one warn byte
+  /// (0/1) per input. Throws std::runtime_error on transport failure or
+  /// when the server answers with an error frame (message included).
+  [[nodiscard]] std::vector<std::uint8_t> query_warns(
+      std::span<const Tensor> inputs);
+
+  /// Fetches the daemon's lifetime counters and per-shard statistics.
+  [[nodiscard]] ServiceStats stats();
+
+  /// Asks the daemon to stop gracefully; returns once it acknowledged.
+  void shutdown_server();
+
+ private:
+  /// One request/response exchange; unwraps kError replies into thrown
+  /// std::runtime_error and enforces the expected reply type.
+  [[nodiscard]] Frame round_trip(FrameType request, std::string_view payload,
+                                 FrameType expected_reply);
+
+  int fd_ = -1;
+};
+
+}  // namespace ranm::serve

@@ -1,0 +1,112 @@
+#include "serve/fd_frame.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace ranm::serve {
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string("ranm::serve: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+/// Blocks until `fd` is readable; returns false if `stop_fd` fired first.
+bool wait_readable(int fd, int stop_fd) {
+  pollfd fds[2];
+  fds[0] = {fd, POLLIN, 0};
+  fds[1] = {stop_fd, POLLIN, 0};
+  const nfds_t n = stop_fd >= 0 ? 2 : 1;
+  for (;;) {
+    const int rc = ::poll(fds, n, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (n == 2 && (fds[1].revents & (POLLIN | POLLHUP)) != 0) return false;
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0) return true;
+  }
+}
+
+enum class ReadStatus { kOk, kEof, kStopped };
+
+/// Reads exactly `len` bytes. kEof only if the peer closed before the
+/// first byte (`clean_eof_ok`); mid-buffer EOF is a truncation error.
+ReadStatus read_exact(int fd, int stop_fd, char* buf, std::size_t len,
+                      bool clean_eof_ok) {
+  std::size_t got = 0;
+  while (got < len) {
+    if (!wait_readable(fd, stop_fd)) return ReadStatus::kStopped;
+    const ssize_t rc = ::recv(fd, buf + got, len - got, 0);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (rc == 0) {
+      if (got == 0 && clean_eof_ok) return ReadStatus::kEof;
+      throw std::runtime_error("ranm::serve: truncated frame");
+    }
+    got += std::size_t(rc);
+  }
+  return ReadStatus::kOk;
+}
+
+void write_all(int fd, const char* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t rc = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += std::size_t(rc);
+  }
+}
+
+}  // namespace
+
+FdFrameResult read_frame_fd(int fd, int stop_fd) {
+  FdFrameResult result;
+  char header[kFrameHeaderBytes];
+  switch (read_exact(fd, stop_fd, header, kFrameHeaderBytes, true)) {
+    case ReadStatus::kEof:
+      result.eof = true;
+      return result;
+    case ReadStatus::kStopped:
+      result.stopped = true;
+      return result;
+    case ReadStatus::kOk:
+      break;
+  }
+  // Validates magic/type and bounds the length before the buffer below
+  // allocates from it.
+  const FrameHeader parsed = decode_frame_header(header);
+  result.frame.type = parsed.type;
+  result.frame.payload.resize(std::size_t(parsed.payload_len));
+  if (parsed.payload_len > 0) {
+    switch (read_exact(fd, stop_fd, result.frame.payload.data(),
+                       std::size_t(parsed.payload_len), false)) {
+      case ReadStatus::kStopped:
+        result.stopped = true;
+        return result;
+      case ReadStatus::kEof:
+      case ReadStatus::kOk:
+        break;
+    }
+  }
+  return result;
+}
+
+void write_frame_fd(int fd, FrameType type, std::string_view payload) {
+  char header[kFrameHeaderBytes];
+  encode_frame_header(header, type, payload.size());
+  write_all(fd, header, kFrameHeaderBytes);
+  write_all(fd, payload.data(), payload.size());
+}
+
+}  // namespace ranm::serve

@@ -1,0 +1,34 @@
+// Frame transport over POSIX file descriptors (Unix-domain sockets).
+//
+// Shared by SocketServer and ServeClient so both sides read headers
+// through the same bounded decode_frame_header validation — the cap check
+// runs before the payload buffer allocates, on every transport.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "serve/protocol.hpp"
+
+namespace ranm::serve {
+
+/// Outcome of one blocking frame read.
+struct FdFrameResult {
+  bool eof = false;      // peer closed cleanly at a frame boundary
+  bool stopped = false;  // stop_fd became readable before a full frame
+  Frame frame;           // valid iff !eof && !stopped
+};
+
+/// Reads one complete frame from `fd`, blocking in poll(). When
+/// `stop_fd` >= 0, readability of that descriptor aborts the wait (the
+/// server's shutdown path). Throws std::runtime_error on malformed
+/// headers, oversized payloads, truncation mid-frame, or transport
+/// errors.
+[[nodiscard]] FdFrameResult read_frame_fd(int fd, int stop_fd = -1);
+
+/// Writes one complete frame (header + payload), looping over partial
+/// sends; SIGPIPE is suppressed (MSG_NOSIGNAL) so a vanished peer surfaces
+/// as std::runtime_error instead of killing the daemon.
+void write_frame_fd(int fd, FrameType type, std::string_view payload);
+
+}  // namespace ranm::serve

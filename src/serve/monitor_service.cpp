@@ -1,0 +1,105 @@
+#include "serve/monitor_service.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "core/sharded_monitor.hpp"
+#include "io/serialize.hpp"
+
+namespace ranm::serve {
+
+MonitorService::MonitorService(Network net,
+                               std::unique_ptr<Monitor> monitor,
+                               std::size_t layer_k, std::size_t threads)
+    : net_(std::move(net)),
+      monitor_(std::move(monitor)),
+      k_(layer_k),
+      threads_(threads),
+      builder_(net_, layer_k) {
+  if (monitor_ == nullptr) {
+    throw std::invalid_argument("MonitorService: null monitor");
+  }
+  if (monitor_->dimension() != builder_.feature_dim()) {
+    throw std::invalid_argument(
+        "MonitorService: monitor dimension " +
+        std::to_string(monitor_->dimension()) + " != layer " +
+        std::to_string(layer_k) + " feature dimension " +
+        std::to_string(builder_.feature_dim()));
+  }
+  // Thread count is a host property, not part of the artifact — applied
+  // here, exactly as `ranm_cli eval --threads` does after loading.
+  if (auto* sharded = dynamic_cast<ShardedMonitor*>(monitor_.get())) {
+    sharded->set_threads(threads_);
+  }
+}
+
+MonitorService MonitorService::from_files(const std::string& net_path,
+                                          const std::string& monitor_path,
+                                          std::size_t layer_k,
+                                          std::size_t threads) {
+  Network net = load_network_file(net_path);
+  std::ifstream in(monitor_path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("MonitorService: cannot open monitor " +
+                             monitor_path);
+  }
+  return MonitorService(std::move(net), load_any_monitor(in), layer_k,
+                        threads);
+}
+
+std::vector<std::uint8_t> MonitorService::query_warns(
+    std::span<const Tensor> inputs) {
+  if (inputs.size() > kMaxQuerySamples) {
+    throw std::invalid_argument("MonitorService: batch too large");
+  }
+  if (inputs.empty()) {
+    ++queries_;
+    return {};
+  }
+  const FeatureBatch batch = net_.forward_batch(k_, inputs);
+  if (scratch_capacity_ < inputs.size()) {
+    scratch_ = std::make_unique<bool[]>(inputs.size());
+    scratch_capacity_ = inputs.size();
+  }
+  const std::span<bool> warns(scratch_.get(), inputs.size());
+  monitor_->warn_batch(batch, warns);
+  std::vector<std::uint8_t> out(inputs.size());
+  std::uint64_t warned = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    out[i] = warns[i] ? 1 : 0;
+    warned += out[i];
+  }
+  ++queries_;
+  samples_ += inputs.size();
+  warnings_ += warned;
+  return out;
+}
+
+ServiceStats MonitorService::stats() const {
+  ServiceStats stats;
+  stats.monitor = monitor_->describe();
+  stats.dimension = monitor_->dimension();
+  stats.layer = k_;
+  stats.threads = threads_;
+  stats.queries = queries_;
+  stats.samples = samples_;
+  stats.warnings = warnings_;
+  if (const auto* sharded =
+          dynamic_cast<const ShardedMonitor*>(monitor_.get())) {
+    stats.threads = sharded->threads();
+    stats.shard_strategy =
+        std::string(shard_strategy_name(sharded->plan().strategy()));
+    stats.shard_seed = sharded->plan().seed();
+    for (const auto& s : sharded->shard_stats()) {
+      ShardStatsWire wire;
+      wire.neurons = s.neurons;
+      wire.bdd_nodes = s.bdd_nodes;
+      wire.cubes_inserted = s.cubes_inserted;
+      wire.patterns = s.patterns;
+      stats.shards.push_back(wire);
+    }
+  }
+  return stats;
+}
+
+}  // namespace ranm::serve

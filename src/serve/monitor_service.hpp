@@ -1,0 +1,84 @@
+// In-process core of the serving layer: network + monitor loaded once,
+// minibatch membership answered for the lifetime of the process.
+//
+// The batch-oriented `ranm_cli eval` re-loads the network and monitor
+// artifacts on every invocation; at deployment time the monitor instead
+// rides along with a live DNN, so the serving layer keeps both resident
+// and answers each incoming minibatch through the batch-first pipeline:
+// Network::forward_batch (one feature-extraction pass) feeding
+// Monitor::contains_batch (one membership query per column). A
+// ShardedMonitor is the intended unit of deployment — `threads` fans its
+// per-shard row views out across cores — but any flat monitor serves too.
+//
+// MonitorService is the transport-independent API: tests and
+// bench_serving call it directly (no subprocess, no socket), while
+// SocketServer exposes the same calls over the frame protocol.
+// Like every Monitor, the service is not thread-safe: callers (the
+// single-connection server loop, or one test thread) serialise calls.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "core/monitor_builder.hpp"
+#include "nn/network.hpp"
+#include "serve/protocol.hpp"
+
+namespace ranm::serve {
+
+/// Long-lived network + monitor pair answering minibatch queries.
+class MonitorService {
+ public:
+  /// Takes ownership of both artifacts. `layer_k` is the monitored layer
+  /// (1-based, as everywhere); the monitor's dimension must equal the
+  /// layer's feature dimension. `threads` configures shard-level
+  /// parallelism on a ShardedMonitor (0 = hardware concurrency) and is
+  /// ignored for flat monitors.
+  MonitorService(Network net, std::unique_ptr<Monitor> monitor,
+                 std::size_t layer_k, std::size_t threads = 1);
+
+  /// Loads both artifacts from disk once — the whole point of the serving
+  /// layer over per-invocation CLI loads.
+  [[nodiscard]] static MonitorService from_files(
+      const std::string& net_path, const std::string& monitor_path,
+      std::size_t layer_k, std::size_t threads = 1);
+
+  MonitorService(const MonitorService&) = delete;
+  MonitorService& operator=(const MonitorService&) = delete;
+
+  /// Answers one minibatch: warns[i] = 1 iff the monitor warns on
+  /// inputs[i] (membership negated). Throws std::invalid_argument on a
+  /// shape mismatch or an oversized batch; the service stays usable after
+  /// a failed query.
+  [[nodiscard]] std::vector<std::uint8_t> query_warns(
+      std::span<const Tensor> inputs);
+
+  /// Lifetime counters plus the per-shard table `ranm_cli info` shows.
+  [[nodiscard]] ServiceStats stats() const;
+
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return monitor_->dimension();
+  }
+  [[nodiscard]] std::size_t layer_k() const noexcept { return k_; }
+  [[nodiscard]] const Monitor& monitor() const noexcept { return *monitor_; }
+
+ private:
+  Network net_;
+  std::unique_ptr<Monitor> monitor_;
+  std::size_t k_;
+  std::size_t threads_;
+  MonitorBuilder builder_;  // binds net_ + k_; lives exactly as long
+  // Lifetime counters surfaced in stats frames.
+  std::uint64_t queries_ = 0;
+  std::uint64_t samples_ = 0;
+  std::uint64_t warnings_ = 0;
+  // Reused per-query verdict scratch: the serving hot path must not pay
+  // steady-state allocator traffic for the bool row.
+  std::unique_ptr<bool[]> scratch_;
+  std::size_t scratch_capacity_ = 0;
+};
+
+}  // namespace ranm::serve

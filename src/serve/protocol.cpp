@@ -1,0 +1,215 @@
+#include "serve/protocol.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/wire.hpp"
+
+namespace ranm::serve {
+namespace {
+
+bool known_frame_type(std::uint32_t raw) {
+  return raw >= std::uint32_t(FrameType::kQuery) &&
+         raw <= std::uint32_t(FrameType::kError);
+}
+
+/// A payload must parse exactly: leftover bytes mean the frame length and
+/// its contents disagree, i.e. corruption.
+void require_exhausted(std::istream& in) {
+  if (in.peek() != std::char_traits<char>::eof()) {
+    throw std::runtime_error("ranm::serve: trailing bytes in frame payload");
+  }
+}
+
+std::istringstream payload_stream(const std::string& payload) {
+  return std::istringstream(payload, std::ios::binary);
+}
+
+}  // namespace
+
+void encode_frame_header(char (&buf)[kFrameHeaderBytes], FrameType type,
+                         std::uint64_t payload_len) {
+  const std::uint32_t magic = kFrameMagic;
+  const auto raw_type = std::uint32_t(type);
+  std::memcpy(buf, &magic, sizeof magic);
+  std::memcpy(buf + 4, &raw_type, sizeof raw_type);
+  std::memcpy(buf + 8, &payload_len, sizeof payload_len);
+}
+
+FrameHeader decode_frame_header(const char (&buf)[kFrameHeaderBytes]) {
+  std::uint32_t magic = 0;
+  std::uint32_t raw_type = 0;
+  std::uint64_t len = 0;
+  std::memcpy(&magic, buf, sizeof magic);
+  std::memcpy(&raw_type, buf + 4, sizeof raw_type);
+  std::memcpy(&len, buf + 8, sizeof len);
+  if (magic != kFrameMagic) {
+    throw std::runtime_error("ranm::serve: bad frame magic");
+  }
+  if (!known_frame_type(raw_type)) {
+    throw std::runtime_error("ranm::serve: unknown frame type");
+  }
+  if (len > kMaxFramePayload) {
+    throw std::runtime_error("ranm::serve: oversized frame payload");
+  }
+  return {FrameType(raw_type), len};
+}
+
+void write_frame(std::ostream& out, FrameType type,
+                 std::string_view payload) {
+  char header[kFrameHeaderBytes];
+  encode_frame_header(header, type, payload.size());
+  out.write(header, kFrameHeaderBytes);
+  out.write(payload.data(), std::streamsize(payload.size()));
+}
+
+Frame read_frame(std::istream& in) {
+  char buf[kFrameHeaderBytes];
+  in.read(buf, kFrameHeaderBytes);
+  if (!in) throw std::runtime_error("ranm::serve: truncated frame header");
+  const FrameHeader header = decode_frame_header(buf);
+  Frame frame;
+  frame.type = header.type;
+  frame.payload.resize(std::size_t(header.payload_len));
+  in.read(frame.payload.data(), std::streamsize(header.payload_len));
+  if (!in) throw std::runtime_error("ranm::serve: truncated frame payload");
+  return frame;
+}
+
+std::size_t sample_wire_bytes(const Tensor& t) {
+  // write_tensor: u64 rank + one u64 per dimension + the float data.
+  return 8 + t.rank() * 8 + t.numel() * sizeof(float);
+}
+
+std::string encode_query(std::span<const Tensor> inputs) {
+  if (inputs.size() > kMaxQuerySamples) {
+    throw std::invalid_argument("encode_query: batch too large");
+  }
+  std::ostringstream out(std::ios::binary);
+  io::write_u64(out, inputs.size());
+  for (const Tensor& t : inputs) io::write_tensor(out, t);
+  std::string payload = std::move(out).str();
+  // The sample-count cap alone does not bound the frame: large tensors
+  // hit the payload cap first. Failing here gives the caller a clear
+  // error instead of a server-side header rejection mid-stream.
+  if (payload.size() > kMaxFramePayload) {
+    throw std::invalid_argument(
+        "encode_query: batch exceeds the frame payload cap — split it "
+        "into smaller batches");
+  }
+  return payload;
+}
+
+std::size_t max_query_batch(const Tensor& sample) {
+  const std::size_t per_sample = sample_wire_bytes(sample);
+  const std::size_t fit = (std::size_t(kMaxFramePayload) - 8) / per_sample;
+  return std::max<std::size_t>(
+      1, std::min<std::size_t>(fit, std::size_t(kMaxQuerySamples)));
+}
+
+std::vector<Tensor> decode_query(const std::string& payload) {
+  auto in = payload_stream(payload);
+  const std::uint64_t n = io::read_u64(in);
+  if (n > kMaxQuerySamples) {
+    throw std::runtime_error("ranm::serve: implausible query sample count");
+  }
+  std::vector<Tensor> inputs;
+  inputs.reserve(std::size_t(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    inputs.push_back(io::read_tensor(in));
+  }
+  require_exhausted(in);
+  return inputs;
+}
+
+std::string encode_verdicts(std::span<const std::uint8_t> warns) {
+  std::ostringstream out(std::ios::binary);
+  io::write_u64(out, warns.size());
+  out.write(reinterpret_cast<const char*>(warns.data()),
+            std::streamsize(warns.size()));
+  return std::move(out).str();
+}
+
+std::vector<std::uint8_t> decode_verdicts(const std::string& payload) {
+  auto in = payload_stream(payload);
+  const std::uint64_t n = io::read_u64(in);
+  if (n > kMaxQuerySamples) {
+    throw std::runtime_error("ranm::serve: implausible verdict count");
+  }
+  std::vector<std::uint8_t> warns(static_cast<std::size_t>(n));
+  in.read(reinterpret_cast<char*>(warns.data()), std::streamsize(n));
+  if (!in) throw std::runtime_error("ranm::serve: truncated verdicts");
+  for (const std::uint8_t w : warns) {
+    if (w > 1) throw std::runtime_error("ranm::serve: non-boolean verdict");
+  }
+  require_exhausted(in);
+  return warns;
+}
+
+std::string encode_stats(const ServiceStats& stats) {
+  if (stats.shards.size() > kMaxStatsShards) {
+    throw std::invalid_argument("encode_stats: too many shards");
+  }
+  std::ostringstream out(std::ios::binary);
+  io::write_string(out, stats.monitor);
+  io::write_u64(out, stats.dimension);
+  io::write_u64(out, stats.layer);
+  io::write_u64(out, stats.threads);
+  io::write_u64(out, stats.queries);
+  io::write_u64(out, stats.samples);
+  io::write_u64(out, stats.warnings);
+  io::write_string(out, stats.shard_strategy);
+  io::write_u64(out, stats.shard_seed);
+  io::write_u64(out, stats.shards.size());
+  for (const ShardStatsWire& s : stats.shards) {
+    io::write_u64(out, s.neurons);
+    io::write_u64(out, s.bdd_nodes);
+    io::write_u64(out, s.cubes_inserted);
+    io::write_pod(out, s.patterns);
+  }
+  return std::move(out).str();
+}
+
+ServiceStats decode_stats(const std::string& payload) {
+  auto in = payload_stream(payload);
+  ServiceStats stats;
+  stats.monitor = io::read_string(in, kMaxFrameString);
+  stats.dimension = io::read_u64(in);
+  stats.layer = io::read_u64(in);
+  stats.threads = io::read_u64(in);
+  stats.queries = io::read_u64(in);
+  stats.samples = io::read_u64(in);
+  stats.warnings = io::read_u64(in);
+  stats.shard_strategy = io::read_string(in, kMaxFrameString);
+  stats.shard_seed = io::read_u64(in);
+  const std::uint64_t shard_count = io::read_u64(in);
+  if (shard_count > kMaxStatsShards) {
+    throw std::runtime_error("ranm::serve: implausible shard count");
+  }
+  stats.shards.resize(std::size_t(shard_count));
+  for (ShardStatsWire& s : stats.shards) {
+    s.neurons = io::read_u64(in);
+    s.bdd_nodes = io::read_u64(in);
+    s.cubes_inserted = io::read_u64(in);
+    s.patterns = io::read_pod<double>(in);
+  }
+  require_exhausted(in);
+  return stats;
+}
+
+std::string encode_error(std::string_view message) {
+  std::ostringstream out(std::ios::binary);
+  io::write_string(out, message.substr(0, kMaxFrameString));
+  return std::move(out).str();
+}
+
+std::string decode_error(const std::string& payload) {
+  auto in = payload_stream(payload);
+  std::string message = io::read_string(in, kMaxFrameString);
+  require_exhausted(in);
+  return message;
+}
+
+}  // namespace ranm::serve

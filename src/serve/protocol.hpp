@@ -1,0 +1,131 @@
+// Wire protocol of the monitor serving layer.
+//
+// The daemon and its clients speak length-prefixed binary frames over a
+// byte stream (in deployment: a Unix-domain socket). Every frame is
+//
+//   u32 magic "RSV1" | u32 type | u64 payload_len | payload bytes
+//
+// little-endian, with payload_len bounded by kMaxFramePayload *before*
+// the payload buffer allocates — the same no-allocation-from-unvalidated-
+// headers discipline as the artifact loaders (io/wire), so a corrupted or
+// hostile frame errors out instead of zero-filling gigabytes. Payload
+// decoding goes through the bounded io:: primitives for the same reason,
+// and rejects trailing garbage: a frame either parses exactly or throws
+// std::runtime_error.
+//
+// Request/response pairs (the protocol is strictly client-initiated):
+//
+//   kQuery    -> kQueryReply    n input tensors -> n warn flags (0/1)
+//   kStats    -> kStatsReply    per-shard statistics, `ranm_cli info` shape
+//   kShutdown -> kShutdownAck   graceful daemon stop
+//   any       -> kError         length-prefixed message; malformed frames
+//                               additionally close the connection (the
+//                               stream may have desynced)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ranm::serve {
+
+enum class FrameType : std::uint32_t {
+  kQuery = 1,
+  kQueryReply = 2,
+  kStats = 3,
+  kStatsReply = 4,
+  kShutdown = 5,
+  kShutdownAck = 6,
+  kError = 7,
+};
+
+constexpr std::uint32_t kFrameMagic = 0x52535631U;  // "RSV1"
+/// Wire frame header: magic + type + payload length, 16 bytes.
+constexpr std::size_t kFrameHeaderBytes = 16;
+/// Hard cap on one frame's payload — checked before the payload buffer
+/// allocates. 64 MiB holds a ~16k-sample query over a 1k-float layer.
+constexpr std::uint64_t kMaxFramePayload = 1ULL << 26;
+/// Cap on the sample count of one query frame.
+constexpr std::uint64_t kMaxQuerySamples = 1ULL << 16;
+/// Cap on shard entries in a stats reply (matches the artifact cap).
+constexpr std::uint64_t kMaxStatsShards = 4096;
+/// Cap on any string carried in a frame (descriptions, error messages).
+constexpr std::uint64_t kMaxFrameString = 4096;
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+struct FrameHeader {
+  FrameType type = FrameType::kError;
+  std::uint64_t payload_len = 0;
+};
+
+/// Renders a frame header into a 16-byte transport buffer.
+void encode_frame_header(char (&buf)[kFrameHeaderBytes], FrameType type,
+                         std::uint64_t payload_len);
+/// Validates magic, frame type, and payload bound; throws
+/// std::runtime_error on anything malformed. This runs before any
+/// payload-sized allocation on every transport.
+[[nodiscard]] FrameHeader decode_frame_header(
+    const char (&buf)[kFrameHeaderBytes]);
+
+/// Stream transport (also the unit the robustness tests target).
+void write_frame(std::ostream& out, FrameType type,
+                 std::string_view payload);
+[[nodiscard]] Frame read_frame(std::istream& in);
+
+// ---- payload codecs -------------------------------------------------------
+
+/// Query: u64 sample count (<= kMaxQuerySamples) + the input tensors.
+/// Throws std::invalid_argument when the batch exceeds the sample cap or
+/// the encoded payload would exceed kMaxFramePayload.
+[[nodiscard]] std::string encode_query(std::span<const Tensor> inputs);
+[[nodiscard]] std::vector<Tensor> decode_query(const std::string& payload);
+
+/// Largest batch of same-shaped samples whose query frame stays under
+/// kMaxFramePayload (clients chunk their streams with this).
+[[nodiscard]] std::size_t max_query_batch(const Tensor& sample);
+
+/// Query reply: u64 count + one warn byte (0/1) per sample.
+[[nodiscard]] std::string encode_verdicts(
+    std::span<const std::uint8_t> warns);
+[[nodiscard]] std::vector<std::uint8_t> decode_verdicts(
+    const std::string& payload);
+
+/// Per-shard statistics mirrored from ShardedMonitor::ShardStats.
+struct ShardStatsWire {
+  std::uint64_t neurons = 0;
+  std::uint64_t bdd_nodes = 0;
+  std::uint64_t cubes_inserted = 0;
+  double patterns = 0.0;  // stored words (-1: not pattern-based)
+};
+
+/// Stats reply: service identity, lifetime counters, and (for sharded
+/// monitors) the per-shard table `ranm_cli info` prints.
+struct ServiceStats {
+  std::string monitor;  // Monitor::describe()
+  std::uint64_t dimension = 0;
+  std::uint64_t layer = 0;
+  std::uint64_t threads = 1;
+  std::uint64_t queries = 0;   // query frames answered
+  std::uint64_t samples = 0;   // feature vectors judged
+  std::uint64_t warnings = 0;  // warn verdicts issued
+  std::string shard_strategy;  // empty: unsharded monitor
+  std::uint64_t shard_seed = 0;
+  std::vector<ShardStatsWire> shards;  // empty: unsharded monitor
+};
+
+[[nodiscard]] std::string encode_stats(const ServiceStats& stats);
+[[nodiscard]] ServiceStats decode_stats(const std::string& payload);
+
+/// Error: one bounded message string.
+[[nodiscard]] std::string encode_error(std::string_view message);
+[[nodiscard]] std::string decode_error(const std::string& payload);
+
+}  // namespace ranm::serve

@@ -1,0 +1,206 @@
+#include "serve/socket_server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "serve/fd_frame.hpp"
+
+namespace ranm::serve {
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string("SocketServer: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+void close_quiet(int& fd) noexcept {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// True iff a daemon is currently accepting on `addr` — a stale socket
+/// file from a crashed run refuses the probe connection instead.
+bool socket_is_live(const sockaddr_un& addr) {
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (probe < 0) return false;
+  const bool live = ::connect(probe,
+                              reinterpret_cast<const sockaddr*>(&addr),
+                              sizeof addr) == 0;
+  ::close(probe);
+  return live;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(MonitorService& service, std::string socket_path)
+    : service_(service), path_(std::move(socket_path)) {
+  sockaddr_un addr{};
+  if (path_.empty() || path_.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("SocketServer: socket path empty or longer "
+                                "than the sockaddr_un limit");
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+  // A stale socket file from a crashed run is replaced; one a live
+  // daemon is accepting on must not be silently stolen out from under it.
+  if (socket_is_live(addr)) {
+    throw std::runtime_error("SocketServer: " + path_ +
+                             " is already being served");
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  ::unlink(path_.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0) {
+    const int saved = errno;
+    close_quiet(listen_fd_);
+    errno = saved;
+    throw_errno("bind");
+  }
+  // Remember which file we created so the destructor never deletes a
+  // socket some later process bound at the same path.
+  struct stat st{};
+  if (::stat(path_.c_str(), &st) == 0) {
+    bound_dev_ = st.st_dev;
+    bound_ino_ = st.st_ino;
+  }
+  if (::listen(listen_fd_, 8) < 0) {
+    const int saved = errno;
+    close_quiet(listen_fd_);
+    ::unlink(path_.c_str());
+    errno = saved;
+    throw_errno("listen");
+  }
+  if (::pipe2(stop_pipe_, O_CLOEXEC) < 0) {
+    const int saved = errno;
+    close_quiet(listen_fd_);
+    ::unlink(path_.c_str());
+    errno = saved;
+    throw_errno("pipe2");
+  }
+}
+
+SocketServer::~SocketServer() {
+  close_quiet(listen_fd_);
+  close_quiet(stop_pipe_[0]);
+  close_quiet(stop_pipe_[1]);
+  // Unlink only the socket file this server bound (matched by inode):
+  // if another process replaced it meanwhile, leave theirs alone.
+  struct stat st{};
+  if (::stat(path_.c_str(), &st) == 0 && st.st_dev == bound_dev_ &&
+      st.st_ino == bound_ino_) {
+    ::unlink(path_.c_str());
+  }
+}
+
+void SocketServer::stop() noexcept {
+  // One byte on the self-pipe; write() is async-signal-safe, so signal
+  // handlers may call this directly. The result is deliberately ignored:
+  // a full pipe already means a stop is pending.
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t rc =
+      ::write(stop_pipe_[1], &byte, 1);
+}
+
+int SocketServer::accept_connection() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if ((fds[1].revents & POLLIN) != 0) return -1;
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int conn = ::accept(listen_fd_, nullptr, nullptr);
+      if (conn < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        throw_errno("accept");
+      }
+      return conn;
+    }
+  }
+}
+
+bool SocketServer::serve_connection(int fd) {
+  for (;;) {
+    FdFrameResult in;
+    try {
+      in = read_frame_fd(fd, stop_pipe_[0]);
+    } catch (const std::exception& e) {
+      // Malformed header or truncated frame: the stream may be desynced,
+      // so report once and drop the connection, but keep serving others.
+      try {
+        write_frame_fd(fd, FrameType::kError, encode_error(e.what()));
+      } catch (const std::exception&) {
+      }
+      return true;
+    }
+    if (in.stopped) return false;
+    if (in.eof) return true;
+
+    try {
+      switch (in.frame.type) {
+        case FrameType::kQuery: {
+          // Payload-level failures (corrupt query, shape mismatch) leave
+          // the stream synced — the payload was fully consumed — so the
+          // connection survives a kError reply.
+          const std::vector<Tensor> inputs = decode_query(in.frame.payload);
+          const std::vector<std::uint8_t> warns =
+              service_.query_warns(inputs);
+          write_frame_fd(fd, FrameType::kQueryReply,
+                         encode_verdicts(warns));
+          break;
+        }
+        case FrameType::kStats:
+          write_frame_fd(fd, FrameType::kStatsReply,
+                         encode_stats(service_.stats()));
+          break;
+        case FrameType::kShutdown:
+          write_frame_fd(fd, FrameType::kShutdownAck, "");
+          return false;
+        default:
+          write_frame_fd(fd, FrameType::kError,
+                         encode_error("unexpected frame type"));
+          break;
+      }
+    } catch (const std::runtime_error& e) {
+      // decode_* failures: answer and keep the connection.
+      try {
+        write_frame_fd(fd, FrameType::kError, encode_error(e.what()));
+      } catch (const std::exception&) {
+        return true;  // peer gone mid-reply
+      }
+    } catch (const std::invalid_argument& e) {
+      try {
+        write_frame_fd(fd, FrameType::kError, encode_error(e.what()));
+      } catch (const std::exception&) {
+        return true;
+      }
+    }
+  }
+}
+
+void SocketServer::run() {
+  for (;;) {
+    const int conn = accept_connection();
+    if (conn < 0) break;
+    ++connections_;
+    const bool keep_going = serve_connection(conn);
+    ::close(conn);
+    if (!keep_going) break;
+  }
+}
+
+}  // namespace ranm::serve

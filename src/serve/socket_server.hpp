@@ -1,0 +1,67 @@
+// Unix-domain socket front end of the serving layer.
+//
+// Accepts one connection at a time and answers its frames against a
+// MonitorService until the peer disconnects, then accepts the next —
+// monitors (like the service) require serialised calls, so connection-
+// level concurrency would buy nothing; within a query, a sharded
+// monitor's thread pool already spreads the work across cores.
+//
+// Shutdown is driven through a self-pipe: stop() writes one byte, which
+// every blocking poll() (accept wait and mid-connection reads) watches.
+// write() is async-signal-safe, so stop() may be called directly from a
+// SIGINT/SIGTERM handler — that is exactly what ranm_serve does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/monitor_service.hpp"
+
+namespace ranm::serve {
+
+class SocketServer {
+ public:
+  /// Binds and listens on `socket_path` (an existing socket file is
+  /// replaced). The service must outlive the server. Throws
+  /// std::runtime_error on socket errors, std::invalid_argument if the
+  /// path exceeds the sockaddr_un limit.
+  SocketServer(MonitorService& service, std::string socket_path);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Serves until stop() is called or a client sends kShutdown. Safe to
+  /// call once per server instance.
+  void run();
+
+  /// Requests a graceful stop; async-signal-safe (one write() on the
+  /// self-pipe). Idempotent.
+  void stop() noexcept;
+
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return path_;
+  }
+  [[nodiscard]] std::uint64_t connections_served() const noexcept {
+    return connections_;
+  }
+
+ private:
+  /// Blocks until a client connects or stop fires; returns -1 on stop.
+  [[nodiscard]] int accept_connection();
+  /// Serves one connection; returns false when a kShutdown frame asked
+  /// the whole server to stop.
+  [[nodiscard]] bool serve_connection(int fd);
+
+  MonitorService& service_;
+  std::string path_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};  // [read, write]
+  std::uint64_t connections_ = 0;
+  // Identity of the socket file this server created (st_dev/st_ino), so
+  // teardown never unlinks a file a later process bound at the path.
+  unsigned long long bound_dev_ = 0;
+  unsigned long long bound_ino_ = 0;
+};
+
+}  // namespace ranm::serve

@@ -27,19 +27,16 @@ void ArgParser::parse(const std::vector<std::string>& tokens) {
     }
     const std::size_t eq = body.find('=');
     if (eq != std::string::npos) {
-      values_[body.substr(0, eq)] = body.substr(eq + 1);
-      is_flag_[body.substr(0, eq)] = false;
+      options_[body.substr(0, eq)].push_back({body.substr(eq + 1), false});
       continue;
     }
     // `--key value` if the next token exists and is not an option;
     // otherwise a bare flag.
     if (i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0) {
-      values_[body] = tokens[i + 1];
-      is_flag_[body] = false;
+      options_[body].push_back({tokens[i + 1], false});
       ++i;
     } else {
-      values_[body] = "";
-      is_flag_[body] = true;
+      options_[body].push_back({"", true});
     }
   }
 }
@@ -53,18 +50,34 @@ const std::string& ArgParser::positional(std::size_t i) const {
 }
 
 bool ArgParser::has(const std::string& key) const {
-  return values_.contains(key);
+  return options_.contains(key);
 }
 
 std::string ArgParser::get(const std::string& key,
                            const std::string& fallback) const {
-  auto it = values_.find(key);
-  if (it == values_.end()) return fallback;
-  if (is_flag_.at(key)) {
+  auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  const Occurrence& last = it->second.back();
+  if (last.is_flag) {
     throw std::invalid_argument("ArgParser: option --" + key +
                                 " requires a value");
   }
-  return it->second;
+  return last.value;
+}
+
+std::vector<std::string> ArgParser::get_all(const std::string& key) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return {};
+  std::vector<std::string> out;
+  out.reserve(it->second.size());
+  for (const Occurrence& occ : it->second) {
+    if (occ.is_flag) {
+      throw std::invalid_argument("ArgParser: option --" + key +
+                                  " requires a value");
+    }
+    out.push_back(occ.value);
+  }
+  return out;
 }
 
 std::string ArgParser::require(const std::string& key) const {
@@ -90,6 +103,18 @@ std::int64_t ArgParser::get_int(const std::string& key,
   }
 }
 
+std::size_t ArgParser::get_size(const std::string& key, std::size_t fallback,
+                                std::size_t max_value) const {
+  if (!has(key)) return fallback;
+  const std::int64_t v = get_int(key, 0);
+  if (v < 0 || std::uint64_t(v) > max_value) {
+    throw std::invalid_argument(
+        "ArgParser: --" + key + " must be in 0.." +
+        std::to_string(max_value) + ", got " + std::to_string(v));
+  }
+  return std::size_t(v);
+}
+
 double ArgParser::get_double(const std::string& key, double fallback) const {
   if (!has(key)) return fallback;
   const std::string v = get(key, "");
@@ -106,8 +131,8 @@ double ArgParser::get_double(const std::string& key, double fallback) const {
 
 std::vector<std::string> ArgParser::keys() const {
   std::vector<std::string> out;
-  out.reserve(values_.size());
-  for (const auto& [k, v] : values_) out.push_back(k);
+  out.reserve(options_.size());
+  for (const auto& [k, v] : options_) out.push_back(k);
   return out;
 }
 

@@ -29,15 +29,28 @@ class ArgParser {
 
   /// True if --key was present (with or without a value).
   [[nodiscard]] bool has(const std::string& key) const;
-  /// Value of --key, or `fallback` if absent. Throws if --key was given
-  /// as a bare flag (no value).
+  /// Value of --key, or `fallback` if absent. A repeated option keeps its
+  /// last value here (use get_all for repeatable options). Throws if the
+  /// last occurrence of --key was a bare flag (no value).
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback) const;
+  /// Every value of a repeatable option, in command-line order; empty if
+  /// the option is absent. Throws if any occurrence was a bare flag.
+  [[nodiscard]] std::vector<std::string> get_all(
+      const std::string& key) const;
   /// Required string option; throws std::invalid_argument if missing.
   [[nodiscard]] std::string require(const std::string& key) const;
   /// Integer option with fallback; throws on non-numeric value.
   [[nodiscard]] std::int64_t get_int(const std::string& key,
                                      std::int64_t fallback) const;
+  /// Non-negative size option with range validation: the accessor for
+  /// anything that sizes an allocation or a loop. A bare
+  /// std::size_t(get_int(...)) cast would wrap `--count -1` to ~1.8e19
+  /// and attempt a multi-GB allocation; this throws std::invalid_argument
+  /// unless 0 <= value <= max_value.
+  [[nodiscard]] std::size_t get_size(const std::string& key,
+                                     std::size_t fallback,
+                                     std::size_t max_value) const;
   /// Floating-point option with fallback.
   [[nodiscard]] double get_double(const std::string& key,
                                   double fallback) const;
@@ -48,10 +61,17 @@ class ArgParser {
  private:
   void parse(const std::vector<std::string>& tokens);
 
+  /// One occurrence of --key on the command line; bare flags carry an
+  /// empty value with is_flag set.
+  struct Occurrence {
+    std::string value;
+    bool is_flag = false;
+  };
+
   std::vector<std::string> positionals_;
-  // nullopt-like: bare flags store an empty marker entry.
-  std::map<std::string, std::string> values_;
-  std::map<std::string, bool> is_flag_;
+  // Every occurrence is kept, in order, so repeated options are
+  // observable through get_all instead of silently last-winning.
+  std::map<std::string, std::vector<Occurrence>> options_;
 };
 
 }  // namespace ranm

@@ -80,6 +80,58 @@ TEST(ArgParser, KeysLists) {
   EXPECT_EQ(keys[1], "b");
 }
 
+TEST(ArgParser, GetAllCollectsRepeatedOptions) {
+  const ArgParser args({"--ood", "a.ds", "--ood", "b.ds,c.ds", "--x", "1"});
+  const auto all = args.get_all("ood");
+  ASSERT_EQ(all.size(), 2U);
+  EXPECT_EQ(all[0], "a.ds");
+  EXPECT_EQ(all[1], "b.ds,c.ds");
+  // Single accessors keep last-wins semantics for repeated options.
+  EXPECT_EQ(args.get("ood", ""), "b.ds,c.ds");
+  EXPECT_EQ(args.get_all("x"), std::vector<std::string>{"1"});
+}
+
+TEST(ArgParser, GetAllAbsentIsEmpty) {
+  const ArgParser args({"--a", "1"});
+  EXPECT_TRUE(args.get_all("missing").empty());
+}
+
+TEST(ArgParser, GetAllRejectsBareFlagOccurrence) {
+  const ArgParser args({"--ood", "a.ds", "--ood"});
+  EXPECT_THROW((void)args.get_all("ood"), std::invalid_argument);
+}
+
+TEST(ArgParser, GetSizeParsesAndFallsBack) {
+  const ArgParser args({"--count", "40"});
+  EXPECT_EQ(args.get_size("count", 100, 1000), 40U);
+  EXPECT_EQ(args.get_size("missing", 100, 1000), 100U);
+  EXPECT_EQ(args.get_size("count", 0, 40), 40U);  // at the cap
+}
+
+// Regression for the std::size_t(get_int(...)) wrap: `--count -1` used to
+// become ~1.8e19 and size a multi-GB allocation.
+TEST(ArgParser, GetSizeRejectsNegative) {
+  const ArgParser args({"--count", "-1", "--layer", "-1", "--bits", "-1"});
+  EXPECT_THROW((void)args.get_size("count", 100, 1U << 26),
+               std::invalid_argument);
+  EXPECT_THROW((void)args.get_size("layer", 0, 1U << 20),
+               std::invalid_argument);
+  EXPECT_THROW((void)args.get_size("bits", 2, 16), std::invalid_argument);
+}
+
+TEST(ArgParser, GetSizeRejectsOverflow) {
+  const ArgParser args({"--count", "1000001", "--big", "99999999999999"});
+  EXPECT_THROW((void)args.get_size("count", 0, 1000000),
+               std::invalid_argument);
+  EXPECT_THROW((void)args.get_size("big", 0, 1U << 26),
+               std::invalid_argument);
+}
+
+TEST(ArgParser, GetSizeRejectsNonNumeric) {
+  const ArgParser args({"--count", "12x"});
+  EXPECT_THROW((void)args.get_size("count", 0, 100), std::invalid_argument);
+}
+
 TEST(ArgParser, ArgcArgvConstructorSkipsProgramName) {
   const char* argv[] = {"prog", "cmd", "--k", "v"};
   const ArgParser args(4, argv);

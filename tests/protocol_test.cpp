@@ -1,0 +1,268 @@
+// Robustness tests for the serving frame protocol: truncated, corrupted,
+// and oversized-header frames must be rejected with bounded allocation —
+// the loader-bug class PR 1 eliminated from the artifact formats must not
+// reappear on the wire.
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace ranm::serve {
+namespace {
+
+std::string to_bytes(FrameType type, std::string_view payload) {
+  std::ostringstream out(std::ios::binary);
+  write_frame(out, type, payload);
+  return std::move(out).str();
+}
+
+Frame from_bytes(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  return read_frame(in);
+}
+
+TEST(Protocol, FrameHeaderRoundTrip) {
+  char buf[kFrameHeaderBytes];
+  encode_frame_header(buf, FrameType::kQuery, 1234);
+  const FrameHeader header = decode_frame_header(buf);
+  EXPECT_EQ(header.type, FrameType::kQuery);
+  EXPECT_EQ(header.payload_len, 1234U);
+}
+
+TEST(Protocol, FrameRoundTrip) {
+  const Frame frame = from_bytes(to_bytes(FrameType::kStats, "abc"));
+  EXPECT_EQ(frame.type, FrameType::kStats);
+  EXPECT_EQ(frame.payload, "abc");
+}
+
+TEST(Protocol, BadMagicRejected) {
+  char buf[kFrameHeaderBytes];
+  encode_frame_header(buf, FrameType::kQuery, 0);
+  buf[0] ^= 0x5A;
+  EXPECT_THROW((void)decode_frame_header(buf), std::runtime_error);
+}
+
+TEST(Protocol, UnknownFrameTypeRejected) {
+  char buf[kFrameHeaderBytes];
+  encode_frame_header(buf, FrameType::kQuery, 0);
+  const std::uint32_t bogus = 99;
+  std::memcpy(buf + 4, &bogus, sizeof bogus);
+  EXPECT_THROW((void)decode_frame_header(buf), std::runtime_error);
+  const std::uint32_t zero = 0;
+  std::memcpy(buf + 4, &zero, sizeof zero);
+  EXPECT_THROW((void)decode_frame_header(buf), std::runtime_error);
+}
+
+// The oversized-header case: a corrupted length field far past the cap
+// must fail on the bound check, before the payload buffer allocates.
+TEST(Protocol, OversizedPayloadHeaderRejected) {
+  char buf[kFrameHeaderBytes];
+  encode_frame_header(buf, FrameType::kQuery, kMaxFramePayload + 1);
+  EXPECT_THROW((void)decode_frame_header(buf), std::runtime_error);
+
+  const std::uint64_t huge = ~std::uint64_t{0};
+  std::memcpy(buf + 8, &huge, sizeof huge);
+  std::istringstream in(std::string(buf, kFrameHeaderBytes),
+                        std::ios::binary);
+  EXPECT_THROW((void)read_frame(in), std::runtime_error);
+}
+
+TEST(Protocol, TruncatedHeaderRejected) {
+  const std::string bytes = to_bytes(FrameType::kStats, "");
+  for (std::size_t keep = 0; keep < kFrameHeaderBytes; ++keep) {
+    std::istringstream in(bytes.substr(0, keep), std::ios::binary);
+    EXPECT_THROW((void)read_frame(in), std::runtime_error) << keep;
+  }
+}
+
+TEST(Protocol, TruncatedPayloadRejected) {
+  const std::string bytes = to_bytes(FrameType::kError, encode_error("boom"));
+  for (std::size_t keep = kFrameHeaderBytes; keep + 1 < bytes.size();
+       ++keep) {
+    std::istringstream in(bytes.substr(0, keep), std::ios::binary);
+    EXPECT_THROW((void)read_frame(in), std::runtime_error) << keep;
+  }
+}
+
+TEST(Protocol, QueryRoundTrip) {
+  Rng rng{7};
+  std::vector<Tensor> inputs;
+  inputs.push_back(Tensor::random_uniform({3, 4}, rng));
+  inputs.push_back(Tensor::random_uniform({12}, rng));
+  inputs.push_back(Tensor::vector({1.5F, -2.0F}));
+  const std::vector<Tensor> decoded = decode_query(encode_query(inputs));
+  ASSERT_EQ(decoded.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(decoded[i].shape(), inputs[i].shape());
+    for (std::size_t j = 0; j < inputs[i].numel(); ++j) {
+      EXPECT_EQ(decoded[i][j], inputs[i][j]);
+    }
+  }
+}
+
+TEST(Protocol, EmptyQueryRoundTrip) {
+  const std::vector<Tensor> decoded = decode_query(encode_query({}));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(Protocol, QueryImplausibleSampleCountRejected) {
+  std::string payload(8, '\0');
+  const std::uint64_t huge = kMaxQuerySamples + 1;
+  std::memcpy(payload.data(), &huge, sizeof huge);
+  EXPECT_THROW((void)decode_query(payload), std::runtime_error);
+}
+
+// A corrupted tensor shape inside the query payload hits the bounded
+// io:: readers: the implausible dimension fails before anything sizes an
+// allocation from it.
+TEST(Protocol, QueryImplausibleTensorShapeRejected) {
+  std::string payload;
+  const auto append_u64 = [&payload](std::uint64_t v) {
+    payload.append(reinterpret_cast<const char*>(&v), sizeof v);
+  };
+  append_u64(1);           // one sample
+  append_u64(1);           // rank 1
+  append_u64(1ULL << 40);  // dimension far past kMaxLoadElems
+  EXPECT_THROW((void)decode_query(payload), std::runtime_error);
+}
+
+// The sample-count cap alone does not bound a query frame: the batch
+// limit for a given tensor shape must keep the encoded payload under
+// kMaxFramePayload.
+TEST(Protocol, MaxQueryBatchKeepsFrameUnderPayloadCap) {
+  const Tensor sample(Shape{1, 16, 16});
+  const std::size_t per_sample = 8 + 3 * 8 + 256 * sizeof(float);
+  const std::size_t batch = max_query_batch(sample);
+  EXPECT_GE(batch, 1U);
+  EXPECT_LE(batch, kMaxQuerySamples);
+  EXPECT_LE(8 + batch * per_sample, kMaxFramePayload);
+  EXPECT_GT(8 + (batch + 1) * per_sample, kMaxFramePayload);
+
+  // A huge sample still yields a usable (if size-1) batch.
+  EXPECT_EQ(max_query_batch(Tensor(Shape{1U << 24})), 1U);
+  // A tiny sample is capped by the sample count, not the payload.
+  EXPECT_EQ(max_query_batch(Tensor(Shape{2})), kMaxQuerySamples);
+}
+
+TEST(Protocol, QueryTrailingGarbageRejected) {
+  std::string payload = encode_query({});
+  payload.push_back('x');
+  EXPECT_THROW((void)decode_query(payload), std::runtime_error);
+}
+
+TEST(Protocol, VerdictsRoundTrip) {
+  const std::vector<std::uint8_t> warns{0, 1, 1, 0, 1};
+  EXPECT_EQ(decode_verdicts(encode_verdicts(warns)), warns);
+  EXPECT_TRUE(decode_verdicts(encode_verdicts({})).empty());
+}
+
+TEST(Protocol, NonBooleanVerdictRejected) {
+  std::string payload = encode_verdicts(std::vector<std::uint8_t>{0, 1});
+  payload.back() = char(7);
+  EXPECT_THROW((void)decode_verdicts(payload), std::runtime_error);
+}
+
+TEST(Protocol, TruncatedVerdictsRejected) {
+  const std::string payload =
+      encode_verdicts(std::vector<std::uint8_t>{0, 1, 0});
+  EXPECT_THROW((void)decode_verdicts(payload.substr(0, payload.size() - 1)),
+               std::runtime_error);
+}
+
+TEST(Protocol, StatsRoundTrip) {
+  ServiceStats stats;
+  stats.monitor = "ShardedMonitor(d=32, ...)";
+  stats.dimension = 32;
+  stats.layer = 4;
+  stats.threads = 2;
+  stats.queries = 10;
+  stats.samples = 640;
+  stats.warnings = 17;
+  stats.shard_strategy = "contiguous";
+  stats.shard_seed = 99;
+  stats.shards.push_back({8, 100, 60, 58.0});
+  stats.shards.push_back({8, 120, 60, -1.0});
+
+  const ServiceStats decoded = decode_stats(encode_stats(stats));
+  EXPECT_EQ(decoded.monitor, stats.monitor);
+  EXPECT_EQ(decoded.dimension, 32U);
+  EXPECT_EQ(decoded.layer, 4U);
+  EXPECT_EQ(decoded.threads, 2U);
+  EXPECT_EQ(decoded.queries, 10U);
+  EXPECT_EQ(decoded.samples, 640U);
+  EXPECT_EQ(decoded.warnings, 17U);
+  EXPECT_EQ(decoded.shard_strategy, "contiguous");
+  EXPECT_EQ(decoded.shard_seed, 99U);
+  ASSERT_EQ(decoded.shards.size(), 2U);
+  EXPECT_EQ(decoded.shards[0].neurons, 8U);
+  EXPECT_EQ(decoded.shards[0].bdd_nodes, 100U);
+  EXPECT_EQ(decoded.shards[0].cubes_inserted, 60U);
+  EXPECT_DOUBLE_EQ(decoded.shards[0].patterns, 58.0);
+  EXPECT_DOUBLE_EQ(decoded.shards[1].patterns, -1.0);
+}
+
+TEST(Protocol, StatsImplausibleShardCountRejected) {
+  ServiceStats stats;
+  std::string payload = encode_stats(stats);
+  // The shard count is the last u64 of a shardless payload.
+  const std::uint64_t huge = kMaxStatsShards + 1;
+  std::memcpy(payload.data() + payload.size() - sizeof huge, &huge,
+              sizeof huge);
+  EXPECT_THROW((void)decode_stats(payload), std::runtime_error);
+}
+
+TEST(Protocol, StatsOversizedStringRejected) {
+  std::string payload;
+  const std::uint64_t huge = kMaxFrameString + 1;
+  payload.append(reinterpret_cast<const char*>(&huge), sizeof huge);
+  EXPECT_THROW((void)decode_stats(payload), std::runtime_error);
+}
+
+TEST(Protocol, ErrorRoundTrip) {
+  EXPECT_EQ(decode_error(encode_error("shape mismatch")), "shape mismatch");
+}
+
+TEST(Protocol, ErrorMessageTruncatedToCap) {
+  const std::string longmsg(kMaxFrameString + 500, 'e');
+  const std::string decoded = decode_error(encode_error(longmsg));
+  EXPECT_EQ(decoded.size(), kMaxFrameString);
+}
+
+// Randomized corruption sweep: bit-flipped or truncated frames must
+// either parse or throw — never crash, hang, or allocate unboundedly.
+TEST(Protocol, RandomCorruptionNeverCrashes) {
+  Rng rng{12345};
+  std::vector<Tensor> inputs;
+  inputs.push_back(Tensor::random_uniform({16}, rng));
+  inputs.push_back(Tensor::random_uniform({16}, rng));
+  const std::string good = to_bytes(FrameType::kQuery, encode_query(inputs));
+
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string bytes = good;
+    // Corrupt 1..8 random bytes, then maybe truncate.
+    const std::size_t flips = 1 + std::size_t(rng.below(8));
+    for (std::size_t f = 0; f < flips; ++f) {
+      bytes[std::size_t(rng.below(bytes.size()))] ^=
+          char(1 + rng.below(255));
+    }
+    if (rng.below(2) == 0) {
+      bytes.resize(std::size_t(rng.below(bytes.size() + 1)));
+    }
+    std::istringstream in(bytes, std::ios::binary);
+    try {
+      const Frame frame = read_frame(in);
+      if (frame.type == FrameType::kQuery) {
+        (void)decode_query(frame.payload);
+      }
+    } catch (const std::runtime_error&) {
+      // Expected for virtually every corruption.
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ranm::serve

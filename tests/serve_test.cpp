@@ -1,0 +1,323 @@
+// Serving-layer tests: MonitorService answers must be bit-identical to
+// the direct forward_batch -> contains_batch pipeline, in-process and
+// through the Unix-socket frame transport; the server must survive
+// malformed clients and stop gracefully.
+#include "serve/monitor_service.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/monitor_builder.hpp"
+#include "core/sharded_monitor.hpp"
+#include "eval/experiment.hpp"
+#include "io/serialize.hpp"
+#include "nn/init.hpp"
+#include "serve/client.hpp"
+#include "serve/fd_frame.hpp"
+#include "serve/socket_server.hpp"
+#include "util/rng.hpp"
+
+namespace ranm::serve {
+namespace {
+
+/// Short unique socket path: sockaddr_un caps at ~108 bytes, so build
+/// trees are out — /tmp plus pid plus a tag stays well under.
+std::string test_socket_path(const std::string& tag) {
+  return "/tmp/ranm_" + std::to_string(::getpid()) + "_" + tag + ".sock";
+}
+
+/// A trained-free fixture: small MLP, random "training" inputs, one flat
+/// and one sharded monitor over the layer-4 ReLU features (dim 32).
+struct ServeFixture {
+  Rng rng{2024};
+  Network net = make_mlp({16, 64, 32, 8}, rng);
+  std::size_t k = 4;
+  std::vector<Tensor> train = make_inputs(64, 11);
+  NeuronStats stats{32, true};
+
+  ServeFixture() {
+    MonitorBuilder builder(net, k);
+    for (const Tensor& t : train) stats.add(builder.features(t));
+  }
+
+  [[nodiscard]] std::vector<Tensor> make_inputs(std::size_t n,
+                                                std::uint64_t seed) {
+    Rng r{seed};
+    std::vector<Tensor> inputs;
+    inputs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Half near the training distribution, half far out, so both warn
+      // verdicts occur.
+      const float scale = i % 2 == 0 ? 1.0F : 4.0F;
+      inputs.push_back(Tensor::random_uniform({16}, r, -scale, scale));
+    }
+    return inputs;
+  }
+
+  [[nodiscard]] std::unique_ptr<Monitor> build_monitor(std::size_t shards) {
+    MonitorOptions opts;
+    opts.family = MonitorFamily::kInterval;
+    opts.bits = 2;
+    opts.shards = shards;
+    std::unique_ptr<Monitor> monitor = make_monitor(opts, stats);
+    MonitorBuilder builder(net, k);
+    builder.build_standard(*monitor, train);
+    return monitor;
+  }
+
+  /// Ground truth straight through the batch pipeline.
+  [[nodiscard]] std::vector<std::uint8_t> direct_warns(
+      const Monitor& monitor, std::span<const Tensor> inputs) {
+    const FeatureBatch batch = net.forward_batch(k, inputs);
+    std::vector<std::uint8_t> out(inputs.size());
+    auto flags = std::make_unique<bool[]>(inputs.size());
+    monitor.warn_batch(batch, {flags.get(), inputs.size()});
+    for (std::size_t i = 0; i < inputs.size(); ++i) out[i] = flags[i];
+    return out;
+  }
+
+  /// Fresh network clone for the service (MonitorService owns its net).
+  [[nodiscard]] Network clone_net() {
+    std::stringstream buf;
+    save_network(buf, net);
+    return load_network(buf);
+  }
+};
+
+TEST(MonitorService, MatchesDirectPipelineRandomized) {
+  ServeFixture fx;
+  MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
+  const std::unique_ptr<Monitor> reference = fx.build_monitor(1);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                              std::size_t{7}, std::size_t{65}}) {
+    const std::vector<Tensor> inputs = fx.make_inputs(n, 100 + n);
+    EXPECT_EQ(service.query_warns(inputs),
+              fx.direct_warns(*reference, inputs))
+        << "batch size " << n;
+  }
+}
+
+TEST(MonitorService, ShardedMatchesDirectPipeline) {
+  ServeFixture fx;
+  MonitorService service(fx.clone_net(), fx.build_monitor(4), fx.k, 2);
+  const std::unique_ptr<Monitor> reference = fx.build_monitor(4);
+  const std::vector<Tensor> inputs = fx.make_inputs(40, 77);
+  EXPECT_EQ(service.query_warns(inputs),
+            fx.direct_warns(*reference, inputs));
+}
+
+TEST(MonitorService, RejectsDimensionMismatch) {
+  ServeFixture fx;
+  // Layer 2 (dim 64) cannot serve a dim-32 monitor.
+  EXPECT_THROW(MonitorService(fx.clone_net(), fx.build_monitor(1), 2),
+               std::invalid_argument);
+  EXPECT_THROW(MonitorService(fx.clone_net(), nullptr, fx.k),
+               std::invalid_argument);
+}
+
+TEST(MonitorService, CountersAndShardStats) {
+  ServeFixture fx;
+  MonitorService service(fx.clone_net(), fx.build_monitor(4), fx.k, 2);
+  const std::vector<Tensor> inputs = fx.make_inputs(20, 5);
+  const std::vector<std::uint8_t> warns = fx.direct_warns(
+      *fx.build_monitor(4), inputs);
+  std::uint64_t expected_warnings = 0;
+  for (const std::uint8_t w : warns) expected_warnings += w;
+
+  (void)service.query_warns(inputs);
+  (void)service.query_warns(std::span<const Tensor>{});
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries, 2U);
+  EXPECT_EQ(stats.samples, 20U);
+  EXPECT_EQ(stats.warnings, expected_warnings);
+  EXPECT_EQ(stats.dimension, 32U);
+  EXPECT_EQ(stats.layer, fx.k);
+  EXPECT_EQ(stats.threads, 2U);
+  EXPECT_EQ(stats.shard_strategy, "contiguous");
+  ASSERT_EQ(stats.shards.size(), 4U);
+  std::uint64_t neurons = 0;
+  for (const ShardStatsWire& s : stats.shards) neurons += s.neurons;
+  EXPECT_EQ(neurons, 32U);
+}
+
+TEST(MonitorService, ServiceSurvivesFailedQuery) {
+  ServeFixture fx;
+  MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
+  std::vector<Tensor> bad;
+  bad.push_back(Tensor::vector({1.0F, 2.0F}));  // wrong input shape
+  EXPECT_THROW((void)service.query_warns(bad), std::exception);
+  const std::vector<Tensor> good = fx.make_inputs(8, 3);
+  EXPECT_EQ(service.query_warns(good).size(), 8U);
+}
+
+TEST(MonitorService, FromFilesRoundTrip) {
+  ServeFixture fx;
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("ranm_serve_files_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  const std::string net_path = (dir / "net.bin").string();
+  const std::string mon_path = (dir / "mon.bin").string();
+  save_network_file(net_path, fx.net);
+  {
+    std::ofstream out(mon_path, std::ios::binary);
+    save_any_monitor(out, *fx.build_monitor(4));
+  }
+
+  MonitorService service =
+      MonitorService::from_files(net_path, mon_path, fx.k, 2);
+  const std::vector<Tensor> inputs = fx.make_inputs(24, 9);
+  EXPECT_EQ(service.query_warns(inputs),
+            fx.direct_warns(*fx.build_monitor(4), inputs));
+  fs::remove_all(dir);
+}
+
+// ---- socket transport -----------------------------------------------------
+
+/// Runs a SocketServer on a background thread for one test.
+struct ServerHarness {
+  MonitorService& service;
+  SocketServer server;
+  std::thread thread;
+
+  ServerHarness(MonitorService& svc, const std::string& tag)
+      : service(svc), server(svc, test_socket_path(tag)) {
+    thread = std::thread([this] { server.run(); });
+  }
+
+  ~ServerHarness() {
+    server.stop();
+    if (thread.joinable()) thread.join();
+  }
+};
+
+TEST(SocketServer, EndToEndBitIdenticalToDirect) {
+  ServeFixture fx;
+  MonitorService service(fx.clone_net(), fx.build_monitor(4), fx.k, 2);
+  const std::unique_ptr<Monitor> reference = fx.build_monitor(4);
+  ServerHarness harness(service, "e2e");
+
+  ServeClient client(harness.server.socket_path());
+  // Stream a dataset through the daemon in minibatches; every verdict
+  // must match the direct pipeline bit for bit.
+  const std::vector<Tensor> dataset = fx.make_inputs(100, 42);
+  const std::vector<std::uint8_t> expected =
+      fx.direct_warns(*reference, dataset);
+  std::vector<std::uint8_t> served;
+  const std::size_t batch = 17;  // deliberately not a divisor of 100
+  for (std::size_t i = 0; i < dataset.size(); i += batch) {
+    const std::size_t n = std::min(batch, dataset.size() - i);
+    const auto warns = client.query_warns({dataset.data() + i, n});
+    served.insert(served.end(), warns.begin(), warns.end());
+  }
+  EXPECT_EQ(served, expected);
+
+  const ServiceStats stats = client.stats();
+  EXPECT_EQ(stats.samples, 100U);
+  EXPECT_EQ(stats.shards.size(), 4U);
+}
+
+TEST(SocketServer, ShutdownFrameStopsServer) {
+  ServeFixture fx;
+  MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
+  SocketServer server(service, test_socket_path("shutdown"));
+  std::thread thread([&server] { server.run(); });
+  {
+    ServeClient client(server.socket_path());
+    client.shutdown_server();
+  }
+  thread.join();  // returns only if the shutdown frame stopped run()
+  EXPECT_EQ(server.connections_served(), 1U);
+}
+
+TEST(SocketServer, StopUnblocksIdleServer) {
+  ServeFixture fx;
+  MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
+  SocketServer server(service, test_socket_path("stop"));
+  std::thread thread([&server] { server.run(); });
+  server.stop();
+  thread.join();
+}
+
+TEST(SocketServer, QueryErrorKeepsConnectionUsable) {
+  ServeFixture fx;
+  MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
+  ServerHarness harness(service, "qerr");
+
+  ServeClient client(harness.server.socket_path());
+  std::vector<Tensor> bad;
+  bad.push_back(Tensor::vector({1.0F}));  // wrong input shape
+  EXPECT_THROW((void)client.query_warns(bad), std::runtime_error);
+  // Payload-level failures leave the stream synced: same connection, next
+  // query answers normally.
+  const std::vector<Tensor> good = fx.make_inputs(8, 8);
+  EXPECT_EQ(client.query_warns(good).size(), 8U);
+}
+
+TEST(SocketServer, RefusesPathAnotherDaemonIsServing) {
+  ServeFixture fx;
+  MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
+  ServerHarness harness(service, "inuse");
+  // A second server must not silently steal the live socket.
+  EXPECT_THROW(SocketServer(service, harness.server.socket_path()),
+               std::runtime_error);
+  // The first daemon is unaffected by the refused takeover.
+  ServeClient client(harness.server.socket_path());
+  EXPECT_EQ(client.query_warns(fx.make_inputs(4, 2)).size(), 4U);
+}
+
+TEST(SocketServer, ReplacesStaleSocketFile) {
+  ServeFixture fx;
+  MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
+  const std::string path = test_socket_path("stale");
+  {
+    // Leftover file with no listener behind it (crashed daemon).
+    std::ofstream stale(path);
+  }
+  ServerHarness harness(service, "stale");
+  ServeClient client(path);
+  EXPECT_EQ(client.query_warns(fx.make_inputs(4, 3)).size(), 4U);
+}
+
+TEST(SocketServer, MalformedFrameGetsErrorAndNextConnectionServes) {
+  ServeFixture fx;
+  MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
+  ServerHarness harness(service, "garbage");
+
+  // Raw client speaking garbage: 16 bytes that are not a valid header.
+  {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    const std::string& path = harness.server.socket_path();
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof addr),
+              0);
+    const char garbage[kFrameHeaderBytes] = "not a frame!!!!";
+    ASSERT_EQ(::send(fd, garbage, sizeof garbage, 0),
+              ssize_t(sizeof garbage));
+    // The server answers with an error frame, then closes.
+    const FdFrameResult reply = read_frame_fd(fd);
+    ASSERT_FALSE(reply.eof);
+    EXPECT_EQ(reply.frame.type, FrameType::kError);
+    ::close(fd);
+  }
+
+  // The daemon is still alive for well-formed clients.
+  ServeClient client(harness.server.socket_path());
+  EXPECT_EQ(client.query_warns(fx.make_inputs(4, 1)).size(), 4U);
+}
+
+}  // namespace
+}  // namespace ranm::serve

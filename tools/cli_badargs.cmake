@@ -1,0 +1,27 @@
+# Regression test: negative or overflowing size-like CLI arguments must be
+# rejected with a clear range error. Before ArgParser::get_size, a cast
+# like std::size_t(get_int("count")) wrapped `--count -1` to ~1.8e19 and
+# attempted a multi-GB allocation. Invoked as:
+#   cmake -DRANM_CLI=<binary> -P cli_badargs.cmake
+
+function(expect_range_error)
+  execute_process(COMMAND ${ARGV}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    TIMEOUT 30)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "expected failure but command succeeded: ${ARGV}")
+  endif()
+  if(NOT err MATCHES "must be in")
+    message(FATAL_ERROR
+      "expected a range error for: ${ARGV}\nstderr was: ${err}")
+  endif()
+endfunction()
+
+expect_range_error(${RANM_CLI} gen --workload digits --count -1 --out /dev/null)
+expect_range_error(${RANM_CLI} gen --workload digits --count 99999999999 --out /dev/null)
+expect_range_error(${RANM_CLI} build --net x --data x --layer -1 --type minmax --out /dev/null)
+expect_range_error(${RANM_CLI} build --net x --data x --layer 1 --type minmax --bits -1 --out /dev/null)
+expect_range_error(${RANM_CLI} train --data x --task regression --epochs -1 --out /dev/null)
+expect_range_error(${RANM_CLI} eval --net x --monitor x --layer 1 --in-dist x --threads -1)

@@ -10,6 +10,10 @@
 //   ranm eval   --net net.bin --monitor monitor.bin --layer 6
 //               --in-dist test.ds --ood dark.ds --ood ice.ds
 //   ranm info   --net net.bin | --monitor monitor.bin | --data file.ds
+//
+// and `ranm query` is the serving-layer client: it streams datasets
+// through a running ranm_serve daemon instead of loading artifacts
+// itself.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -32,6 +36,7 @@
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/trainer.hpp"
+#include "serve/client.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -41,7 +46,7 @@ namespace {
 
 [[noreturn]] void usage() {
   std::fputs(
-      "usage: ranm <gen|train|build|eval|info> [options]\n"
+      "usage: ranm <gen|train|build|eval|query|info> [options]\n"
       "  gen    --workload track|digits|signs [--variant NAME]\n"
       "         --count N [--seed S] --out FILE\n"
       "  train  --data FILE --task regression|classification\n"
@@ -56,10 +61,23 @@ namespace {
       "         --out FILE\n"
       "  eval   --net FILE --monitor FILE --layer K --in-dist FILE\n"
       "         [--ood FILE ...] [--threads T]\n"
+      "  query  --socket PATH [--in-dist FILE] [--ood FILE ...]\n"
+      "         [--batch N] [--stats]   (talks to a ranm_serve daemon)\n"
       "  info   --net FILE | --monitor FILE | --data FILE\n",
       stderr);
   std::exit(2);
 }
+
+// Range caps for the size-like options. Far above any real run, but low
+// enough that a typo'd or negative value fails loudly instead of sizing a
+// multi-gigabyte allocation.
+constexpr std::size_t kMaxCount = 1U << 26;    // dataset samples
+constexpr std::size_t kMaxLayer = 1U << 20;    // network depth
+constexpr std::size_t kMaxWidth = 1U << 20;    // hidden/channel widths
+constexpr std::size_t kMaxEpochs = 1U << 20;
+constexpr std::size_t kMaxBatch = 1U << 20;
+constexpr std::size_t kMaxBits = 16;           // ThresholdSpec limit
+constexpr std::size_t kMaxKp = 1U << 26;       // perturbed-pixel count
 
 /// --threads: 0 means hardware concurrency; bounded so a typo cannot ask
 /// the pool to spawn thousands of OS threads.
@@ -69,6 +87,30 @@ std::size_t parse_threads(const ArgParser& args) {
     throw std::invalid_argument("--threads must be in 0..256");
   }
   return std::size_t(t);
+}
+
+/// --ood is repeatable and each occurrence may itself be a comma list
+/// (the historical workaround from when the parser silently kept only
+/// the last occurrence).
+std::vector<std::string> ood_paths(const ArgParser& args) {
+  std::vector<std::string> paths;
+  for (const std::string& entry : args.get_all("ood")) {
+    std::size_t start = 0;
+    while (start <= entry.size()) {
+      std::size_t comma = entry.find(',', start);
+      if (comma == std::string::npos) comma = entry.size();
+      if (comma > start) paths.push_back(entry.substr(start, comma - start));
+      start = comma + 1;
+    }
+  }
+  return paths;
+}
+
+/// samples/s table cell; a timed region that rounds to zero seconds is
+/// reported as "n/a", not a misleading 0.
+std::string per_sec_cell(std::size_t samples, double secs) {
+  if (secs <= 0.0) return "n/a";
+  return TextTable::num(double(samples) / secs, 0);
 }
 
 Dataset load_dataset_file(const std::string& path) {
@@ -86,7 +128,7 @@ void save_dataset_file(const std::string& path, const Dataset& ds) {
 int cmd_gen(const ArgParser& args) {
   const std::string workload = args.require("workload");
   const std::string variant = args.get("variant", "nominal");
-  const auto count = std::size_t(args.get_int("count", 100));
+  const std::size_t count = args.get_size("count", 100, kMaxCount);
   Rng rng{std::uint64_t(args.get_int("seed", 1))};
   Dataset ds;
   if (workload == "track") {
@@ -138,10 +180,17 @@ int cmd_gen(const ArgParser& args) {
 }
 
 int cmd_train(const ArgParser& args) {
+  // Arguments validate before the dataset loads (fail fast on typos).
+  const std::string task = args.require("task");
+  const std::size_t channels = args.get_size("channels", 6, kMaxWidth);
+  const std::size_t hidden = args.get_size("hidden", 32, kMaxWidth);
+  TrainConfig cfg;
+  cfg.epochs = args.get_size("epochs", 6, kMaxEpochs);
+  cfg.batch_size = args.get_size("batch", 16, kMaxBatch);
+  Rng rng{std::uint64_t(args.get_int("seed", 1))};
+
   const Dataset ds = load_dataset_file(args.require("data"));
   if (ds.empty()) throw std::runtime_error("empty training dataset");
-  const std::string task = args.require("task");
-  Rng rng{std::uint64_t(args.get_int("seed", 1))};
 
   const Shape in_shape = ds.inputs.front().shape();
   if (in_shape.size() != 3 || in_shape[0] != 1) {
@@ -158,16 +207,12 @@ int cmd_train(const ArgParser& args) {
     throw std::invalid_argument("unknown task " + task);
   }
 
-  Network net = make_small_convnet(
-      in_shape[1], in_shape[2], std::size_t(args.get_int("channels", 6)),
-      std::size_t(args.get_int("hidden", 32)), out_dim, rng);
+  Network net = make_small_convnet(in_shape[1], in_shape[2], channels,
+                                   hidden, out_dim, rng);
 
   Adam::Config adam_cfg;
   adam_cfg.learning_rate = float(args.get_double("lr", 5e-3));
   Adam optimizer(net.parameters(), net.gradients(), adam_cfg);
-  TrainConfig cfg;
-  cfg.epochs = std::size_t(args.get_int("epochs", 6));
-  cfg.batch_size = std::size_t(args.get_int("batch", 16));
   cfg.on_epoch = [](const EpochStats& s) {
     std::printf("epoch %zu: loss %.4f\n", s.epoch, double(s.mean_loss));
   };
@@ -188,31 +233,33 @@ int cmd_train(const ArgParser& args) {
 }
 
 int cmd_build(const ArgParser& args) {
-  Network net = load_network_file(args.require("net"));
-  const Dataset ds = load_dataset_file(args.require("data"));
-  const auto layer = std::size_t(args.get_int("layer", 0));
-  MonitorBuilder builder(net, layer);
-  NeuronStats stats = builder.collect_stats(ds.inputs, true);
-
+  // Every argument is validated before the first artifact load, so a bad
+  // --layer or --bits fails fast instead of after seconds of I/O.
+  const std::size_t layer = args.get_size("layer", 0, kMaxLayer);
   MonitorOptions opts;
   opts.family = parse_monitor_family(args.require("type"));
-  opts.bits = std::size_t(args.get_int("bits", 2));
+  opts.bits = args.get_size("bits", 2, kMaxBits);
   const std::int64_t shards = args.get_int("shards", 1);
   if (shards < 1 || shards > 4096) {
     throw std::invalid_argument("--shards must be in 1..4096");
   }
-  // Shard counts above the layer width clamp down so "--shards 8" works
-  // uniformly across layers of any dimension.
-  opts.shards = std::min(std::size_t(shards), builder.feature_dim());
   opts.threads = parse_threads(args);
   opts.strategy =
       parse_shard_strategy(args.get("shard-strategy", "contiguous"));
   opts.shard_seed = std::uint64_t(args.get_int("shard-seed", 0));
+
+  Network net = load_network_file(args.require("net"));
+  const Dataset ds = load_dataset_file(args.require("data"));
+  MonitorBuilder builder(net, layer);
+  NeuronStats stats = builder.collect_stats(ds.inputs, true);
+  // Shard counts above the layer width clamp down so "--shards 8" works
+  // uniformly across layers of any dimension.
+  opts.shards = std::min(std::size_t(shards), builder.feature_dim());
   std::unique_ptr<Monitor> monitor = make_monitor(opts, stats);
 
   if (args.has("robust")) {
     PerturbationSpec spec;
-    spec.kp = std::size_t(args.get_int("kp", 0));
+    spec.kp = args.get_size("kp", 0, kMaxKp);
     spec.delta = float(args.get_double("delta", 0.005));
     const std::string domain = args.get("domain", "box");
     if (domain == "box") {
@@ -238,6 +285,9 @@ int cmd_build(const ArgParser& args) {
 }
 
 int cmd_eval(const ArgParser& args) {
+  const std::size_t layer = args.get_size("layer", 0, kMaxLayer);
+  const std::size_t threads = parse_threads(args);
+
   Network net = load_network_file(args.require("net"));
   std::ifstream min(args.require("monitor"), std::ios::binary);
   if (!min) throw std::runtime_error("cannot open monitor file");
@@ -245,9 +295,8 @@ int cmd_eval(const ArgParser& args) {
   // The thread count is a runtime (host) property, not part of the
   // artifact: apply --threads to sharded monitors after loading.
   if (auto* sharded = dynamic_cast<ShardedMonitor*>(monitor.get())) {
-    sharded->set_threads(parse_threads(args));
+    sharded->set_threads(threads);
   }
-  const auto layer = std::size_t(args.get_int("layer", 0));
   MonitorBuilder builder(net, layer);
 
   // Each set runs through the batched query pipeline (one feature
@@ -258,31 +307,110 @@ int cmd_eval(const ArgParser& args) {
     Timer timer;
     const double rate = warning_rate(builder, *monitor, inputs);
     const double secs = timer.seconds();
-    const double per_sec =
-        secs > 0.0 ? double(inputs.size()) / secs : 0.0;
     table.add_row({label, TextTable::pct(100 * rate, precision),
-                   TextTable::num(per_sec, 0)});
+                   per_sec_cell(inputs.size(), secs)});
   };
 
   const Dataset in_dist = load_dataset_file(args.require("in-dist"));
   TextTable table("monitor evaluation");
   table.set_header({"set", "warning rate", "samples/s"});
   eval_set("in-dist (FP)", 3, in_dist.inputs, table);
-  // Repeatable --ood is not supported by the parser (last wins), so accept
-  // a comma-separated list.
-  const std::string ood_list = args.get("ood", "");
-  std::size_t start = 0;
-  while (start < ood_list.size()) {
-    std::size_t comma = ood_list.find(',', start);
-    if (comma == std::string::npos) comma = ood_list.size();
-    const std::string path = ood_list.substr(start, comma - start);
-    if (!path.empty()) {
-      const Dataset ood = load_dataset_file(path);
-      eval_set(path, 2, ood.inputs, table);
-    }
-    start = comma + 1;
+  for (const std::string& path : ood_paths(args)) {
+    const Dataset ood = load_dataset_file(path);
+    eval_set(path, 2, ood.inputs, table);
   }
   table.print();
+  return 0;
+}
+
+/// Renders a stats reply the way `info --monitor` renders a local
+/// artifact, plus the daemon's lifetime counters.
+void print_service_stats(const serve::ServiceStats& stats) {
+  std::printf("%s\n", stats.monitor.c_str());
+  std::printf("feature dimension: %llu, monitored layer: %llu\n",
+              static_cast<unsigned long long>(stats.dimension),
+              static_cast<unsigned long long>(stats.layer));
+  std::printf("served: %llu queries, %llu samples, %llu warnings\n",
+              static_cast<unsigned long long>(stats.queries),
+              static_cast<unsigned long long>(stats.samples),
+              static_cast<unsigned long long>(stats.warnings));
+  if (!stats.shards.empty()) {
+    TextTable table("per-shard statistics");
+    table.set_header(
+        {"shard", "neurons", "bdd nodes", "cubes inserted", "patterns"});
+    std::uint64_t neurons = 0, nodes = 0, cubes = 0;
+    for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+      const serve::ShardStatsWire& st = stats.shards[s];
+      table.add_row({std::to_string(s), std::to_string(st.neurons),
+                     std::to_string(st.bdd_nodes),
+                     std::to_string(st.cubes_inserted),
+                     st.patterns < 0 ? std::string("-")
+                                     : TextTable::num(st.patterns, 0)});
+      neurons += st.neurons;
+      nodes += st.bdd_nodes;
+      cubes += st.cubes_inserted;
+    }
+    table.add_row({"total", std::to_string(neurons), std::to_string(nodes),
+                   std::to_string(cubes), "-"});
+    table.print();
+    std::printf("plan: %zu shards, strategy %s, seed %llu, threads %llu\n",
+                stats.shards.size(), stats.shard_strategy.c_str(),
+                static_cast<unsigned long long>(stats.shard_seed),
+                static_cast<unsigned long long>(stats.threads));
+  }
+}
+
+/// Serving-layer client: streams datasets through a running ranm_serve
+/// daemon in minibatches and prints the same warning-rate table as eval —
+/// without loading the network or monitor artifacts itself.
+int cmd_query(const ArgParser& args) {
+  serve::ServeClient client(args.require("socket"));
+  const std::size_t batch = args.get_size(
+      "batch", 256, std::size_t(serve::kMaxQuerySamples));
+  if (batch == 0) throw std::invalid_argument("--batch must be >= 1");
+
+  const bool want_stats = args.has("stats");
+  if (!args.has("in-dist") && !want_stats) {
+    throw std::invalid_argument(
+        "query needs --in-dist (and/or --stats) to do anything");
+  }
+
+  if (args.has("in-dist")) {
+    auto query_set = [&](const std::string& label, int precision,
+                         const std::vector<Tensor>& inputs,
+                         TextTable& table) {
+      // The sample-count cap alone does not bound the frame size: clamp
+      // the batch so every query frame stays under the payload cap.
+      const std::size_t set_batch =
+          inputs.empty() ? batch
+                         : std::min(batch,
+                                    serve::max_query_batch(inputs.front()));
+      Timer timer;
+      std::size_t warned = 0;
+      for (std::size_t i = 0; i < inputs.size(); i += set_batch) {
+        const std::size_t n = std::min(set_batch, inputs.size() - i);
+        const std::span<const Tensor> chunk(inputs.data() + i, n);
+        for (const std::uint8_t w : client.query_warns(chunk)) warned += w;
+      }
+      const double secs = timer.seconds();
+      const double rate =
+          inputs.empty() ? 0.0 : double(warned) / double(inputs.size());
+      table.add_row({label, TextTable::pct(100 * rate, precision),
+                     per_sec_cell(inputs.size(), secs)});
+    };
+
+    const Dataset in_dist = load_dataset_file(args.require("in-dist"));
+    TextTable table("monitor evaluation (served)");
+    table.set_header({"set", "warning rate", "samples/s"});
+    query_set("in-dist (FP)", 3, in_dist.inputs, table);
+    for (const std::string& path : ood_paths(args)) {
+      const Dataset ood = load_dataset_file(path);
+      query_set(path, 2, ood.inputs, table);
+    }
+    table.print();
+  }
+
+  if (want_stats) print_service_stats(client.stats());
   return 0;
 }
 
@@ -349,6 +477,7 @@ int run(int argc, char** argv) {
   if (cmd == "train") return cmd_train(args);
   if (cmd == "build") return cmd_build(args);
   if (cmd == "eval") return cmd_eval(args);
+  if (cmd == "query") return cmd_query(args);
   if (cmd == "info") return cmd_info(args);
   usage();
 }

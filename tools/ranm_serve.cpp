@@ -1,0 +1,97 @@
+// ranm_serve — long-running monitor serving daemon.
+//
+// Loads the network and monitor artifacts once, then answers minibatch
+// membership queries over a Unix-domain socket for the life of the
+// process (the deployment shape of the paper's monitors: a watcher riding
+// along with a live DNN, not a batch job):
+//
+//   ranm_serve --net net.bin --monitor monitor.bin --layer 6
+//              --socket /tmp/ranm.sock [--threads 4]
+//
+// Clients: `ranm query --socket /tmp/ranm.sock --in-dist test.ds`, the
+// in-process ServeClient API, or anything speaking the frame protocol
+// (serve/protocol.hpp). SIGINT/SIGTERM (or a client shutdown frame) stop
+// the daemon gracefully; final counters are printed on exit.
+#include <csignal>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "serve/monitor_service.hpp"
+#include "serve/socket_server.hpp"
+#include "util/args.hpp"
+
+namespace ranm::cli {
+namespace {
+
+[[noreturn]] void usage() {
+  std::fputs(
+      "usage: ranm_serve --net FILE --monitor FILE --layer K\n"
+      "                  --socket PATH [--threads T]\n"
+      "  --threads: shard-level parallelism for sharded monitors\n"
+      "             (0 = hardware concurrency, default 1)\n",
+      stderr);
+  std::exit(2);
+}
+
+// The signal handlers reach the server through this pointer;
+// SocketServer::stop() is one write() on a self-pipe, so calling it from
+// a handler is async-signal-safe.
+serve::SocketServer* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->stop();
+}
+
+void install_signal_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = handle_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocking calls must wake up
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+int run(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  if (args.has("help")) usage();
+  const std::size_t layer = args.get_size("layer", 0, 1U << 20);
+  // 0 means hardware concurrency; bounded like ranm_cli's --threads.
+  const std::size_t threads = args.get_size("threads", 1, 256);
+
+  serve::MonitorService service = serve::MonitorService::from_files(
+      args.require("net"), args.require("monitor"), layer, threads);
+  std::printf("loaded %s (dim %zu, layer %zu)\n",
+              service.monitor().describe().c_str(), service.dimension(),
+              service.layer_k());
+
+  serve::SocketServer server(service, args.require("socket"));
+  g_server = &server;
+  install_signal_handlers();
+  std::printf("serving on %s — SIGINT/SIGTERM or a shutdown frame stops\n",
+              server.socket_path().c_str());
+  std::fflush(stdout);
+  server.run();
+  g_server = nullptr;
+
+  const serve::ServiceStats stats = service.stats();
+  std::printf("stopped after %llu connections: %llu queries, "
+              "%llu samples, %llu warnings\n",
+              static_cast<unsigned long long>(server.connections_served()),
+              static_cast<unsigned long long>(stats.queries),
+              static_cast<unsigned long long>(stats.samples),
+              static_cast<unsigned long long>(stats.warnings));
+  return 0;
+}
+
+}  // namespace
+}  // namespace ranm::cli
+
+int main(int argc, char** argv) {
+  try {
+    return ranm::cli::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ranm_serve: %s\n", e.what());
+    return 1;
+  }
+}
