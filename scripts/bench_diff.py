@@ -27,7 +27,7 @@ from pathlib import Path
 # Fields that identify a row even though they are numeric: sweeps are keyed
 # by these, so a delta between batch sizes would be meaningless.
 IDENTITY_NUMERIC = {"batch_size", "shards", "threads", "bits", "samples",
-                    "dim", "kp"}
+                    "dim", "kp", "hidden_layers"}
 # Run-shape metadata: differs between smoke and full runs by design, and a
 # delta on it is noise — excluded from both identity and metrics.
 IGNORED = {"requests"}

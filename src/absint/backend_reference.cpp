@@ -1,0 +1,205 @@
+// Reference bound backend: one sample at a time, with exactly the scalar
+// expressions (and evaluation order) of the Layer::propagate(IntervalVector)
+// transfer functions — the bit-for-bit ground truth the differential suite
+// compares the vectorized backend against.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "absint/bound_backend.hpp"
+
+namespace ranm {
+
+BoxBatch ReferenceBoundBackend::do_affine(std::span<const float> w,
+                                          std::size_t rows, std::size_t cols,
+                                          std::span<const float> bias,
+                                          const BoxBatch& in) const {
+  const std::size_t n = in.size();
+  BoxBatch out(rows, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      // Centre/radius form, double accumulation in ascending j — the same
+      // expression Dense::propagate evaluates per output neuron.
+      double c = bias[r], rad = 0.0;
+      const float* row = w.data() + r * cols;
+      for (std::size_t j = 0; j < cols; ++j) {
+        const float cen = 0.5F * (in.lo(j, i) + in.hi(j, i));
+        const float radius = 0.5F * (in.hi(j, i) - in.lo(j, i));
+        c += double(row[j]) * cen;
+        rad += std::fabs(double(row[j])) * radius;
+      }
+      out.lo(r, i) = round_down(c - rad);
+      out.hi(r, i) = round_up(c + rad);
+    }
+  }
+  return out;
+}
+
+BoxBatch ReferenceBoundBackend::do_conv2d(const Conv2DGeometry& g,
+                                          std::span<const float> w,
+                                          std::span<const float> bias,
+                                          const BoxBatch& in) const {
+  const std::size_t n = in.size();
+  BoxBatch out(g.output_size(), n);
+  // Per-sample centre/radius staging, as Conv2D::propagate does.
+  std::vector<float> cen(g.input_size()), rad(g.input_size());
+  const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(g.padding);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < g.input_size(); ++j) {
+      cen[j] = 0.5F * (in.lo(j, i) + in.hi(j, i));
+      rad[j] = 0.5F * (in.hi(j, i) - in.lo(j, i));
+    }
+    for (std::size_t oc = 0; oc < g.out_channels; ++oc) {
+      for (std::size_t oy = 0; oy < g.out_height; ++oy) {
+        for (std::size_t ox = 0; ox < g.out_width; ++ox) {
+          double acc_c = bias[oc];
+          double acc_r = 0.0;
+          for (std::size_t ic = 0; ic < g.in_channels; ++ic) {
+            for (std::size_t ky = 0; ky < g.kernel_h; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * g.stride + ky) - pad;
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.in_height)) {
+                continue;
+              }
+              for (std::size_t kx = 0; kx < g.kernel_w; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * g.stride + kx) - pad;
+                if (ix < 0 ||
+                    ix >= static_cast<std::ptrdiff_t>(g.in_width)) {
+                  continue;
+                }
+                const float wv =
+                    w[((oc * g.in_channels + ic) * g.kernel_h + ky) *
+                          g.kernel_w +
+                      kx];
+                const std::size_t iidx =
+                    (ic * g.in_height + std::size_t(iy)) * g.in_width +
+                    std::size_t(ix);
+                acc_c += double(wv) * cen[iidx];
+                acc_r += std::fabs(double(wv)) * rad[iidx];
+              }
+            }
+          }
+          out.lo((oc * g.out_height + oy) * g.out_width + ox, i) =
+              round_down(acc_c - acc_r);
+          out.hi((oc * g.out_height + oy) * g.out_width + ox, i) =
+              round_up(acc_c + acc_r);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+BoxBatch ReferenceBoundBackend::do_max_pool(const Pool2DGeometry& g,
+                                            const BoxBatch& in) const {
+  const std::size_t n = in.size();
+  BoxBatch out(g.output_size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t ch = 0; ch < g.channels; ++ch) {
+      for (std::size_t oy = 0; oy < g.out_height; ++oy) {
+        for (std::size_t ox = 0; ox < g.out_width; ++ox) {
+          float lo = -std::numeric_limits<float>::infinity();
+          float hi = -std::numeric_limits<float>::infinity();
+          for (std::size_t ky = 0; ky < g.window; ++ky) {
+            for (std::size_t kx = 0; kx < g.window; ++kx) {
+              const std::size_t iy = oy * g.stride + ky;
+              const std::size_t ix = ox * g.stride + kx;
+              const std::size_t idx =
+                  (ch * g.in_height + iy) * g.in_width + ix;
+              lo = std::max(lo, in.lo(idx, i));
+              hi = std::max(hi, in.hi(idx, i));
+            }
+          }
+          const std::size_t oidx = (ch * g.out_height + oy) * g.out_width + ox;
+          out.lo(oidx, i) = lo;
+          out.hi(oidx, i) = hi;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+BoxBatch ReferenceBoundBackend::do_avg_pool(const Pool2DGeometry& g,
+                                            const BoxBatch& in) const {
+  const std::size_t n = in.size();
+  const double inv = 1.0 / double(g.window * g.window);
+  BoxBatch out(g.output_size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t ch = 0; ch < g.channels; ++ch) {
+      for (std::size_t oy = 0; oy < g.out_height; ++oy) {
+        for (std::size_t ox = 0; ox < g.out_width; ++ox) {
+          double lo = 0.0, hi = 0.0;
+          for (std::size_t ky = 0; ky < g.window; ++ky) {
+            for (std::size_t kx = 0; kx < g.window; ++kx) {
+              const std::size_t iy = oy * g.stride + ky;
+              const std::size_t ix = ox * g.stride + kx;
+              const std::size_t idx =
+                  (ch * g.in_height + iy) * g.in_width + ix;
+              lo += in.lo(idx, i);
+              hi += in.hi(idx, i);
+            }
+          }
+          const std::size_t oidx = (ch * g.out_height + oy) * g.out_width + ox;
+          out.lo(oidx, i) = round_down(lo * inv);
+          out.hi(oidx, i) = round_up(hi * inv);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+BoxBatch ReferenceBoundBackend::do_relu(const BoxBatch& in) const {
+  BoxBatch out(in.dimension(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    for (std::size_t j = 0; j < in.dimension(); ++j) {
+      out.lo(j, i) = std::max(0.0F, in.lo(j, i));
+      out.hi(j, i) = std::max(0.0F, in.hi(j, i));
+    }
+  }
+  return out;
+}
+
+BoxBatch ReferenceBoundBackend::do_leaky_relu(float alpha,
+                                              const BoxBatch& in) const {
+  auto f = [alpha](float v) { return v > 0.0F ? v : alpha * v; };
+  BoxBatch out(in.dimension(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    for (std::size_t j = 0; j < in.dimension(); ++j) {
+      const float a = f(in.lo(j, i)), b = f(in.hi(j, i));
+      out.lo(j, i) = std::min(a, b);
+      out.hi(j, i) = std::max(a, b);
+    }
+  }
+  return out;
+}
+
+BoxBatch ReferenceBoundBackend::do_normalize(std::span<const float> mean,
+                                             std::span<const float> inv_std,
+                                             const BoxBatch& in) const {
+  BoxBatch out(in.dimension(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    for (std::size_t j = 0; j < in.dimension(); ++j) {
+      out.lo(j, i) = (in.lo(j, i) - mean[j]) * inv_std[j];
+      out.hi(j, i) = (in.hi(j, i) - mean[j]) * inv_std[j];
+    }
+  }
+  return out;
+}
+
+BoxBatch ReferenceBoundBackend::do_monotone(float (*f)(float),
+                                            const BoxBatch& in) const {
+  BoxBatch out(in.dimension(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    for (std::size_t j = 0; j < in.dimension(); ++j) {
+      out.lo(j, i) = f(in.lo(j, i));
+      out.hi(j, i) = f(in.hi(j, i));
+    }
+  }
+  return out;
+}
+
+}  // namespace ranm

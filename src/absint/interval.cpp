@@ -8,16 +8,34 @@
 
 namespace ranm {
 
+namespace {
+// Largest finite float, as a double: the float cast is only defined for
+// values in [-max, max], so magnitudes beyond it saturate to ±infinity
+// explicitly (the IEEE result the cast would give on common targets, but
+// without the undefined behaviour).
+constexpr double kFloatMax = std::numeric_limits<float>::max();
+}  // namespace
+
 float round_down(double v) noexcept {
   // Unconditionally step one ulp down: covers both the float cast and the
   // sub-float-ulp error of the double accumulation versus real arithmetic.
-  return std::nextafter(static_cast<float>(v),
-                        -std::numeric_limits<float>::infinity());
+  // Magnitudes beyond float range clamp to ±FLT_MAX *before* the step, so
+  // the outward cushion survives saturation (a double just past FLT_MAX
+  // may stand for a true value just below it); the step then carries
+  // -FLT_MAX on to -inf. NaN propagates.
+  const float f = v > kFloatMax    ? std::numeric_limits<float>::max()
+                  : v < -kFloatMax ? -std::numeric_limits<float>::max()
+                                   : static_cast<float>(v);
+  return std::nextafter(f, -std::numeric_limits<float>::infinity());
 }
 
 float round_up(double v) noexcept {
-  return std::nextafter(static_cast<float>(v),
-                        std::numeric_limits<float>::infinity());
+  // Mirror of round_down: clamp to ±FLT_MAX, then step one ulp up
+  // (+FLT_MAX steps to +inf).
+  const float f = v > kFloatMax    ? std::numeric_limits<float>::max()
+                  : v < -kFloatMax ? -std::numeric_limits<float>::max()
+                                   : static_cast<float>(v);
+  return std::nextafter(f, std::numeric_limits<float>::infinity());
 }
 
 Interval::Interval(float l, float h) : lo(l), hi(h) {
@@ -28,7 +46,13 @@ Interval::Interval(float l, float h) : lo(l), hi(h) {
 }
 
 Interval Interval::around(float c, float r) {
-  if (r < 0.0F) throw std::invalid_argument("Interval::around: negative r");
+  // Positive predicate so NaN (which fails every comparison) is rejected
+  // alongside negative and infinite radii.
+  if (!(r >= 0.0F) || !std::isfinite(r)) {
+    throw std::invalid_argument(
+        "Interval::around: radius must be finite and >= 0, got " +
+        std::to_string(r));
+  }
   return make_unchecked(c - r, c + r);
 }
 
@@ -101,8 +125,9 @@ IntervalVector IntervalVector::from_point(std::span<const float> v) {
 
 IntervalVector IntervalVector::linf_ball(std::span<const float> v,
                                          float delta) {
-  if (delta < 0.0F) {
-    throw std::invalid_argument("IntervalVector::linf_ball: negative delta");
+  if (!(delta >= 0.0F) || !std::isfinite(delta)) {
+    throw std::invalid_argument(
+        "IntervalVector::linf_ball: delta must be finite and >= 0");
   }
   std::vector<Interval> ivs;
   ivs.reserve(v.size());

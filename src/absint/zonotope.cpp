@@ -18,8 +18,9 @@ Zonotope Zonotope::from_point(std::span<const float> c) {
 }
 
 Zonotope Zonotope::linf_ball(std::span<const float> c, float delta) {
-  if (delta < 0.0F) {
-    throw std::invalid_argument("Zonotope::linf_ball: negative delta");
+  if (!(delta >= 0.0F) || !std::isfinite(delta)) {
+    throw std::invalid_argument(
+        "Zonotope::linf_ball: delta must be finite and >= 0");
   }
   const std::size_t d = c.size();
   std::vector<float> gens(d * d, 0.0F);

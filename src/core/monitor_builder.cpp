@@ -79,16 +79,13 @@ void MonitorBuilder::build_robust(Monitor& monitor,
         "MonitorBuilder::build_robust: zero batch size");
   }
   const PerturbationEstimator pe(net_, k_, spec);
-  const std::size_t d = feature_dim();
   for (std::size_t start = 0; start < data.size(); start += batch_size) {
     const std::size_t n = std::min(batch_size, data.size() - start);
-    FeatureBatch lo(d, n), hi(d, n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const IntervalVector bounds = pe.estimate(data[start + i]);
-      lo.set_sample(i, bounds.lowers());
-      hi.set_sample(i, bounds.uppers());
-    }
-    monitor.observe_bounds_batch(lo, hi);
+    // Whole-minibatch bound propagation (spec.backend picks the engine);
+    // the BoxBatch's lo/hi matrices feed the batched observe path with no
+    // per-sample staging.
+    const BoxBatch bounds = pe.estimate_batch({data.data() + start, n});
+    monitor.observe_bounds_batch(bounds.lower(), bounds.upper());
   }
 }
 

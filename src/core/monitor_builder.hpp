@@ -58,9 +58,11 @@ class MonitorBuilder {
   void build_standard(Monitor& monitor, const std::vector<Tensor>& data,
                       std::size_t batch_size = kDefaultBatch) const;
 
-  /// Robust construction: folds abR(pe(v, kp, Δ)) for every v in data,
-  /// feeding the bounds to the monitor in batched chunks (sharded
-  /// monitors fan each chunk's bound views out per shard, as above).
+  /// Robust construction: folds abR(pe(v, kp, Δ)) for every v in data.
+  /// Each chunk's perturbation sets are propagated as one BoxBatch on
+  /// spec.backend's batched bound kernels and handed to
+  /// observe_bounds_batch (sharded monitors fan each chunk's bound views
+  /// out per shard, as above).
   void build_robust(Monitor& monitor, const std::vector<Tensor>& data,
                     const PerturbationSpec& spec,
                     std::size_t batch_size = kDefaultBatch) const;

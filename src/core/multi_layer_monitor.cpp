@@ -1,6 +1,7 @@
 #include "core/multi_layer_monitor.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <stdexcept>
 
@@ -136,20 +137,23 @@ void MultiLayerMonitor::build_robust(const std::vector<Tensor>& data,
         "MultiLayerMonitor::build_robust: kp must be below every attached "
         "layer (Definition 1 requires kp < k)");
   }
-  if (spec.delta < 0.0F) {
+  if (!std::isfinite(spec.delta) || spec.delta < 0.0F) {
     throw std::invalid_argument(
-        "MultiLayerMonitor::build_robust: negative delta");
+        "MultiLayerMonitor::build_robust: delta must be finite and >= 0");
   }
   if (batch_size == 0) {
     throw std::invalid_argument(
         "MultiLayerMonitor::build_robust: zero batch size");
   }
 
-  // The abstract propagation is inherently per-sample, but the resulting
-  // bounds are folded into each attached monitor one batched call per
-  // chunk, so the monitors' per-call setup amortises over the chunk.
+  // The box domain propagates whole chunks on spec.backend's batched
+  // kernels; the zonotope domain is inherently per-sample (per-sample
+  // generator sets). Either way the resulting bounds are folded into each
+  // attached monitor one batched call per chunk, so the monitors'
+  // per-call setup amortises over the chunk.
   for (std::size_t start = 0; start < data.size(); start += batch_size) {
     const std::size_t n = std::min(batch_size, data.size() - start);
+    const std::span<const Tensor> chunk(data.data() + start, n);
     std::vector<FeatureBatch> lo_batches, hi_batches;
     lo_batches.reserve(entries_.size());
     hi_batches.reserve(entries_.size());
@@ -157,34 +161,41 @@ void MultiLayerMonitor::build_robust(const std::vector<Tensor>& data,
       lo_batches.emplace_back(e.selection.output_dim(), n);
       hi_batches.emplace_back(e.selection.output_dim(), n);
     }
-    for (std::size_t i = 0; i < n; ++i) {
-      const Tensor at_kp = net_.forward_to(spec.kp, data[start + i]);
-      auto record_at = [&](std::size_t k, const IntervalVector& box) {
+    if (spec.domain == BoundDomain::kBox) {
+      const BoundBackend& backend = bound_backend(spec.backend);
+      const FeatureBatch at_kp = net_.forward_batch(spec.kp, chunk);
+      BoxBatch box = BoxBatch::linf_ball(at_kp, spec.delta);
+      for (std::size_t k = spec.kp + 1; k <= max_layer_; ++k) {
+        box = net_.layer(k).propagate_batch(backend, box);
         for (std::size_t e = 0; e < entries_.size(); ++e) {
           if (entries_[e].layer_k != k) continue;
-          auto [lo, hi] = entries_[e].selection.project_bounds(
-              box.lowers(), box.uppers());
-          lo_batches[e].set_sample(i, lo);
-          hi_batches[e].set_sample(i, hi);
-        }
-      };
-      switch (spec.domain) {
-        case BoundDomain::kBox: {
-          IntervalVector box =
-              IntervalVector::linf_ball(at_kp.span(), spec.delta);
-          for (std::size_t k = spec.kp + 1; k <= max_layer_; ++k) {
-            box = net_.layer(k).propagate(box);
-            record_at(k, box);
+          // Batched projection: selected source rows copy straight into
+          // the entry's bound matrices.
+          const std::vector<std::size_t>& kept = entries_[e].selection.kept();
+          for (std::size_t j = 0; j < kept.size(); ++j) {
+            const std::span<const float> lo_src = box.lo_row(kept[j]);
+            const std::span<const float> hi_src = box.hi_row(kept[j]);
+            std::copy(lo_src.begin(), lo_src.end(),
+                      lo_batches[e].neuron(j).begin());
+            std::copy(hi_src.begin(), hi_src.end(),
+                      hi_batches[e].neuron(j).begin());
           }
-          break;
         }
-        case BoundDomain::kZonotope: {
-          Zonotope zono = Zonotope::linf_ball(at_kp.span(), spec.delta);
-          for (std::size_t k = spec.kp + 1; k <= max_layer_; ++k) {
-            zono = net_.layer(k).propagate(zono);
-            record_at(k, zono.to_box());
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const Tensor at_kp = net_.forward_to(spec.kp, chunk[i]);
+        Zonotope zono = Zonotope::linf_ball(at_kp.span(), spec.delta);
+        for (std::size_t k = spec.kp + 1; k <= max_layer_; ++k) {
+          zono = net_.layer(k).propagate(zono);
+          const IntervalVector box = zono.to_box();
+          for (std::size_t e = 0; e < entries_.size(); ++e) {
+            if (entries_[e].layer_k != k) continue;
+            auto [lo, hi] = entries_[e].selection.project_bounds(
+                box.lowers(), box.uppers());
+            lo_batches[e].set_sample(i, lo);
+            hi_batches[e].set_sample(i, hi);
           }
-          break;
         }
       }
     }

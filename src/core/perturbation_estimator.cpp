@@ -1,5 +1,6 @@
 #include "core/perturbation_estimator.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "absint/zonotope.hpp"
@@ -28,8 +29,13 @@ PerturbationEstimator::PerturbationEstimator(Network& net,
     throw std::invalid_argument(
         "PerturbationEstimator: requires kp < k (Definition 1)");
   }
-  if (spec_.delta < 0.0F) {
-    throw std::invalid_argument("PerturbationEstimator: negative delta");
+  // NaN fails every comparison, so test the validity predicate directly:
+  // a plain `delta < 0` check would wave NaN (and +inf) through into the
+  // propagation.
+  if (!std::isfinite(spec_.delta) || spec_.delta < 0.0F) {
+    throw std::invalid_argument(
+        "PerturbationEstimator: delta must be finite and >= 0, got " +
+        std::to_string(spec_.delta));
   }
 }
 
@@ -49,6 +55,29 @@ IntervalVector PerturbationEstimator::estimate(const Tensor& input) const {
     case BoundDomain::kZonotope: {
       const Zonotope ball = Zonotope::linf_ball(at_kp.span(), spec_.delta);
       return net_.propagate_zonotope(spec_.kp + 1, k_, ball).to_box();
+    }
+  }
+  throw std::logic_error("PerturbationEstimator: unknown domain");
+}
+
+BoxBatch PerturbationEstimator::estimate_batch(
+    std::span<const Tensor> inputs) const {
+  if (inputs.empty()) return BoxBatch(feature_dim(), 0);
+  switch (spec_.domain) {
+    case BoundDomain::kBox: {
+      // One batched concrete prefix pass (kp = 0 packs the inputs), one
+      // batched bound propagation through layers kp+1..k.
+      const FeatureBatch at_kp = net_.forward_batch(spec_.kp, inputs);
+      const BoxBatch ball = BoxBatch::linf_ball(at_kp, spec_.delta);
+      return net_.propagate_box_batch(spec_.kp + 1, k_, ball,
+                                      bound_backend(spec_.backend));
+    }
+    case BoundDomain::kZonotope: {
+      BoxBatch out(feature_dim(), inputs.size());
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        out.set_box(i, estimate(inputs[i]));
+      }
+      return out;
     }
   }
   throw std::logic_error("PerturbationEstimator: unknown domain");

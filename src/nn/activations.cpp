@@ -51,6 +51,11 @@ IntervalVector ReLU::propagate(const IntervalVector& in) const {
 
 Zonotope ReLU::propagate(const Zonotope& in) const { return in.relu(); }
 
+BoxBatch ReLU::propagate_batch(const BoundBackend& backend,
+                               const BoxBatch& in) const {
+  return backend.relu(in);
+}
+
 // ---- LeakyReLU ------------------------------------------------------------
 
 LeakyReLU::LeakyReLU(Shape shape, float alpha)
@@ -83,6 +88,11 @@ Zonotope LeakyReLU::propagate(const Zonotope& in) const {
   return in.leaky_relu(alpha_);
 }
 
+BoxBatch LeakyReLU::propagate_batch(const BoundBackend& backend,
+                                    const BoxBatch& in) const {
+  return backend.leaky_relu(alpha_, in);
+}
+
 // ---- Sigmoid ----------------------------------------------------------------
 
 float Sigmoid::f(float v) const noexcept {
@@ -103,6 +113,13 @@ Zonotope Sigmoid::propagate(const Zonotope& in) const {
       +[](const Interval& iv) { return iv.sigmoid(); });
 }
 
+BoxBatch Sigmoid::propagate_batch(const BoundBackend& backend,
+                                  const BoxBatch& in) const {
+  // Same scalar expression as Interval::sigmoid's endpoints.
+  return backend.monotone(
+      +[](float v) { return 1.0F / (1.0F + std::exp(-v)); }, in);
+}
+
 // ---- Tanh -----------------------------------------------------------------
 
 float Tanh::f(float v) const noexcept { return std::tanh(v); }
@@ -116,6 +133,11 @@ IntervalVector Tanh::propagate(const IntervalVector& in) const {
 
 Zonotope Tanh::propagate(const Zonotope& in) const {
   return in.monotone_via_box(+[](const Interval& iv) { return iv.tanh_(); });
+}
+
+BoxBatch Tanh::propagate_batch(const BoundBackend& backend,
+                               const BoxBatch& in) const {
+  return backend.monotone(+[](float v) { return std::tanh(v); }, in);
 }
 
 }  // namespace ranm

@@ -33,6 +33,8 @@ class ReLU final : public Activation {
   [[nodiscard]] IntervalVector propagate(
       const IntervalVector& in) const override;
   [[nodiscard]] Zonotope propagate(const Zonotope& in) const override;
+  [[nodiscard]] BoxBatch propagate_batch(const BoundBackend& backend,
+                                         const BoxBatch& in) const override;
 
  protected:
   [[nodiscard]] float f(float v) const noexcept override;
@@ -48,6 +50,8 @@ class LeakyReLU final : public Activation {
   [[nodiscard]] IntervalVector propagate(
       const IntervalVector& in) const override;
   [[nodiscard]] Zonotope propagate(const Zonotope& in) const override;
+  [[nodiscard]] BoxBatch propagate_batch(const BoundBackend& backend,
+                                         const BoxBatch& in) const override;
 
  protected:
   [[nodiscard]] float f(float v) const noexcept override;
@@ -65,6 +69,8 @@ class Sigmoid final : public Activation {
   [[nodiscard]] IntervalVector propagate(
       const IntervalVector& in) const override;
   [[nodiscard]] Zonotope propagate(const Zonotope& in) const override;
+  [[nodiscard]] BoxBatch propagate_batch(const BoundBackend& backend,
+                                         const BoxBatch& in) const override;
 
  protected:
   [[nodiscard]] float f(float v) const noexcept override;
@@ -79,6 +85,8 @@ class Tanh final : public Activation {
   [[nodiscard]] IntervalVector propagate(
       const IntervalVector& in) const override;
   [[nodiscard]] Zonotope propagate(const Zonotope& in) const override;
+  [[nodiscard]] BoxBatch propagate_batch(const BoundBackend& backend,
+                                         const BoxBatch& in) const override;
 
  protected:
   [[nodiscard]] float f(float v) const noexcept override;

@@ -215,6 +215,22 @@ Zonotope Conv2D::propagate(const Zonotope& in) const {
   return Zonotope(std::move(center), std::move(gens));
 }
 
+BoxBatch Conv2D::propagate_batch(const BoundBackend& backend,
+                                 const BoxBatch& in) const {
+  Conv2DGeometry g;
+  g.in_channels = cfg_.in_channels;
+  g.in_height = cfg_.in_height;
+  g.in_width = cfg_.in_width;
+  g.out_channels = cfg_.out_channels;
+  g.out_height = oh_;
+  g.out_width = ow_;
+  g.kernel_h = cfg_.kernel_h;
+  g.kernel_w = cfg_.kernel_w;
+  g.stride = cfg_.stride;
+  g.padding = cfg_.padding;
+  return backend.conv2d(g, w_.span(), b_.span(), in);
+}
+
 void Conv2D::init_params(Rng& rng) {
   const float fan_in = static_cast<float>(cfg_.in_channels * cfg_.kernel_h *
                                           cfg_.kernel_w);

@@ -73,6 +73,11 @@ Zonotope Dense::propagate(const Zonotope& in) const {
   return in.affine(w_.span(), out_, b_.span());
 }
 
+BoxBatch Dense::propagate_batch(const BoundBackend& backend,
+                                const BoxBatch& in) const {
+  return backend.affine(w_.span(), out_, in_, b_.span(), in);
+}
+
 void Dense::init_params(Rng& rng) {
   const float stddev = std::sqrt(2.0F / static_cast<float>(in_));
   for (std::size_t i = 0; i < w_.numel(); ++i) {

@@ -22,6 +22,8 @@ class Flatten final : public Layer {
   [[nodiscard]] IntervalVector propagate(
       const IntervalVector& in) const override;
   [[nodiscard]] Zonotope propagate(const Zonotope& in) const override;
+  [[nodiscard]] BoxBatch propagate_batch(const BoundBackend& backend,
+                                         const BoxBatch& in) const override;
 
  private:
   Shape in_shape_;

@@ -1,0 +1,17 @@
+#include "nn/layer.hpp"
+
+namespace ranm {
+
+BoxBatch Layer::propagate_batch(const BoundBackend& /*backend*/,
+                                const BoxBatch& in) const {
+  // Scalar fallback: gather each sample's box, run the scalar transfer
+  // function (which validates the dimension), scatter the result. Correct
+  // for any layer; concrete layers override with a batched kernel.
+  BoxBatch out(output_size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out.set_box(i, propagate(in.box(i)));
+  }
+  return out;
+}
+
+}  // namespace ranm

@@ -68,6 +68,13 @@ class Network {
   /// Sound box propagation through layers l..k (1 <= l <= k <= n).
   [[nodiscard]] IntervalVector propagate_box(std::size_t l, std::size_t k,
                                              const IntervalVector& in) const;
+  /// Batched sound box propagation through layers l..k: every column of
+  /// the BoxBatch is propagated in one pass using the given bound
+  /// backend's batched layer kernels. Column i of the result contains
+  /// G^{l↪k}(x) for every x in column i of `in`.
+  [[nodiscard]] BoxBatch propagate_box_batch(std::size_t l, std::size_t k,
+                                             const BoxBatch& in,
+                                             const BoundBackend& backend) const;
   /// Sound zonotope propagation through layers l..k.
   [[nodiscard]] Zonotope propagate_zonotope(std::size_t l, std::size_t k,
                                             const Zonotope& in) const;

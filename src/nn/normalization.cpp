@@ -63,6 +63,11 @@ IntervalVector Normalization::propagate(const IntervalVector& in) const {
   return out;
 }
 
+BoxBatch Normalization::propagate_batch(const BoundBackend& backend,
+                                        const BoxBatch& in) const {
+  return backend.normalize(mean_, inv_std_, in);
+}
+
 Zonotope Normalization::propagate(const Zonotope& in) const {
   if (in.dim() != input_size()) {
     throw std::invalid_argument(

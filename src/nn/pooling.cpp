@@ -22,6 +22,18 @@ Shape Pooling::input_shape() const {
 
 Shape Pooling::output_shape() const { return {cfg_.channels, oh_, ow_}; }
 
+Pool2DGeometry Pooling::geometry() const noexcept {
+  Pool2DGeometry g;
+  g.channels = cfg_.channels;
+  g.in_height = cfg_.in_height;
+  g.in_width = cfg_.in_width;
+  g.out_height = oh_;
+  g.out_width = ow_;
+  g.window = cfg_.window;
+  g.stride = cfg_.stride;
+  return g;
+}
+
 // ---- MaxPool2D --------------------------------------------------------------
 
 std::string MaxPool2D::name() const {
@@ -105,6 +117,11 @@ IntervalVector MaxPool2D::propagate(const IntervalVector& in) const {
 Zonotope MaxPool2D::propagate(const Zonotope& in) const {
   // Max is not affine; soundly coarsen to the bounding box and pool that.
   return Zonotope::from_box(propagate(in.to_box()));
+}
+
+BoxBatch MaxPool2D::propagate_batch(const BoundBackend& backend,
+                                    const BoxBatch& in) const {
+  return backend.max_pool(geometry(), in);
 }
 
 // ---- AvgPool2D --------------------------------------------------------------
@@ -191,6 +208,11 @@ IntervalVector AvgPool2D::propagate(const IntervalVector& in) const {
     }
   }
   return out;
+}
+
+BoxBatch AvgPool2D::propagate_batch(const BoundBackend& backend,
+                                    const BoxBatch& in) const {
+  return backend.avg_pool(geometry(), in);
 }
 
 Zonotope AvgPool2D::propagate(const Zonotope& in) const {

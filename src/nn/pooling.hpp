@@ -22,6 +22,9 @@ class Pooling : public Layer {
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
 
  protected:
+  /// The window geometry in the form the bound backends consume.
+  [[nodiscard]] Pool2DGeometry geometry() const noexcept;
+
   Config cfg_;
   std::size_t oh_, ow_;
 };
@@ -37,6 +40,8 @@ class MaxPool2D final : public Pooling {
   [[nodiscard]] IntervalVector propagate(
       const IntervalVector& in) const override;
   [[nodiscard]] Zonotope propagate(const Zonotope& in) const override;
+  [[nodiscard]] BoxBatch propagate_batch(const BoundBackend& backend,
+                                         const BoxBatch& in) const override;
 
  private:
   std::vector<std::size_t> argmax_;  // flat input index per output element
@@ -52,6 +57,8 @@ class AvgPool2D final : public Pooling {
   [[nodiscard]] IntervalVector propagate(
       const IntervalVector& in) const override;
   [[nodiscard]] Zonotope propagate(const Zonotope& in) const override;
+  [[nodiscard]] BoxBatch propagate_batch(const BoundBackend& backend,
+                                         const BoxBatch& in) const override;
 
  private:
   void linear_apply(const float* in, float* out) const noexcept;

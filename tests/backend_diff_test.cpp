@@ -1,0 +1,250 @@
+// Backend-differential suite: the vectorized bound backend is compared
+// against the scalar reference backend over randomized layer chains
+// (Dense / Conv2D / pooling / normalization / activations), random shapes,
+// and batch sizes including 0, 1, and non-multiples of any SIMD lane
+// width. The contract: per element, vectorized bounds must be identical to
+// the reference bounds or widen only outward — never inward. The reference
+// backend itself is pinned bit-for-bit against the per-sample scalar
+// Layer::propagate path it re-implements in batched form.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "absint/bound_backend.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/init.hpp"
+#include "nn/network.hpp"
+#include "nn/normalization.hpp"
+#include "nn/pooling.hpp"
+#include "util/rng.hpp"
+
+namespace ranm {
+namespace {
+
+FeatureBatch random_centers(std::size_t dim, std::size_t n, Rng& rng,
+                            float lo = -2.0F, float hi = 2.0F) {
+  FeatureBatch batch(dim, n);
+  for (std::size_t j = 0; j < dim; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.at(j, i) = rng.uniform_f(lo, hi);
+    }
+  }
+  return batch;
+}
+
+/// Mixed conv chain: Normalization -> Conv2D(padded) -> LeakyReLU ->
+/// MaxPool -> Flatten -> Dense -> Sigmoid.
+Network make_conv_chain(Rng& rng) {
+  const Shape img{2, 9, 9};
+  std::vector<float> mean(shape_numel(img)), inv_std(shape_numel(img));
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    mean[i] = rng.uniform_f(-0.5F, 0.5F);
+    inv_std[i] = rng.uniform_f(0.5F, 2.0F);
+  }
+  Network net;
+  net.emplace<Normalization>(img, std::move(mean), std::move(inv_std));
+  net.emplace<Conv2D>(Conv2D::Config{2, 9, 9, 4, 3, 3, 1, 1});
+  net.emplace<LeakyReLU>(Shape{4, 9, 9}, 0.05F);
+  net.emplace<MaxPool2D>(Pooling::Config{4, 9, 9, 3, 2});
+  net.emplace<Flatten>(Shape{4, 4, 4});
+  net.emplace<Dense>(64, 10);
+  net.emplace<Sigmoid>(Shape{10});
+  net.init_params(rng);
+  return net;
+}
+
+/// Strided conv + ReLU + AvgPool + Flatten + Dense + Tanh.
+Network make_avgpool_chain(Rng& rng) {
+  Network net;
+  net.emplace<Conv2D>(Conv2D::Config{1, 8, 8, 3, 3, 3, 2, 0});
+  net.emplace<ReLU>(Shape{3, 3, 3});
+  net.emplace<AvgPool2D>(Pooling::Config{3, 3, 3, 2, 1});
+  net.emplace<Flatten>(Shape{3, 2, 2});
+  net.emplace<Dense>(12, 5);
+  net.emplace<Tanh>(Shape{5});
+  net.init_params(rng);
+  return net;
+}
+
+/// Per-element contract: vectorized bounds contain the reference bounds.
+void expect_outward_only(const BoxBatch& ref, const BoxBatch& vec) {
+  ASSERT_EQ(ref.dimension(), vec.dimension());
+  ASSERT_EQ(ref.size(), vec.size());
+  for (std::size_t j = 0; j < ref.dimension(); ++j) {
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_LE(vec.lo(j, i), ref.lo(j, i))
+          << "lower bound tightened inward at neuron " << j << ", sample "
+          << i;
+      EXPECT_GE(vec.hi(j, i), ref.hi(j, i))
+          << "upper bound tightened inward at neuron " << j << ", sample "
+          << i;
+      EXPECT_LE(vec.lo(j, i), vec.hi(j, i)) << "inverted bound";
+    }
+  }
+}
+
+/// The reference backend's batched result must be bit-for-bit the scalar
+/// per-sample Layer::propagate path.
+void expect_matches_scalar(const Network& net, const BoxBatch& in,
+                           const BoxBatch& ref) {
+  const std::size_t k = net.num_layers();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const IntervalVector scalar = net.propagate_box(1, k, in.box(i));
+    ASSERT_EQ(scalar.size(), ref.dimension());
+    for (std::size_t j = 0; j < scalar.size(); ++j) {
+      EXPECT_EQ(scalar[j].lo, ref.lo(j, i))
+          << "reference backend deviates from scalar path at neuron " << j
+          << ", sample " << i;
+      EXPECT_EQ(scalar[j].hi, ref.hi(j, i))
+          << "reference backend deviates from scalar path at neuron " << j
+          << ", sample " << i;
+    }
+  }
+}
+
+void run_differential(Network& net, std::size_t in_dim, Rng& rng) {
+  const BoundBackend& reference =
+      bound_backend(BoundBackendKind::kReference);
+  const BoundBackend& vectorized =
+      bound_backend(BoundBackendKind::kVectorized);
+  const std::size_t k = net.num_layers();
+  // Batch sizes around every boundary: empty, single sample, odd sizes
+  // that are not a multiple of any SIMD lane width, and one full chunk.
+  const std::size_t batch_sizes[] = {0, 1, 3, 7, 17, 33};
+  const float deltas[] = {0.0F, 0.02F, 0.4F};
+  for (const std::size_t n : batch_sizes) {
+    for (const float delta : deltas) {
+      const BoxBatch in =
+          BoxBatch::linf_ball(random_centers(in_dim, n, rng), delta);
+      const BoxBatch ref = net.propagate_box_batch(1, k, in, reference);
+      const BoxBatch vec = net.propagate_box_batch(1, k, in, vectorized);
+      expect_outward_only(ref, vec);
+      expect_matches_scalar(net, in, ref);
+    }
+  }
+}
+
+TEST(BackendDiff, RandomMlpChains) {
+  for (int seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    // Random widths, including width-1 bottlenecks.
+    std::vector<std::size_t> dims{1 + std::size_t(rng.uniform_f(0, 11))};
+    const int depth = 2 + int(rng.uniform_f(0, 3));
+    for (int d = 0; d < depth; ++d) {
+      dims.push_back(1 + std::size_t(rng.uniform_f(0, 14)));
+    }
+    Network net = make_mlp(dims, rng);
+    run_differential(net, dims.front(), rng);
+  }
+}
+
+TEST(BackendDiff, ConvNormPoolChain) {
+  Rng rng(99);
+  Network net = make_conv_chain(rng);
+  run_differential(net, 2 * 9 * 9, rng);
+}
+
+TEST(BackendDiff, StridedConvAvgPoolChain) {
+  Rng rng(123);
+  Network net = make_avgpool_chain(rng);
+  run_differential(net, 8 * 8, rng);
+}
+
+TEST(BackendDiff, SeedConvnet) {
+  Rng rng(7);
+  Network net = make_small_convnet(8, 8, 3, 16, 4, rng);
+  run_differential(net, 8 * 8, rng);
+}
+
+TEST(BackendDiff, SubRangePropagation) {
+  // Propagating a slice l..k (not starting at layer 1) hits the same
+  // kernels with an intermediate-layer input distribution.
+  Rng rng(11);
+  Network net = make_mlp({6, 12, 9, 5}, rng);
+  const BoundBackend& reference =
+      bound_backend(BoundBackendKind::kReference);
+  const BoundBackend& vectorized =
+      bound_backend(BoundBackendKind::kVectorized);
+  const std::size_t mid_dim = net.layer(2).output_size();
+  const BoxBatch in =
+      BoxBatch::linf_ball(random_centers(mid_dim, 13, rng), 0.1F);
+  const BoxBatch ref =
+      net.propagate_box_batch(3, net.num_layers(), in, reference);
+  const BoxBatch vec =
+      net.propagate_box_batch(3, net.num_layers(), in, vectorized);
+  expect_outward_only(ref, vec);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const IntervalVector scalar =
+        net.propagate_box(3, net.num_layers(), in.box(i));
+    for (std::size_t j = 0; j < scalar.size(); ++j) {
+      EXPECT_EQ(scalar[j].lo, ref.lo(j, i));
+      EXPECT_EQ(scalar[j].hi, ref.hi(j, i));
+    }
+  }
+}
+
+TEST(BackendDiff, DimensionMismatchThrows) {
+  Rng rng(5);
+  Network net = make_mlp({6, 4, 3}, rng);
+  const BoxBatch wrong =
+      BoxBatch::linf_ball(random_centers(5, 2, rng), 0.1F);
+  for (const BoundBackendKind kind : bound_backend_kinds()) {
+    EXPECT_THROW(net.propagate_box_batch(1, net.num_layers(), wrong,
+                                         bound_backend(kind)),
+                 std::invalid_argument);
+  }
+}
+
+TEST(BackendDiff, BackendValidatesKernelPreconditions) {
+  // The public BoundBackend entry points are the seam external backends
+  // and callers plug into: an inconsistent pooling geometry (window
+  // overrunning the input extent) or a non-positive inv_std must be
+  // rejected before any kernel touches memory.
+  Rng rng(9);
+  const BoxBatch in = BoxBatch::linf_ball(random_centers(16, 2, rng), 0.1F);
+  Pool2DGeometry bad;
+  bad.channels = 1;
+  bad.in_height = 4;
+  bad.in_width = 4;
+  bad.out_height = 4;  // (4-1)*2 + 2 = 8 > 4: overruns the input
+  bad.out_width = 4;
+  bad.window = 2;
+  bad.stride = 2;
+  const std::vector<float> mean(16, 0.0F);
+  const std::vector<float> neg_std(16, -1.0F);
+  for (const BoundBackendKind kind : bound_backend_kinds()) {
+    const BoundBackend& be = bound_backend(kind);
+    EXPECT_THROW((void)be.max_pool(bad, in), std::invalid_argument);
+    EXPECT_THROW((void)be.avg_pool(bad, in), std::invalid_argument);
+    EXPECT_THROW((void)be.normalize(mean, neg_std, in),
+                 std::invalid_argument);
+  }
+}
+
+TEST(BackendDiff, BoxBatchContainsRejectsNaN) {
+  Rng rng(8);
+  const BoxBatch box = BoxBatch::linf_ball(random_centers(3, 2, rng), 0.5F);
+  std::vector<float> inside{box.lo(0, 0), box.lo(1, 0), box.lo(2, 0)};
+  EXPECT_TRUE(box.contains(0, inside));
+  inside[1] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(box.contains(0, inside));
+}
+
+TEST(BackendDiff, LinfBallRejectsBadDelta) {
+  Rng rng(6);
+  const FeatureBatch centers = random_centers(4, 3, rng);
+  EXPECT_THROW(BoxBatch::linf_ball(centers, -0.1F), std::invalid_argument);
+  EXPECT_THROW(
+      BoxBatch::linf_ball(centers, std::numeric_limits<float>::quiet_NaN()),
+      std::invalid_argument);
+  EXPECT_THROW(
+      BoxBatch::linf_ball(centers, std::numeric_limits<float>::infinity()),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ranm

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <memory>
+
 #include "core/interval_monitor.hpp"
 #include "core/minmax_monitor.hpp"
 #include "core/monitor_builder.hpp"
@@ -157,6 +160,47 @@ TEST(MultiLayerMonitor, RobustBuildRequiresKpBelowAllLayers) {
       std::invalid_argument);
   EXPECT_NO_THROW(
       mlm.build_robust(train, PerturbationSpec{1, 0.1F, BoundDomain::kBox}));
+  // NaN/non-finite deltas are rejected here too, not only in
+  // PerturbationEstimator (a NaN would otherwise poison every bound).
+  EXPECT_THROW(
+      mlm.build_robust(
+          train, PerturbationSpec{0, std::numeric_limits<float>::quiet_NaN(),
+                                  BoundDomain::kBox}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      mlm.build_robust(
+          train, PerturbationSpec{0, std::numeric_limits<float>::infinity(),
+                                  BoundDomain::kBox}),
+      std::invalid_argument);
+}
+
+TEST(MultiLayerMonitor, RobustBoxBuildBackendInvariant) {
+  // The multi-layer robust box build runs on the batched bound backends;
+  // every backend must produce a behaviourally identical monitor.
+  Rng rng(8);
+  Network net = make_mlp({4, 10, 6, 2}, rng);
+  const std::vector<Tensor> train = random_inputs(rng, 12, 4);
+  const std::vector<Tensor> probes = random_inputs(rng, 24, 4);
+
+  std::vector<std::vector<char>> verdicts;
+  for (const BoundBackendKind backend : bound_backend_kinds()) {
+    MultiLayerMonitor mlm(net, WarnPolicy::kAny);
+    mlm.attach(2, NeuronSelection::all(10),
+               std::make_unique<MinMaxMonitor>(10));
+    mlm.attach(4, NeuronSelection::all(6),
+               std::make_unique<MinMaxMonitor>(6));
+    PerturbationSpec spec{1, 0.05F, BoundDomain::kBox, backend};
+    mlm.build_robust(train, spec);
+
+    auto out = std::make_unique<bool[]>(probes.size());
+    mlm.warns_batch(probes, {out.get(), probes.size()});
+    std::vector<char> v(probes.size());
+    for (std::size_t i = 0; i < probes.size(); ++i) v[i] = out[i];
+    verdicts.push_back(std::move(v));
+  }
+  for (std::size_t b = 1; b < verdicts.size(); ++b) {
+    EXPECT_EQ(verdicts[b], verdicts[0]);
+  }
 }
 
 struct MultiLemmaCase {

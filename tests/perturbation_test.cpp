@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <vector>
+
 #include "nn/init.hpp"
 #include "util/rng.hpp"
 
@@ -146,6 +150,79 @@ TEST(PerturbationEstimator, Validation) {
 TEST(PerturbationEstimator, DomainNames) {
   EXPECT_EQ(bound_domain_name(BoundDomain::kBox), "box");
   EXPECT_EQ(bound_domain_name(BoundDomain::kZonotope), "zonotope");
+}
+
+TEST(PerturbationEstimator, RejectsNonFiniteDelta) {
+  // `delta < 0` alone waves NaN through (NaN fails every comparison):
+  // the validity predicate must reject NaN and ±inf too.
+  Rng rng(25);
+  Network net = make_mlp({3, 4, 2}, rng);
+  for (const float bad : {std::numeric_limits<float>::quiet_NaN(),
+                          std::numeric_limits<float>::infinity(),
+                          -std::numeric_limits<float>::infinity(), -1.0F}) {
+    PerturbationSpec spec{0, bad, BoundDomain::kBox};
+    EXPECT_THROW(PerturbationEstimator(net, net.num_layers(), spec),
+                 std::invalid_argument)
+        << "delta = " << bad;
+  }
+}
+
+/// Batched-vs-scalar equivalence on the seed networks: the reference
+/// backend (and the per-sample zonotope path) must reproduce estimate()
+/// bit-for-bit; the vectorized backend may only widen outward and must
+/// stay numerically indistinguishable in practice.
+TEST(PerturbationEstimator, BatchedMatchesScalarOnSeedNetworks) {
+  struct NetCase {
+    Network net;
+    Shape in_shape;
+    std::size_t kp;
+  };
+  Rng rng(26);
+  std::vector<NetCase> cases;
+  cases.push_back({make_mlp({5, 10, 8, 4}, rng), {5}, 0});
+  cases.push_back({make_mlp({5, 10, 8, 4}, rng), {5}, 2});
+  cases.push_back({make_small_convnet(8, 8, 3, 12, 4, rng), {1, 8, 8}, 0});
+
+  for (NetCase& c : cases) {
+    std::vector<Tensor> inputs;
+    for (int i = 0; i < 9; ++i) {
+      inputs.push_back(Tensor::random_uniform(c.in_shape, rng));
+    }
+    for (const BoundDomain domain :
+         {BoundDomain::kBox, BoundDomain::kZonotope}) {
+      for (const BoundBackendKind backend : bound_backend_kinds()) {
+        PerturbationSpec spec;
+        spec.kp = c.kp;
+        spec.delta = 0.05F;
+        spec.domain = domain;
+        spec.backend = backend;
+        const PerturbationEstimator pe(c.net, c.net.num_layers(), spec);
+        const BoxBatch batched = pe.estimate_batch(inputs);
+        ASSERT_EQ(batched.size(), inputs.size());
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+          const IntervalVector scalar = pe.estimate(inputs[i]);
+          ASSERT_EQ(scalar.size(), batched.dimension());
+          for (std::size_t j = 0; j < scalar.size(); ++j) {
+            if (backend == BoundBackendKind::kReference ||
+                domain == BoundDomain::kZonotope) {
+              EXPECT_EQ(batched.lo(j, i), scalar[j].lo)
+                  << bound_domain_name(domain) << " sample " << i;
+              EXPECT_EQ(batched.hi(j, i), scalar[j].hi)
+                  << bound_domain_name(domain) << " sample " << i;
+            } else {
+              EXPECT_LE(batched.lo(j, i), scalar[j].lo);
+              EXPECT_GE(batched.hi(j, i), scalar[j].hi);
+              const float slack =
+                  1e-4F * (1.0F + std::fabs(scalar[j].lo) +
+                           std::fabs(scalar[j].hi));
+              EXPECT_NEAR(batched.lo(j, i), scalar[j].lo, slack);
+              EXPECT_NEAR(batched.hi(j, i), scalar[j].hi, slack);
+            }
+          }
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,110 @@
+// Pins the outward-rounding primitives round_down/round_up that every
+// bound backend relies on at the double -> float narrowing: one-ulp
+// stepping in the normal range, saturation at extreme magnitudes (where a
+// bare float cast would be undefined behaviour), subnormals, and ±0.
+// Soundness invariant: round_down(v) <= v <= round_up(v) for every double.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "absint/interval.hpp"
+#include "util/rng.hpp"
+
+namespace ranm {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+constexpr float kFloatMax = std::numeric_limits<float>::max();
+constexpr float kTrueMin = std::numeric_limits<float>::denorm_min();
+
+TEST(Rounding, StepsOneUlpInNormalRange) {
+  EXPECT_EQ(round_down(1.0), std::nextafter(1.0F, -kInf));
+  EXPECT_EQ(round_up(1.0), std::nextafter(1.0F, kInf));
+  EXPECT_EQ(round_down(-3.5), std::nextafter(-3.5F, -kInf));
+  EXPECT_EQ(round_up(-3.5), std::nextafter(-3.5F, kInf));
+  // A double strictly between two floats: the cast rounds to nearest and
+  // the step moves outward from there.
+  const double between = 1.0 + 1e-9;  // rounds to 1.0f
+  EXPECT_LE(double(round_down(between)), between);
+  EXPECT_GE(double(round_up(between)), between);
+}
+
+TEST(Rounding, SignedZero) {
+  // Both zeros step to the adjacent subnormal: a zero bound widens by one
+  // denormal ulp rather than staying exact.
+  EXPECT_EQ(round_down(0.0), -kTrueMin);
+  EXPECT_EQ(round_down(-0.0), -kTrueMin);
+  EXPECT_EQ(round_up(0.0), kTrueMin);
+  EXPECT_EQ(round_up(-0.0), kTrueMin);
+}
+
+TEST(Rounding, Subnormals) {
+  // 0.6 * FLT_TRUE_MIN casts (round-to-nearest) to FLT_TRUE_MIN; the
+  // outward step keeps each bound on the sound side of the true value.
+  const double tiny = 0.6 * double(kTrueMin);
+  EXPECT_EQ(round_down(tiny), 0.0F);
+  EXPECT_EQ(round_up(tiny), 2.0F * kTrueMin);
+  EXPECT_EQ(round_down(double(kTrueMin)), 0.0F);
+  EXPECT_EQ(round_down(-double(kTrueMin)), -2.0F * kTrueMin);
+  EXPECT_EQ(round_up(-double(kTrueMin)), -0.0F);
+  // Largest subnormal boundary.
+  const double min_normal = double(std::numeric_limits<float>::min());
+  EXPECT_LT(round_down(min_normal), std::numeric_limits<float>::min());
+  EXPECT_TRUE(std::isfinite(round_down(min_normal)));
+}
+
+TEST(Rounding, ExtremeMagnitudesSaturate) {
+  // Beyond float range the cast would be UB; the primitives clamp to
+  // ±FLT_MAX and still take the unconditional one-ulp outward step, so
+  // the double-accumulation cushion survives saturation (a double just
+  // past FLT_MAX may stand for a true value just below it).
+  const float below_max = std::nextafter(kFloatMax, -kInf);
+  const float above_neg_max = std::nextafter(-kFloatMax, kInf);
+  EXPECT_EQ(round_down(1e300), below_max);
+  EXPECT_EQ(round_up(1e300), kInf);
+  EXPECT_EQ(round_down(-1e300), -kInf);
+  EXPECT_EQ(round_up(-1e300), above_neg_max);
+  EXPECT_EQ(round_down(std::numeric_limits<double>::max()), below_max);
+  EXPECT_EQ(round_up(-std::numeric_limits<double>::max()), above_neg_max);
+  // Infinities stay on the sound side too.
+  EXPECT_EQ(round_down(double(kInf)), below_max);
+  EXPECT_EQ(round_up(double(kInf)), kInf);
+  EXPECT_EQ(round_down(-double(kInf)), -kInf);
+  EXPECT_EQ(round_up(-double(kInf)), above_neg_max);
+  // Exactly FLT_MAX is representable: normal one-ulp stepping applies.
+  EXPECT_EQ(round_down(double(kFloatMax)), std::nextafter(kFloatMax, -kInf));
+  EXPECT_EQ(round_up(double(kFloatMax)), kInf);
+  EXPECT_EQ(round_down(-double(kFloatMax)), -kInf);
+}
+
+TEST(Rounding, NanPropagates) {
+  EXPECT_TRUE(std::isnan(round_down(std::nan(""))));
+  EXPECT_TRUE(std::isnan(round_up(std::nan(""))));
+}
+
+TEST(Rounding, SoundnessPropertyRandomized) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 20000; ++trial) {
+    // Log-uniform magnitude sweep covering subnormals through overflow.
+    const double exponent = double(rng.uniform_f(-320.0F, 320.0F));
+    const double sign = rng.uniform_f(0.0F, 1.0F) < 0.5F ? -1.0 : 1.0;
+    const double mantissa = 1.0 + double(rng.uniform_f(0.0F, 1.0F));
+    const double v = sign * mantissa * std::pow(10.0, exponent);
+    EXPECT_LE(double(round_down(v)), v) << "v = " << v;
+    EXPECT_GE(double(round_up(v)), v) << "v = " << v;
+  }
+}
+
+TEST(Rounding, IntervalAroundStaysOrdered) {
+  // The ball constructors feed these primitives downstream; a degenerate
+  // radius must still produce an ordered interval after outward rounding.
+  const Interval iv = Interval::make_unchecked(round_down(0.25 - 0.0),
+                                               round_up(0.25 + 0.0));
+  EXPECT_LE(iv.lo, 0.25F);
+  EXPECT_GE(iv.hi, 0.25F);
+  EXPECT_FALSE(iv.is_empty());
+}
+
+}  // namespace
+}  // namespace ranm

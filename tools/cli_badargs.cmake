@@ -4,19 +4,23 @@
 # attempted a multi-GB allocation. Invoked as:
 #   cmake -DRANM_CLI=<binary> -P cli_badargs.cmake
 
-function(expect_range_error)
-  execute_process(COMMAND ${ARGV}
+function(expect_stderr_matches pattern)
+  execute_process(COMMAND ${ARGN}
     RESULT_VARIABLE rc
     OUTPUT_VARIABLE out
     ERROR_VARIABLE err
     TIMEOUT 30)
   if(rc EQUAL 0)
-    message(FATAL_ERROR "expected failure but command succeeded: ${ARGV}")
+    message(FATAL_ERROR "expected failure but command succeeded: ${ARGN}")
   endif()
-  if(NOT err MATCHES "must be in")
+  if(NOT err MATCHES "${pattern}")
     message(FATAL_ERROR
-      "expected a range error for: ${ARGV}\nstderr was: ${err}")
+      "expected stderr matching '${pattern}' for: ${ARGN}\nstderr was: ${err}")
   endif()
+endfunction()
+
+function(expect_range_error)
+  expect_stderr_matches("must be in" ${ARGV})
 endfunction()
 
 expect_range_error(${RANM_CLI} gen --workload digits --count -1 --out /dev/null)
@@ -25,3 +29,14 @@ expect_range_error(${RANM_CLI} build --net x --data x --layer -1 --type minmax -
 expect_range_error(${RANM_CLI} build --net x --data x --layer 1 --type minmax --bits -1 --out /dev/null)
 expect_range_error(${RANM_CLI} train --data x --task regression --epochs -1 --out /dev/null)
 expect_range_error(${RANM_CLI} eval --net x --monitor x --layer 1 --in-dist x --threads -1)
+
+# PerturbationSpec boundary: NaN/negative/non-finite --delta and an
+# out-of-range --kp must be rejected before any artifact load or
+# propagation (a NaN delta used to flow straight into the bound engine).
+expect_range_error(${RANM_CLI} build --net x --data x --layer 3 --type minmax --robust --delta nan --out /dev/null)
+expect_range_error(${RANM_CLI} build --net x --data x --layer 3 --type minmax --robust --delta -0.5 --out /dev/null)
+expect_range_error(${RANM_CLI} build --net x --data x --layer 3 --type minmax --robust --delta inf --out /dev/null)
+expect_range_error(${RANM_CLI} build --net x --data x --layer 3 --type minmax --robust --kp 3 --out /dev/null)
+expect_range_error(${RANM_CLI} build --net x --data x --layer 0 --type minmax --out /dev/null)
+expect_stderr_matches("unknown bound backend"
+  ${RANM_CLI} build --net x --data x --layer 3 --type minmax --backend bogus --out /dev/null)

@@ -20,6 +20,7 @@
 #include <iostream>
 #include <string>
 
+#include "absint/bound_backend.hpp"
 #include "core/interval_monitor.hpp"
 #include "core/minmax_monitor.hpp"
 #include "core/monitor_builder.hpp"
@@ -58,12 +59,13 @@ namespace {
       "         [--shard-strategy contiguous|round-robin|shuffled]\n"
       "         [--shard-seed S]\n"
       "         [--robust] [--delta F] [--kp K] [--domain box|zonotope]\n"
+      "         [--backend reference|vectorized]\n"
       "         --out FILE\n"
       "  eval   --net FILE --monitor FILE --layer K --in-dist FILE\n"
       "         [--ood FILE ...] [--threads T]\n"
       "  query  --socket PATH [--in-dist FILE] [--ood FILE ...]\n"
       "         [--batch N] [--stats]   (talks to a ranm_serve daemon)\n"
-      "  info   --net FILE | --monitor FILE | --data FILE\n",
+      "  info   --net FILE | --monitor FILE | --data FILE | --backends\n",
       stderr);
   std::exit(2);
 }
@@ -78,6 +80,7 @@ constexpr std::size_t kMaxEpochs = 1U << 20;
 constexpr std::size_t kMaxBatch = 1U << 20;
 constexpr std::size_t kMaxBits = 16;           // ThresholdSpec limit
 constexpr std::size_t kMaxKp = 1U << 26;       // perturbed-pixel count
+constexpr double kMaxDelta = 1e9;              // L-inf perturbation radius
 
 /// --threads: 0 means hardware concurrency; bounded so a typo cannot ask
 /// the pool to spawn thousands of OS threads.
@@ -234,8 +237,13 @@ int cmd_train(const ArgParser& args) {
 
 int cmd_build(const ArgParser& args) {
   // Every argument is validated before the first artifact load, so a bad
-  // --layer or --bits fails fast instead of after seconds of I/O.
+  // --layer, --bits, or --delta fails fast instead of after seconds of
+  // I/O (or, for a NaN delta, after silently poisoning every bound).
   const std::size_t layer = args.get_size("layer", 0, kMaxLayer);
+  if (layer == 0) {
+    throw std::invalid_argument("--layer must be in 1.." +
+                                std::to_string(kMaxLayer));
+  }
   MonitorOptions opts;
   opts.family = parse_monitor_family(args.require("type"));
   opts.bits = args.get_size("bits", 2, kMaxBits);
@@ -248,6 +256,38 @@ int cmd_build(const ArgParser& args) {
       parse_shard_strategy(args.get("shard-strategy", "contiguous"));
   opts.shard_seed = std::uint64_t(args.get_int("shard-seed", 0));
 
+  const bool robust = args.has("robust");
+  PerturbationSpec spec;
+  spec.backend = parse_bound_backend(
+      args.get("backend", std::string(bound_backend_name(spec.backend))));
+  if (robust) {
+    spec.kp = args.get_size("kp", 0, kMaxKp);
+    if (spec.kp >= layer) {
+      // Definition 1 needs kp < k; checked here so a bad --kp fails
+      // before the network loads.
+      throw std::invalid_argument("--kp must be in 0.." +
+                                  std::to_string(layer - 1) +
+                                  " (strictly before --layer)");
+    }
+    const double delta = args.get_double("delta", 0.005);
+    // The predicate form rejects NaN (which fails every comparison),
+    // ±inf, and negatives in one shot.
+    if (!(delta >= 0.0 && delta <= kMaxDelta)) {
+      throw std::invalid_argument(
+          "--delta must be in [0, 1e9] and finite, got " +
+          args.get("delta", ""));
+    }
+    spec.delta = float(delta);
+    const std::string domain = args.get("domain", "box");
+    if (domain == "box") {
+      spec.domain = BoundDomain::kBox;
+    } else if (domain == "zonotope") {
+      spec.domain = BoundDomain::kZonotope;
+    } else {
+      throw std::invalid_argument("unknown domain " + domain);
+    }
+  }
+
   Network net = load_network_file(args.require("net"));
   const Dataset ds = load_dataset_file(args.require("data"));
   MonitorBuilder builder(net, layer);
@@ -257,18 +297,7 @@ int cmd_build(const ArgParser& args) {
   opts.shards = std::min(std::size_t(shards), builder.feature_dim());
   std::unique_ptr<Monitor> monitor = make_monitor(opts, stats);
 
-  if (args.has("robust")) {
-    PerturbationSpec spec;
-    spec.kp = args.get_size("kp", 0, kMaxKp);
-    spec.delta = float(args.get_double("delta", 0.005));
-    const std::string domain = args.get("domain", "box");
-    if (domain == "box") {
-      spec.domain = BoundDomain::kBox;
-    } else if (domain == "zonotope") {
-      spec.domain = BoundDomain::kZonotope;
-    } else {
-      throw std::invalid_argument("unknown domain " + domain);
-    }
+  if (robust) {
     builder.build_robust(*monitor, ds.inputs, spec);
   } else {
     builder.build_standard(*monitor, ds.inputs);
@@ -277,6 +306,12 @@ int cmd_build(const ArgParser& args) {
   std::ofstream out(args.require("out"), std::ios::binary);
   if (!out) throw std::runtime_error("cannot write monitor file");
   save_any_monitor(out, *monitor);
+  if (robust) {
+    std::printf("robust build: domain %s, backend %s, delta %g, kp %zu\n",
+                std::string(bound_domain_name(spec.domain)).c_str(),
+                std::string(bound_backend_name(spec.backend)).c_str(),
+                double(spec.delta), spec.kp);
+  }
   std::printf("built %s [%s] from %zu samples -> %s\n",
               monitor->describe().c_str(),
               std::string(monitor_family_name(opts.family)).c_str(),
@@ -415,6 +450,18 @@ int cmd_query(const ArgParser& args) {
 }
 
 int cmd_info(const ArgParser& args) {
+  if (args.has("backends")) {
+    // The engines `build --backend` (and build_robust) can run batched
+    // bound propagation on. Bounds agree across backends (outward-only
+    // widening at most); only throughput differs.
+    std::printf("bound backends (batched box propagation engines):\n");
+    for (const BoundBackendKind kind : bound_backend_kinds()) {
+      std::printf("  %-12s%s\n",
+                  std::string(bound_backend_name(kind)).c_str(),
+                  kind == kDefaultBoundBackend ? "  [default]" : "");
+    }
+    return 0;
+  }
   if (args.has("net")) {
     Network net = load_network_file(args.require("net"));
     std::printf("network: %zu layers, %zu parameters\n%s",
