@@ -1,0 +1,299 @@
+// Compiled vs interpreted query throughput. `ranm_cli compile` exists to
+// buy deployment headroom: the interpreted BDD families chase hash-consed
+// arena nodes per query, while the compiled form runs either a bitmask
+// cube cover (a few u64 compares per sample) or a flat topologically
+// ordered node array with branchless child indexing. This bench pins the
+// claim down: every family, flat and 4-shard, batch sizes 1..256, with
+// the interpreted monitor as the baseline in each row. The acceptance
+// bar tracked per-PR is the BDD-family speedup at batch 256.
+//
+// Results print as a table and land in BENCH_compiled.json (or argv[1]);
+// RANM_SMOKE=1 shrinks repetitions for CI smoke runs.
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "compile/compiled_monitor.hpp"
+#include "compile/lower.hpp"
+#include "core/box_cluster_monitor.hpp"
+#include "core/interval_monitor.hpp"
+#include "core/minmax_monitor.hpp"
+#include "core/neuron_stats.hpp"
+#include "core/onoff_monitor.hpp"
+#include "core/sharded_monitor.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace ranm {
+namespace {
+
+constexpr std::size_t kDim = 64;
+constexpr std::size_t kObservations = 24;
+
+std::size_t g_sink = 0;
+
+struct Measurement {
+  std::string monitor;
+  std::string program;  // "box", "cube", "bdd", "mixed"
+  std::size_t batch_size = 0;
+  std::size_t shards = 0;  // 0: flat
+  std::size_t threads = 0;
+  double interpreted_ns = 0.0;  // per sample
+  double compiled_ns = 0.0;     // per sample
+  [[nodiscard]] double speedup() const {
+    return compiled_ns > 0.0 ? interpreted_ns / compiled_ns : 0.0;
+  }
+};
+
+std::vector<float> random_feature(Rng& rng) {
+  std::vector<float> v(kDim);
+  for (auto& x : v) x = float(rng.uniform() * 4.0 - 2.0);
+  return v;
+}
+
+/// Shared training set: point features plus widened interval bounds for
+/// the robust builds, so every monitor folds the same data.
+struct Fixture {
+  Rng rng{20301};
+  std::vector<std::vector<float>> features;
+  std::vector<std::vector<float>> lo, hi;
+  NeuronStats stats{kDim, true};
+
+  Fixture() {
+    for (std::size_t i = 0; i < kObservations; ++i) {
+      features.push_back(random_feature(rng));
+      const auto& v = features.back();
+      std::vector<float> l(v), h(v);
+      for (std::size_t j = 0; j < kDim; ++j) {
+        const float d = float(0.05 + rng.uniform() * 0.25);
+        l[j] -= d;
+        h[j] += d;
+      }
+      lo.push_back(std::move(l));
+      hi.push_back(std::move(h));
+    }
+    for (const auto& v : features) stats.add(v);
+  }
+
+  void fold(Monitor& monitor, bool robust) const {
+    for (std::size_t i = 0; i < kObservations; ++i) {
+      if (robust) {
+        monitor.observe_bounds(lo[i], hi[i]);
+      } else {
+        monitor.observe(features[i]);
+      }
+    }
+  }
+};
+
+const char* program_label(const compile::CompiledMonitor& compiled) {
+  const bool cubes = compiled.total_cubes() > 0;
+  const bool nodes = compiled.total_nodes() > 0;
+  if (cubes && nodes) return "mixed";
+  if (cubes) return "cube";
+  if (nodes) return "bdd";
+  return "box";
+}
+
+template <typename Fn>
+double time_per_sample(std::size_t reps, std::size_t samples_per_rep,
+                       Fn&& fn) {
+  fn(std::size_t{1});  // warmup
+  Timer timer;
+  fn(reps);
+  return timer.seconds() * 1e9 / double(reps) / double(samples_per_rep);
+}
+
+Measurement bench_pair(const std::string& name, const Monitor& interpreted,
+                       const compile::CompiledMonitor& compiled,
+                       std::size_t shards, std::size_t threads,
+                       const Fixture& f, std::size_t batch_size,
+                       std::size_t reps) {
+  FeatureBatch batch(kDim, batch_size);
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    batch.set_sample(i, f.features[i % f.features.size()]);
+  }
+  auto out = std::make_unique<bool[]>(batch_size);
+  const std::span<bool> out_span(out.get(), batch_size);
+  Measurement m;
+  m.monitor = name;
+  m.program = program_label(compiled);
+  m.batch_size = batch_size;
+  m.shards = shards;
+  m.threads = threads;
+  m.interpreted_ns = time_per_sample(reps, batch_size, [&](std::size_t n) {
+    for (std::size_t r = 0; r < n; ++r) {
+      interpreted.contains_batch(batch, out_span);
+      g_sink += out_span.front();
+    }
+  });
+  m.compiled_ns = time_per_sample(reps, batch_size, [&](std::size_t n) {
+    for (std::size_t r = 0; r < n; ++r) {
+      compiled.contains_batch(batch, out_span);
+      g_sink += out_span.front();
+    }
+  });
+  return m;
+}
+
+/// One monitor family in both deployment shapes: flat and 4-shard
+/// (threads = 4, matching `ranm_serve --threads 4`). The make lambdas
+/// return fully built (folded, finalized) monitors; a null sharded maker
+/// result skips the sharded rows (box-cluster has no sharded form).
+template <typename MakeFlat, typename MakeSharded>
+void bench_family(const std::string& name, const Fixture& f,
+                  std::span<const std::size_t> batch_sizes,
+                  std::size_t base_reps, std::vector<Measurement>& results,
+                  MakeFlat&& make_flat, MakeSharded&& make_sharded) {
+  const std::unique_ptr<Monitor> flat = make_flat();
+  const compile::CompiledMonitor compiled_flat =
+      compile::compile_monitor(*flat);
+
+  constexpr std::size_t kShards = 4;
+  std::unique_ptr<ShardedMonitor> sharded = make_sharded(kShards);
+  compile::CompiledMonitor compiled_sharded = [&] {
+    if (sharded == nullptr) return compile::compile_monitor(*flat);
+    compile::CompileOptions options;
+    options.threads = kShards;
+    auto compiled = compile::compile_monitor(*sharded, options);
+    sharded->set_threads(kShards);
+    compiled.set_threads(kShards);
+    return compiled;
+  }();
+
+  for (const std::size_t b : batch_sizes) {
+    // Constant samples-per-measurement across batch sizes.
+    const std::size_t reps = base_reps * (256 / b);
+    results.push_back(
+        bench_pair(name, *flat, compiled_flat, 0, 1, f, b, reps));
+    if (sharded != nullptr) {
+      results.push_back(bench_pair(name, *sharded, compiled_sharded,
+                                   kShards, kShards, f, b, reps));
+    }
+  }
+}
+
+void print_table(const std::vector<Measurement>& results) {
+  TextTable table("compiled vs interpreted contains_batch, ns/sample");
+  table.set_header({"monitor", "program", "batch", "shards", "interp ns",
+                    "compiled ns", "speedup"});
+  for (const Measurement& m : results) {
+    table.add_row({m.monitor, m.program, std::to_string(m.batch_size),
+                   std::to_string(m.shards),
+                   TextTable::num(m.interpreted_ns, 1),
+                   TextTable::num(m.compiled_ns, 1),
+                   TextTable::num(m.speedup(), 2) + "x"});
+  }
+  table.print();
+}
+
+void write_json(const std::string& path, bool smoke,
+                const std::vector<Measurement>& results) {
+  std::vector<std::string> rows;
+  rows.reserve(results.size());
+  for (const Measurement& m : results) {
+    std::ostringstream row;
+    row << "{\"monitor\": \"" << m.monitor << "\", \"program\": \""
+        << m.program << "\", \"batch_size\": " << m.batch_size
+        << ", \"shards\": " << m.shards << ", \"threads\": " << m.threads
+        << ", \"interpreted_ns_per_sample\": " << m.interpreted_ns
+        << ", \"compiled_ns_per_sample\": " << m.compiled_ns
+        << ", \"speedup\": " << m.speedup() << "}";
+    rows.push_back(row.str());
+  }
+  benchutil::write_json_report(path, "bench_compiled", smoke, rows);
+}
+
+int run(int argc, char** argv) {
+  const bool smoke = benchutil::smoke_mode();
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_compiled.json";
+  const std::size_t base_reps = smoke ? 2 : 800;
+  const std::vector<std::size_t> batch_sizes =
+      smoke ? std::vector<std::size_t>{16, 256}
+            : std::vector<std::size_t>{1, 16, 64, 256};
+
+  const Fixture f;
+  const ThresholdSpec means = ThresholdSpec::from_means(f.stats);
+  const ThresholdSpec pct2 = ThresholdSpec::from_percentiles(f.stats, 2);
+  std::vector<Measurement> results;
+
+  bench_family(
+      "minmax", f, batch_sizes, base_reps, results,
+      [&f] {
+        auto monitor = std::make_unique<MinMaxMonitor>(kDim);
+        f.fold(*monitor, false);
+        return monitor;
+      },
+      [&f](std::size_t s) {
+        auto monitor = std::make_unique<ShardedMonitor>(
+            ShardedMonitor::minmax(ShardPlan::contiguous(kDim, s)));
+        f.fold(*monitor, false);
+        return monitor;
+      });
+  bench_family(
+      "box_cluster", f, batch_sizes, base_reps, results,
+      [&f] {
+        auto monitor = std::make_unique<BoxClusterMonitor>(kDim, 8);
+        f.fold(*monitor, false);
+        Rng cluster_rng(7);
+        monitor->finalize(cluster_rng);
+        return monitor;
+      },
+      [](std::size_t) { return std::unique_ptr<ShardedMonitor>(); });
+  bench_family(
+      "onoff", f, batch_sizes, base_reps, results,
+      [&] {
+        auto monitor = std::make_unique<OnOffMonitor>(means);
+        f.fold(*monitor, false);
+        return monitor;
+      },
+      [&](std::size_t s) {
+        auto monitor = std::make_unique<ShardedMonitor>(
+            ShardedMonitor::onoff(ShardPlan::contiguous(kDim, s), means));
+        f.fold(*monitor, false);
+        return monitor;
+      });
+  bench_family(
+      "interval", f, batch_sizes, base_reps, results,
+      [&] {
+        auto monitor = std::make_unique<IntervalMonitor>(pct2);
+        f.fold(*monitor, false);
+        return monitor;
+      },
+      [&](std::size_t s) {
+        auto monitor = std::make_unique<ShardedMonitor>(
+            ShardedMonitor::interval(ShardPlan::contiguous(kDim, s), pct2));
+        f.fold(*monitor, false);
+        return monitor;
+      });
+  // Robust interval: don't-care-rich sets, the cube-cover sweet spot.
+  bench_family(
+      "interval_robust", f, batch_sizes, base_reps, results,
+      [&] {
+        auto monitor = std::make_unique<IntervalMonitor>(pct2);
+        f.fold(*monitor, true);
+        return monitor;
+      },
+      [&](std::size_t s) {
+        auto monitor = std::make_unique<ShardedMonitor>(
+            ShardedMonitor::interval(ShardPlan::contiguous(kDim, s), pct2));
+        f.fold(*monitor, true);
+        return monitor;
+      });
+
+  print_table(results);
+  write_json(json_path, smoke, results);
+  std::printf("sink %zu\n", g_sink);
+  std::printf("report: %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ranm
+
+int main(int argc, char** argv) { return ranm::run(argc, argv); }

@@ -1,0 +1,46 @@
+// RCM1: the versioned on-disk artifact of a compiled monitor.
+//
+// Layout (little-endian, after the magic):
+//
+//   u32  version (1)
+//   u64  dim                    feature-space dimension
+//   u64  shard_count            1..4096
+//   str  source                 provenance describe(), <= 256 bytes
+//   per shard:
+//     u64  neuron_count         0 = identity (single-shard only)
+//     u32  neuron ids           neuron_count entries, each < dim
+//     u32  program kind         1 = box, 2 = cube, 3 = bdd
+//     u64  unit dim             must match the shard's neuron count
+//     box:  u64 num_boxes, u8 reject_nan, f32 lo[], f32 hi[] (box-major)
+//     cube/bdd: coding table (u64 bits, then per neuron 2^bits - 1
+//       threshold values (f32) + inclusivity flags (u8))
+//     cube: u64 num_cubes, per cube W mask words + W value words
+//       (W derived from dim and bits, never read from the stream)
+//     bdd:  u64 node_count, u32 root, per node u32 var + u32 lo + u32 hi
+//
+// Every count goes through the io/wire bounded reads *before* anything
+// allocates from it, and the BDD loader re-validates the structural
+// invariants evaluation termination rests on: child refs are terminals or
+// strictly larger than their parent's ref, vars are in range, and the
+// root is in bounds. A corrupted artifact fails loudly on the check — the
+// PR 1 loader-bug class must not recur here.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "compile/compiled_monitor.hpp"
+
+namespace ranm::compile {
+
+/// "RCM1" artifact magic.
+inline constexpr std::uint32_t kCompiledMagic = 0x52434D31U;
+
+void save_compiled_monitor(std::ostream& out, const CompiledMonitor& monitor);
+/// Loads a full RCM1 stream (magic included). Throws std::runtime_error
+/// on malformed input.
+[[nodiscard]] CompiledMonitor load_compiled_monitor(std::istream& in);
+/// Loads the body after the magic word (load_any_monitor dispatch).
+[[nodiscard]] CompiledMonitor load_compiled_body(std::istream& in);
+
+}  // namespace ranm::compile

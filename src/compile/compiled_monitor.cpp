@@ -1,0 +1,147 @@
+#include "compile/compiled_monitor.hpp"
+
+#include <stdexcept>
+
+namespace ranm::compile {
+namespace {
+
+[[noreturn]] void throw_frozen(const char* what) {
+  throw std::logic_error(std::string("CompiledMonitor::") + what +
+                         ": compiled monitors are frozen — rebuild the "
+                         "source monitor and recompile to observe new data");
+}
+
+}  // namespace
+
+CompiledMonitor::CompiledMonitor(std::size_t dim, std::string source,
+                                 std::vector<Shard> shards)
+    : dim_(dim), source_(std::move(source)), shards_(std::move(shards)) {
+  if (shards_.empty()) {
+    throw std::invalid_argument("CompiledMonitor: no shards");
+  }
+  for (const Shard& sh : shards_) {
+    if (sh.neurons.empty()) {
+      if (shards_.size() != 1) {
+        throw std::invalid_argument(
+            "CompiledMonitor: identity shard requires shard_count == 1");
+      }
+      if (sh.unit.dimension() != dim_) {
+        throw std::invalid_argument(
+            "CompiledMonitor: identity shard dimension mismatch");
+      }
+    } else {
+      if (sh.unit.dimension() != sh.neurons.size()) {
+        throw std::invalid_argument(
+            "CompiledMonitor: shard unit/neuron-list size mismatch");
+      }
+      for (const std::uint32_t j : sh.neurons) {
+        if (j >= dim_) {
+          throw std::invalid_argument(
+              "CompiledMonitor: shard neuron id out of range");
+        }
+      }
+    }
+  }
+  scratch_.resize(shards_.size());
+}
+
+void CompiledMonitor::observe(std::span<const float>) {
+  throw_frozen("observe");
+}
+void CompiledMonitor::observe_bounds(std::span<const float>,
+                                     std::span<const float>) {
+  throw_frozen("observe_bounds");
+}
+void CompiledMonitor::observe_batch(const FeatureBatch&) {
+  throw_frozen("observe_batch");
+}
+void CompiledMonitor::observe_bounds_batch(const FeatureBatch&,
+                                           const FeatureBatch&) {
+  throw_frozen("observe_bounds_batch");
+}
+
+bool CompiledMonitor::contains(std::span<const float> feature) const {
+  if (feature.size() != dim_) {
+    throw std::invalid_argument("CompiledMonitor::contains: dimension "
+                                "mismatch");
+  }
+  FeatureBatch batch(dim_, 1);
+  batch.set_sample(0, feature);
+  bool out = false;
+  contains_batch(batch, {&out, 1});
+  return out;
+}
+
+void CompiledMonitor::eval_shard(std::size_t s, const FeatureBatch& batch,
+                                 bool* out) const {
+  const Shard& sh = shards_[s];
+  if (sh.neurons.empty()) {
+    eval_unit(sh.unit, batch, out, scratch_[s]);
+  } else {
+    const FeatureBatch view = batch.view_rows(sh.neurons);
+    eval_unit(sh.unit, view, out, scratch_[s]);
+  }
+}
+
+void CompiledMonitor::contains_batch(const FeatureBatch& batch,
+                                     std::span<bool> out) const {
+  check_batch(batch, out.size(), "CompiledMonitor::contains_batch");
+  const std::size_t n = batch.size();
+  if (n == 0) return;
+  const std::size_t S = shards_.size();
+  if (S == 1) {
+    eval_shard(0, batch, out.data());
+    return;
+  }
+  if (rows_capacity_ < S * n) {
+    rows_scratch_ = std::make_unique<bool[]>(S * n);
+    rows_capacity_ = S * n;
+  }
+  bool* rows = rows_scratch_.get();
+  const auto run = [&](std::size_t s) { eval_shard(s, batch, rows + s * n); };
+  if (pool_) {
+    pool_->parallel_for(S, run);
+  } else {
+    for (std::size_t s = 0; s < S; ++s) run(s);
+  }
+  // Membership is the AND over shards, like ShardedMonitor.
+  for (std::size_t i = 0; i < n; ++i) out[i] = rows[i];
+  for (std::size_t s = 1; s < S; ++s) {
+    const bool* row = rows + s * n;
+    for (std::size_t i = 0; i < n; ++i) out[i] = out[i] && row[i];
+  }
+}
+
+std::string CompiledMonitor::describe() const {
+  return "CompiledMonitor(d=" + std::to_string(dim_) +
+         ", shards=" + std::to_string(shards_.size()) +
+         ", nodes=" + std::to_string(total_nodes()) +
+         ", cubes=" + std::to_string(total_cubes()) + ", from=" + source_ +
+         ")";
+}
+
+void CompiledMonitor::set_threads(std::size_t threads) {
+  if (threads == 1) {
+    pool_.reset();
+  } else {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+}
+
+std::size_t CompiledMonitor::total_nodes() const noexcept {
+  std::size_t total = 0;
+  for (const Shard& sh : shards_) {
+    if (sh.unit.kind == ProgramKind::kBdd) total += sh.unit.bdd.nodes.size();
+  }
+  return total;
+}
+
+std::size_t CompiledMonitor::total_cubes() const noexcept {
+  std::size_t total = 0;
+  for (const Shard& sh : shards_) {
+    if (sh.unit.kind == ProgramKind::kCube) total += sh.unit.cube.num_cubes;
+  }
+  return total;
+}
+
+}  // namespace ranm::compile

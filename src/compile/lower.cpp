@@ -1,0 +1,236 @@
+#include "compile/lower.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "bdd/bdd.hpp"
+#include "core/box_cluster_monitor.hpp"
+#include "core/interval_monitor.hpp"
+#include "core/minmax_monitor.hpp"
+#include "core/onoff_monitor.hpp"
+#include "core/sharded_monitor.hpp"
+#include "core/threshold_spec.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ranm::compile {
+namespace {
+
+CodingTable lower_coding(const ThresholdSpec& spec) {
+  CodingTable ct;
+  ct.dim = spec.dimension();
+  ct.bits = spec.bits();
+  const std::size_t m = ct.thresholds_per_neuron();
+  ct.values.resize(ct.dim * m);
+  ct.inclusive.resize(ct.dim * m);
+  for (std::size_t j = 0; j < ct.dim; ++j) {
+    const auto ts = spec.thresholds(j);
+    for (std::size_t t = 0; t < m; ++t) {
+      ct.values[j * m + t] = ts[t].value;
+      ct.inclusive[j * m + t] = ts[t].inclusive_below ? 1 : 0;
+    }
+  }
+  return ct;
+}
+
+/// Bounded cube-cover extraction: DFS over the BDD, one cube per path to
+/// TRUE, variables not on the path as don't-cares (mask bit clear).
+/// Aborts (returns false) past `cube_limit` covers or past the work
+/// bound — path counts can blow up combinatorially on dense sets even
+/// when the node count is small, so the visit counter, not just the cube
+/// counter, bounds the enumeration.
+bool extract_cubes(const bdd::BddManager& mgr, bdd::NodeRef root,
+                   std::size_t num_vars, std::size_t num_words,
+                   std::size_t cube_limit, CubeProgram& out) {
+  out.num_cubes = 0;
+  out.mask.clear();
+  out.value.clear();
+  if (root == bdd::kFalse) return true;  // empty cover: nothing matches
+  if (root == bdd::kTrue) {
+    // One all-don't-care cube: everything matches.
+    out.num_cubes = 1;
+    out.mask.assign(num_words, 0ULL);
+    out.value.assign(num_words, 0ULL);
+    return cube_limit >= 1;
+  }
+  std::vector<std::uint64_t> mask(num_words, 0ULL), value(num_words, 0ULL);
+  struct Frame {
+    bdd::NodeRef ref;
+    int next_child;  // 0, 1, then 2 = done
+  };
+  std::vector<Frame> stack{{root, 0}};
+  // Each accepted cube is one root-to-TRUE path of at most num_vars
+  // nodes, and the DFS touches every node on it a constant number of
+  // times (descend twice, unwind once, plus dead-end FALSE probes), so a
+  // cover of cube_limit cubes legitimately costs O(num_vars * cube_limit)
+  // visits. Anything past that is the combinatorial path blow-up the
+  // bound exists to cut off.
+  const std::size_t work_limit =
+      3 * std::max<std::size_t>(num_vars, 64) * (cube_limit + 1) + 1024;
+  std::size_t visits = 0;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const bdd::BddManager::NodeView nv = mgr.view(f.ref);
+    const std::size_t w = nv.var >> 6;
+    const std::uint64_t bit = 1ULL << (nv.var & 63);
+    if (f.next_child == 0) mask[w] |= bit;  // entering: var constrained
+    if (f.next_child == 2) {                // leaving: var free again
+      mask[w] &= ~bit;
+      value[w] &= ~bit;
+      stack.pop_back();
+      continue;
+    }
+    const bool polarity = f.next_child == 1;
+    ++f.next_child;
+    if (polarity) {
+      value[w] |= bit;
+    } else {
+      value[w] &= ~bit;
+    }
+    if (++visits > work_limit) return false;
+    const bdd::NodeRef child = polarity ? nv.hi : nv.lo;
+    if (child == bdd::kFalse) continue;
+    if (child == bdd::kTrue) {
+      if (++out.num_cubes > cube_limit) return false;
+      out.mask.insert(out.mask.end(), mask.begin(), mask.end());
+      out.value.insert(out.value.end(), value.begin(), value.end());
+      continue;
+    }
+    stack.push_back({child, 0});
+  }
+  return true;
+}
+
+/// Flattens the nodes reachable from `root` into variable-ascending order.
+/// The BDD is var-ordered (children strictly deeper than parents), so
+/// sorting by var puts every child after its parent — the flat refs then
+/// satisfy the child > parent invariant the loader re-validates.
+BddProgram flatten_bdd(const bdd::BddManager& mgr, bdd::NodeRef root) {
+  BddProgram p;
+  if (root == bdd::kFalse || root == bdd::kTrue) {
+    p.root = root;
+    return p;
+  }
+  std::vector<bdd::NodeRef> reach;
+  std::vector<bdd::NodeRef> pending{root};
+  std::unordered_map<bdd::NodeRef, std::uint32_t> remap;
+  while (!pending.empty()) {
+    const bdd::NodeRef r = pending.back();
+    pending.pop_back();
+    if (remap.contains(r)) continue;
+    remap.emplace(r, 0);  // placeholder; final refs assigned after sorting
+    reach.push_back(r);
+    const bdd::BddManager::NodeView nv = mgr.view(r);
+    if (nv.lo >= 2) pending.push_back(nv.lo);
+    if (nv.hi >= 2) pending.push_back(nv.hi);
+  }
+  std::stable_sort(reach.begin(), reach.end(),
+                   [&mgr](bdd::NodeRef a, bdd::NodeRef b) {
+                     return mgr.view(a).var < mgr.view(b).var;
+                   });
+  for (std::size_t i = 0; i < reach.size(); ++i) {
+    remap[reach[i]] = static_cast<std::uint32_t>(i + 2);
+  }
+  const auto flat_ref = [&remap](bdd::NodeRef r) {
+    return r < 2 ? static_cast<std::uint32_t>(r) : remap.at(r);
+  };
+  p.nodes.resize(reach.size());
+  for (std::size_t i = 0; i < reach.size(); ++i) {
+    const bdd::BddManager::NodeView nv = mgr.view(reach[i]);
+    p.nodes[i].var = nv.var;
+    p.nodes[i].child[0] = flat_ref(nv.lo);
+    p.nodes[i].child[1] = flat_ref(nv.hi);
+  }
+  p.root = flat_ref(root);
+  return p;
+}
+
+CompiledUnit lower_bdd_set(const bdd::BddManager& mgr, bdd::NodeRef root,
+                           const ThresholdSpec& spec,
+                           std::size_t cube_limit) {
+  CompiledUnit unit;
+  unit.coding = lower_coding(spec);
+  if (extract_cubes(mgr, root, unit.coding.num_vars(),
+                    unit.coding.num_words(), cube_limit, unit.cube)) {
+    unit.kind = ProgramKind::kCube;
+    return unit;
+  }
+  unit.cube = CubeProgram{};
+  unit.kind = ProgramKind::kBdd;
+  unit.bdd = flatten_bdd(mgr, root);
+  return unit;
+}
+
+/// Lowers one non-sharded monitor into a unit (the per-shard workhorse).
+CompiledUnit lower_flat(const Monitor& monitor, std::size_t cube_limit) {
+  if (const auto* mm = dynamic_cast<const MinMaxMonitor*>(&monitor)) {
+    CompiledUnit unit;
+    unit.kind = ProgramKind::kBox;
+    unit.box.dim = mm->dimension();
+    unit.box.num_boxes = 1;
+    unit.box.reject_nan = false;  // NaN contained, like the source
+    unit.box.lo.resize(unit.box.dim);
+    unit.box.hi.resize(unit.box.dim);
+    for (std::size_t j = 0; j < unit.box.dim; ++j) {
+      unit.box.lo[j] = mm->lower(j);
+      unit.box.hi[j] = mm->upper(j);
+    }
+    return unit;
+  }
+  if (const auto* bc = dynamic_cast<const BoxClusterMonitor*>(&monitor)) {
+    const auto& boxes = bc->boxes();  // throws logic_error pre-finalize
+    CompiledUnit unit;
+    unit.kind = ProgramKind::kBox;
+    unit.box.dim = bc->dimension();
+    unit.box.num_boxes = boxes.size();
+    unit.box.reject_nan = true;  // NaN rejected, like the source
+    unit.box.lo.resize(unit.box.num_boxes * unit.box.dim);
+    unit.box.hi.resize(unit.box.num_boxes * unit.box.dim);
+    for (std::size_t b = 0; b < boxes.size(); ++b) {
+      for (std::size_t j = 0; j < unit.box.dim; ++j) {
+        unit.box.lo[b * unit.box.dim + j] = boxes[b][j].lo;
+        unit.box.hi[b * unit.box.dim + j] = boxes[b][j].hi;
+      }
+    }
+    return unit;
+  }
+  if (const auto* oo = dynamic_cast<const OnOffMonitor*>(&monitor)) {
+    return lower_bdd_set(oo->manager(), oo->root(), oo->spec(), cube_limit);
+  }
+  if (const auto* iv = dynamic_cast<const IntervalMonitor*>(&monitor)) {
+    return lower_bdd_set(iv->manager(), iv->root(), iv->spec(), cube_limit);
+  }
+  throw std::invalid_argument("compile_monitor: unsupported monitor type " +
+                              monitor.describe());
+}
+
+}  // namespace
+
+CompiledMonitor compile_monitor(const Monitor& monitor,
+                                const CompileOptions& options) {
+  if (const auto* sh = dynamic_cast<const ShardedMonitor*>(&monitor)) {
+    const ShardPlan& plan = sh->plan();
+    std::vector<CompiledMonitor::Shard> shards(plan.shard_count());
+    const auto lower_one = [&](std::size_t s) {
+      const auto neurons = plan.neurons(s);
+      shards[s].neurons.assign(neurons.begin(), neurons.end());
+      shards[s].unit = lower_flat(sh->shard(s), options.cube_limit);
+    };
+    if (options.threads == 1) {
+      for (std::size_t s = 0; s < shards.size(); ++s) lower_one(s);
+    } else {
+      // Each task reads one shard's private manager and writes one slot:
+      // race-free fan-out, same shape as the sharded query path.
+      ThreadPool pool(options.threads);
+      pool.parallel_for(shards.size(), lower_one);
+    }
+    return CompiledMonitor(plan.dimension(), sh->describe(),
+                           std::move(shards));
+  }
+  std::vector<CompiledMonitor::Shard> shards(1);
+  shards[0].unit = lower_flat(monitor, options.cube_limit);
+  return CompiledMonitor(monitor.dimension(), monitor.describe(),
+                         std::move(shards));
+}
+
+}  // namespace ranm::compile

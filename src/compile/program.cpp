@@ -1,0 +1,411 @@
+#include "compile/program.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ranm::compile {
+namespace {
+
+/// Samples coded per stack-buffer block.
+constexpr std::size_t kLane = 64;
+/// Below this, matrix setup dominates and the per-sample lazy paths win —
+/// the same threshold the interpreted monitors use
+/// (Monitor::kMinBitMatrixBatch).
+constexpr std::size_t kSmallBatch = 8;
+
+/// Codes one neuron's value: |{thresholds v exceeds}|. Thresholds
+/// ascend, so the exceeded set is a prefix and the count equals
+/// ThresholdSpec::code (NaN fails every compare and codes to 0, exactly
+/// like the interpreted path).
+std::uint32_t code_value(const CodingTable& ct, std::size_t j, float v) {
+  const std::size_t m = ct.thresholds_per_neuron();
+  const float* values = ct.values.data() + j * m;
+  const std::uint8_t* inclusive = ct.inclusive.data() + j * m;
+  std::uint32_t code = 0;
+  for (std::size_t t = 0; t < m; ++t) {
+    code += inclusive[t] != 0 ? v > values[t] : v >= values[t];
+  }
+  return code;
+}
+
+/// Packs every sample's codeword into sample-major u64 words: bit
+/// (var & 63) of words[i * W + var/64] is variable var's value for
+/// sample i. Sample-major keeps each lane's whole codeword on one cache
+/// line for the downstream cube compares and BDD walks. Coding runs
+/// through a stack-local block buffer so the threshold compares
+/// vectorize (nothing in the loop can alias the float rows). When
+/// `needed` is non-null, neurons none of whose variables appear in it
+/// are skipped — don't-care-rich cube covers pay only for the variables
+/// they test.
+///
+/// kWords pins the codeword stride at compile time (0 = runtime): the
+/// packing passes store through dst[i * W], and with W a runtime value
+/// that is an unknown-stride read-modify-write the vectorizer refuses.
+/// Monitors up to 64 variables (W == 1) and 128 variables (W == 2) —
+/// every configuration the paper evaluates — get constant-stride loops.
+template <std::size_t kWords>
+void fill_words_stride(const CodingTable& ct, const FeatureBatch& batch,
+                       EvalScratch& s, const std::uint64_t* needed) {
+  const std::size_t n = batch.size();
+  const std::size_t W = kWords != 0 ? kWords : ct.num_words();
+  const std::size_t nbits = ct.bits;
+  const std::size_t m = ct.thresholds_per_neuron();
+  const std::size_t nblocks = (n + kLane - 1) / kLane;
+  s.words.assign(n * W, 0ULL);
+  std::uint64_t* words = s.words.data();
+  std::uint32_t codes[kLane];
+  for (std::size_t j = 0; j < ct.dim; ++j) {
+    if (needed != nullptr) {
+      bool used = false;
+      for (std::size_t b = 0; b < nbits; ++b) {
+        const std::size_t var = j * nbits + b;
+        used = used || ((needed[var >> 6] >> (var & 63)) & 1ULL) != 0;
+      }
+      if (!used) continue;
+    }
+    const float* row = batch.neuron(j).data();
+    const float* values = ct.values.data() + j * m;
+    const std::uint8_t* inclusive = ct.inclusive.data() + j * m;
+    if (m == 1) {
+      // 1-bit coding (the on-off family): one fused compare-and-pack
+      // pass, no intermediate code buffer.
+      const std::size_t var = j;
+      const std::size_t w = var >> 6;
+      const std::uint32_t shift = std::uint32_t(var & 63);
+      const float c = values[0];
+      std::uint64_t* dst = words + w;
+      if (inclusive[0] != 0) {
+        for (std::size_t i = 0; i < n; ++i) {
+          dst[i * W] |= std::uint64_t(row[i] > c) << shift;
+        }
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          dst[i * W] |= std::uint64_t(row[i] >= c) << shift;
+        }
+      }
+      continue;
+    }
+    if (nbits == 2) {
+      // 2-bit coding: one fused pass computes the code (three threshold
+      // compares, if-converted selects for the inclusive flags) and
+      // stores it bit-swapped — both variables of a 2-bit neuron share
+      // one word (j*2 is even), and MSB-first variable order puts code
+      // bit 1 at the lower shift. Fusing avoids the intermediate code
+      // buffer and its extra passes entirely.
+      const std::size_t var = j * 2;
+      const std::uint32_t shift = std::uint32_t(var & 63);
+      const float t0 = values[0], t1 = values[1], t2 = values[2];
+      const bool i0 = inclusive[0] != 0, i1 = inclusive[1] != 0,
+                 i2 = inclusive[2] != 0;
+      std::uint64_t* dst = words + (var >> 6);
+      for (std::size_t i = 0; i < n; ++i) {
+        const float v = row[i];
+        const std::uint32_t code = std::uint32_t(i0 ? v > t0 : v >= t0) +
+                                   std::uint32_t(i1 ? v > t1 : v >= t1) +
+                                   std::uint32_t(i2 ? v > t2 : v >= t2);
+        const std::uint64_t swapped =
+            ((code & 1U) << 1) | ((code >> 1) & 1U);
+        dst[i * W] |= swapped << shift;
+      }
+      continue;
+    }
+    for (std::size_t blk = 0; blk < nblocks; ++blk) {
+      const std::size_t base = blk * kLane;
+      const std::size_t count = std::min(kLane, n - base);
+      const float* rb = row + base;
+      for (std::size_t i = 0; i < count; ++i) codes[i] = 0;
+      for (std::size_t t = 0; t < m; ++t) {
+        const float c = values[t];
+        if (inclusive[t] != 0) {
+          for (std::size_t i = 0; i < count; ++i) codes[i] += rb[i] > c;
+        } else {
+          for (std::size_t i = 0; i < count; ++i) codes[i] += rb[i] >= c;
+        }
+      }
+      for (std::size_t b = 0; b < nbits; ++b) {
+        const std::size_t var = j * nbits + b;
+        const std::uint32_t shift = std::uint32_t(var & 63);
+        const std::uint32_t maskbit = 1U << (nbits - 1 - b);
+        std::uint64_t* dst = words + base * W + (var >> 6);
+        for (std::size_t i = 0; i < count; ++i) {
+          dst[i * W] |=
+              std::uint64_t((codes[i] & maskbit) != 0) << shift;
+        }
+      }
+    }
+  }
+}
+
+void fill_words(const CodingTable& ct, const FeatureBatch& batch,
+                EvalScratch& s, const std::uint64_t* needed) {
+  switch (ct.num_words()) {
+    case 1:
+      fill_words_stride<1>(ct, batch, s, needed);
+      return;
+    case 2:
+      fill_words_stride<2>(ct, batch, s, needed);
+      return;
+    default:
+      fill_words_stride<0>(ct, batch, s, needed);
+      return;
+  }
+}
+
+void eval_box(const BoxProgram& p, const FeatureBatch& batch, bool* out,
+              EvalScratch& s) {
+  const std::size_t n = batch.size();
+  if (n < kSmallBatch) {
+    // Lazy per-sample path: first failing coordinate ends the box.
+    for (std::size_t i = 0; i < n; ++i) {
+      bool in = false;
+      for (std::size_t b = 0; b < p.num_boxes && !in; ++b) {
+        const float* lo = p.lo.data() + b * p.dim;
+        const float* hi = p.hi.data() + b * p.dim;
+        bool ok = true;
+        for (std::size_t j = 0; j < p.dim && ok; ++j) {
+          const float v = batch.at(j, i);
+          ok = p.reject_nan ? v >= lo[j] && v <= hi[j]
+                            : !(v < lo[j] || v > hi[j]);
+        }
+        in = ok;
+      }
+      out[i] = in;
+    }
+    return;
+  }
+  // Box-major sweep: each box streams over the contiguous batch rows
+  // once; membership in any box is OR-folded into the output. The lane
+  // flags are u32 so the compiler knows they cannot alias the rows.
+  std::fill(out, out + n, false);
+  s.flags.resize(n);
+  std::uint32_t* flags = s.flags.data();
+  std::size_t remaining = n;
+  for (std::size_t b = 0; b < p.num_boxes && remaining > 0; ++b) {
+    std::fill(flags, flags + n, 1U);
+    const float* lo = p.lo.data() + b * p.dim;
+    const float* hi = p.hi.data() + b * p.dim;
+    for (std::size_t j = 0; j < p.dim; ++j) {
+      const float* row = batch.neuron(j).data();
+      const float l = lo[j], h = hi[j];
+      if (p.reject_nan) {
+        for (std::size_t i = 0; i < n; ++i) {
+          flags[i] &= std::uint32_t(row[i] >= l) & std::uint32_t(row[i] <= h);
+        }
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          flags[i] &= std::uint32_t(!(row[i] < l || row[i] > h));
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (flags[i] != 0 && !out[i]) {
+        out[i] = true;
+        --remaining;
+      }
+    }
+  }
+}
+
+/// Per-sample cube scan with the codeword stride pinned at compile time
+/// (0 = runtime): the early-exit scan is a handful of u64 compares per
+/// sample, but only if the word/mask/value indexing constant-folds.
+template <std::size_t kWords>
+void match_cubes_stride(const CubeProgram& p, std::size_t n, std::size_t w64,
+                        const std::uint64_t* words, bool* out) {
+  const std::size_t W = kWords != 0 ? kWords : w64;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t* word = words + i * W;
+    bool in = false;
+    for (std::size_t c = 0; c < p.num_cubes && !in; ++c) {
+      const std::uint64_t* mask = p.mask.data() + c * W;
+      const std::uint64_t* value = p.value.data() + c * W;
+      bool match = true;
+      for (std::size_t w = 0; w < W; ++w) {
+        match &= (word[w] & mask[w]) == value[w];
+      }
+      in = match;
+    }
+    out[i] = in;
+  }
+}
+
+void eval_cube(const CodingTable& ct, const CubeProgram& p,
+               const FeatureBatch& batch, bool* out, EvalScratch& s) {
+  const std::size_t n = batch.size();
+  const std::size_t W = ct.num_words();
+  // Union of the cube masks: variables outside it are don't-cares in
+  // every cube, so their neurons never need coding.
+  s.needed.assign(W, 0ULL);
+  for (std::size_t k = 0; k < p.num_cubes * W; ++k) {
+    s.needed[k % W] |= p.mask[k];
+  }
+  // Codewords up to this many words fit the small-batch stack buffer.
+  constexpr std::size_t kMaxStackWords = 16;
+  if (n < kSmallBatch && W <= kMaxStackWords) {
+    // Lazy per-sample path: code one sample's needed neurons into a
+    // stack codeword and scan the cubes — no batch matrix, so a single
+    // query never pays per-neuron sweep setup dim times over.
+    const std::size_t nbits = ct.bits;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t word[kMaxStackWords] = {};
+      for (std::size_t j = 0; j < ct.dim; ++j) {
+        bool used = false;
+        for (std::size_t b = 0; b < nbits; ++b) {
+          const std::size_t var = j * nbits + b;
+          used = used || ((s.needed[var >> 6] >> (var & 63)) & 1ULL) != 0;
+        }
+        if (!used) continue;
+        const std::uint32_t code = code_value(ct, j, batch.at(j, i));
+        for (std::size_t b = 0; b < nbits; ++b) {
+          const std::size_t var = j * nbits + b;
+          word[var >> 6] |=
+              std::uint64_t((code >> (nbits - 1 - b)) & 1U) << (var & 63);
+        }
+      }
+      bool in = false;
+      for (std::size_t c = 0; c < p.num_cubes && !in; ++c) {
+        bool match = true;
+        for (std::size_t w = 0; w < W; ++w) {
+          match &= (word[w] & p.mask[c * W + w]) == p.value[c * W + w];
+        }
+        in = match;
+      }
+      out[i] = in;
+    }
+    return;
+  }
+  fill_words(ct, batch, s, s.needed.data());
+  switch (W) {
+    case 1:
+      match_cubes_stride<1>(p, n, W, s.words.data(), out);
+      return;
+    case 2:
+      match_cubes_stride<2>(p, n, W, s.words.data(), out);
+      return;
+    default:
+      match_cubes_stride<0>(p, n, W, s.words.data(), out);
+      return;
+  }
+}
+
+/// In-place 64x64 bit-matrix transpose (the recursive block-swap
+/// scheme): bit j of a[k] moves to bit k of a[j].
+void transpose64(std::uint64_t a[64]) {
+  std::uint64_t m = 0xFFFFFFFF00000000ULL;
+  for (std::size_t j = 32; j != 0; j >>= 1, m ^= m >> j) {
+    for (std::size_t k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = (a[k] ^ (a[k | j] << j)) & m;
+      a[k] ^= t;
+      a[k | j] ^= t >> j;
+    }
+  }
+}
+
+void eval_bdd(const CodingTable& ct, const BddProgram& p,
+              const FeatureBatch& batch, bool* out, EvalScratch& s) {
+  const std::size_t n = batch.size();
+  if (p.root < 2) {
+    std::fill(out, out + n, p.root == 1);
+    return;
+  }
+  const std::size_t nbits = ct.bits;
+  const FlatBddNode* nodes = p.nodes.data();
+  if (n < kSmallBatch) {
+    // Lazy per-sample walk: only the variables on the path get coded
+    // (one path is ~dim * bits compares worst case, usually far fewer).
+    // The 1- and 2-bit codings resolve var -> (neuron, bit) with shifts;
+    // a runtime division per node would dominate the walk.
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t ref = p.root;
+      while (ref >= 2) {
+        const FlatBddNode& nd = nodes[ref - 2];
+        std::size_t j, b;
+        if (nbits == 1) {
+          j = nd.var;
+          b = 0;
+        } else if (nbits == 2) {
+          j = nd.var >> 1;
+          b = nd.var & 1;
+        } else {
+          j = nd.var / nbits;
+          b = nd.var % nbits;
+        }
+        const std::uint32_t code = code_value(ct, j, batch.at(j, i));
+        ref = nd.child[(code >> (nbits - 1 - b)) & 1U];
+      }
+      out[i] = ref == 1;
+    }
+    return;
+  }
+  const std::size_t W = ct.num_words();
+  const std::size_t num_nodes = p.nodes.size();
+  // Support mask: neurons none of whose variables label a node never
+  // influence a verdict, so coding skips them (robust sets drop many).
+  s.needed.assign(W, 0ULL);
+  for (std::size_t k = 0; k < num_nodes; ++k) {
+    s.needed[nodes[k].var >> 6] |= 1ULL << (nodes[k].var & 63);
+  }
+  fill_words(ct, batch, s, s.needed.data());
+  const std::uint64_t* words = s.words.data();
+  // Bit-parallel bottom-up sweep, 64 samples per block: transpose the
+  // block's codewords into one u64 lane per variable (bit i = sample
+  // i's value), then evaluate every node exactly once per block with
+  // three bitwise ops — vals[k] = (lane & hi) | (~lane & lo) — walking
+  // the array backwards so children (strictly larger refs) are already
+  // resolved. Per 64 samples this costs O(nodes), versus O(sum of path
+  // lengths) for a per-sample walk: the whole block shares one sweep
+  // instead of chasing 64 separate root-to-terminal chains.
+  s.vals.resize(num_nodes);
+  s.varbits.resize(W * 64);
+  for (std::size_t base = 0; base < n; base += kLane) {
+    const std::size_t count = std::min(kLane, n - base);
+    for (std::size_t w = 0; w < W; ++w) {
+      std::uint64_t col[kLane];
+      for (std::size_t i = 0; i < count; ++i) {
+        col[i] = words[(base + i) * W + w];
+      }
+      for (std::size_t i = count; i < kLane; ++i) col[i] = 0;
+      transpose64(col);
+      std::copy(col, col + kLane, s.varbits.data() + w * 64);
+    }
+    const std::uint64_t* varbits = s.varbits.data();
+    std::uint64_t* vals = s.vals.data();
+    for (std::size_t k = num_nodes; k-- > 0;) {
+      const FlatBddNode& nd = nodes[k];
+      const std::uint32_t c0 = nd.child[0];
+      const std::uint32_t c1 = nd.child[1];
+      const std::uint64_t v0 = c0 < 2 ? (c0 != 0 ? ~0ULL : 0ULL) : vals[c0 - 2];
+      const std::uint64_t v1 = c1 < 2 ? (c1 != 0 ? ~0ULL : 0ULL) : vals[c1 - 2];
+      const std::uint64_t lane = varbits[nd.var];
+      vals[k] = (lane & v1) | (~lane & v0);
+    }
+    const std::uint64_t r = vals[p.root - 2];
+    for (std::size_t i = 0; i < count; ++i) {
+      out[base + i] = ((r >> i) & 1ULL) != 0;
+    }
+  }
+}
+
+}  // namespace
+
+void eval_unit(const CompiledUnit& unit, const FeatureBatch& batch,
+               bool* out, EvalScratch& scratch) {
+  if (batch.dimension() != unit.dimension()) {
+    throw std::invalid_argument("eval_unit: dimension mismatch");
+  }
+  if (batch.empty()) return;
+  switch (unit.kind) {
+    case ProgramKind::kBox:
+      eval_box(unit.box, batch, out, scratch);
+      return;
+    case ProgramKind::kCube:
+      eval_cube(unit.coding, unit.cube, batch, out, scratch);
+      return;
+    case ProgramKind::kBdd:
+      eval_bdd(unit.coding, unit.bdd, batch, out, scratch);
+      return;
+  }
+  throw std::logic_error("eval_unit: corrupt program kind");
+}
+
+}  // namespace ranm::compile

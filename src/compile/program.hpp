@@ -1,0 +1,143 @@
+// Lowered monitor programs: the data structures a frozen monitor compiles
+// into and the batched evaluators that run them.
+//
+// Construction-side monitors are built for *insertion*: hash-consed BDD
+// arenas, threshold tables, k-means buffers. Deployment only ever asks one
+// question — membership — so the compiler (compile/lower.hpp) lowers each
+// monitor into the smallest structure that answers it:
+//
+//   BoxProgram  — straight-line interval tests (min-max, box-cluster).
+//   CubeProgram — bitmask compares over the coded word: the stored set as
+//                 a cube cover, one (mask, value) pair per cube. Chosen
+//                 when the BDD's cube cover is small (robust builds with
+//                 don't-cares typically are).
+//   BddProgram  — the reachable BDD nodes as a topologically-ordered flat
+//                 array walked with branchless index arithmetic: no hash
+//                 tables, no construction garbage, children resolved by
+//                 array index. Refs: 0 = FALSE, 1 = TRUE, r >= 2 is
+//                 nodes[r - 2]; every child ref is strictly greater than
+//                 its parent's ref, so a walk always terminates.
+//
+// Evaluation sweeps samples batch-lane-innermost (like the vectorized
+// bound backend): per-neuron parameters load once per batch row, coding
+// fuses compare-and-pack into sample-major u64 codewords (each lane's
+// whole codeword stays on one cache line for the cube compares), cube
+// covers skip coding any neuron no cube tests, and BDD programs run a
+// bit-parallel bottom-up sweep — each 64-sample block's codewords are
+// transposed into one u64 lane per variable and every node is evaluated
+// exactly once per block with three bitwise ops, so the whole block
+// shares one O(nodes) pass instead of 64 root-to-terminal chases. Tiny
+// batches (below the same threshold the interpreted monitors use) take
+// lazy per-sample paths instead, so the matrix setup never dominates.
+// Scratch deliberately holds no char-sized buffers: u32/u64 lanes
+// cannot alias the float rows, which keeps the inner sweeps
+// vectorizable.
+//
+// Verdict semantics mirror the interpreted monitors bit-for-bit, NaN
+// included: min-max boxes keep the `!(v < lo || v > hi)` form (NaN is
+// contained), box-cluster boxes keep `v >= lo && v <= hi` (NaN is
+// rejected), and threshold coding keeps `v > c` / `v >= c` (NaN codes
+// to 0). The differential tests pin this equivalence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/feature_batch.hpp"
+
+namespace ranm::compile {
+
+/// Which evaluator a compiled unit runs.
+enum class ProgramKind : std::uint32_t { kBox = 1, kCube = 2, kBdd = 3 };
+
+/// Union-of-boxes membership: v is in iff some box contains every
+/// coordinate. One box with reject_nan == false is exactly a min-max
+/// envelope (NaN contained); reject_nan == true is the box-cluster form
+/// (NaN rejected).
+struct BoxProgram {
+  std::size_t dim = 0;
+  std::size_t num_boxes = 0;
+  bool reject_nan = false;
+  /// Bounds stored box-major: box b's bound for neuron j at [b*dim + j].
+  std::vector<float> lo, hi;
+};
+
+/// Per-neuron threshold table mapping a raw value to its B-bit code —
+/// the lowered form of ThresholdSpec, flattened for row sweeps.
+struct CodingTable {
+  std::size_t dim = 0;
+  std::size_t bits = 0;
+  /// Neuron-major: neuron j's m = 2^bits - 1 ascending thresholds at
+  /// [j*m .. j*m + m); `inclusive[k]` == 1 codes on v > c, 0 on v >= c.
+  std::vector<float> values;
+  std::vector<std::uint8_t> inclusive;
+
+  [[nodiscard]] std::size_t thresholds_per_neuron() const noexcept {
+    return (std::size_t(1) << bits) - 1;
+  }
+  /// BDD variables of the coded word (neuron j owns bits
+  /// j*bits .. j*bits+bits-1, MSB first — the IntervalMonitor layout).
+  [[nodiscard]] std::size_t num_vars() const noexcept { return dim * bits; }
+  /// 64-bit words per packed codeword.
+  [[nodiscard]] std::size_t num_words() const noexcept {
+    return (num_vars() + 63) / 64;
+  }
+};
+
+/// Cube-cover membership over the packed codeword: cube c matches iff
+/// (word & mask[c]) == value[c] on every 64-bit word; membership is the
+/// OR over cubes. Don't-care variables simply have their mask bit clear.
+struct CubeProgram {
+  std::size_t num_cubes = 0;
+  /// Cube-major: cube c's words at [c*W .. c*W + W) with W from the
+  /// unit's CodingTable::num_words().
+  std::vector<std::uint64_t> mask, value;
+};
+
+/// One flat BDD node: child[bit] is the next ref for variable value bit.
+struct FlatBddNode {
+  std::uint32_t var = 0;
+  std::uint32_t child[2] = {0, 0};
+};
+
+/// Reachable BDD as a flat array in topological (variable-ascending)
+/// order. Ref convention: 0 = FALSE, 1 = TRUE, r >= 2 is nodes[r - 2];
+/// children always have strictly larger refs than their parent.
+struct BddProgram {
+  std::uint32_t root = 0;
+  std::vector<FlatBddNode> nodes;
+};
+
+/// One lowered monitor (one shard's worth): exactly one of the three
+/// programs is active, selected by `kind`. Cube and BDD programs share
+/// the coding table.
+struct CompiledUnit {
+  ProgramKind kind = ProgramKind::kBox;
+  BoxProgram box;      // kind == kBox
+  CodingTable coding;  // kind == kCube or kBdd
+  CubeProgram cube;    // kind == kCube
+  BddProgram bdd;      // kind == kBdd
+
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return kind == ProgramKind::kBox ? box.dim : coding.dim;
+  }
+};
+
+/// Reusable per-unit evaluation buffers, owned by the caller so the
+/// steady-state query path pays no allocator traffic (and so concurrent
+/// shard evaluations never share scratch).
+struct EvalScratch {
+  std::vector<std::uint32_t> flags;    // box-sweep lane flags
+  std::vector<std::uint64_t> words;    // packed codewords, sample-major
+  std::vector<std::uint64_t> needed;   // cube-mask union / BDD support
+  std::vector<std::uint64_t> varbits;  // var-major block lanes (BDD sweep)
+  std::vector<std::uint64_t> vals;     // per-node block verdicts (BDD sweep)
+};
+
+/// Batched membership: out[i] = unit contains column i of `batch`.
+/// batch.dimension() must equal unit.dimension(); out must hold
+/// batch.size() verdicts.
+void eval_unit(const CompiledUnit& unit, const FeatureBatch& batch,
+               bool* out, EvalScratch& scratch);
+
+}  // namespace ranm::compile

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "bdd/bdd_io.hpp"
+#include "compile/compiled_io.hpp"
 #include "io/wire.hpp"
 #include "nn/activations.hpp"
 #include "nn/conv2d.hpp"
@@ -483,6 +484,9 @@ void save_any_monitor(std::ostream& out, const Monitor& monitor) {
   } else if (const auto* sh =
                  dynamic_cast<const ShardedMonitor*>(&monitor)) {
     save_monitor(out, *sh);
+  } else if (const auto* cm =
+                 dynamic_cast<const compile::CompiledMonitor*>(&monitor)) {
+    compile::save_compiled_monitor(out, *cm);
   } else {
     throw std::invalid_argument("save_any_monitor: unsupported type " +
                                 monitor.describe());
@@ -493,6 +497,10 @@ std::unique_ptr<Monitor> load_any_monitor(std::istream& in) {
   const auto magic = read_pod<std::uint32_t>(in);
   if (magic == kShardMagic) {
     return std::make_unique<ShardedMonitor>(load_sharded_body(in));
+  }
+  if (magic == compile::kCompiledMagic) {
+    return std::make_unique<compile::CompiledMonitor>(
+        compile::load_compiled_body(in));
   }
   if (magic != kMonMagic) {
     throw std::runtime_error("load_any_monitor: bad magic");

@@ -59,11 +59,13 @@ void save_monitor(std::ostream& out, const ShardedMonitor& monitor);
 
 /// Type-erased save: dispatches on the monitor's dynamic type.
 /// Supported: MinMaxMonitor, OnOffMonitor, IntervalMonitor,
-/// ShardedMonitor. Throws std::invalid_argument for other types
-/// (BoxClusterMonitor is a baseline, not a deployment artifact).
+/// ShardedMonitor, and compile::CompiledMonitor (as an RCM1 artifact).
+/// Throws std::invalid_argument for other types (BoxClusterMonitor is a
+/// baseline that only deploys in compiled form).
 void save_any_monitor(std::ostream& out, const Monitor& monitor);
 /// Type-erased load: returns whichever monitor type the stream contains
-/// (legacy single-shard streams and sharded artifacts both load).
+/// (legacy single-shard streams, sharded artifacts, and compiled RCM1
+/// artifacts all load).
 [[nodiscard]] std::unique_ptr<Monitor> load_any_monitor(std::istream& in);
 
 // ---- datasets ---------------------------------------------------------------

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "compile/compiled_monitor.hpp"
 #include "core/sharded_monitor.hpp"
 #include "io/serialize.hpp"
 
@@ -30,6 +31,9 @@ MonitorService::MonitorService(Network net,
   // here, exactly as `ranm_cli eval --threads` does after loading.
   if (auto* sharded = dynamic_cast<ShardedMonitor*>(monitor_.get())) {
     sharded->set_threads(threads_);
+  } else if (auto* compiled =
+                 dynamic_cast<compile::CompiledMonitor*>(monitor_.get())) {
+    compiled->set_threads(threads_);
   }
 }
 

@@ -1,8 +1,28 @@
 #include "util/args.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ranm {
+namespace {
+
+/// Levenshtein distance, for "did you mean" suggestions. Keys are short
+/// (tens of characters), so the quadratic DP is effectively free.
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
 
 ArgParser::ArgParser(int argc, const char* const* argv) {
   std::vector<std::string> tokens;
@@ -27,8 +47,13 @@ void ArgParser::parse(const std::vector<std::string>& tokens) {
     }
     const std::size_t eq = body.find('=');
     if (eq != std::string::npos) {
-      options_[body.substr(0, eq)].push_back({body.substr(eq + 1), false});
-      continue;
+      // The equals form used to parse but was documented and tested
+      // nowhere in the tools; rejecting it loudly beats an option that
+      // sometimes reads as its space-separated twin and sometimes not.
+      throw std::invalid_argument(
+          "ArgParser: '--" + body + "' uses the unsupported '--key=value' "
+          "form; use '--" + body.substr(0, eq) + " " + body.substr(eq + 1) +
+          "'");
     }
     // `--key value` if the next token exists and is not an option;
     // otherwise a bare flag.
@@ -134,6 +159,36 @@ std::vector<std::string> ArgParser::keys() const {
   out.reserve(options_.size());
   for (const auto& [k, v] : options_) out.push_back(k);
   return out;
+}
+
+void ArgParser::check_known(
+    std::initializer_list<std::string_view> known) const {
+  for (const auto& [key, occurrences] : options_) {
+    bool is_known = false;
+    for (const std::string_view k : known) {
+      if (key == k) {
+        is_known = true;
+        break;
+      }
+    }
+    if (is_known) continue;
+    std::string msg = "ArgParser: unknown option --" + key;
+    // Suggest the closest known key when the distance says "typo", not
+    // "different word": --shard -> --shards, --thread -> --threads.
+    std::string_view best;
+    std::size_t best_dist = std::string::npos;
+    for (const std::string_view k : known) {
+      const std::size_t d = edit_distance(key, k);
+      if (d < best_dist) {
+        best_dist = d;
+        best = k;
+      }
+    }
+    if (best_dist != std::string::npos && best_dist <= 2) {
+      msg += " (did you mean --" + std::string(best) + "?)";
+    }
+    throw std::invalid_argument(msg);
+  }
 }
 
 }  // namespace ranm

@@ -1,19 +1,30 @@
 // Minimal command-line argument parser for the ranm tools.
 //
-// Grammar: positional tokens plus `--key value`, `--key=value` and bare
-// boolean flags `--flag`. A token starting with "--" always introduces an
-// option; everything else is positional.
+// Grammar: positional tokens plus `--key value` and bare boolean flags
+// `--flag`. A token starting with "--" always introduces an option;
+// everything else is positional. The `--key=value` form is rejected at
+// parse time with a "use '--key value'" diagnostic: it used to parse but
+// was undocumented in the tools, so a stray equals sign silently produced
+// an option no subcommand ever read.
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace ranm {
 
-/// Parsed argument set with typed accessors. Unknown-option detection is
-/// the caller's job (via known_keys()).
+/// Parsed argument set with typed accessors.
+///
+/// Rejection contract: every tool subcommand declares its known key set
+/// and calls check_known() before reading any value, so a misspelled
+/// option (`--shard` for `--shards`) is a fatal std::invalid_argument
+/// naming the bad flag — not a silently ignored token that lets the run
+/// proceed with defaults and wrong results. keys() exposes the raw key
+/// list for callers that need custom validation.
 class ArgParser {
  public:
   /// Parses argv[1..argc-1].
@@ -55,8 +66,14 @@ class ArgParser {
   [[nodiscard]] double get_double(const std::string& key,
                                   double fallback) const;
 
-  /// All option keys seen (for unknown-option validation).
+  /// All option keys seen (for unknown-option validation; check_known is
+  /// the ready-made validator built on it).
   [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// Validates every option key against `known`: throws
+  /// std::invalid_argument naming the first unknown flag, suggesting the
+  /// nearest known key when the unknown one is plausibly a typo of it.
+  void check_known(std::initializer_list<std::string_view> known) const;
 
  private:
   void parse(const std::vector<std::string>& tokens);

@@ -6,7 +6,7 @@ namespace ranm {
 namespace {
 
 TEST(ArgParser, PositionalsAndOptions) {
-  const ArgParser args({"gen", "--count", "5", "extra", "--out=o.bin"});
+  const ArgParser args({"gen", "--count", "5", "extra", "--out", "o.bin"});
   ASSERT_EQ(args.positional_count(), 2U);
   EXPECT_EQ(args.positional(0), "gen");
   EXPECT_EQ(args.positional(1), "extra");
@@ -57,9 +57,62 @@ TEST(ArgParser, RequireThrowsWhenMissing) {
   EXPECT_THROW((void)args.require("absent"), std::invalid_argument);
 }
 
-TEST(ArgParser, EqualsSyntaxWithEmbeddedEquals) {
-  const ArgParser args({"--expr=a=b"});
-  EXPECT_EQ(args.get("expr", ""), "a=b");
+// `--key=value` used to parse silently; now it is rejected at parse time
+// with a diagnostic that spells out the supported space-separated form.
+TEST(ArgParser, EqualsSyntaxRejected) {
+  try {
+    ArgParser args({"--backend=vectorized"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("use '--backend vectorized'"),
+              std::string::npos)
+        << e.what();
+  }
+  // The diagnostic splits at the first '=' even when the value embeds one.
+  try {
+    ArgParser args({"--expr=a=b"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("use '--expr a=b'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ArgParser, CheckKnownAcceptsDeclaredKeys) {
+  const ArgParser args({"--shards", "4", "--robust", "--out", "m.bin"});
+  EXPECT_NO_THROW(args.check_known({"shards", "robust", "out", "unused"}));
+}
+
+TEST(ArgParser, CheckKnownRejectsUnknownWithSuggestion) {
+  const ArgParser args({"--shard", "4"});
+  try {
+    args.check_known({"shards", "threads", "out"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown option --shard"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("did you mean --shards?"), std::string::npos) << msg;
+  }
+}
+
+TEST(ArgParser, CheckKnownSkipsSuggestionWhenNothingIsClose) {
+  const ArgParser args({"--frobnicate", "1"});
+  try {
+    args.check_known({"shards", "out"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown option --frobnicate"), std::string::npos)
+        << msg;
+    EXPECT_EQ(msg.find("did you mean"), std::string::npos) << msg;
+  }
+}
+
+TEST(ArgParser, CheckKnownEmptyParserAlwaysPasses) {
+  const ArgParser args(std::vector<std::string>{});
+  EXPECT_NO_THROW(args.check_known({}));
+  EXPECT_NO_THROW(args.check_known({"a", "b"}));
 }
 
 TEST(ArgParser, NegativeNumberAsValueNotOption) {

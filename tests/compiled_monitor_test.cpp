@@ -1,0 +1,258 @@
+// CompiledMonitor: compiled-vs-interpreted differential tests.
+//
+// The contract under test is bit-for-bit equivalence: for every monitor
+// family (min-max, on-off, interval, box-cluster, sharded compositions of
+// those) and every build mode (standard, robust/don't-care), the compiled
+// monitor must answer contains / contains_batch exactly like the monitor
+// it was lowered from — including NaN features, empty batches, size-1
+// batches, and batch sizes that are not multiples of any internal lane
+// width. Both lowering paths for the BDD families are exercised: the
+// bounded cube cover (default) and the flat node array (forced via
+// cube_limit = 0).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "compile/compiled_monitor.hpp"
+#include "compile/lower.hpp"
+#include "core/box_cluster_monitor.hpp"
+#include "core/interval_monitor.hpp"
+#include "core/minmax_monitor.hpp"
+#include "core/neuron_stats.hpp"
+#include "core/onoff_monitor.hpp"
+#include "core/sharded_monitor.hpp"
+#include "util/rng.hpp"
+
+namespace ranm {
+namespace {
+
+using compile::compile_monitor;
+using compile::CompiledMonitor;
+using compile::CompileOptions;
+
+std::vector<float> random_feature(std::size_t dim, Rng& rng) {
+  std::vector<float> v(dim);
+  for (auto& x : v) x = float(rng.uniform() * 4.0 - 2.0);
+  return v;
+}
+
+ThresholdSpec random_spec(std::size_t dim, std::size_t bits, Rng& rng) {
+  NeuronStats stats(dim, true);
+  for (int s = 0; s < 40; ++s) stats.add(random_feature(dim, rng));
+  return bits == 1 ? ThresholdSpec::from_means(stats)
+                   : ThresholdSpec::from_percentiles(stats, bits);
+}
+
+/// Query mix: random vectors, stored training vectors (guaranteed hits),
+/// and vectors with NaN entries when requested.
+FeatureBatch query_batch(std::size_t dim, std::size_t n,
+                         const std::vector<std::vector<float>>& stored,
+                         bool with_nan, Rng& rng) {
+  FeatureBatch batch(dim, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<float> v = (i % 3 == 0 && !stored.empty())
+                               ? stored[i % stored.size()]
+                               : random_feature(dim, rng);
+    if (with_nan && i % 4 == 1) {
+      v[rng.below(dim)] = std::numeric_limits<float>::quiet_NaN();
+    }
+    batch.set_sample(i, v);
+  }
+  return batch;
+}
+
+/// Feeds the same 15 observations (point or interval) into a monitor and
+/// records the point vectors so queries can include guaranteed members.
+void observe_all(Monitor& monitor, std::size_t dim, bool robust, Rng& rng,
+                 std::vector<std::vector<float>>& stored) {
+  for (int i = 0; i < 15; ++i) {
+    std::vector<float> v = random_feature(dim, rng);
+    stored.push_back(v);
+    if (robust) {
+      std::vector<float> lo(v), hi(v);
+      for (std::size_t j = 0; j < dim; ++j) {
+        const float d = float(rng.uniform() * 0.5);
+        lo[j] -= d;
+        hi[j] += d;
+      }
+      monitor.observe_bounds(lo, hi);
+    } else {
+      monitor.observe(v);
+    }
+  }
+}
+
+/// Asserts bitwise-equal verdicts on scalar and batched query paths over
+/// empty, size-1, and non-lane-multiple batch sizes.
+void expect_match(const Monitor& interpreted, const CompiledMonitor& compiled,
+                  std::size_t dim,
+                  const std::vector<std::vector<float>>& stored, bool with_nan,
+                  Rng& rng) {
+  ASSERT_EQ(compiled.dimension(), dim);
+  for (const std::size_t n : {0UL, 1UL, 3UL, 7UL, 33UL, 100UL}) {
+    const FeatureBatch queries = query_batch(dim, n, stored, with_nan, rng);
+    auto want = std::make_unique<bool[]>(n + 1);
+    auto got = std::make_unique<bool[]>(n + 1);
+    interpreted.contains_batch(queries, {want.get(), n});
+    compiled.contains_batch(queries, {got.get(), n});
+    std::vector<float> sample(dim);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got[i], want[i]) << "batch " << n << " sample " << i;
+      queries.copy_sample(i, sample);
+      EXPECT_EQ(compiled.contains(sample), want[i])
+          << "scalar, batch " << n << " sample " << i;
+    }
+  }
+}
+
+enum class Family { kMinMax, kOnOff, kInterval, kBoxCluster };
+
+std::unique_ptr<Monitor> build_flat(Family family, std::size_t dim,
+                                    bool robust, Rng& rng,
+                                    std::vector<std::vector<float>>& stored) {
+  std::unique_ptr<Monitor> monitor;
+  switch (family) {
+    case Family::kMinMax:
+      monitor = std::make_unique<MinMaxMonitor>(dim);
+      break;
+    case Family::kOnOff:
+      monitor = std::make_unique<OnOffMonitor>(random_spec(dim, 1, rng));
+      break;
+    case Family::kInterval:
+      monitor = std::make_unique<IntervalMonitor>(random_spec(dim, 2, rng));
+      break;
+    case Family::kBoxCluster:
+      monitor = std::make_unique<BoxClusterMonitor>(dim, 4);
+      break;
+  }
+  observe_all(*monitor, dim, robust, rng, stored);
+  if (family == Family::kBoxCluster) {
+    static_cast<BoxClusterMonitor&>(*monitor).finalize(rng);
+  }
+  return monitor;
+}
+
+TEST(CompiledMonitor, FlatFamiliesMatchBitForBit) {
+  Rng rng(4242);
+  for (const Family family : {Family::kMinMax, Family::kOnOff,
+                              Family::kInterval, Family::kBoxCluster}) {
+    for (const bool robust : {false, true}) {
+      for (const bool with_nan : {false, true}) {
+        // cube_limit 0 forces the BDD families onto the flat-node-array
+        // path; the default lowers small covers to bitmask cubes. Both
+        // must agree with the interpreter.
+        for (const std::size_t cube_limit : {std::size_t(64),
+                                             std::size_t(0)}) {
+          SCOPED_TRACE("family=" + std::to_string(int(family)) +
+                       (robust ? " robust" : " standard") +
+                       (with_nan ? " nan" : "") + " cube_limit=" +
+                       std::to_string(cube_limit));
+          const std::size_t dim = 5 + rng.below(6);
+          std::vector<std::vector<float>> stored;
+          const std::unique_ptr<Monitor> interpreted =
+              build_flat(family, dim, robust, rng, stored);
+          const CompiledMonitor compiled =
+              compile_monitor(*interpreted, CompileOptions{cube_limit, 1});
+          EXPECT_EQ(compiled.shard_count(), 1U);
+          EXPECT_EQ(compiled.source(), interpreted->describe());
+          expect_match(*interpreted, compiled, dim, stored, with_nan, rng);
+        }
+      }
+    }
+  }
+}
+
+TEST(CompiledMonitor, ShardedMatchesBitForBit) {
+  Rng rng(9001);
+  for (const std::size_t shards : {1UL, 3UL, 8UL}) {
+    for (const bool robust : {false, true}) {
+      for (const int family : {0, 1, 2}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards) +
+                     (robust ? " robust" : " standard") + " family=" +
+                     std::to_string(family));
+        const std::size_t dim = 12 + rng.below(6);
+        const ShardPlan plan = ShardPlan::make(
+            shards % 2 == 0 ? ShardStrategy::kContiguous
+                            : ShardStrategy::kRoundRobin,
+            dim, shards);
+        ShardedMonitor interpreted =
+            family == 0 ? ShardedMonitor::minmax(plan)
+            : family == 1
+                ? ShardedMonitor::onoff(plan, random_spec(dim, 1, rng))
+                : ShardedMonitor::interval(plan, random_spec(dim, 2, rng));
+        std::vector<std::vector<float>> stored;
+        observe_all(interpreted, dim, robust, rng, stored);
+        // Parallel shard lowering must produce the same artifact a
+        // sequential lowering would have.
+        const std::size_t lower_threads = shards > 1 ? 3 : 1;
+        CompiledMonitor compiled = compile_monitor(
+            interpreted, CompileOptions{64, lower_threads});
+        EXPECT_EQ(compiled.shard_count(), plan.shard_count());
+        expect_match(interpreted, compiled, dim, stored, true, rng);
+        // Threaded querying is a runtime property, not a semantic one.
+        compiled.set_threads(4);
+        EXPECT_EQ(compiled.threads(), 4U);
+        expect_match(interpreted, compiled, dim, stored, true, rng);
+        compiled.set_threads(1);
+        EXPECT_EQ(compiled.threads(), 1U);
+      }
+    }
+  }
+}
+
+TEST(CompiledMonitor, CubeAndBddLoweringsAgree) {
+  Rng rng(555);
+  const std::size_t dim = 8;
+  IntervalMonitor interpreted(random_spec(dim, 2, rng));
+  std::vector<std::vector<float>> stored;
+  // Robust observations produce don't-care variables, the cube-friendly
+  // case the default lowering is built for.
+  observe_all(interpreted, dim, true, rng, stored);
+  const CompiledMonitor as_cubes =
+      compile_monitor(interpreted, CompileOptions{1U << 20, 1});
+  const CompiledMonitor as_bdd =
+      compile_monitor(interpreted, CompileOptions{0, 1});
+  EXPECT_GT(as_bdd.total_nodes(), 0U);
+  EXPECT_EQ(as_bdd.total_cubes(), 0U);
+  expect_match(interpreted, as_cubes, dim, stored, true, rng);
+  expect_match(interpreted, as_bdd, dim, stored, true, rng);
+}
+
+TEST(CompiledMonitor, ObserveEntryPointsThrow) {
+  Rng rng(77);
+  const std::size_t dim = 4;
+  std::vector<std::vector<float>> stored;
+  const std::unique_ptr<Monitor> interpreted =
+      build_flat(Family::kOnOff, dim, false, rng, stored);
+  CompiledMonitor compiled = compile_monitor(*interpreted);
+  const std::vector<float> v(dim, 0.0F);
+  EXPECT_THROW(compiled.observe(v), std::logic_error);
+  EXPECT_THROW(compiled.observe_bounds(v, v), std::logic_error);
+  const FeatureBatch batch(dim, 2);
+  EXPECT_THROW(compiled.observe_batch(batch), std::logic_error);
+  EXPECT_THROW(compiled.observe_bounds_batch(batch, batch),
+               std::logic_error);
+  // Query paths still work after the failed observes.
+  EXPECT_NO_THROW((void)compiled.contains(v));
+}
+
+TEST(CompiledMonitor, UnfinalizedBoxClusterRefusesToCompile) {
+  BoxClusterMonitor unfinalized(6, 3);
+  unfinalized.observe(std::vector<float>(6, 0.5F));
+  EXPECT_THROW((void)compile_monitor(unfinalized), std::logic_error);
+}
+
+TEST(CompiledMonitor, CompiledSourceIsNotRecompilable) {
+  Rng rng(31);
+  std::vector<std::vector<float>> stored;
+  const std::unique_ptr<Monitor> interpreted =
+      build_flat(Family::kMinMax, 5, false, rng, stored);
+  const CompiledMonitor compiled = compile_monitor(*interpreted);
+  EXPECT_THROW((void)compile_monitor(compiled), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ranm

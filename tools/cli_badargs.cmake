@@ -40,3 +40,38 @@ expect_range_error(${RANM_CLI} build --net x --data x --layer 3 --type minmax --
 expect_range_error(${RANM_CLI} build --net x --data x --layer 0 --type minmax --out /dev/null)
 expect_stderr_matches("unknown bound backend"
   ${RANM_CLI} build --net x --data x --layer 3 --type minmax --backend bogus --out /dev/null)
+
+# Misspelled options must be fatal, not silently ignored. The motivating
+# regression: `build --shard 4` parsed clean, dropped the flag on the
+# floor, and produced an unsharded monitor — the requested deployment
+# shape silently never happened. Every subcommand declares its known key
+# set and near-miss typos get a suggestion.
+expect_stderr_matches("unknown option --shard .did you mean --shards\\?."
+  ${RANM_CLI} build --net x --data x --layer 1 --type minmax --shard 4 --out /dev/null)
+expect_stderr_matches("unknown option --cout .did you mean --count\\?."
+  ${RANM_CLI} gen --workload digits --cout 10 --out /dev/null)
+expect_stderr_matches("unknown option --epoch .did you mean --epochs\\?."
+  ${RANM_CLI} train --data x --task regression --epoch 1 --out /dev/null)
+expect_stderr_matches("unknown option --thread .did you mean --threads\\?."
+  ${RANM_CLI} eval --net x --monitor x --layer 1 --in-dist x --thread 2)
+expect_stderr_matches("unknown option --bacth .did you mean --batch\\?."
+  ${RANM_CLI} query --socket /tmp/none.sock --in-dist x --bacth 8)
+expect_stderr_matches("unknown option --nett .did you mean --net\\?."
+  ${RANM_CLI} info --nett x)
+expect_stderr_matches("unknown option --monito .did you mean --monitor\\?."
+  ${RANM_CLI} compile --monito x --out /dev/null)
+# Far-from-anything typos still fail (no-suggestion wording is covered
+# by args_test; cmake regexes cannot assert absence cleanly).
+expect_stderr_matches("unknown option --frobnicate"
+  ${RANM_CLI} gen --workload digits --frobnicate 1 --out /dev/null)
+
+# --key=value is not part of the grammar; the parser names the fix
+# instead of treating "--backend=vectorized" as an (ignored) unknown key.
+expect_stderr_matches("use '--backend vectorized'"
+  ${RANM_CLI} build --net x --data x --layer 3 --type minmax --backend=vectorized --out /dev/null)
+
+# The serving daemon validates its flags the same way.
+if(DEFINED RANM_SERVE)
+  expect_stderr_matches("unknown option --montior .did you mean --monitor\\?."
+    ${RANM_SERVE} --net x --montior y --layer 1 --socket /tmp/none.sock)
+endif()

@@ -7,7 +7,8 @@
 //   ranm train  --data train.ds --task regression --epochs 6 --out net.bin
 //   ranm build  --net net.bin --data train.ds --layer 6 --type minmax
 //               --robust --delta 0.005 --out monitor.bin
-//   ranm eval   --net net.bin --monitor monitor.bin --layer 6
+//   ranm compile --monitor monitor.bin --out monitor.rcm
+//   ranm eval   --net net.bin --monitor monitor.rcm --layer 6
 //               --in-dist test.ds --ood dark.ds --ood ice.ds
 //   ranm info   --net net.bin | --monitor monitor.bin | --data file.ds
 //
@@ -21,6 +22,8 @@
 #include <string>
 
 #include "absint/bound_backend.hpp"
+#include "compile/compiled_io.hpp"
+#include "compile/lower.hpp"
 #include "core/interval_monitor.hpp"
 #include "core/minmax_monitor.hpp"
 #include "core/monitor_builder.hpp"
@@ -47,7 +50,7 @@ namespace {
 
 [[noreturn]] void usage() {
   std::fputs(
-      "usage: ranm <gen|train|build|eval|query|info> [options]\n"
+      "usage: ranm <gen|train|build|compile|eval|query|info> [options]\n"
       "  gen    --workload track|digits|signs [--variant NAME]\n"
       "         --count N [--seed S] --out FILE\n"
       "  train  --data FILE --task regression|classification\n"
@@ -61,6 +64,9 @@ namespace {
       "         [--robust] [--delta F] [--kp K] [--domain box|zonotope]\n"
       "         [--backend reference|vectorized]\n"
       "         --out FILE\n"
+      "  compile --monitor FILE --out FILE [--threads T]\n"
+      "         [--cube-limit N]   (lower a frozen monitor to an RCM1\n"
+      "         compiled artifact; eval/serve load it like any monitor)\n"
       "  eval   --net FILE --monitor FILE --layer K --in-dist FILE\n"
       "         [--ood FILE ...] [--threads T]\n"
       "  query  --socket PATH [--in-dist FILE] [--ood FILE ...]\n"
@@ -129,6 +135,7 @@ void save_dataset_file(const std::string& path, const Dataset& ds) {
 }
 
 int cmd_gen(const ArgParser& args) {
+  args.check_known({"workload", "variant", "count", "seed", "out"});
   const std::string workload = args.require("workload");
   const std::string variant = args.get("variant", "nominal");
   const std::size_t count = args.get_size("count", 100, kMaxCount);
@@ -184,6 +191,8 @@ int cmd_gen(const ArgParser& args) {
 
 int cmd_train(const ArgParser& args) {
   // Arguments validate before the dataset loads (fail fast on typos).
+  args.check_known({"data", "task", "epochs", "lr", "hidden", "channels",
+                    "batch", "seed", "out"});
   const std::string task = args.require("task");
   const std::size_t channels = args.get_size("channels", 6, kMaxWidth);
   const std::size_t hidden = args.get_size("hidden", 32, kMaxWidth);
@@ -239,6 +248,9 @@ int cmd_build(const ArgParser& args) {
   // Every argument is validated before the first artifact load, so a bad
   // --layer, --bits, or --delta fails fast instead of after seconds of
   // I/O (or, for a NaN delta, after silently poisoning every bound).
+  args.check_known({"net", "data", "layer", "type", "bits", "shards",
+                    "threads", "shard-strategy", "shard-seed", "robust",
+                    "delta", "kp", "domain", "backend", "out"});
   const std::size_t layer = args.get_size("layer", 0, kMaxLayer);
   if (layer == 0) {
     throw std::invalid_argument("--layer must be in 1.." +
@@ -319,7 +331,36 @@ int cmd_build(const ArgParser& args) {
   return 0;
 }
 
+/// Lowers a saved monitor artifact into the compiled RCM1 form. The
+/// compiled artifact answers the same membership queries bit-for-bit,
+/// loads anywhere a monitor loads (eval, serve), and is frozen: new
+/// training data needs a rebuild + recompile.
+int cmd_compile(const ArgParser& args) {
+  args.check_known({"monitor", "out", "threads", "cube-limit"});
+  compile::CompileOptions opts;
+  opts.threads = parse_threads(args);
+  opts.cube_limit = args.get_size("cube-limit", 64, 1U << 20);
+
+  std::ifstream in(args.require("monitor"), std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open monitor file");
+  const auto monitor = load_any_monitor(in);
+
+  Timer timer;
+  const compile::CompiledMonitor compiled =
+      compile::compile_monitor(*monitor, opts);
+  const double secs = timer.seconds();
+
+  std::ofstream out(args.require("out"), std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write compiled monitor file");
+  compile::save_compiled_monitor(out, compiled);
+  std::printf("compiled %s\n  -> %s (%s, %.3fs)\n",
+              monitor->describe().c_str(), args.require("out").c_str(),
+              compiled.describe().c_str(), secs);
+  return 0;
+}
+
 int cmd_eval(const ArgParser& args) {
+  args.check_known({"net", "monitor", "layer", "in-dist", "ood", "threads"});
   const std::size_t layer = args.get_size("layer", 0, kMaxLayer);
   const std::size_t threads = parse_threads(args);
 
@@ -328,9 +369,13 @@ int cmd_eval(const ArgParser& args) {
   if (!min) throw std::runtime_error("cannot open monitor file");
   const auto monitor = load_any_monitor(min);
   // The thread count is a runtime (host) property, not part of the
-  // artifact: apply --threads to sharded monitors after loading.
+  // artifact: apply --threads to sharded and compiled monitors after
+  // loading.
   if (auto* sharded = dynamic_cast<ShardedMonitor*>(monitor.get())) {
     sharded->set_threads(threads);
+  } else if (auto* compiled =
+                 dynamic_cast<compile::CompiledMonitor*>(monitor.get())) {
+    compiled->set_threads(threads);
   }
   MonitorBuilder builder(net, layer);
 
@@ -399,6 +444,7 @@ void print_service_stats(const serve::ServiceStats& stats) {
 /// daemon in minibatches and prints the same warning-rate table as eval —
 /// without loading the network or monitor artifacts itself.
 int cmd_query(const ArgParser& args) {
+  args.check_known({"socket", "in-dist", "ood", "batch", "stats"});
   serve::ServeClient client(args.require("socket"));
   const std::size_t batch = args.get_size(
       "batch", 256, std::size_t(serve::kMaxQuerySamples));
@@ -450,6 +496,7 @@ int cmd_query(const ArgParser& args) {
 }
 
 int cmd_info(const ArgParser& args) {
+  args.check_known({"net", "monitor", "data", "backends"});
   if (args.has("backends")) {
     // The engines `build --backend` (and build_robust) can run batched
     // bound propagation on. Bounds agree across backends (outward-only
@@ -504,6 +551,30 @@ int cmd_info(const ArgParser& args) {
                       .c_str(),
                   static_cast<unsigned long long>(sharded->plan().seed()));
     }
+    if (const auto* compiled =
+            dynamic_cast<const compile::CompiledMonitor*>(monitor.get())) {
+      TextTable table("compiled programs");
+      table.set_header({"shard", "neurons", "program", "nodes", "cubes"});
+      for (std::size_t s = 0; s < compiled->shard_count(); ++s) {
+        const auto& sh = compiled->shards()[s];
+        const char* kind = "box";
+        std::size_t nodes = 0, cubes = 0;
+        if (sh.unit.kind == compile::ProgramKind::kCube) {
+          kind = "cube";
+          cubes = sh.unit.cube.num_cubes;
+        } else if (sh.unit.kind == compile::ProgramKind::kBdd) {
+          kind = "bdd";
+          nodes = sh.unit.bdd.nodes.size();
+        }
+        const std::size_t neurons = sh.neurons.empty()
+                                        ? compiled->dimension()
+                                        : sh.neurons.size();
+        table.add_row({std::to_string(s), std::to_string(neurons), kind,
+                       std::to_string(nodes), std::to_string(cubes)});
+      }
+      table.print();
+      std::printf("compiled from: %s\n", compiled->source().c_str());
+    }
     return 0;
   }
   if (args.has("data")) {
@@ -523,6 +594,7 @@ int run(int argc, char** argv) {
   if (cmd == "gen") return cmd_gen(args);
   if (cmd == "train") return cmd_train(args);
   if (cmd == "build") return cmd_build(args);
+  if (cmd == "compile") return cmd_compile(args);
   if (cmd == "eval") return cmd_eval(args);
   if (cmd == "query") return cmd_query(args);
   if (cmd == "info") return cmd_info(args);

@@ -54,6 +54,7 @@ void install_signal_handlers() {
 
 int run(int argc, char** argv) {
   const ArgParser args(argc, argv);
+  args.check_known({"net", "monitor", "layer", "socket", "threads", "help"});
   if (args.has("help")) usage();
   const std::size_t layer = args.get_size("layer", 0, 1U << 20);
   // 0 means hardware concurrency; bounded like ranm_cli's --threads.
