@@ -11,10 +11,16 @@ name, mode, batch size is numeric but listed as identity below); numeric
 fields are treated as metrics and reported as percentage deltas. Rows whose
 largest |delta| is below --threshold are suppressed.
 
-The diff is informational: committed baselines are full runs while CI emits
-RANM_SMOKE runs, so absolute deltas across that boundary are expected to be
-large (a warning is printed when the smoke flags differ). Exit code is
-always 0 unless a report fails to parse.
+The diff is informational by default: committed baselines are full runs
+while CI emits RANM_SMOKE runs, so absolute deltas across that boundary are
+expected to be large (a warning is printed when the smoke flags differ) and
+the exit code is 0 unless a report fails to parse.
+
+--fail-increase METRIC[:PCT] (repeatable) turns a metric into a tracked
+regression gate: if that metric grows by more than PCT percent (default 0)
+on any row matched between baseline and fresh, the script exits 1. Use it
+for metrics that are deterministic across run shapes — e.g. bdd_nodes,
+which depends only on the seeded workload, never on timer noise.
 
 Stdlib only — no pip dependencies.
 """
@@ -27,7 +33,7 @@ from pathlib import Path
 # Fields that identify a row even though they are numeric: sweeps are keyed
 # by these, so a delta between batch sizes would be meaningless.
 IDENTITY_NUMERIC = {"batch_size", "shards", "threads", "bits", "samples",
-                    "dim", "kp", "hidden_layers"}
+                    "dim", "kp", "hidden_layers", "train_size"}
 # Run-shape metadata: differs between smoke and full runs by design, and a
 # delta on it is noise — excluded from both identity and metrics.
 IGNORED = {"requests"}
@@ -59,7 +65,23 @@ def load_report(path):
         return json.load(handle)
 
 
-def diff_report(name, baseline, fresh, threshold):
+def parse_fail_rules(specs):
+    """METRIC[:PCT] strings -> {metric: allowed_increase_pct}."""
+    rules = {}
+    for spec in specs:
+        metric, _, pct = spec.partition(":")
+        if not metric:
+            raise SystemExit(f"bench_diff: bad --fail-increase spec {spec!r}")
+        try:
+            rules[metric] = float(pct) if pct else 0.0
+        except ValueError:
+            raise SystemExit(
+                f"bench_diff: bad --fail-increase percentage in {spec!r}")
+    return rules
+
+
+def diff_report(name, baseline, fresh, threshold, fail_rules):
+    failures = []
     lines = []
     if baseline.get("smoke") != fresh.get("smoke"):
         lines.append(
@@ -94,6 +116,10 @@ def diff_report(name, baseline, fresh, threshold):
             worst = max(worst, abs(delta))
             marker = " !" if abs(delta) >= 20.0 else ""
             cells.append(f"{key}: {old:g} -> {new:g} ({delta:+.1f}%{marker})")
+            if key in fail_rules and delta > fail_rules[key]:
+                failures.append(
+                    f"{name}: {identity}: {key} {old:g} -> {new:g} "
+                    f"(+{delta:.1f}% > allowed {fail_rules[key]:g}%)")
         if worst >= threshold:
             lines.append(f"  {identity}")
             for cell in cells:
@@ -105,6 +131,7 @@ def diff_report(name, baseline, fresh, threshold):
     else:
         print(f"  no deltas >= {threshold}%")
     print()
+    return failures
 
 
 def main():
@@ -114,7 +141,13 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.0,
                         help="suppress rows whose largest |delta| is below "
                              "this percentage (default: show everything)")
+    parser.add_argument("--fail-increase", action="append", default=[],
+                        metavar="METRIC[:PCT]",
+                        help="exit 1 if METRIC increases by more than PCT "
+                             "percent (default 0) on any matched row; "
+                             "repeatable")
     args = parser.parse_args()
+    fail_rules = parse_fail_rules(args.fail_increase)
 
     names = sorted({p.name for p in args.baseline_dir.glob("BENCH_*.json")} |
                    {p.name for p in args.fresh_dir.glob("BENCH_*.json")})
@@ -123,6 +156,7 @@ def main():
         return 0
 
     failed = False
+    failures = []
     for name in names:
         base_path = args.baseline_dir / name
         fresh_path = args.fresh_dir / name
@@ -133,12 +167,15 @@ def main():
             print(f"== {name} ==\n  baseline exists but no fresh report\n")
             continue
         try:
-            diff_report(name, load_report(base_path), load_report(fresh_path),
-                        args.threshold)
+            failures += diff_report(name, load_report(base_path),
+                                    load_report(fresh_path),
+                                    args.threshold, fail_rules)
         except (json.JSONDecodeError, OSError) as err:
             print(f"bench_diff: cannot read {name}: {err}", file=sys.stderr)
             failed = True
-    return 1 if failed else 0
+    for failure in failures:
+        print(f"bench_diff: FAIL {failure}", file=sys.stderr)
+    return 1 if failed or failures else 0
 
 
 if __name__ == "__main__":

@@ -38,7 +38,8 @@ void collect_post_order(const BddManager& mgr, NodeRef f,
 
 }  // namespace
 
-void save_bdd(std::ostream& out, const BddManager& mgr, NodeRef f) {
+std::vector<NodeRef> save_bdd(std::ostream& out, const BddManager& mgr,
+                              NodeRef f) {
   std::vector<NodeRef> order;
   std::unordered_map<NodeRef, std::uint32_t> index;
   // Terminals always occupy local slots 0 and 1.
@@ -58,9 +59,14 @@ void save_bdd(std::ostream& out, const BddManager& mgr, NodeRef f) {
     write_pod(out, index.at(nv.hi));
   }
   write_pod(out, index.at(f));
+  return order;
 }
 
 NodeRef load_bdd(std::istream& in, BddManager& mgr) {
+  return load_bdd_nodes(in, mgr).root;
+}
+
+LoadedBdd load_bdd_nodes(std::istream& in, BddManager& mgr) {
   if (read_pod<std::uint32_t>(in) != kMagic) {
     throw std::runtime_error("load_bdd: bad magic");
   }
@@ -90,7 +96,7 @@ NodeRef load_bdd(std::istream& in, BddManager& mgr) {
   }
   const auto root = read_pod<std::uint32_t>(in);
   if (root >= count) throw std::runtime_error("load_bdd: bad root index");
-  return local[root];
+  return {local[root], std::move(local)};
 }
 
 }  // namespace ranm::bdd

@@ -1,0 +1,334 @@
+#include "bdd/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace ranm::bdd {
+
+ReorderEngine::ReorderEngine(const BddManager& src, NodeRef root)
+    : num_vars_(src.num_vars()) {
+  nodes_.resize(2);
+  nodes_[0].var = kDeadVar;
+  nodes_[1].var = kDeadVar;
+  head_.assign(num_vars_, kNil);
+  count_.assign(num_vars_, 0);
+  unique_.resize(num_vars_);
+  level_of_var_.resize(num_vars_);
+  var_at_level_.resize(num_vars_);
+  std::iota(level_of_var_.begin(), level_of_var_.end(), 0U);
+  std::iota(var_at_level_.begin(), var_at_level_.end(), 0U);
+
+  // Copy the reachable graph. Recursion depth is bounded by the variable
+  // order (levels strictly increase along any path).
+  std::unordered_map<NodeRef, std::uint32_t> map;
+  map.emplace(kFalse, 0U);
+  map.emplace(kTrue, 1U);
+  auto rec = [&](auto&& self, NodeRef n) -> std::uint32_t {
+    auto it = map.find(n);
+    if (it != map.end()) return it->second;
+    const BddManager::NodeView nv = src.view(n);
+    const std::uint32_t lo = self(self, nv.lo);
+    const std::uint32_t hi = self(self, nv.hi);
+    const auto idx = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back({nv.var, lo, hi, 0, kNil, kNil});
+    link(idx);
+    unique_[nv.var].emplace(key(lo, hi), idx);
+    ++count_[nv.var];
+    ++alive_;
+    ++nodes_[lo].refs;
+    ++nodes_[hi].refs;
+    map.emplace(n, idx);
+    return idx;
+  };
+  root_ = rec(rec, root);
+  ++nodes_[root_].refs;  // external reference held by the engine
+}
+
+void ReorderEngine::link(std::uint32_t n) {
+  const std::uint32_t v = nodes_[n].var;
+  nodes_[n].prev = kNil;
+  nodes_[n].next = head_[v];
+  if (head_[v] != kNil) nodes_[head_[v]].prev = n;
+  head_[v] = n;
+}
+
+void ReorderEngine::unlink(std::uint32_t n) {
+  const RNode& nd = nodes_[n];
+  if (nd.prev != kNil) {
+    nodes_[nd.prev].next = nd.next;
+  } else {
+    head_[nd.var] = nd.next;
+  }
+  if (nd.next != kNil) nodes_[nd.next].prev = nd.prev;
+}
+
+std::uint32_t ReorderEngine::mk(std::uint32_t var, std::uint32_t lo,
+                                std::uint32_t hi) {
+  if (lo == hi) {
+    ++nodes_[lo].refs;
+    return lo;
+  }
+  auto& tab = unique_[var];
+  const auto it = tab.find(key(lo, hi));
+  if (it != tab.end()) {
+    ++nodes_[it->second].refs;
+    return it->second;
+  }
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  nodes_[idx] = {var, lo, hi, 1, kNil, kNil};
+  link(idx);
+  tab.emplace(key(lo, hi), idx);
+  ++count_[var];
+  ++alive_;
+  ++nodes_[lo].refs;
+  ++nodes_[hi].refs;
+  return idx;
+}
+
+void ReorderEngine::deref(std::uint32_t n) {
+  if (is_terminal(n)) return;
+  RNode& nd = nodes_[n];
+  if (--nd.refs > 0) return;
+  unlink(n);
+  unique_[nd.var].erase(key(nd.lo, nd.hi));
+  --count_[nd.var];
+  --alive_;
+  const std::uint32_t lo = nd.lo;
+  const std::uint32_t hi = nd.hi;
+  nd.var = kDeadVar;
+  free_.push_back(n);
+  deref(lo);
+  deref(hi);
+}
+
+void ReorderEngine::swap_levels(std::uint32_t level) {
+  if (level + 1 >= num_vars_) {
+    throw std::invalid_argument("ReorderEngine::swap_levels: out of range");
+  }
+  const std::uint32_t x = var_at_level_[level];      // moves down
+  const std::uint32_t y = var_at_level_[level + 1];  // moves up
+  // Snapshot x's nodes: the loop below relabels some of them to y and
+  // creates fresh x-nodes, neither of which must be revisited.
+  std::vector<std::uint32_t> xs;
+  xs.reserve(count_[x]);
+  for (std::uint32_t n = head_[x]; n != kNil; n = nodes_[n].next) {
+    xs.push_back(n);
+  }
+  for (const std::uint32_t n : xs) {
+    const std::uint32_t f0 = nodes_[n].lo;
+    const std::uint32_t f1 = nodes_[n].hi;
+    const bool d0 = !is_terminal(f0) && nodes_[f0].var == y;
+    const bool d1 = !is_terminal(f1) && nodes_[f1].var == y;
+    // Independent of y: the node just ends up one level lower when the
+    // level maps swap — no structural change.
+    if (!d0 && !d1) continue;
+    const std::uint32_t f00 = d0 ? nodes_[f0].lo : f0;
+    const std::uint32_t f01 = d0 ? nodes_[f0].hi : f0;
+    const std::uint32_t f10 = d1 ? nodes_[f1].lo : f1;
+    const std::uint32_t f11 = d1 ? nodes_[f1].hi : f1;
+    // n = x ? (y ? f11 : f10) : (y ? f01 : f00)
+    //   = y ? (x ? f11 : f01) : (x ? f10 : f00)
+    // Rewrite n in place as the y-node so references from above survive.
+    const std::uint32_t new_lo = mk(x, f00, f10);
+    const std::uint32_t new_hi = mk(x, f01, f11);
+    if (new_lo == new_hi) {
+      throw std::logic_error("ReorderEngine: swap produced redundant node");
+    }
+    unique_[x].erase(key(f0, f1));
+    unlink(n);
+    --count_[x];
+    nodes_[n].var = y;
+    nodes_[n].lo = new_lo;
+    nodes_[n].hi = new_hi;
+    link(n);
+    ++count_[y];
+    if (!unique_[y].emplace(key(new_lo, new_hi), n).second) {
+      throw std::logic_error("ReorderEngine: canonicity violated in swap");
+    }
+    deref(f0);
+    deref(f1);
+  }
+  var_at_level_[level] = y;
+  var_at_level_[level + 1] = x;
+  level_of_var_[x] = level + 1;
+  level_of_var_[y] = level;
+  ++swaps_;
+}
+
+void ReorderEngine::set_order(
+    std::span<const std::uint32_t> target_level_of_var) {
+  if (target_level_of_var.size() != num_vars_) {
+    throw std::invalid_argument("ReorderEngine::set_order: size mismatch");
+  }
+  std::vector<std::uint32_t> target_var(num_vars_, kNil);
+  for (std::uint32_t v = 0; v < num_vars_; ++v) {
+    const std::uint32_t lvl = target_level_of_var[v];
+    if (lvl >= num_vars_ || target_var[lvl] != kNil) {
+      throw std::invalid_argument(
+          "ReorderEngine::set_order: not a permutation");
+    }
+    target_var[lvl] = v;
+  }
+  // Selection sort on levels: bubble each level's destined variable up
+  // into place with adjacent swaps; everything above `lvl` is final.
+  for (std::uint32_t lvl = 0; lvl < num_vars_; ++lvl) {
+    const std::uint32_t v = target_var[lvl];
+    for (std::uint32_t p = level_of_var_[v]; p > lvl; --p) {
+      swap_levels(p - 1);
+    }
+  }
+}
+
+std::size_t ReorderEngine::sift(double max_growth, std::size_t max_passes) {
+  if (num_vars_ < 2) return alive_;
+  const std::uint32_t last = num_vars_ - 1;
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    const std::size_t pass_start = alive_;
+    std::vector<std::uint32_t> vars;
+    vars.reserve(num_vars_);
+    for (std::uint32_t v = 0; v < num_vars_; ++v) {
+      if (count_[v] > 0) vars.push_back(v);
+    }
+    std::stable_sort(vars.begin(), vars.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       if (count_[a] != count_[b]) {
+                         return count_[a] > count_[b];
+                       }
+                       return a < b;
+                     });
+    for (const std::uint32_t v : vars) {
+      std::size_t best = alive_;
+      std::uint32_t best_lvl = level_of_var_[v];
+      const std::uint32_t start = best_lvl;
+      auto down = [&] {
+        while (level_of_var_[v] < last) {
+          swap_levels(level_of_var_[v]);
+          if (alive_ < best) {
+            best = alive_;
+            best_lvl = level_of_var_[v];
+          } else if (double(alive_) > max_growth * double(best)) {
+            break;
+          }
+        }
+      };
+      auto up = [&] {
+        while (level_of_var_[v] > 0) {
+          swap_levels(level_of_var_[v] - 1);
+          if (alive_ < best) {
+            best = alive_;
+            best_lvl = level_of_var_[v];
+          } else if (double(alive_) > max_growth * double(best)) {
+            break;
+          }
+        }
+      };
+      // Sweep towards the nearer end first, then across to the other.
+      if (start > last - start) {
+        up();
+        down();
+      } else {
+        down();
+        up();
+      }
+      while (level_of_var_[v] > best_lvl) swap_levels(level_of_var_[v] - 1);
+      while (level_of_var_[v] < best_lvl) swap_levels(level_of_var_[v]);
+    }
+    // Stop when a pass improves by less than 1%.
+    if (alive_ + pass_start / 100 >= pass_start) break;
+  }
+  return alive_;
+}
+
+NodeRef ReorderEngine::rebuild(BddManager& dst) const {
+  if (dst.num_vars() < num_vars_) {
+    throw std::invalid_argument("ReorderEngine::rebuild: dst too narrow");
+  }
+  if (is_terminal(root_)) return root_ == 1 ? kTrue : kFalse;
+  std::vector<NodeRef> map(nodes_.size(), kFalse);
+  map[1] = kTrue;
+  // Bottom level first so children are mapped before their parents.
+  for (std::uint32_t lvl = num_vars_; lvl-- > 0;) {
+    const std::uint32_t v = var_at_level_[lvl];
+    for (std::uint32_t n = head_[v]; n != kNil; n = nodes_[n].next) {
+      map[n] = dst.make_node_checked(lvl, map[nodes_[n].lo],
+                                     map[nodes_[n].hi]);
+    }
+  }
+  return map[root_];
+}
+
+namespace {
+
+// 2^61 - 1 (Mersenne prime): products of two residues fit __uint128_t.
+constexpr std::uint64_t kPrime = (1ULL << 61) - 1;
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::uint64_t>((static_cast<__uint128_t>(a) * b) %
+                                    kPrime);
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Multilinear extension of the function at point r (indexed by slot):
+/// val(terminal) = 0/1, val(node) = (1-r[s])·val(lo) + r[s]·val(hi).
+/// Variables absent from a path contribute nothing, so the value is
+/// order-independent — exactly what makes it a cross-order invariant.
+std::uint64_t poly_eval(const BddManager& m, NodeRef root,
+                        std::span<const std::uint32_t> slot_of_level,
+                        const std::vector<std::uint64_t>& r) {
+  std::unordered_map<NodeRef, std::uint64_t> memo;
+  auto rec = [&](auto&& self, NodeRef n) -> std::uint64_t {
+    if (n == kFalse) return 0;
+    if (n == kTrue) return 1;
+    const auto it = memo.find(n);
+    if (it != memo.end()) return it->second;
+    const BddManager::NodeView nv = m.view(n);
+    if (nv.var >= slot_of_level.size()) {
+      throw std::invalid_argument(
+          "equivalent_functions: level outside slot map");
+    }
+    const std::uint64_t w = r[slot_of_level[nv.var]];
+    const std::uint64_t lo = self(self, nv.lo);
+    const std::uint64_t hi = self(self, nv.hi);
+    const std::uint64_t val =
+        (mulmod(kPrime + 1 - w, lo) + mulmod(w, hi)) % kPrime;
+    memo.emplace(n, val);
+    return val;
+  };
+  return rec(rec, root);
+}
+
+}  // namespace
+
+bool equivalent_functions(const BddManager& a, NodeRef root_a,
+                          std::span<const std::uint32_t> slot_of_level_a,
+                          const BddManager& b, NodeRef root_b,
+                          std::span<const std::uint32_t> slot_of_level_b,
+                          std::size_t num_slots, std::uint64_t seed,
+                          unsigned rounds) {
+  std::uint64_t state = seed ^ 0xA5A5A5A55A5A5A5AULL;
+  std::vector<std::uint64_t> r(num_slots);
+  for (unsigned round = 0; round < rounds; ++round) {
+    for (std::uint64_t& w : r) w = splitmix64(state) % kPrime;
+    if (poly_eval(a, root_a, slot_of_level_a, r) !=
+        poly_eval(b, root_b, slot_of_level_b, r)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ranm::bdd

@@ -1,0 +1,131 @@
+// In-place BDD variable reordering (Rudell-style sifting).
+//
+// BddManager's arena is append-only and hash-consed, which is the right
+// shape for construction and querying but hopeless for reordering: a
+// single adjacent-level swap expressed functionally (swap_adjacent_levels)
+// strands the whole pre-swap graph as garbage, and sifting needs tens of
+// thousands of swaps on million-node robust monitors. ReorderEngine
+// therefore copies the function into a mutable representation — per-level
+// doubly-linked node lists, per-variable unique tables, reference counts —
+// where an adjacent swap rewrites only the two affected levels in place
+// (nodes keep their identity, so references from above stay valid) and
+// dead nodes are reclaimed immediately. After optimisation the result is
+// rebuilt into a fresh, garbage-free BddManager whose variable indices are
+// the *new levels*; the caller keeps the level_of_var permutation and
+// composes it into the monitor's slot order.
+//
+// Everything here is deterministic: node lists are walked in link order,
+// sifting ranks variables by (count desc, index asc), and no container
+// with unspecified iteration order ever drives a decision — two runs on
+// the same input BDD choose the same order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace ranm::bdd {
+
+/// Mutable reordering workspace over a copy of one BDD.
+class ReorderEngine {
+ public:
+  /// Copies the function rooted at `root` out of `src`. The source
+  /// manager is not modified and is not referenced after construction.
+  ReorderEngine(const BddManager& src, NodeRef root);
+
+  [[nodiscard]] std::uint32_t num_vars() const noexcept { return num_vars_; }
+  /// Alive internal (non-terminal) nodes — the quantity sifting minimises.
+  [[nodiscard]] std::size_t size() const noexcept { return alive_; }
+  /// Adjacent-level swaps performed so far (cost/progress metric).
+  [[nodiscard]] std::size_t swap_count() const noexcept { return swaps_; }
+  /// Current permutation: level_of_var()[v] is the level variable v sits
+  /// at. Identity on construction.
+  [[nodiscard]] std::span<const std::uint32_t> level_of_var() const noexcept {
+    return level_of_var_;
+  }
+
+  /// Exchanges the variables at `level` and `level + 1` in place. The
+  /// represented function (in terms of the original variables) is
+  /// unchanged; only the order is.
+  void swap_levels(std::uint32_t level);
+
+  /// Realises an arbitrary target permutation (level_of_var[v] = desired
+  /// level of v) by selection-sorting levels with adjacent swaps.
+  void set_order(std::span<const std::uint32_t> target_level_of_var);
+
+  /// Classic sifting: each variable in turn (densest first) is moved
+  /// across all levels by adjacent swaps and parked at the position
+  /// minimising total size. A direction is abandoned early once the
+  /// intermediate size exceeds max_growth × the best size seen. Repeats
+  /// up to max_passes passes or until a pass improves by < 1%. Returns
+  /// the final size.
+  std::size_t sift(double max_growth = 1.2, std::size_t max_passes = 2);
+
+  /// Rebuilds the (reordered) function into `dst`, whose variable indices
+  /// are the new levels: a node over original variable v is emitted with
+  /// dst-variable level_of_var()[v]. dst.num_vars() must be >= num_vars().
+  [[nodiscard]] NodeRef rebuild(BddManager& dst) const;
+
+ private:
+  static constexpr std::uint32_t kDeadVar = 0xFFFFFFFFU;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFU;
+
+  struct RNode {
+    std::uint32_t var;  // original variable index; kDeadVar when freed
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    std::uint32_t refs = 0;
+    std::uint32_t next = kNil;  // intrusive per-variable list links
+    std::uint32_t prev = kNil;
+  };
+
+  [[nodiscard]] static bool is_terminal(std::uint32_t n) noexcept {
+    return n < 2;
+  }
+  [[nodiscard]] static std::uint64_t key(std::uint32_t lo,
+                                         std::uint32_t hi) noexcept {
+    return (std::uint64_t(lo) << 32) | hi;
+  }
+  [[nodiscard]] std::uint32_t level_of(std::uint32_t n) const noexcept {
+    return is_terminal(n) ? num_vars_ : level_of_var_[nodes_[n].var];
+  }
+
+  void link(std::uint32_t n);
+  void unlink(std::uint32_t n);
+  /// Find-or-create (var, lo, hi) with reduction; the returned node has
+  /// gained one reference owned by the caller.
+  std::uint32_t mk(std::uint32_t var, std::uint32_t lo, std::uint32_t hi);
+  /// Drops one reference; reclaims the node (recursively) at zero.
+  void deref(std::uint32_t n);
+
+  std::uint32_t num_vars_ = 0;
+  std::uint32_t root_ = 0;
+  std::size_t alive_ = 0;
+  std::size_t swaps_ = 0;
+  std::vector<RNode> nodes_;  // [0]/[1] reserved pseudo-terminals
+  std::vector<std::uint32_t> free_;
+  std::vector<std::uint32_t> head_;      // per-var list head
+  std::vector<std::uint32_t> count_;     // per-var alive node count
+  std::vector<std::uint32_t> level_of_var_;
+  std::vector<std::uint32_t> var_at_level_;
+  std::vector<std::unordered_map<std::uint64_t, std::uint32_t>> unique_;
+};
+
+/// Checks that two BDDs — possibly owned by different managers and under
+/// different variable orders — represent the same boolean function of a
+/// shared slot space. slot_of_level maps each manager's variable index
+/// (== level) to the semantic slot it decides. The test evaluates the
+/// multilinear extension of both functions at random points of a 61-bit
+/// prime field (Schwartz–Zippel): equal functions always agree; distinct
+/// functions collide with probability <= num_slots/p per round. Runs
+/// `rounds` independent rounds; cost O(nodes) per round.
+[[nodiscard]] bool equivalent_functions(
+    const BddManager& a, NodeRef root_a,
+    std::span<const std::uint32_t> slot_of_level_a, const BddManager& b,
+    NodeRef root_b, std::span<const std::uint32_t> slot_of_level_b,
+    std::size_t num_slots, std::uint64_t seed, unsigned rounds = 3);
+
+}  // namespace ranm::bdd

@@ -1,5 +1,6 @@
 #include "compile/compiled_monitor.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ranm::compile {
@@ -9,6 +10,24 @@ namespace {
   throw std::logic_error(std::string("CompiledMonitor::") + what +
                          ": compiled monitors are frozen — rebuild the "
                          "source monitor and recompile to observe new data");
+}
+
+/// Rough per-sample op count of one unit's evaluator, for the pool-grain
+/// test: box sweeps touch dim * boxes coordinates, coded programs pay
+/// the threshold coding plus either the cube scan or the node sweep
+/// (O(nodes) amortised over each 64-sample block).
+std::size_t unit_cost_per_sample(const CompiledUnit& u) {
+  switch (u.kind) {
+    case ProgramKind::kBox:
+      return u.box.dim * u.box.num_boxes;
+    case ProgramKind::kCube:
+      return u.coding.dim * u.coding.thresholds_per_neuron() +
+             u.cube.num_cubes * u.coding.num_words();
+    case ProgramKind::kBdd:
+      return u.coding.dim * u.coding.thresholds_per_neuron() +
+             u.bdd.nodes.size() / 16;
+  }
+  return 1;
 }
 
 }  // namespace
@@ -42,6 +61,13 @@ CompiledMonitor::CompiledMonitor(std::size_t dim, std::string source,
       }
     }
   }
+  // Precompute the per-unit support masks (compiler and loader both come
+  // through here, so every served unit has them).
+  for (Shard& sh : shards_) {
+    sh.unit.finalize();
+    max_shard_cost_ = std::max(max_shard_cost_,
+                               unit_cost_per_sample(sh.unit));
+  }
   scratch_.resize(shards_.size());
 }
 
@@ -74,13 +100,13 @@ bool CompiledMonitor::contains(std::span<const float> feature) const {
 
 void CompiledMonitor::eval_shard(std::size_t s, const FeatureBatch& batch,
                                  bool* out) const {
+  // The neuron list doubles as eval_unit's row map, so a sharded query
+  // reads its rows straight out of the full batch — no per-call row-view
+  // construction (which allocates, and at batch 1 the allocations cost
+  // more than the shard evaluations themselves).
   const Shard& sh = shards_[s];
-  if (sh.neurons.empty()) {
-    eval_unit(sh.unit, batch, out, scratch_[s]);
-  } else {
-    const FeatureBatch view = batch.view_rows(sh.neurons);
-    eval_unit(sh.unit, view, out, scratch_[s]);
-  }
+  eval_unit(sh.unit, batch, sh.neurons.empty() ? nullptr : sh.neurons.data(),
+            out, scratch_[s]);
 }
 
 void CompiledMonitor::contains_batch(const FeatureBatch& batch,
@@ -93,13 +119,30 @@ void CompiledMonitor::contains_batch(const FeatureBatch& batch,
     eval_shard(0, batch, out.data());
     return;
   }
+  if (n == 1) {
+    // Single query (the serving path): no verdict matrix, no pool — one
+    // stack verdict per shard, folded as it lands. Stops at the first
+    // rejecting shard; membership is the AND over shards.
+    bool verdict = true;
+    for (std::size_t s = 0; s < S && verdict; ++s) {
+      bool row = false;
+      eval_shard(s, batch, &row);
+      verdict = row;
+    }
+    out[0] = verdict;
+    return;
+  }
   if (rows_capacity_ < S * n) {
     rows_scratch_ = std::make_unique<bool[]>(S * n);
     rows_capacity_ = S * n;
   }
   bool* rows = rows_scratch_.get();
   const auto run = [&](std::size_t s) { eval_shard(s, batch, rows + s * n); };
-  if (pool_) {
+  // Tiny batches — by sample count or by estimated per-shard work — run
+  // inline even with a pool: waking the workers costs more than the
+  // queries themselves (same floor as ShardedMonitor, plus a work grain
+  // because compiled shards are often far cheaper than interpreted ones).
+  if (pool_ && n >= kMinPoolBatch && n * max_shard_cost_ >= kMinPoolWork) {
     pool_->parallel_for(S, run);
   } else {
     for (std::size_t s = 0; s < S; ++s) run(s);

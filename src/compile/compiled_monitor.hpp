@@ -11,9 +11,10 @@
 // std::logic_error. To fold in new training data, rebuild the source
 // monitor and recompile (`ranm_cli compile`).
 //
-// Thread model mirrors ShardedMonitor: set_threads fans per-shard row
-// views of a query batch out on an internal pool; every task touches only
-// its own shard's program and scratch, so the fan-out is race-free by
+// Thread model mirrors ShardedMonitor: set_threads fans the per-shard
+// evaluations of a query batch out on an internal pool; every task reads
+// the shared batch through its own shard's neuron map and touches only
+// its own program and scratch, so the fan-out is race-free by
 // construction. Like every Monitor, callers serialise calls on it.
 #pragma once
 
@@ -89,12 +90,24 @@ class CompiledMonitor final : public Monitor {
   [[nodiscard]] std::size_t total_cubes() const noexcept;
 
  private:
+  /// Below this batch size the shard fan-out runs inline even when a
+  /// pool is configured (same rationale as ShardedMonitor::kMinPoolBatch).
+  static constexpr std::size_t kMinPoolBatch = 32;
+  /// Minimum estimated per-shard work (rough op count, batch included)
+  /// before the fan-out is worth a pool dispatch: compiled programs are
+  /// often so cheap that waking workers costs more than the whole batch,
+  /// so a batch-size floor alone is not enough grain control.
+  static constexpr std::size_t kMinPoolWork = 65536;
+
   void eval_shard(std::size_t s, const FeatureBatch& batch,
                   bool* out) const;
 
   std::size_t dim_;
   std::string source_;
   std::vector<Shard> shards_;
+  /// Largest per-sample cost estimate over the shards, precomputed at
+  /// construction for the pool-grain test in contains_batch.
+  std::size_t max_shard_cost_ = 0;
   std::unique_ptr<ThreadPool> pool_;  // null: run inline
   // Per-shard evaluation buffers plus the S x n verdict matrix, grown
   // once and reused: the batched membership query is the deployment hot

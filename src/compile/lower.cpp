@@ -39,7 +39,13 @@ CodingTable lower_coding(const ThresholdSpec& spec) {
 /// bound — path counts can blow up combinatorially on dense sets even
 /// when the node count is small, so the visit counter, not just the cube
 /// counter, bounds the enumeration.
+///
+/// The source BDD's variable index is its *level*; the compiled program's
+/// bit positions are semantic *slots* (the CodingTable layout), so each
+/// constrained variable goes through `slot_of_level` — identity unless
+/// the monitor was reordered by `ranm_cli optimize`.
 bool extract_cubes(const bdd::BddManager& mgr, bdd::NodeRef root,
+                   std::span<const std::uint32_t> slot_of_level,
                    std::size_t num_vars, std::size_t num_words,
                    std::size_t cube_limit, CubeProgram& out) {
   out.num_cubes = 0;
@@ -71,8 +77,9 @@ bool extract_cubes(const bdd::BddManager& mgr, bdd::NodeRef root,
   while (!stack.empty()) {
     Frame& f = stack.back();
     const bdd::BddManager::NodeView nv = mgr.view(f.ref);
-    const std::size_t w = nv.var >> 6;
-    const std::uint64_t bit = 1ULL << (nv.var & 63);
+    const std::uint32_t slot = slot_of_level[nv.var];
+    const std::size_t w = slot >> 6;
+    const std::uint64_t bit = 1ULL << (slot & 63);
     if (f.next_child == 0) mask[w] |= bit;  // entering: var constrained
     if (f.next_child == 2) {                // leaving: var free again
       mask[w] &= ~bit;
@@ -101,11 +108,21 @@ bool extract_cubes(const bdd::BddManager& mgr, bdd::NodeRef root,
   return true;
 }
 
-/// Flattens the nodes reachable from `root` into variable-ascending order.
-/// The BDD is var-ordered (children strictly deeper than parents), so
-/// sorting by var puts every child after its parent — the flat refs then
-/// satisfy the child > parent invariant the loader re-validates.
-BddProgram flatten_bdd(const bdd::BddManager& mgr, bdd::NodeRef root) {
+/// Flattens the nodes reachable from `root` into level-ascending order.
+/// The BDD is level-ordered (children strictly deeper than parents), so
+/// sorting by *level* puts every child after its parent — the flat refs
+/// then satisfy the child > parent invariant the loader re-validates.
+/// Level order also keeps consecutive nodes' children clustered in the
+/// next level's block, which the bit-parallel bottom-up sweep depends
+/// on: its vals[child] loads stay in a narrow window. (A reverse-DFS
+/// layout that makes per-sample walks stride-1 was tried and scatters
+/// those loads instead — the full-block sweep nearly doubled in cost
+/// for a walk gain the branch-speculated select already provides.)
+/// The emitted FlatBddNode::var is the semantic slot (via slot_of_level),
+/// which under a custom order is not monotone in flat position — only
+/// the refs must be, and they are.
+BddProgram flatten_bdd(const bdd::BddManager& mgr, bdd::NodeRef root,
+                       std::span<const std::uint32_t> slot_of_level) {
   BddProgram p;
   if (root == bdd::kFalse || root == bdd::kTrue) {
     p.root = root;
@@ -137,7 +154,7 @@ BddProgram flatten_bdd(const bdd::BddManager& mgr, bdd::NodeRef root) {
   p.nodes.resize(reach.size());
   for (std::size_t i = 0; i < reach.size(); ++i) {
     const bdd::BddManager::NodeView nv = mgr.view(reach[i]);
-    p.nodes[i].var = nv.var;
+    p.nodes[i].var = slot_of_level[nv.var];
     p.nodes[i].child[0] = flat_ref(nv.lo);
     p.nodes[i].child[1] = flat_ref(nv.hi);
   }
@@ -146,18 +163,19 @@ BddProgram flatten_bdd(const bdd::BddManager& mgr, bdd::NodeRef root) {
 }
 
 CompiledUnit lower_bdd_set(const bdd::BddManager& mgr, bdd::NodeRef root,
+                           std::span<const std::uint32_t> slot_of_level,
                            const ThresholdSpec& spec,
                            std::size_t cube_limit) {
   CompiledUnit unit;
   unit.coding = lower_coding(spec);
-  if (extract_cubes(mgr, root, unit.coding.num_vars(),
+  if (extract_cubes(mgr, root, slot_of_level, unit.coding.num_vars(),
                     unit.coding.num_words(), cube_limit, unit.cube)) {
     unit.kind = ProgramKind::kCube;
     return unit;
   }
   unit.cube = CubeProgram{};
   unit.kind = ProgramKind::kBdd;
-  unit.bdd = flatten_bdd(mgr, root);
+  unit.bdd = flatten_bdd(mgr, root, slot_of_level);
   return unit;
 }
 
@@ -195,10 +213,12 @@ CompiledUnit lower_flat(const Monitor& monitor, std::size_t cube_limit) {
     return unit;
   }
   if (const auto* oo = dynamic_cast<const OnOffMonitor*>(&monitor)) {
-    return lower_bdd_set(oo->manager(), oo->root(), oo->spec(), cube_limit);
+    return lower_bdd_set(oo->manager(), oo->root(), oo->slot_of_level(),
+                         oo->spec(), cube_limit);
   }
   if (const auto* iv = dynamic_cast<const IntervalMonitor*>(&monitor)) {
-    return lower_bdd_set(iv->manager(), iv->root(), iv->spec(), cube_limit);
+    return lower_bdd_set(iv->manager(), iv->root(), iv->slot_of_level(),
+                         iv->spec(), cube_limit);
   }
   throw std::invalid_argument("compile_monitor: unsupported monitor type " +
                               monitor.describe());

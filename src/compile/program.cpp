@@ -12,20 +12,66 @@ constexpr std::size_t kLane = 64;
 /// the same threshold the interpreted monitors use
 /// (Monitor::kMinBitMatrixBatch).
 constexpr std::size_t kSmallBatch = 8;
+/// Codewords up to this many words fit the lazy paths' stack buffer.
+constexpr std::size_t kMaxStackWords = 16;
 
-/// Codes one neuron's value: |{thresholds v exceeds}|. Thresholds
-/// ascend, so the exceeded set is a prefix and the count equals
-/// ThresholdSpec::code (NaN fails every compare and codes to 0, exactly
-/// like the interpreted path).
-std::uint32_t code_value(const CodingTable& ct, std::size_t j, float v) {
+/// Branchless one-threshold code bit: v passes c under the inclusive
+/// flag (0/1). Both compares are computed and the flag selects with mask
+/// arithmetic — the flags are data, so a ternary here is a
+/// hard-to-predict branch per threshold in the per-sample paths.
+inline std::uint32_t pass_bit(float v, float c, std::uint32_t incl) {
+  return (std::uint32_t(v > c) & incl) | (std::uint32_t(v >= c) & (incl ^ 1U));
+}
+
+/// Codes sample i's supported neurons into `word` (MSB-first bit layout,
+/// identical to fill_words). One pass per sample — the lazy cube and BDD
+/// paths both build this codeword once, then test bits, instead of
+/// re-coding a neuron every time a cube or node touches it. Fully
+/// branchless per neuron apart from the support skip: the threshold
+/// compares select on the inclusive flags with mask arithmetic, because
+/// a mispredicted branch per threshold costs more than the compare.
+void code_sample_word(const CodingTable& ct, const FeatureBatch& batch,
+                      const std::uint32_t* row_map, std::size_t i,
+                      const std::uint64_t* support, std::uint64_t* word) {
+  const std::size_t nbits = ct.bits;
   const std::size_t m = ct.thresholds_per_neuron();
-  const float* values = ct.values.data() + j * m;
-  const std::uint8_t* inclusive = ct.inclusive.data() + j * m;
-  std::uint32_t code = 0;
-  for (std::size_t t = 0; t < m; ++t) {
-    code += inclusive[t] != 0 ? v > values[t] : v >= values[t];
+  if (nbits == 2) {
+    // Both variables of a 2-bit neuron share one word (j*2 is even).
+    for (std::size_t j = 0; j < ct.dim; ++j) {
+      const std::size_t var = j * 2;
+      const std::uint64_t used =
+          (support[var >> 6] >> (var & 63)) & 3ULL;
+      if (used == 0) continue;
+      const float v = batch.at(row_map != nullptr ? row_map[j] : j, i);
+      const float* tv = ct.values.data() + j * 3;
+      const std::uint8_t* inc = ct.inclusive.data() + j * 3;
+      const std::uint32_t code = pass_bit(v, tv[0], inc[0]) +
+                                 pass_bit(v, tv[1], inc[1]) +
+                                 pass_bit(v, tv[2], inc[2]);
+      const std::uint64_t swapped =
+          ((code & 1U) << 1) | ((code >> 1) & 1U);
+      word[var >> 6] |= swapped << (var & 63);
+    }
+    return;
   }
-  return code;
+  for (std::size_t j = 0; j < ct.dim; ++j) {
+    std::uint64_t used = 0;
+    for (std::size_t b = 0; b < nbits; ++b) {
+      const std::size_t var = j * nbits + b;
+      used |= (support[var >> 6] >> (var & 63)) & 1ULL;
+    }
+    if (used == 0) continue;
+    const float v = batch.at(row_map != nullptr ? row_map[j] : j, i);
+    const float* tv = ct.values.data() + j * m;
+    const std::uint8_t* inc = ct.inclusive.data() + j * m;
+    std::uint32_t code = 0;
+    for (std::size_t t = 0; t < m; ++t) code += pass_bit(v, tv[t], inc[t]);
+    for (std::size_t b = 0; b < nbits; ++b) {
+      const std::size_t var = j * nbits + b;
+      word[var >> 6] |=
+          std::uint64_t((code >> (nbits - 1 - b)) & 1U) << (var & 63);
+    }
+  }
 }
 
 /// Packs every sample's codeword into sample-major u64 words: bit
@@ -45,7 +91,8 @@ std::uint32_t code_value(const CodingTable& ct, std::size_t j, float v) {
 /// every configuration the paper evaluates — get constant-stride loops.
 template <std::size_t kWords>
 void fill_words_stride(const CodingTable& ct, const FeatureBatch& batch,
-                       EvalScratch& s, const std::uint64_t* needed) {
+                       const std::uint32_t* row_map, EvalScratch& s,
+                       const std::uint64_t* needed) {
   const std::size_t n = batch.size();
   const std::size_t W = kWords != 0 ? kWords : ct.num_words();
   const std::size_t nbits = ct.bits;
@@ -63,7 +110,8 @@ void fill_words_stride(const CodingTable& ct, const FeatureBatch& batch,
       }
       if (!used) continue;
     }
-    const float* row = batch.neuron(j).data();
+    const float* row =
+        batch.neuron(row_map != nullptr ? row_map[j] : j).data();
     const float* values = ct.values.data() + j * m;
     const std::uint8_t* inclusive = ct.inclusive.data() + j * m;
     if (m == 1) {
@@ -137,22 +185,23 @@ void fill_words_stride(const CodingTable& ct, const FeatureBatch& batch,
 }
 
 void fill_words(const CodingTable& ct, const FeatureBatch& batch,
-                EvalScratch& s, const std::uint64_t* needed) {
+                const std::uint32_t* row_map, EvalScratch& s,
+                const std::uint64_t* needed) {
   switch (ct.num_words()) {
     case 1:
-      fill_words_stride<1>(ct, batch, s, needed);
+      fill_words_stride<1>(ct, batch, row_map, s, needed);
       return;
     case 2:
-      fill_words_stride<2>(ct, batch, s, needed);
+      fill_words_stride<2>(ct, batch, row_map, s, needed);
       return;
     default:
-      fill_words_stride<0>(ct, batch, s, needed);
+      fill_words_stride<0>(ct, batch, row_map, s, needed);
       return;
   }
 }
 
-void eval_box(const BoxProgram& p, const FeatureBatch& batch, bool* out,
-              EvalScratch& s) {
+void eval_box(const BoxProgram& p, const FeatureBatch& batch,
+              const std::uint32_t* row_map, bool* out, EvalScratch& s) {
   const std::size_t n = batch.size();
   if (n < kSmallBatch) {
     // Lazy per-sample path: first failing coordinate ends the box.
@@ -163,7 +212,7 @@ void eval_box(const BoxProgram& p, const FeatureBatch& batch, bool* out,
         const float* hi = p.hi.data() + b * p.dim;
         bool ok = true;
         for (std::size_t j = 0; j < p.dim && ok; ++j) {
-          const float v = batch.at(j, i);
+          const float v = batch.at(row_map != nullptr ? row_map[j] : j, i);
           ok = p.reject_nan ? v >= lo[j] && v <= hi[j]
                             : !(v < lo[j] || v > hi[j]);
         }
@@ -185,7 +234,8 @@ void eval_box(const BoxProgram& p, const FeatureBatch& batch, bool* out,
     const float* lo = p.lo.data() + b * p.dim;
     const float* hi = p.hi.data() + b * p.dim;
     for (std::size_t j = 0; j < p.dim; ++j) {
-      const float* row = batch.neuron(j).data();
+      const float* row =
+          batch.neuron(row_map != nullptr ? row_map[j] : j).data();
       const float l = lo[j], h = hi[j];
       if (p.reject_nan) {
         for (std::size_t i = 0; i < n; ++i) {
@@ -230,38 +280,28 @@ void match_cubes_stride(const CubeProgram& p, std::size_t n, std::size_t w64,
 }
 
 void eval_cube(const CodingTable& ct, const CubeProgram& p,
-               const FeatureBatch& batch, bool* out, EvalScratch& s) {
+               const FeatureBatch& batch, const std::uint32_t* row_map,
+               bool* out, EvalScratch& s, const std::uint64_t* support) {
   const std::size_t n = batch.size();
   const std::size_t W = ct.num_words();
   // Union of the cube masks: variables outside it are don't-cares in
-  // every cube, so their neurons never need coding.
-  s.needed.assign(W, 0ULL);
-  for (std::size_t k = 0; k < p.num_cubes * W; ++k) {
-    s.needed[k % W] |= p.mask[k];
+  // every cube, so their neurons never need coding. Normally
+  // precomputed once (CompiledUnit::finalize); the fallback recompute
+  // only serves hand-built units.
+  if (support == nullptr) {
+    s.needed.assign(W, 0ULL);
+    for (std::size_t k = 0; k < p.num_cubes * W; ++k) {
+      s.needed[k % W] |= p.mask[k];
+    }
+    support = s.needed.data();
   }
-  // Codewords up to this many words fit the small-batch stack buffer.
-  constexpr std::size_t kMaxStackWords = 16;
   if (n < kSmallBatch && W <= kMaxStackWords) {
     // Lazy per-sample path: code one sample's needed neurons into a
     // stack codeword and scan the cubes — no batch matrix, so a single
     // query never pays per-neuron sweep setup dim times over.
-    const std::size_t nbits = ct.bits;
     for (std::size_t i = 0; i < n; ++i) {
       std::uint64_t word[kMaxStackWords] = {};
-      for (std::size_t j = 0; j < ct.dim; ++j) {
-        bool used = false;
-        for (std::size_t b = 0; b < nbits; ++b) {
-          const std::size_t var = j * nbits + b;
-          used = used || ((s.needed[var >> 6] >> (var & 63)) & 1ULL) != 0;
-        }
-        if (!used) continue;
-        const std::uint32_t code = code_value(ct, j, batch.at(j, i));
-        for (std::size_t b = 0; b < nbits; ++b) {
-          const std::size_t var = j * nbits + b;
-          word[var >> 6] |=
-              std::uint64_t((code >> (nbits - 1 - b)) & 1U) << (var & 63);
-        }
-      }
+      code_sample_word(ct, batch, row_map, i, support, word);
       bool in = false;
       for (std::size_t c = 0; c < p.num_cubes && !in; ++c) {
         bool match = true;
@@ -274,7 +314,7 @@ void eval_cube(const CodingTable& ct, const CubeProgram& p,
     }
     return;
   }
-  fill_words(ct, batch, s, s.needed.data());
+  fill_words(ct, batch, row_map, s, support);
   switch (W) {
     case 1:
       match_cubes_stride<1>(p, n, W, s.words.data(), out);
@@ -302,61 +342,64 @@ void transpose64(std::uint64_t a[64]) {
 }
 
 void eval_bdd(const CodingTable& ct, const BddProgram& p,
-              const FeatureBatch& batch, bool* out, EvalScratch& s) {
+              const FeatureBatch& batch, const std::uint32_t* row_map,
+              bool* out, EvalScratch& s, const std::uint64_t* support) {
   const std::size_t n = batch.size();
   if (p.root < 2) {
     std::fill(out, out + n, p.root == 1);
     return;
   }
-  const std::size_t nbits = ct.bits;
   const FlatBddNode* nodes = p.nodes.data();
-  if (n < kSmallBatch) {
-    // Lazy per-sample walk: only the variables on the path get coded
-    // (one path is ~dim * bits compares worst case, usually far fewer).
-    // The 1- and 2-bit codings resolve var -> (neuron, bit) with shifts;
-    // a runtime division per node would dominate the walk.
+  const std::size_t W = ct.num_words();
+  const std::size_t num_nodes = p.nodes.size();
+  // Support mask: neurons none of whose variables label a node never
+  // influence a verdict, so coding skips them (robust sets drop many).
+  // Normally precomputed once (CompiledUnit::finalize).
+  if (support == nullptr) {
+    s.needed.assign(W, 0ULL);
+    for (std::size_t k = 0; k < num_nodes; ++k) {
+      s.needed[nodes[k].var >> 6] |= 1ULL << (nodes[k].var & 63);
+    }
+    support = s.needed.data();
+  }
+  if (n < kSmallBatch && W <= kMaxStackWords) {
+    // Lazy per-sample path: code the sample's supported neurons once,
+    // then walk the BDD on bit tests. Coding is one streaming pass over
+    // the threshold table; the old walk re-ran the threshold compares at
+    // every node (twice per 2-bit neuron), which made a single compiled
+    // query slower than the interpreted one.
     for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t word[kMaxStackWords] = {};
+      code_sample_word(ct, batch, row_map, i, support, word);
       std::uint32_t ref = p.root;
+      // The child select is a *branch* on purpose: a branch lets the
+      // core speculate down the predicted path instead of serialising
+      // every hop on the word load (indexing child[bit] directly is a
+      // data dependency and measures ~2x slower on deep walks), and
+      // monitor query streams repeat similar paths, so it predicts well.
       while (ref >= 2) {
         const FlatBddNode& nd = nodes[ref - 2];
-        std::size_t j, b;
-        if (nbits == 1) {
-          j = nd.var;
-          b = 0;
-        } else if (nbits == 2) {
-          j = nd.var >> 1;
-          b = nd.var & 1;
+        if ((word[nd.var >> 6] >> (nd.var & 63)) & 1ULL) {
+          ref = nd.child[1];
         } else {
-          j = nd.var / nbits;
-          b = nd.var % nbits;
+          ref = nd.child[0];
         }
-        const std::uint32_t code = code_value(ct, j, batch.at(j, i));
-        ref = nd.child[(code >> (nbits - 1 - b)) & 1U];
       }
       out[i] = ref == 1;
     }
     return;
   }
-  const std::size_t W = ct.num_words();
-  const std::size_t num_nodes = p.nodes.size();
-  // Support mask: neurons none of whose variables label a node never
-  // influence a verdict, so coding skips them (robust sets drop many).
-  s.needed.assign(W, 0ULL);
-  for (std::size_t k = 0; k < num_nodes; ++k) {
-    s.needed[nodes[k].var >> 6] |= 1ULL << (nodes[k].var & 63);
-  }
-  fill_words(ct, batch, s, s.needed.data());
-  const std::uint64_t* words = s.words.data();
-  // Bit-parallel bottom-up sweep, 64 samples per block: transpose the
-  // block's codewords into one u64 lane per variable (bit i = sample
-  // i's value), then evaluate every node exactly once per block with
-  // three bitwise ops — vals[k] = (lane & hi) | (~lane & lo) — walking
-  // the array backwards so children (strictly larger refs) are already
-  // resolved. Per 64 samples this costs O(nodes), versus O(sum of path
-  // lengths) for a per-sample walk: the whole block shares one sweep
-  // instead of chasing 64 separate root-to-terminal chains.
-  s.vals.resize(num_nodes);
+  // Bit-parallel sweeps, 64 samples per block, over one u64 lane per
+  // variable (bit i = sample base + i's value): pack sample-major
+  // codewords once (the per-neuron compare loops vectorize), then
+  // transpose each block into var-major lanes.
+  fill_words(ct, batch, row_map, s, support);
   s.varbits.resize(W * 64);
+  // vals is indexed by *ref* with the two terminals padded in front
+  // (vals[0] = FALSE, vals[1] = TRUE, node k at vals[k + 2]), so the
+  // sweep resolves children with one unconditional load each.
+  s.vals.resize(num_nodes + 2);
+  const std::uint64_t* words = s.words.data();
   for (std::size_t base = 0; base < n; base += kLane) {
     const std::size_t count = std::min(kLane, n - base);
     for (std::size_t w = 0; w < W; ++w) {
@@ -369,17 +412,27 @@ void eval_bdd(const CodingTable& ct, const BddProgram& p,
       std::copy(col, col + kLane, s.varbits.data() + w * 64);
     }
     const std::uint64_t* varbits = s.varbits.data();
+    // Bottom-up, every node exactly once — vals[ref] =
+    // (lane & hi) | (~lane & lo), walking the array backwards so
+    // children (strictly larger refs) are already resolved. Per block
+    // this costs O(nodes), versus O(sum of path lengths) for a
+    // per-sample walk: the whole block shares one sweep instead of
+    // chasing up to 64 separate root-to-terminal chains. Partial
+    // blocks run the same sweep with the spare lane bits zeroed and
+    // ignored: a sparse top-down reach-mask pass that skips unreached
+    // nodes was tried and lost — at tail sizes its per-node skip
+    // branches are ~50% dense, and the mispredicts cost more than the
+    // branchless full sweep.
     std::uint64_t* vals = s.vals.data();
+    vals[0] = 0;
+    vals[1] = ~0ULL;
     for (std::size_t k = num_nodes; k-- > 0;) {
       const FlatBddNode& nd = nodes[k];
-      const std::uint32_t c0 = nd.child[0];
-      const std::uint32_t c1 = nd.child[1];
-      const std::uint64_t v0 = c0 < 2 ? (c0 != 0 ? ~0ULL : 0ULL) : vals[c0 - 2];
-      const std::uint64_t v1 = c1 < 2 ? (c1 != 0 ? ~0ULL : 0ULL) : vals[c1 - 2];
       const std::uint64_t lane = varbits[nd.var];
-      vals[k] = (lane & v1) | (~lane & v0);
+      vals[k + 2] =
+          (lane & vals[nd.child[1]]) | (~lane & vals[nd.child[0]]);
     }
-    const std::uint64_t r = vals[p.root - 2];
+    const std::uint64_t r = vals[p.root];
     for (std::size_t i = 0; i < count; ++i) {
       out[base + i] = ((r >> i) & 1ULL) != 0;
     }
@@ -388,21 +441,46 @@ void eval_bdd(const CodingTable& ct, const BddProgram& p,
 
 }  // namespace
 
+void CompiledUnit::finalize() {
+  support.clear();
+  if (kind == ProgramKind::kBox) return;
+  const std::size_t W = coding.num_words();
+  support.assign(W, 0ULL);
+  if (kind == ProgramKind::kCube) {
+    for (std::size_t k = 0; k < cube.num_cubes * W; ++k) {
+      support[k % W] |= cube.mask[k];
+    }
+  } else {
+    for (const FlatBddNode& nd : bdd.nodes) {
+      support[nd.var >> 6] |= 1ULL << (nd.var & 63);
+    }
+  }
+}
+
 void eval_unit(const CompiledUnit& unit, const FeatureBatch& batch,
-               bool* out, EvalScratch& scratch) {
-  if (batch.dimension() != unit.dimension()) {
+               const std::uint32_t* row_map, bool* out,
+               EvalScratch& scratch) {
+  // With a row map the batch is the caller's full feature space and the
+  // map entries were validated when the map was built (the CompiledMonitor
+  // constructor range-checks every shard's neuron list).
+  if (row_map == nullptr && batch.dimension() != unit.dimension()) {
     throw std::invalid_argument("eval_unit: dimension mismatch");
   }
   if (batch.empty()) return;
+  const std::uint64_t* support =
+      unit.support.size() == unit.coding.num_words() && !unit.support.empty()
+          ? unit.support.data()
+          : nullptr;
   switch (unit.kind) {
     case ProgramKind::kBox:
-      eval_box(unit.box, batch, out, scratch);
+      eval_box(unit.box, batch, row_map, out, scratch);
       return;
     case ProgramKind::kCube:
-      eval_cube(unit.coding, unit.cube, batch, out, scratch);
+      eval_cube(unit.coding, unit.cube, batch, row_map, out, scratch,
+                support);
       return;
     case ProgramKind::kBdd:
-      eval_bdd(unit.coding, unit.bdd, batch, out, scratch);
+      eval_bdd(unit.coding, unit.bdd, batch, row_map, out, scratch, support);
       return;
   }
   throw std::logic_error("eval_unit: corrupt program kind");

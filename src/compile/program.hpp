@@ -26,9 +26,16 @@
 // bit-parallel bottom-up sweep — each 64-sample block's codewords are
 // transposed into one u64 lane per variable and every node is evaluated
 // exactly once per block with three bitwise ops, so the whole block
-// shares one O(nodes) pass instead of 64 root-to-terminal chases. Tiny
+// shares one O(nodes) pass instead of 64 root-to-terminal chases.
+// (Coding straight into var-major lanes, skipping the transpose, is
+// slower: the scalar shift-chain packing defeats the vectorization of
+// the sample-major compare loops, and the 64x64 transpose is cheap.)
+// Partial trailing blocks run the same sweep with the spare lane bits
+// zeroed: the sweep is branchless, and that beats any sparse
+// reached-nodes pass whose per-node skip branches mispredict. Tiny
 // batches (below the same threshold the interpreted monitors use) take
-// lazy per-sample paths instead, so the matrix setup never dominates.
+// lazy per-sample paths — code the sample's supported neurons once,
+// then walk the BDD on bit tests — so the matrix setup never dominates.
 // Scratch deliberately holds no char-sized buffers: u32/u64 lanes
 // cannot alias the float rows, which keeps the inner sweeps
 // vectorizable.
@@ -118,6 +125,19 @@ struct CompiledUnit {
   CubeProgram cube;    // kind == kCube
   BddProgram bdd;      // kind == kBdd
 
+  /// Derived, never serialised: the union of tested coding variables
+  /// (cube masks / BDD node labels) as num_words() bitmask words.
+  /// Precomputed by finalize() so the evaluators don't redo the
+  /// O(cubes)/O(nodes) sweep on every call — the fixed cost that made
+  /// tiny-batch compiled queries lose to the interpreted monitors.
+  /// Empty (e.g. a hand-built unit) means compute on the fly.
+  std::vector<std::uint64_t> support;
+
+  /// Recomputes `support` from the active program. Idempotent; called by
+  /// the CompiledMonitor constructor, which both the compiler and the
+  /// artifact loader go through.
+  void finalize();
+
   [[nodiscard]] std::size_t dimension() const noexcept {
     return kind == ProgramKind::kBox ? box.dim : coding.dim;
   }
@@ -134,10 +154,19 @@ struct EvalScratch {
   std::vector<std::uint64_t> vals;     // per-node block verdicts (BDD sweep)
 };
 
-/// Batched membership: out[i] = unit contains column i of `batch`.
-/// batch.dimension() must equal unit.dimension(); out must hold
-/// batch.size() verdicts.
+/// Batched membership: out[i] = unit contains sample i of `batch`.
+/// `row_map`, when non-null, maps the unit's local neuron j to batch row
+/// row_map[j] (it must hold unit.dimension() in-range rows) — sharded
+/// monitors evaluate each shard straight off the full batch this way,
+/// with no per-call row-view construction. When null the mapping is the
+/// identity and batch.dimension() must equal unit.dimension(). `out`
+/// must hold batch.size() verdicts.
 void eval_unit(const CompiledUnit& unit, const FeatureBatch& batch,
-               bool* out, EvalScratch& scratch);
+               const std::uint32_t* row_map, bool* out, EvalScratch& scratch);
+
+inline void eval_unit(const CompiledUnit& unit, const FeatureBatch& batch,
+                      bool* out, EvalScratch& scratch) {
+  eval_unit(unit, batch, nullptr, out, scratch);
+}
 
 }  // namespace ranm::compile

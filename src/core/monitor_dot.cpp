@@ -1,0 +1,115 @@
+#include "core/monitor_dot.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "core/interval_monitor.hpp"
+#include "core/onoff_monitor.hpp"
+#include "core/sharded_monitor.hpp"
+
+namespace ranm {
+namespace {
+
+/// Reachable nodes of `root` in deterministic (discovery) order.
+std::vector<bdd::NodeRef> reachable(const bdd::BddManager& mgr,
+                                    bdd::NodeRef root) {
+  std::vector<bdd::NodeRef> order;
+  std::vector<bool> seen(mgr.arena_size(), false);
+  std::vector<bdd::NodeRef> stack{root};
+  while (!stack.empty()) {
+    const bdd::NodeRef n = stack.back();
+    stack.pop_back();
+    if (seen[n]) continue;
+    seen[n] = true;
+    order.push_back(n);
+    if (n != bdd::kFalse && n != bdd::kTrue) {
+      const auto v = mgr.view(n);
+      stack.push_back(v.hi);
+      stack.push_back(v.lo);
+    }
+  }
+  return order;
+}
+
+/// Emits one BDD's nodes and edges with every node id prefixed; labels
+/// match BddManager::to_dot_profiled (hit count + integer per-mille rate,
+/// /oranges9 shading for hot nodes).
+void emit_bdd(std::ostringstream& out, const bdd::BddManager& mgr,
+              bdd::NodeRef root, std::uint64_t queries,
+              const std::string& prefix, const std::string& indent) {
+  out << indent << prefix << "0 [label=\"0\", shape=box];\n";
+  out << indent << prefix << "1 [label=\"1\", shape=box];\n";
+  for (const bdd::NodeRef n : reachable(mgr, root)) {
+    if (n == bdd::kFalse || n == bdd::kTrue) continue;
+    const auto v = mgr.view(n);
+    const std::uint64_t h = mgr.node_hits(n);
+    out << indent << prefix << n << " [label=\"x" << v.var << "\\n" << h;
+    if (queries > 0) {
+      const std::uint64_t permille = (h * 1000) / queries;
+      out << " (" << (permille / 10) << "." << (permille % 10) << "%)";
+      const std::uint64_t step = std::min<std::uint64_t>(permille / 112, 8);
+      if (step > 0) {
+        out << "\", style=filled, fillcolor=\"/oranges9/" << step + 1;
+      }
+    }
+    out << "\"];\n";
+    out << indent << prefix << n << " -> " << prefix << v.lo
+        << " [style=dashed];\n";
+    out << indent << prefix << n << " -> " << prefix << v.hi << ";\n";
+  }
+}
+
+/// Extracts (manager, root) from a flat BDD monitor, null for others.
+struct FlatBdd {
+  const bdd::BddManager* mgr = nullptr;
+  bdd::NodeRef root = bdd::kFalse;
+};
+
+FlatBdd flat_bdd(const Monitor& m) {
+  if (const auto* oo = dynamic_cast<const OnOffMonitor*>(&m)) {
+    return {&oo->manager(), oo->root()};
+  }
+  if (const auto* iv = dynamic_cast<const IntervalMonitor*>(&m)) {
+    return {&iv->manager(), iv->root()};
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string monitor_to_dot(const Monitor& monitor) {
+  if (const FlatBdd flat = flat_bdd(monitor); flat.mgr != nullptr) {
+    return flat.mgr->to_dot_profiled(flat.root, monitor.profile_queries());
+  }
+  const auto* sm = dynamic_cast<const ShardedMonitor*>(&monitor);
+  if (sm == nullptr) {
+    throw std::invalid_argument(
+        "monitor_to_dot: monitor family has no BDD to render: " +
+        monitor.describe());
+  }
+  std::ostringstream out;
+  out << "digraph bdd {\n";
+  for (std::size_t s = 0; s < sm->shard_count(); ++s) {
+    const FlatBdd flat = flat_bdd(sm->shard(s));
+    if (flat.mgr == nullptr) {
+      throw std::invalid_argument(
+          "monitor_to_dot: sharded monitor's inner family has no BDD: " +
+          sm->shard(s).describe());
+    }
+    out << "  subgraph cluster_s" << s << " {\n";
+    out << "    label=\"shard " << s << "\";\n";
+    std::string prefix = "s";
+    prefix += std::to_string(s);
+    prefix += "_n";
+    emit_bdd(out, *flat.mgr, flat.root, sm->shard(s).profile_queries(),
+             prefix, "    ");
+    out << "  }\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace ranm

@@ -1,0 +1,21 @@
+// Graphviz rendering of BDD-backed monitors (`ranm_cli info --dot`).
+//
+// Flat on-off/interval monitors render as one digraph; sharded monitors
+// render as one digraph with a subgraph cluster per shard (node ids
+// prefixed s<k>_ so the shards' arenas cannot collide). When the monitor
+// carries profile counts (see Monitor::set_profiling), every internal
+// node is annotated with its hit count and per-mille hit rate and hot
+// nodes are shaded — the visual companion of `ranm_cli optimize`.
+#pragma once
+
+#include <string>
+
+#include "core/monitor.hpp"
+
+namespace ranm {
+
+/// Renders the monitor's BDD(s) as a graphviz digraph. Throws
+/// std::invalid_argument for families without a BDD (min-max).
+[[nodiscard]] std::string monitor_to_dot(const Monitor& monitor);
+
+}  // namespace ranm

@@ -6,16 +6,20 @@
 namespace ranm {
 namespace {
 
-// bits[j * n + i] = 1-bit code of sample i at neuron j. Neuron-major sweep:
-// each threshold is loaded once and applied to a contiguous batch row.
-void fill_bit_matrix(const ThresholdSpec& spec, const FeatureBatch& batch,
+// bits[level_of_slot[j] * n + i] = 1-bit code of sample i at neuron j.
+// Neuron-major sweep: each threshold is loaded once and applied to a
+// contiguous batch row. Rows are indexed by BDD level so the eval_batch
+// lookup is order-free.
+void fill_bit_matrix(const ThresholdSpec& spec,
+                     std::span<const std::uint32_t> level_of_slot,
+                     const FeatureBatch& batch,
                      std::vector<std::uint8_t>& bits) {
   const std::size_t n = batch.size();
   bits.resize(spec.dimension() * n);
   for (std::size_t j = 0; j < spec.dimension(); ++j) {
     const Threshold t = spec.thresholds(j).front();
     const auto row = batch.neuron(j);
-    std::uint8_t* dst = bits.data() + j * n;
+    std::uint8_t* dst = bits.data() + std::size_t(level_of_slot[j]) * n;
     if (t.inclusive_below) {
       for (std::size_t i = 0; i < n; ++i) dst[i] = row[i] > t.value ? 1 : 0;
     } else {
@@ -29,11 +33,72 @@ void fill_bit_matrix(const ThresholdSpec& spec, const FeatureBatch& batch,
 OnOffMonitor::OnOffMonitor(ThresholdSpec spec)
     : spec_(std::move(spec)),
       mgr_(static_cast<std::uint32_t>(spec_.dimension())),
-      set_(bdd::kFalse) {
+      set_(bdd::kFalse),
+      vars_(spec_.dimension()) {
   if (spec_.bits() != 1) {
     throw std::invalid_argument(
         "OnOffMonitor: threshold spec must be 1 bit per neuron");
   }
+  for (std::size_t j = 0; j < vars_.size(); ++j) {
+    vars_[j] = static_cast<std::uint32_t>(j);
+  }
+  refresh_order_tables();
+}
+
+void OnOffMonitor::refresh_order_tables() {
+  slot_of_level_.assign(vars_.size(), 0);
+  std::vector<bool> seen(vars_.size(), false);
+  for (std::size_t j = 0; j < vars_.size(); ++j) {
+    const std::uint32_t lvl = vars_[j];
+    if (lvl >= vars_.size() || seen[lvl]) {
+      throw std::invalid_argument(
+          "OnOffMonitor: variable order is not a permutation");
+    }
+    seen[lvl] = true;
+    slot_of_level_[lvl] = static_cast<std::uint32_t>(j);
+  }
+}
+
+bool OnOffMonitor::has_custom_order() const noexcept {
+  for (std::size_t j = 0; j < vars_.size(); ++j) {
+    if (vars_[j] != j) return true;
+  }
+  return false;
+}
+
+void OnOffMonitor::apply_variable_order(
+    std::vector<std::uint32_t> level_of_slot) {
+  if (set_ != bdd::kFalse) {
+    throw std::logic_error(
+        "OnOffMonitor::apply_variable_order: monitor not empty");
+  }
+  if (level_of_slot.size() != vars_.size()) {
+    throw std::invalid_argument(
+        "OnOffMonitor::apply_variable_order: size mismatch");
+  }
+  vars_ = std::move(level_of_slot);
+  refresh_order_tables();
+}
+
+void OnOffMonitor::adopt_reordered(std::vector<std::uint32_t> level_of_slot,
+                                   bdd::BddManager mgr, bdd::NodeRef root) {
+  if (level_of_slot.size() != vars_.size() ||
+      mgr.num_vars() != mgr_.num_vars()) {
+    throw std::invalid_argument(
+        "OnOffMonitor::adopt_reordered: shape mismatch");
+  }
+  vars_ = std::move(level_of_slot);
+  refresh_order_tables();
+  mgr_ = std::move(mgr);
+  set_ = root;
+}
+
+std::uint64_t OnOffMonitor::profile_hits() const noexcept {
+  std::uint64_t total = 0;
+  for (bdd::NodeRef n = 2; n < mgr_.arena_size(); ++n) {
+    total += mgr_.node_hits(n);
+  }
+  return total;
 }
 
 void OnOffMonitor::observe(std::span<const float> feature) {
@@ -42,8 +107,8 @@ void OnOffMonitor::observe(std::span<const float> feature) {
   }
   std::vector<bdd::CubeBit> bits(dimension());
   for (std::size_t j = 0; j < dimension(); ++j) {
-    bits[j] = spec_.code(j, feature[j]) == 1 ? bdd::CubeBit::kOne
-                                             : bdd::CubeBit::kZero;
+    bits[vars_[j]] = spec_.code(j, feature[j]) == 1 ? bdd::CubeBit::kOne
+                                                    : bdd::CubeBit::kZero;
   }
   set_ = mgr_.or_(set_, mgr_.cube(bits));
 }
@@ -57,9 +122,9 @@ void OnOffMonitor::observe_bounds(std::span<const float> lo,
   for (std::size_t j = 0; j < dimension(); ++j) {
     const auto [clo, chi] = spec_.code_range(j, lo[j], hi[j]);
     if (clo == chi) {
-      bits[j] = clo == 1 ? bdd::CubeBit::kOne : bdd::CubeBit::kZero;
+      bits[vars_[j]] = clo == 1 ? bdd::CubeBit::kOne : bdd::CubeBit::kZero;
     } else {
-      bits[j] = bdd::CubeBit::kDontCare;  // word2set resolves both values
+      bits[vars_[j]] = bdd::CubeBit::kDontCare;  // word2set resolves both
     }
   }
   set_ = mgr_.or_(set_, mgr_.cube(bits));
@@ -71,7 +136,7 @@ bool OnOffMonitor::contains(std::span<const float> feature) const {
   }
   std::vector<bool> assignment(dimension());
   for (std::size_t j = 0; j < dimension(); ++j) {
-    assignment[j] = spec_.code(j, feature[j]) == 1;
+    assignment[vars_[j]] = spec_.code(j, feature[j]) == 1;
   }
   return mgr_.eval(set_, assignment);
 }
@@ -82,12 +147,13 @@ void OnOffMonitor::observe_batch(const FeatureBatch& batch) {
   const std::size_t d = dimension();
   if (n == 0) return;
   std::vector<std::uint8_t> bits;
-  fill_bit_matrix(spec_, batch, bits);
-  // One cube scratch buffer for the whole batch.
+  fill_bit_matrix(spec_, vars_, batch, bits);
+  // One cube scratch buffer for the whole batch. The matrix rows are
+  // level-indexed, matching the cube's variable indexing directly.
   std::vector<bdd::CubeBit> cube(d);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < d; ++j) {
-      cube[j] = bits[j * n + i] != 0 ? bdd::CubeBit::kOne
+    for (std::size_t v = 0; v < d; ++v) {
+      cube[v] = bits[v * n + i] != 0 ? bdd::CubeBit::kOne
                                      : bdd::CubeBit::kZero;
     }
     set_ = mgr_.or_(set_, mgr_.cube(cube));
@@ -134,13 +200,14 @@ void OnOffMonitor::contains_batch(const FeatureBatch& batch,
     for (std::size_t i = 0; i < n; ++i) {
       batch.copy_sample(i, sample);
       out[i] = mgr_.eval_with(set_, [this, &sample](std::uint32_t var) {
-        return spec_.code(var, sample[var]) == 1;
+        const std::uint32_t j = slot_of_level_[var];
+        return spec_.code(j, sample[j]) == 1;
       });
     }
     return;
   }
   std::vector<std::uint8_t> bits;
-  fill_bit_matrix(spec_, batch, bits);
+  fill_bit_matrix(spec_, vars_, batch, bits);
   const std::uint8_t* b = bits.data();
   mgr_.eval_batch(
       set_, n,
@@ -182,9 +249,12 @@ std::optional<unsigned> OnOffMonitor::hamming_distance(
     std::span<const float> feature, unsigned max_radius) const {
   if (set_ == bdd::kFalse) return std::nullopt;
   const std::vector<bool> bits = pattern(feature);
+  // min_hamming_distance wants the point indexed by BDD variable.
+  std::vector<bool> point(bits.size());
+  for (std::size_t j = 0; j < bits.size(); ++j) point[vars_[j]] = bits[j];
   // Exact shortest-path DP over the BDD: O(nodes) per query, no set
   // expansion (which blows up combinatorially on large pattern sets).
-  const auto d = mgr_.min_hamming_distance(set_, bits);
+  const auto d = mgr_.min_hamming_distance(set_, point);
   if (!d || *d > max_radius) return std::nullopt;
   return *d;
 }

@@ -81,7 +81,12 @@ void ShardedMonitor::set_threads(std::size_t threads) {
 
 void ShardedMonitor::for_each_shard(
     const std::function<void(std::size_t)>& body) const {
-  if (pool_) {
+  for_each_shard(body, true);
+}
+
+void ShardedMonitor::for_each_shard(
+    const std::function<void(std::size_t)>& body, bool parallel) const {
+  if (pool_ && parallel) {
     pool_->parallel_for(shards_.size(), body);
   } else {
     for (std::size_t s = 0; s < shards_.size(); ++s) body(s);
@@ -191,10 +196,12 @@ void ShardedMonitor::contains_batch(const FeatureBatch& batch,
     rows_scratch_ = std::make_unique<bool[]>(rows_capacity_);
   }
   bool* rows_ptr = rows_scratch_.get();
-  for_each_shard([this, &batch, rows_ptr, n](std::size_t s) {
-    shards_[s]->contains_batch(batch.view_rows(plan_.neurons(s)),
-                               {rows_ptr + s * n, n});
-  });
+  for_each_shard(
+      [this, &batch, rows_ptr, n](std::size_t s) {
+        shards_[s]->contains_batch(batch.view_rows(plan_.neurons(s)),
+                                   {rows_ptr + s * n, n});
+      },
+      /*parallel=*/n >= kMinPoolBatch);
   for (std::size_t i = 0; i < n; ++i) out[i] = rows_ptr[i];
   for (std::size_t s = 1; s < shards_.size(); ++s) {
     const bool* row = rows_ptr + s * n;
@@ -212,6 +219,46 @@ const Monitor& ShardedMonitor::shard(std::size_t s) const {
 Monitor& ShardedMonitor::shard(std::size_t s) {
   if (s >= shards_.size()) throw std::out_of_range("ShardedMonitor::shard");
   return *shards_[s];
+}
+
+void ShardedMonitor::replace_shard(std::size_t s,
+                                   std::unique_ptr<Monitor> monitor) {
+  if (s >= shards_.size()) {
+    throw std::out_of_range("ShardedMonitor::replace_shard");
+  }
+  if (!monitor) {
+    throw std::invalid_argument(
+        "ShardedMonitor::replace_shard: null monitor");
+  }
+  if (monitor->dimension() != plan_.neurons(s).size()) {
+    throw std::invalid_argument(
+        "ShardedMonitor::replace_shard: dimension does not match shard " +
+        std::to_string(s));
+  }
+  shards_[s] = std::move(monitor);
+}
+
+void ShardedMonitor::set_profiling(bool enabled) {
+  for (auto& m : shards_) m->set_profiling(enabled);
+}
+
+bool ShardedMonitor::profiling() const noexcept {
+  for (const auto& m : shards_) {
+    if (m->profiling()) return true;
+  }
+  return false;
+}
+
+std::uint64_t ShardedMonitor::profile_queries() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& m : shards_) total += m->profile_queries();
+  return total;
+}
+
+std::uint64_t ShardedMonitor::profile_hits() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& m : shards_) total += m->profile_hits();
+  return total;
 }
 
 namespace {
@@ -249,6 +296,8 @@ std::vector<ShardedMonitor::ShardStats> ShardedMonitor::shard_stats() const {
     st.bdd_nodes = inner_bdd_nodes(*shards_[s]);
     st.cubes_inserted = observations_;
     st.patterns = inner_patterns(*shards_[s]);
+    st.profile_queries = shards_[s]->profile_queries();
+    st.profile_hits = shards_[s]->profile_hits();
     st.description = shards_[s]->describe();
     stats.push_back(std::move(st));
   }

@@ -88,6 +88,10 @@ class ShardedMonitor final : public Monitor {
   }
   [[nodiscard]] const Monitor& shard(std::size_t s) const;
   [[nodiscard]] Monitor& shard(std::size_t s);
+  /// Swaps in a rebuilt inner monitor (the offline optimize pass rebuilds
+  /// each shard's BDD under a new variable order). The replacement must
+  /// match the shard's neuron-group dimension.
+  void replace_shard(std::size_t s, std::unique_ptr<Monitor> monitor);
 
   /// Construction steps folded in so far. Every step inserts one
   /// abstraction (for BDD shards: one cube) into each shard.
@@ -101,15 +105,32 @@ class ShardedMonitor final : public Monitor {
     std::size_t bdd_nodes = 0;      // reachable BDD nodes (0: no BDD)
     std::size_t cubes_inserted = 0; // construction steps folded in
     double patterns = 0.0;          // stored words (-1: not pattern-based)
+    std::uint64_t profile_queries = 0;  // profiled membership queries
+    std::uint64_t profile_hits = 0;     // profiled BDD node visits
     std::string description;        // inner monitor describe()
   };
   [[nodiscard]] std::vector<ShardStats> shard_stats() const;
   /// Sum of reachable BDD nodes across shards (0 for non-BDD families).
   [[nodiscard]] std::size_t total_bdd_nodes() const;
 
+  // ---- profiling (forwarded to every shard) ------------------------------
+  void set_profiling(bool enabled) override;
+  [[nodiscard]] bool profiling() const noexcept override;
+  [[nodiscard]] std::uint64_t profile_queries() const noexcept override;
+  [[nodiscard]] std::uint64_t profile_hits() const noexcept override;
+
  private:
+  /// Below this batch size the shard fan-out runs inline even when a pool
+  /// is configured: waking workers costs more than the queries themselves
+  /// (the satellite fix for the compiled/sharded batch-1 regressions).
+  static constexpr std::size_t kMinPoolBatch = 32;
+
   /// Runs body(s) for every shard, on the pool when one is configured.
   void for_each_shard(const std::function<void(std::size_t)>& body) const;
+  /// Same, but runs inline when the per-shard work is below the pool
+  /// grain (`parallel` false).
+  void for_each_shard(const std::function<void(std::size_t)>& body,
+                      bool parallel) const;
   /// Gathers feature's projection onto shard s into `scratch`.
   void gather(std::span<const float> feature, std::size_t s,
               std::vector<float>& scratch) const;
