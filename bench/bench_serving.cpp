@@ -1,20 +1,29 @@
 // Serving-layer cost: what does answering membership through the daemon
-// add over the in-process pipeline, and how does it amortise with batch
-// size? Deployment monitors run next to a live DNN, so the number that
-// matters is sustained queries/s and tail latency at the frame sizes the
-// vehicle actually produces.
+// add over the in-process pipeline, how does it amortise with batch
+// size, and how does aggregate throughput behave under concurrent load?
+// Deployment monitors run next to a live DNN, so the numbers that matter
+// are sustained queries/s and tail latency at the frame sizes the vehicle
+// actually produces.
 //
-// Two paths per batch size, both against the same MonitorService:
+// Three single-client paths per batch size, all against the same
+// MonitorService artifacts:
 //
 //   direct — MonitorService::query_warns called in-process (the serving
 //            core with zero transport cost)
-//   socket — the full wire path: frame encode -> Unix socket -> server
-//            thread -> decode -> query -> reply (what `ranm query` pays)
+//   socket — the full wire path: frame encode -> Unix socket -> epoll
+//            loop -> query -> reply (what `ranm query` pays)
+//   tcp    — the same through the TCP listener (loopback, TCP_NODELAY)
 //
-// for a flat interval monitor and a 4-shard ShardedMonitor. Results are
-// printed as a table and written as BENCH_serving.json (or argv[1]):
-// queries/s, samples/s, p50/p99 request latency vs batch size.
-// RANM_SMOKE=1 shrinks the sweep for CI smoke runs.
+// plus a closed-loop load mode: C concurrent clients, each with its own
+// connection, against a server with N worker replicas — aggregate
+// queries/s and p50/p99/p999 latency as offered load and worker count
+// vary. Results are printed as a table and written as BENCH_serving.json
+// (or argv[1]). RANM_SMOKE=1 shrinks the sweep for CI smoke runs.
+//
+// NOTE on hardware: this container exposes 1 CPU, so worker scaling is
+// handoff-overhead-bound here — the (workers, clients) grid measures the
+// architecture honestly on this box; on multi-core hosts the replicas
+// run truly in parallel.
 #include <unistd.h>
 
 #include <algorithm>
@@ -32,7 +41,7 @@
 #include "nn/init.hpp"
 #include "serve/client.hpp"
 #include "serve/monitor_service.hpp"
-#include "serve/socket_server.hpp"
+#include "serve/server.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -83,24 +92,46 @@ struct Fixture {
 
 struct Measurement {
   std::string monitor;
-  std::string mode;  // "direct" | "socket"
+  std::string mode;  // "direct" | "socket" | "tcp" | "load"
   std::size_t batch_size = 0;
   std::size_t requests = 0;
+  std::size_t workers = 0;  // 0: in-process (no server)
+  std::size_t clients = 1;
   double queries_per_s = 0.0;
   double samples_per_s = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  double p999_ms = 0.0;
 };
 
 /// Keeps verdicts observable so the compiler cannot drop the loops.
 std::size_t g_sink = 0;
 
-/// Drives `request(batch_span)` `requests` times and extracts the
-/// latency distribution.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = std::min(
+      sorted.size() - 1, std::size_t(q * double(sorted.size())));
+  return sorted[idx];
+}
+
+void fill_latencies(Measurement& m, std::vector<double>& latencies_ms,
+                    double secs) {
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  m.requests = latencies_ms.size();
+  m.queries_per_s =
+      secs > 0.0 ? double(latencies_ms.size()) / secs : 0.0;
+  m.samples_per_s = m.queries_per_s * double(m.batch_size);
+  m.p50_ms = percentile(latencies_ms, 0.50);
+  m.p99_ms = percentile(latencies_ms, 0.99);
+  m.p999_ms = percentile(latencies_ms, 0.999);
+}
+
+/// Drives `request(batch_span)` `requests` times on this thread and
+/// extracts the latency distribution.
 template <typename Fn>
 Measurement sweep(const Fixture& fx, const std::string& monitor,
-                  const std::string& mode, std::size_t batch,
-                  std::size_t requests, Fn&& request) {
+                  const std::string& mode, std::size_t workers,
+                  std::size_t batch, std::size_t requests, Fn&& request) {
   const std::span<const Tensor> inputs(fx.pool.data(),
                                        std::min(batch, fx.pool.size()));
   (void)request(inputs);  // warmup
@@ -114,16 +145,70 @@ Measurement sweep(const Fixture& fx, const std::string& monitor,
   }
   const double secs = total.seconds();
 
-  std::sort(latencies_ms.begin(), latencies_ms.end());
   Measurement m;
   m.monitor = monitor;
   m.mode = mode;
-  m.batch_size = batch;
-  m.requests = requests;
-  m.queries_per_s = secs > 0.0 ? double(requests) / secs : 0.0;
-  m.samples_per_s = secs > 0.0 ? double(requests * batch) / secs : 0.0;
-  m.p50_ms = latencies_ms[latencies_ms.size() / 2];
-  m.p99_ms = latencies_ms[(latencies_ms.size() * 99) / 100];
+  m.batch_size = inputs.size();
+  m.workers = workers;
+  m.clients = 1;
+  fill_latencies(m, latencies_ms, secs);
+  return m;
+}
+
+/// Closed-loop load: `clients` threads, each with its own connection,
+/// each issuing `per_client` queries of `batch` samples back to back
+/// against a server with `workers` replicas. Aggregate throughput and the
+/// merged latency distribution.
+Measurement load_sweep(const Fixture& fx, serve::MonitorService& service,
+                       const std::string& monitor, std::size_t workers,
+                       std::size_t clients, std::size_t batch,
+                       std::size_t per_client) {
+  serve::ServerConfig config;
+  config.unix_path =
+      "/tmp/ranm_bench_" + std::to_string(::getpid()) + "_load.sock";
+  config.workers = workers;
+  serve::Server server(service, config);
+  std::thread server_thread([&server] { server.run(); });
+
+  const std::span<const Tensor> inputs(fx.pool.data(),
+                                       std::min(batch, fx.pool.size()));
+  std::vector<std::vector<double>> per_client_lat(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  Timer total;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::ServeClient client(server.unix_path());
+      std::vector<std::uint8_t> warns;
+      client.query_warns_into(inputs, warns);  // warmup + connect
+      auto& lat = per_client_lat[c];
+      lat.reserve(per_client);
+      for (std::size_t r = 0; r < per_client; ++r) {
+        Timer timer;
+        client.query_warns_into(inputs, warns);
+        lat.push_back(timer.millis());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double secs = total.seconds();
+  server.stop();
+  server_thread.join();
+
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(clients * per_client);
+  for (auto& lat : per_client_lat) {
+    latencies_ms.insert(latencies_ms.end(), lat.begin(), lat.end());
+    g_sink += lat.size();
+  }
+
+  Measurement m;
+  m.monitor = monitor;
+  m.mode = "load";
+  m.batch_size = inputs.size();
+  m.workers = workers;
+  m.clients = clients;
+  fill_latencies(m, latencies_ms, secs);
   return m;
 }
 
@@ -131,11 +216,12 @@ std::string json_row(const Measurement& m) {
   std::ostringstream out;
   out << "{\"monitor\": \"" << m.monitor << "\", \"mode\": \"" << m.mode
       << "\", \"batch_size\": " << m.batch_size
+      << ", \"workers\": " << m.workers << ", \"clients\": " << m.clients
       << ", \"requests\": " << m.requests
       << ", \"queries_per_s\": " << m.queries_per_s
       << ", \"samples_per_s\": " << m.samples_per_s
       << ", \"p50_ms\": " << m.p50_ms << ", \"p99_ms\": " << m.p99_ms
-      << "}";
+      << ", \"p999_ms\": " << m.p999_ms << "}";
   return out.str();
 }
 
@@ -164,30 +250,48 @@ int run(int argc, char** argv) {
                                        {"interval_s4", 4, 2}};
 
   for (const Config& cfg : configs) {
-    serve::MonitorService service(fx.clone_net(), fx.build_monitor(cfg.shards),
-                                  fx.k, cfg.threads);
+    serve::MonitorService service(fx.clone_net(),
+                                  fx.build_monitor(cfg.shards), fx.k,
+                                  cfg.threads);
 
     // In-process path: the serving core with zero transport cost.
+    std::vector<std::uint8_t> direct_scratch;
     for (const std::size_t batch : batches) {
       results.push_back(sweep(
-          fx, cfg.name, "direct", batch, requests_for(batch),
-          [&service](std::span<const Tensor> inputs) {
-            return service.query_warns(inputs).size();
+          fx, cfg.name, "direct", 0, batch, requests_for(batch),
+          [&service,
+           &direct_scratch](std::span<const Tensor> inputs) {
+            service.query_warns_into(inputs, direct_scratch);
+            return direct_scratch.size();
           }));
     }
 
-    // Wire path: same service behind the socket server, one client.
-    const std::string socket_path =
+    // Wire paths: one inline worker (no handoff), one client, over the
+    // Unix socket and over loopback TCP.
+    serve::ServerConfig server_config;
+    server_config.unix_path =
         "/tmp/ranm_bench_" + std::to_string(::getpid()) + ".sock";
-    serve::SocketServer server(service, socket_path);
+    server_config.tcp = true;  // ephemeral port
+    serve::Server server(service, server_config);
     std::thread server_thread([&server] { server.run(); });
     {
-      serve::ServeClient client(socket_path);
+      serve::ServeClient unix_client(server.unix_path());
+      std::vector<std::uint8_t> scratch;
       for (const std::size_t batch : batches) {
         results.push_back(sweep(
-            fx, cfg.name, "socket", batch, requests_for(batch),
-            [&client](std::span<const Tensor> inputs) {
-              return client.query_warns(inputs).size();
+            fx, cfg.name, "socket", 1, batch, requests_for(batch),
+            [&unix_client, &scratch](std::span<const Tensor> inputs) {
+              unix_client.query_warns_into(inputs, scratch);
+              return scratch.size();
+            }));
+      }
+      serve::ServeClient tcp_client("127.0.0.1", server.tcp_port());
+      for (const std::size_t batch : batches) {
+        results.push_back(sweep(
+            fx, cfg.name, "tcp", 1, batch, requests_for(batch),
+            [&tcp_client, &scratch](std::span<const Tensor> inputs) {
+              tcp_client.query_warns_into(inputs, scratch);
+              return scratch.size();
             }));
       }
     }
@@ -195,17 +299,41 @@ int run(int argc, char** argv) {
     server_thread.join();
   }
 
+  // Closed-loop load grid: C clients x N worker replicas on the flat
+  // monitor (replica parallelism is the subject; shard threads stay out).
+  {
+    serve::MonitorService service(fx.clone_net(), fx.build_monitor(1),
+                                  fx.k, 1);
+    struct LoadPoint {
+      std::size_t workers, clients;
+    };
+    const std::vector<LoadPoint> grid =
+        smoke ? std::vector<LoadPoint>{{1, 2}, {2, 2}}
+              : std::vector<LoadPoint>{
+                    {1, 1}, {1, 4}, {2, 4}, {4, 4}, {4, 8}};
+    const std::size_t load_batch = 32;
+    const std::size_t per_client = smoke ? 6 : 300;
+    for (const LoadPoint& point : grid) {
+      results.push_back(load_sweep(fx, service, "interval", point.workers,
+                                   point.clients, load_batch,
+                                   per_client));
+    }
+  }
+
   TextTable table("serving throughput and latency");
-  table.set_header({"monitor", "mode", "batch", "queries/s", "samples/s",
-                    "p50 ms", "p99 ms"});
+  table.set_header({"monitor", "mode", "batch", "workers", "clients",
+                    "queries/s", "samples/s", "p50 ms", "p99 ms",
+                    "p99.9 ms"});
   std::vector<std::string> rows;
   rows.reserve(results.size());
   for (const Measurement& m : results) {
     table.add_row({m.monitor, m.mode, std::to_string(m.batch_size),
+                   std::to_string(m.workers), std::to_string(m.clients),
                    TextTable::num(m.queries_per_s, 0),
                    TextTable::num(m.samples_per_s, 0),
                    TextTable::num(m.p50_ms, 4),
-                   TextTable::num(m.p99_ms, 4)});
+                   TextTable::num(m.p99_ms, 4),
+                   TextTable::num(m.p999_ms, 4)});
     rows.push_back(json_row(m));
   }
   table.print();

@@ -22,6 +22,12 @@ on any row matched between baseline and fresh, the script exits 1. Use it
 for metrics that are deterministic across run shapes — e.g. bdd_nodes,
 which depends only on the seeded workload, never on timer noise.
 
+--fail-increase-matching-smoke METRIC[:PCT] (repeatable) is the same gate
+but only enforced when the baseline and fresh reports have the same smoke
+flag. Use it for timing metrics (e.g. p99_ms): comparing a committed full
+run against a CI smoke run is noise, but two runs of the same shape
+regressing by a wide margin is a real signal.
+
 Stdlib only — no pip dependencies.
 """
 
@@ -33,7 +39,8 @@ from pathlib import Path
 # Fields that identify a row even though they are numeric: sweeps are keyed
 # by these, so a delta between batch sizes would be meaningless.
 IDENTITY_NUMERIC = {"batch_size", "shards", "threads", "bits", "samples",
-                    "dim", "kp", "hidden_layers", "train_size"}
+                    "dim", "kp", "hidden_layers", "train_size", "workers",
+                    "clients"}
 # Run-shape metadata: differs between smoke and full runs by design, and a
 # delta on it is noise — excluded from both identity and metrics.
 IGNORED = {"requests"}
@@ -80,13 +87,17 @@ def parse_fail_rules(specs):
     return rules
 
 
-def diff_report(name, baseline, fresh, threshold, fail_rules):
+def diff_report(name, baseline, fresh, threshold, fail_rules,
+                matching_smoke_rules):
     failures = []
     lines = []
-    if baseline.get("smoke") != fresh.get("smoke"):
+    smoke_matches = baseline.get("smoke") == fresh.get("smoke")
+    if not smoke_matches:
         lines.append(
             f"  note: smoke flags differ (baseline={baseline.get('smoke')}, "
             f"fresh={fresh.get('smoke')}) — absolute deltas are expected")
+    if smoke_matches and matching_smoke_rules:
+        fail_rules = {**matching_smoke_rules, **fail_rules}
 
     base_rows = {row_identity(r): r for r in baseline.get("results", [])}
     fresh_rows = {row_identity(r): r for r in fresh.get("results", [])}
@@ -146,8 +157,14 @@ def main():
                         help="exit 1 if METRIC increases by more than PCT "
                              "percent (default 0) on any matched row; "
                              "repeatable")
+    parser.add_argument("--fail-increase-matching-smoke", action="append",
+                        default=[], metavar="METRIC[:PCT]",
+                        help="like --fail-increase, but only enforced when "
+                             "baseline and fresh have the same smoke flag "
+                             "(for timing metrics); repeatable")
     args = parser.parse_args()
     fail_rules = parse_fail_rules(args.fail_increase)
+    matching_smoke_rules = parse_fail_rules(args.fail_increase_matching_smoke)
 
     names = sorted({p.name for p in args.baseline_dir.glob("BENCH_*.json")} |
                    {p.name for p in args.fresh_dir.glob("BENCH_*.json")})
@@ -169,7 +186,8 @@ def main():
         try:
             failures += diff_report(name, load_report(base_path),
                                     load_report(fresh_path),
-                                    args.threshold, fail_rules)
+                                    args.threshold, fail_rules,
+                                    matching_smoke_rules)
         except (json.JSONDecodeError, OSError) as err:
             print(f"bench_diff: cannot read {name}: {err}", file=sys.stderr)
             failed = True

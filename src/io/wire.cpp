@@ -1,5 +1,7 @@
 #include "io/wire.hpp"
 
+#include <cstring>
+
 namespace ranm::io {
 
 std::uint64_t read_dim_u64(std::istream& in) {
@@ -68,6 +70,68 @@ std::string read_string(std::istream& in, std::uint64_t max_len) {
   in.read(s.data(), static_cast<std::streamsize>(len));
   if (!in) throw std::runtime_error("ranm::io: truncated string");
   return s;
+}
+
+void ByteView::read_bytes(char* dst, std::size_t len) {
+  if (remaining() < len) {
+    throw std::runtime_error("ranm::io: truncated stream");
+  }
+  std::memcpy(dst, cur_, len);
+  cur_ += len;
+}
+
+std::uint64_t ByteView::read_dim_u64() {
+  const std::uint64_t v = read_u64();
+  if (v > kMaxLoadElems) {
+    throw std::runtime_error("ranm::io: implausible dimension");
+  }
+  return v;
+}
+
+Shape ByteView::read_shape() {
+  const std::uint64_t rank = read_u64();
+  if (rank > 8) throw std::runtime_error("ranm::io: implausible tensor rank");
+  Shape shape(rank);
+  std::uint64_t numel = 1;
+  for (auto& d : shape) {
+    const std::uint64_t v = read_dim_u64();
+    numel = bounded_numel({numel, v});
+    d = static_cast<std::size_t>(v);
+  }
+  return shape;
+}
+
+Tensor ByteView::read_tensor() {
+  Shape shape = read_shape();  // dimensions and element count bounded there
+  Tensor t(std::move(shape));
+  read_bytes(reinterpret_cast<char*>(t.data()), t.numel() * sizeof(float));
+  return t;
+}
+
+std::string ByteView::read_string(std::uint64_t max_len) {
+  const std::uint64_t len = read_u64();
+  if (len > max_len) {
+    throw std::runtime_error("ranm::io: implausible string length");
+  }
+  std::string s(static_cast<std::size_t>(len), '\0');
+  read_bytes(s.data(), s.size());
+  return s;
+}
+
+void append_shape(std::string& out, const Shape& shape) {
+  append_u64(out, shape.size());
+  for (const std::size_t d : shape) append_u64(out, d);
+}
+
+void append_tensor(std::string& out, const Tensor& t) {
+  append_shape(out, t.shape());
+  out.append(reinterpret_cast<const char*>(t.data()),
+             t.numel() * sizeof(float));
+}
+
+void append_string(std::string& out, std::string_view s) {
+  append_u64(out, s.size());
+  out.append(s.data(), s.size());
 }
 
 }  // namespace ranm::io

@@ -76,4 +76,64 @@ void write_string(std::ostream& out, std::string_view s);
 [[nodiscard]] std::string read_string(std::istream& in,
                                       std::uint64_t max_len);
 
+// ---- zero-copy variants for the serving hot path --------------------------
+//
+// The iostream primitives above are fine for artifact load/save (cold,
+// file-backed), but the serving layer decodes every request payload and
+// encodes every reply on the query hot path, where an istringstream means
+// one full payload copy plus stream overhead per frame. ByteView reads the
+// same wire format straight out of a caller-owned buffer with the same
+// bound checks; the append_* writers build the same bytes into a reusable
+// std::string. Formats are identical byte for byte — protocol_test pins
+// stream-encoded frames decoding through ByteView and vice versa.
+
+/// Bounded cursor over an in-memory wire buffer. Never owns the bytes;
+/// the viewed buffer must outlive the reader. Every read throws
+/// std::runtime_error on truncation, and every length or dimension is
+/// bounded before anything allocates from it.
+class ByteView {
+ public:
+  explicit ByteView(std::string_view data) noexcept
+      : cur_(data.data()), end_(data.data() + data.size()) {}
+
+  /// Bytes not yet consumed.
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return static_cast<std::size_t>(end_ - cur_);
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return cur_ == end_; }
+
+  template <typename T>
+  T read_pod() {
+    T v{};
+    read_bytes(reinterpret_cast<char*>(&v), sizeof v);
+    return v;
+  }
+  [[nodiscard]] std::uint32_t read_u32() { return read_pod<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t read_u64() { return read_pod<std::uint64_t>(); }
+  /// u64 bounded by kMaxLoadElems, mirroring read_dim_u64.
+  [[nodiscard]] std::uint64_t read_dim_u64();
+  [[nodiscard]] Shape read_shape();
+  [[nodiscard]] Tensor read_tensor();
+  [[nodiscard]] std::string read_string(std::uint64_t max_len);
+  void read_bytes(char* dst, std::size_t len);
+
+ private:
+  const char* cur_;
+  const char* end_;
+};
+
+template <typename T>
+void append_pod(std::string& out, const T& v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+inline void append_u32(std::string& out, std::uint32_t v) {
+  append_pod(out, v);
+}
+inline void append_u64(std::string& out, std::uint64_t v) {
+  append_pod(out, v);
+}
+void append_shape(std::string& out, const Shape& shape);
+void append_tensor(std::string& out, const Tensor& t);
+void append_string(std::string& out, std::string_view s);
+
 }  // namespace ranm::io

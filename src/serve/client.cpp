@@ -1,74 +1,64 @@
 #include "serve/client.hpp"
 
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <cstring>
-#include <stdexcept>
+#include <utility>
 
+#include "serve/endpoint.hpp"
 #include "serve/fd_frame.hpp"
 
 namespace ranm::serve {
 
-ServeClient::ServeClient(const std::string& socket_path) {
-  sockaddr_un addr{};
-  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
-    throw std::invalid_argument("ServeClient: socket path empty or longer "
-                                "than the sockaddr_un limit");
-  }
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) {
-    throw std::runtime_error(std::string("ServeClient: socket: ") +
-                             std::strerror(errno));
-  }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof addr) < 0) {
-    const int saved = errno;
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("ServeClient: cannot connect to " +
-                             socket_path + ": " + std::strerror(saved));
-  }
-}
+ServeClient::ServeClient(const std::string& socket_path)
+    : fd_(connect_unix(socket_path)) {}
+
+ServeClient::ServeClient(const std::string& host, std::uint16_t port)
+    : fd_(connect_tcp(host, port)) {}
 
 ServeClient::~ServeClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Frame ServeClient::round_trip(FrameType request, std::string_view payload,
-                              FrameType expected_reply) {
+const Frame& ServeClient::round_trip(FrameType request,
+                                     std::string_view payload,
+                                     FrameType expected_reply) {
   write_frame_fd(fd_, request, payload);
-  FdFrameResult result = read_frame_fd(fd_);
-  if (result.eof) {
+  if (read_frame_fd(fd_, reply_) != FdReadStatus::kFrame) {
     throw std::runtime_error("ServeClient: server closed the connection");
   }
-  if (result.frame.type == FrameType::kError) {
-    throw std::runtime_error("ServeClient: server error: " +
-                             decode_error(result.frame.payload));
+  if (reply_.type == FrameType::kOverloaded) {
+    throw ServerOverloadedError(decode_error(reply_.payload));
   }
-  if (result.frame.type != expected_reply) {
+  if (reply_.type == FrameType::kError) {
+    throw std::runtime_error("ServeClient: server error: " +
+                             decode_error(reply_.payload));
+  }
+  if (reply_.type != expected_reply) {
     throw std::runtime_error("ServeClient: unexpected reply frame type");
   }
-  return std::move(result.frame);
+  return reply_;
+}
+
+void ServeClient::query_warns_into(std::span<const Tensor> inputs,
+                                   std::vector<std::uint8_t>& warns) {
+  encode_query_into(scratch_, inputs);
+  const Frame& reply =
+      round_trip(FrameType::kQuery, scratch_, FrameType::kQueryReply);
+  decode_verdicts_into(reply.payload, warns);
+  if (warns.size() != inputs.size()) {
+    throw std::runtime_error("ServeClient: verdict count mismatch");
+  }
 }
 
 std::vector<std::uint8_t> ServeClient::query_warns(
     std::span<const Tensor> inputs) {
-  const Frame reply = round_trip(FrameType::kQuery, encode_query(inputs),
-                                 FrameType::kQueryReply);
-  std::vector<std::uint8_t> warns = decode_verdicts(reply.payload);
-  if (warns.size() != inputs.size()) {
-    throw std::runtime_error("ServeClient: verdict count mismatch");
-  }
+  std::vector<std::uint8_t> warns;
+  query_warns_into(inputs, warns);
   return warns;
 }
 
 ServiceStats ServeClient::stats() {
-  const Frame reply =
+  const Frame& reply =
       round_trip(FrameType::kStats, "", FrameType::kStatsReply);
   return decode_stats(reply.payload);
 }

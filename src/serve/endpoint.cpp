@@ -1,0 +1,234 @@
+#include "serve/endpoint.hpp"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace ranm::serve {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("ranm::serve: " + what + ": " +
+                           std::strerror(errno));
+}
+
+/// True iff a daemon is currently accepting on `addr` — a stale socket
+/// file from a crashed run refuses the probe connection instead.
+bool unix_socket_is_live(const sockaddr_un& addr) {
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (probe < 0) return false;
+  const bool live =
+      ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) == 0;
+  ::close(probe);
+  return live;
+}
+
+sockaddr_un make_unix_addr(const std::string& path, const char* who) {
+  sockaddr_un addr{};
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument(std::string(who) +
+                                ": socket path empty or longer than the "
+                                "sockaddr_un limit");
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0)),
+      unix_path_(std::move(other.unix_path_)),
+      bound_dev_(other.bound_dev_),
+      bound_ino_(other.bound_ino_) {
+  other.unix_path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+    unix_path_ = std::move(other.unix_path_);
+    other.unix_path_.clear();
+    bound_dev_ = other.bound_dev_;
+    bound_ino_ = other.bound_ino_;
+  }
+  return *this;
+}
+
+void Listener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  // Unlink only the socket file this listener bound (matched by inode):
+  // if another process replaced it meanwhile, leave theirs alone.
+  if (!unix_path_.empty()) {
+    struct stat st{};
+    if (::stat(unix_path_.c_str(), &st) == 0 && st.st_dev == bound_dev_ &&
+        st.st_ino == bound_ino_) {
+      ::unlink(unix_path_.c_str());
+    }
+    unix_path_.clear();
+  }
+}
+
+Listener listen_unix(const std::string& path) {
+  const sockaddr_un addr = make_unix_addr(path, "listen_unix");
+  // A stale socket file from a crashed run is replaced; one a live
+  // daemon is accepting on must not be silently stolen out from under it.
+  if (unix_socket_is_live(addr)) {
+    throw std::runtime_error("ranm::serve: " + path +
+                             " is already being served");
+  }
+  Listener listener;
+  listener.fd_ =
+      ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (listener.fd_ < 0) throw_errno("socket(unix)");
+  ::unlink(path.c_str());
+  if (::bind(listener.fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0) {
+    throw_errno("bind(" + path + ")");
+  }
+  listener.unix_path_ = path;
+  struct stat st{};
+  if (::stat(path.c_str(), &st) == 0) {
+    listener.bound_dev_ = st.st_dev;
+    listener.bound_ino_ = st.st_ino;
+  }
+  if (::listen(listener.fd_, SOMAXCONN) < 0) {
+    throw_errno("listen(" + path + ")");
+  }
+  return listener;
+}
+
+Listener listen_tcp(std::uint16_t port) {
+  Listener listener;
+  listener.fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (listener.fd_ < 0) throw_errno("socket(tcp)");
+  const int one = 1;
+  ::setsockopt(listener.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(listener.fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0) {
+    throw_errno("bind(tcp port " + std::to_string(port) + ")");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listener.fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &len) < 0) {
+    throw_errno("getsockname");
+  }
+  listener.port_ = ntohs(addr.sin_port);
+  if (::listen(listener.fd_, SOMAXCONN) < 0) throw_errno("listen(tcp)");
+  return listener;
+}
+
+int connect_unix(const std::string& path) {
+  const sockaddr_un addr = make_unix_addr(path, "connect_unix");
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket(unix)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("cannot connect to " + path);
+  }
+  return fd;
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const std::string port_str = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints,
+                               &results);
+  if (rc != 0) {
+    throw std::runtime_error("ranm::serve: cannot resolve " + host + ": " +
+                             ::gai_strerror(rc));
+  }
+  int fd = -1;
+  int saved_errno = ECONNREFUSED;
+  for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                  ai->ai_protocol);
+    if (fd < 0) {
+      saved_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    saved_errno = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(results);
+  if (fd < 0) {
+    errno = saved_errno;
+    throw_errno("cannot connect to " + host + ":" + port_str);
+  }
+  set_tcp_nodelay(fd);
+  return fd;
+}
+
+HostPort parse_host_port(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    throw std::invalid_argument("expected HOST:PORT, got '" + spec + "'");
+  }
+  HostPort hp;
+  hp.host = spec.substr(0, colon);
+  const std::string port_str = spec.substr(colon + 1);
+  std::size_t used = 0;
+  unsigned long port = 0;
+  try {
+    port = std::stoul(port_str, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != port_str.size() || port == 0 || port > 65535) {
+    throw std::invalid_argument("invalid port in '" + spec +
+                                "' (must be 1..65535)");
+  }
+  hp.port = static_cast<std::uint16_t>(port);
+  return hp;
+}
+
+void set_nonblocking(int fd, bool enable) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int want = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) < 0) {
+    throw_errno("fcntl(F_SETFL)");
+  }
+}
+
+void set_tcp_nodelay(int fd) noexcept {
+  const int one = 1;
+  // Fails harmlessly with ENOTSUP/EOPNOTSUPP on Unix-domain sockets.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace ranm::serve

@@ -1,0 +1,82 @@
+// Socket endpoint helpers shared by the server and the client: Unix-domain
+// and TCP listeners/connectors plus the per-fd options the serving layer
+// relies on (non-blocking mode, TCP_NODELAY, close-on-exec).
+//
+// Unix listeners keep the stale-file discipline the serving layer has
+// always had: a socket file a live daemon is accepting on is refused, a
+// leftover from a crashed run is replaced, and teardown unlinks only the
+// file this process bound (matched by inode).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ranm::serve {
+
+/// RAII listener. Move-only; closes the fd (and unlinks a Unix socket
+/// file it created, inode-matched) on destruction.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  /// For TCP listeners: the bound port (after an ephemeral-port bind of
+  /// port 0 this is the kernel-assigned port). 0 for Unix listeners.
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// Closes the fd early (and removes a Unix socket file this listener
+  /// created). Idempotent.
+  void close() noexcept;
+
+ private:
+  friend Listener listen_unix(const std::string& path);
+  friend Listener listen_tcp(std::uint16_t port);
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string unix_path_;  // empty for TCP
+  unsigned long long bound_dev_ = 0;
+  unsigned long long bound_ino_ = 0;
+};
+
+/// Binds and listens on a Unix-domain socket path, non-blocking. An
+/// existing file with a live daemon behind it is refused
+/// (std::runtime_error); a stale file is replaced. Throws
+/// std::invalid_argument if the path is empty or exceeds the sockaddr_un
+/// limit.
+[[nodiscard]] Listener listen_unix(const std::string& path);
+
+/// Binds and listens on 0.0.0.0:`port` (0 = kernel-assigned ephemeral
+/// port, reported by Listener::port()), non-blocking, SO_REUSEADDR.
+[[nodiscard]] Listener listen_tcp(std::uint16_t port);
+
+/// Blocking connect to a Unix-domain socket. Returns the connected fd;
+/// throws std::runtime_error when no daemon is listening.
+[[nodiscard]] int connect_unix(const std::string& path);
+
+/// Blocking connect to host:port over TCP (name resolution via
+/// getaddrinfo); TCP_NODELAY is set on the result so request frames are
+/// not Nagle-delayed.
+[[nodiscard]] int connect_tcp(const std::string& host, std::uint16_t port);
+
+/// Splits "host:port" (e.g. "127.0.0.1:7411", "localhost:7411"); throws
+/// std::invalid_argument on a missing/invalid port.
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+};
+[[nodiscard]] HostPort parse_host_port(const std::string& spec);
+
+/// fcntl O_NONBLOCK on/off; throws std::runtime_error on failure.
+void set_nonblocking(int fd, bool enable);
+
+/// Best-effort TCP_NODELAY (no-op on non-TCP sockets): small frames must
+/// not sit in Nagle buffers waiting for ACKs.
+void set_tcp_nodelay(int fd) noexcept;
+
+}  // namespace ranm::serve

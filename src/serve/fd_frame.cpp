@@ -2,6 +2,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 
 #include <cerrno>
 #include <cstring>
@@ -56,57 +57,69 @@ ReadStatus read_exact(int fd, int stop_fd, char* buf, std::size_t len,
   return ReadStatus::kOk;
 }
 
-void write_all(int fd, const char* data, std::size_t len) {
-  std::size_t sent = 0;
-  while (sent < len) {
-    const ssize_t rc = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("send");
-    }
-    sent += std::size_t(rc);
-  }
-}
-
 }  // namespace
 
-FdFrameResult read_frame_fd(int fd, int stop_fd) {
-  FdFrameResult result;
+FdReadStatus read_frame_fd(int fd, Frame& out, int stop_fd) {
   char header[kFrameHeaderBytes];
   switch (read_exact(fd, stop_fd, header, kFrameHeaderBytes, true)) {
     case ReadStatus::kEof:
-      result.eof = true;
-      return result;
+      return FdReadStatus::kEof;
     case ReadStatus::kStopped:
-      result.stopped = true;
-      return result;
+      return FdReadStatus::kStopped;
     case ReadStatus::kOk:
       break;
   }
   // Validates magic/type and bounds the length before the buffer below
-  // allocates from it.
+  // resizes from it.
   const FrameHeader parsed = decode_frame_header(header);
-  result.frame.type = parsed.type;
-  result.frame.payload.resize(std::size_t(parsed.payload_len));
+  out.type = parsed.type;
+  out.payload.resize(std::size_t(parsed.payload_len));
   if (parsed.payload_len > 0) {
-    switch (read_exact(fd, stop_fd, result.frame.payload.data(),
+    switch (read_exact(fd, stop_fd, out.payload.data(),
                        std::size_t(parsed.payload_len), false)) {
       case ReadStatus::kStopped:
-        result.stopped = true;
-        return result;
+        return FdReadStatus::kStopped;
       case ReadStatus::kEof:
       case ReadStatus::kOk:
         break;
     }
   }
-  return result;
+  return FdReadStatus::kFrame;
 }
 
 void write_frame_fd(int fd, FrameType type, std::string_view payload) {
   char header[kFrameHeaderBytes];
   encode_frame_header(header, type, payload.size());
-  write_all(fd, header, kFrameHeaderBytes);
-  write_all(fd, payload.data(), payload.size());
+  // Header and payload leave in one writev: one syscall and — with
+  // TCP_NODELAY — one segment per frame, so the receiver wakes once
+  // instead of once per piece.
+  std::size_t sent = 0;
+  const std::size_t total = kFrameHeaderBytes + payload.size();
+  while (sent < total) {
+    // The gather list is rebuilt from the cumulative offset on every
+    // (rare) partial send — simpler than mutating iovec cursors in place.
+    iovec iov[2];
+    int parts = 0;
+    if (sent < kFrameHeaderBytes) {
+      iov[parts++] = {header + sent, kFrameHeaderBytes - sent};
+      if (!payload.empty()) {
+        iov[parts++] = {const_cast<char*>(payload.data()), payload.size()};
+      }
+    } else {
+      const std::size_t off = sent - kFrameHeaderBytes;
+      iov[parts++] = {const_cast<char*>(payload.data()) + off,
+                      payload.size() - off};
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(parts);
+    const ssize_t rc = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("sendmsg");
+    }
+    sent += std::size_t(rc);
+  }
 }
 
 }  // namespace ranm::serve

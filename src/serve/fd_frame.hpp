@@ -1,11 +1,13 @@
-// Frame transport over POSIX file descriptors (Unix-domain sockets).
+// Blocking frame transport over POSIX file descriptors (Unix-domain and
+// TCP sockets) — the client side of the protocol.
 //
-// Shared by SocketServer and ServeClient so both sides read headers
-// through the same bounded decode_frame_header validation — the cap check
-// runs before the payload buffer allocates, on every transport.
+// Shared by ServeClient, the tools, and the raw-socket tests so every
+// reader validates headers through the same bounded decode_frame_header —
+// the cap check runs before the payload buffer allocates, on every
+// transport. (The server reads through its own nonblocking per-connection
+// state machine in serve/server.cpp, built on the same header decoder.)
 #pragma once
 
-#include <optional>
 #include <string_view>
 
 #include "serve/protocol.hpp"
@@ -13,22 +15,26 @@
 namespace ranm::serve {
 
 /// Outcome of one blocking frame read.
-struct FdFrameResult {
-  bool eof = false;      // peer closed cleanly at a frame boundary
-  bool stopped = false;  // stop_fd became readable before a full frame
-  Frame frame;           // valid iff !eof && !stopped
+enum class FdReadStatus {
+  kFrame,    // `out` holds one complete frame
+  kEof,      // peer closed cleanly at a frame boundary
+  kStopped,  // stop_fd became readable before a full frame
 };
 
-/// Reads one complete frame from `fd`, blocking in poll(). When
-/// `stop_fd` >= 0, readability of that descriptor aborts the wait (the
-/// server's shutdown path). Throws std::runtime_error on malformed
-/// headers, oversized payloads, truncation mid-frame, or transport
-/// errors.
-[[nodiscard]] FdFrameResult read_frame_fd(int fd, int stop_fd = -1);
+/// Reads one complete frame from `fd` into `out`, blocking in poll().
+/// `out`'s payload buffer is reused across calls — capacity persists, so a
+/// steady-state request loop pays no per-frame allocation. When `stop_fd`
+/// >= 0, readability of that descriptor aborts the wait (a shutdown
+/// path). Throws std::runtime_error on malformed headers, oversized
+/// payloads, truncation mid-frame, or transport errors.
+[[nodiscard]] FdReadStatus read_frame_fd(int fd, Frame& out,
+                                         int stop_fd = -1);
 
-/// Writes one complete frame (header + payload), looping over partial
-/// sends; SIGPIPE is suppressed (MSG_NOSIGNAL) so a vanished peer surfaces
-/// as std::runtime_error instead of killing the daemon.
+/// Writes one complete frame, coalescing header + payload into a single
+/// writev() so small requests cost one syscall (and, on TCP, one segment)
+/// instead of two. Loops over partial sends; SIGPIPE is suppressed
+/// (MSG_NOSIGNAL) so a vanished peer surfaces as std::runtime_error
+/// instead of killing the daemon.
 void write_frame_fd(int fd, FrameType type, std::string_view payload);
 
 }  // namespace ranm::serve

@@ -1,6 +1,7 @@
 #include "serve/monitor_service.hpp"
 
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "compile/compiled_monitor.hpp"
@@ -51,31 +52,54 @@ MonitorService MonitorService::from_files(const std::string& net_path,
                         threads);
 }
 
-std::vector<std::uint8_t> MonitorService::query_warns(
-    std::span<const Tensor> inputs) {
+std::unique_ptr<MonitorService> MonitorService::clone() {
+  // Round-trip both artifacts through their serialisers: the same bytes a
+  // deploy would ship, so a replica is bit-identical to loading the
+  // artifacts fresh (the differential tests lean on this).
+  std::stringstream net_buf(std::ios::in | std::ios::out |
+                            std::ios::binary);
+  save_network(net_buf, net_);
+  net_buf.seekg(0);
+  std::stringstream mon_buf(std::ios::in | std::ios::out |
+                            std::ios::binary);
+  save_any_monitor(mon_buf, *monitor_);
+  mon_buf.seekg(0);
+  return std::make_unique<MonitorService>(
+      load_network(net_buf), load_any_monitor(mon_buf), k_, threads_);
+}
+
+void MonitorService::query_warns_into(std::span<const Tensor> inputs,
+                                      std::vector<std::uint8_t>& warns) {
+  warns.clear();
   if (inputs.size() > kMaxQuerySamples) {
     throw std::invalid_argument("MonitorService: batch too large");
   }
   if (inputs.empty()) {
-    ++queries_;
-    return {};
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    return;
   }
   const FeatureBatch batch = net_.forward_batch(k_, inputs);
   if (scratch_capacity_ < inputs.size()) {
     scratch_ = std::make_unique<bool[]>(inputs.size());
     scratch_capacity_ = inputs.size();
   }
-  const std::span<bool> warns(scratch_.get(), inputs.size());
-  monitor_->warn_batch(batch, warns);
-  std::vector<std::uint8_t> out(inputs.size());
+  const std::span<bool> row(scratch_.get(), inputs.size());
+  monitor_->warn_batch(batch, row);
+  warns.resize(inputs.size());
   std::uint64_t warned = 0;
   for (std::size_t i = 0; i < inputs.size(); ++i) {
-    out[i] = warns[i] ? 1 : 0;
-    warned += out[i];
+    warns[i] = row[i] ? 1 : 0;
+    warned += warns[i];
   }
-  ++queries_;
-  samples_ += inputs.size();
-  warnings_ += warned;
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  samples_.fetch_add(inputs.size(), std::memory_order_relaxed);
+  warnings_.fetch_add(warned, std::memory_order_relaxed);
+}
+
+std::vector<std::uint8_t> MonitorService::query_warns(
+    std::span<const Tensor> inputs) {
+  std::vector<std::uint8_t> out;
+  query_warns_into(inputs, out);
   return out;
 }
 
@@ -85,9 +109,9 @@ ServiceStats MonitorService::stats() const {
   stats.dimension = monitor_->dimension();
   stats.layer = k_;
   stats.threads = threads_;
-  stats.queries = queries_;
-  stats.samples = samples_;
-  stats.warnings = warnings_;
+  stats.queries = queries();
+  stats.samples = samples();
+  stats.warnings = warnings();
   if (const auto* sharded =
           dynamic_cast<const ShardedMonitor*>(monitor_.get())) {
     stats.threads = sharded->threads();

@@ -11,12 +11,17 @@
 // per-shard row views out across cores — but any flat monitor serves too.
 //
 // MonitorService is the transport-independent API: tests and
-// bench_serving call it directly (no subprocess, no socket), while
-// SocketServer exposes the same calls over the frame protocol.
-// Like every Monitor, the service is not thread-safe: callers (the
-// single-connection server loop, or one test thread) serialise calls.
+// bench_serving call it directly (no subprocess, no socket), while the
+// epoll Server exposes the same calls over the frame protocol.
+// Like every Monitor, a service instance is not thread-safe for queries
+// (forward_batch and warn_batch share per-instance scratch): one thread
+// queries at a time. Concurrency comes from replication instead — the
+// server clone()s one replica per worker, which is sound because monitors
+// are read-only after load. The lifetime counters are atomic, so stats()
+// and the counter accessors may race with a query from another thread.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <string>
@@ -49,15 +54,42 @@ class MonitorService {
   MonitorService(const MonitorService&) = delete;
   MonitorService& operator=(const MonitorService&) = delete;
 
-  /// Answers one minibatch: warns[i] = 1 iff the monitor warns on
-  /// inputs[i] (membership negated). Throws std::invalid_argument on a
-  /// shape mismatch or an oversized batch; the service stays usable after
-  /// a failed query.
+  /// Deep-copies the service by round-tripping both artifacts through
+  /// their serialisers — bit-identical network and monitor, fresh
+  /// counters, fresh scratch. This is how the server builds per-worker
+  /// replicas. Non-const only because save_network is. Throws
+  /// std::invalid_argument for monitors without a serialiser.
+  [[nodiscard]] std::unique_ptr<MonitorService> clone();
+
+  /// Answers one minibatch into `warns` (resized to inputs.size()):
+  /// warns[i] = 1 iff the monitor warns on inputs[i] (membership negated).
+  /// The caller-owned vector keeps its capacity across calls, so a
+  /// steady-state serving loop pays no per-query allocation. Throws
+  /// std::invalid_argument on a shape mismatch or an oversized batch; the
+  /// service stays usable after a failed query.
+  void query_warns_into(std::span<const Tensor> inputs,
+                        std::vector<std::uint8_t>& warns);
+
+  /// Convenience wrapper allocating the verdict vector per call.
   [[nodiscard]] std::vector<std::uint8_t> query_warns(
       std::span<const Tensor> inputs);
 
   /// Lifetime counters plus the per-shard table `ranm_cli info` shows.
+  /// The counter fields are relaxed snapshots — safe to call while
+  /// another thread queries.
   [[nodiscard]] ServiceStats stats() const;
+
+  // Relaxed snapshots of the lifetime counters (the server aggregates
+  // these across worker replicas for kStats).
+  [[nodiscard]] std::uint64_t queries() const noexcept {
+    return queries_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t samples() const noexcept {
+    return samples_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t warnings() const noexcept {
+    return warnings_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] std::size_t dimension() const noexcept {
     return monitor_->dimension();
@@ -71,10 +103,12 @@ class MonitorService {
   std::size_t k_;
   std::size_t threads_;
   MonitorBuilder builder_;  // binds net_ + k_; lives exactly as long
-  // Lifetime counters surfaced in stats frames.
-  std::uint64_t queries_ = 0;
-  std::uint64_t samples_ = 0;
-  std::uint64_t warnings_ = 0;
+  // Lifetime counters surfaced in stats frames. Atomic (relaxed): workers
+  // bump their replica's counters while the event loop aggregates them
+  // for a concurrent kStats.
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> samples_{0};
+  std::atomic<std::uint64_t> warnings_{0};
   // Reused per-query verdict scratch: the serving hot path must not pay
   // steady-state allocator traffic for the bool row.
   std::unique_ptr<bool[]> scratch_;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <sstream>
 #include <stdexcept>
 
 #include "io/wire.hpp"
@@ -12,19 +11,15 @@ namespace {
 
 bool known_frame_type(std::uint32_t raw) {
   return raw >= std::uint32_t(FrameType::kQuery) &&
-         raw <= std::uint32_t(FrameType::kError);
+         raw <= std::uint32_t(FrameType::kOverloaded);
 }
 
 /// A payload must parse exactly: leftover bytes mean the frame length and
 /// its contents disagree, i.e. corruption.
-void require_exhausted(std::istream& in) {
-  if (in.peek() != std::char_traits<char>::eof()) {
+void require_exhausted(const io::ByteView& in) {
+  if (!in.exhausted()) {
     throw std::runtime_error("ranm::serve: trailing bytes in frame payload");
   }
-}
-
-std::istringstream payload_stream(const std::string& payload) {
-  return std::istringstream(payload, std::ios::binary);
 }
 
 }  // namespace
@@ -83,22 +78,26 @@ std::size_t sample_wire_bytes(const Tensor& t) {
   return 8 + t.rank() * 8 + t.numel() * sizeof(float);
 }
 
-std::string encode_query(std::span<const Tensor> inputs) {
+void encode_query_into(std::string& out, std::span<const Tensor> inputs) {
   if (inputs.size() > kMaxQuerySamples) {
     throw std::invalid_argument("encode_query: batch too large");
   }
-  std::ostringstream out(std::ios::binary);
-  io::write_u64(out, inputs.size());
-  for (const Tensor& t : inputs) io::write_tensor(out, t);
-  std::string payload = std::move(out).str();
+  out.clear();
+  io::append_u64(out, inputs.size());
+  for (const Tensor& t : inputs) io::append_tensor(out, t);
   // The sample-count cap alone does not bound the frame: large tensors
   // hit the payload cap first. Failing here gives the caller a clear
   // error instead of a server-side header rejection mid-stream.
-  if (payload.size() > kMaxFramePayload) {
+  if (out.size() > kMaxFramePayload) {
     throw std::invalid_argument(
         "encode_query: batch exceeds the frame payload cap — split it "
         "into smaller batches");
   }
+}
+
+std::string encode_query(std::span<const Tensor> inputs) {
+  std::string payload;
+  encode_query_into(payload, inputs);
   return payload;
 }
 
@@ -109,42 +108,53 @@ std::size_t max_query_batch(const Tensor& sample) {
       1, std::min<std::size_t>(fit, std::size_t(kMaxQuerySamples)));
 }
 
-std::vector<Tensor> decode_query(const std::string& payload) {
-  auto in = payload_stream(payload);
-  const std::uint64_t n = io::read_u64(in);
+std::vector<Tensor> decode_query(std::string_view payload) {
+  io::ByteView in(payload);
+  const std::uint64_t n = in.read_u64();
   if (n > kMaxQuerySamples) {
     throw std::runtime_error("ranm::serve: implausible query sample count");
   }
   std::vector<Tensor> inputs;
   inputs.reserve(std::size_t(n));
   for (std::uint64_t i = 0; i < n; ++i) {
-    inputs.push_back(io::read_tensor(in));
+    inputs.push_back(in.read_tensor());
   }
   require_exhausted(in);
   return inputs;
 }
 
-std::string encode_verdicts(std::span<const std::uint8_t> warns) {
-  std::ostringstream out(std::ios::binary);
-  io::write_u64(out, warns.size());
-  out.write(reinterpret_cast<const char*>(warns.data()),
-            std::streamsize(warns.size()));
-  return std::move(out).str();
+void encode_verdicts_into(std::string& out,
+                          std::span<const std::uint8_t> warns) {
+  out.clear();
+  io::append_u64(out, warns.size());
+  out.append(reinterpret_cast<const char*>(warns.data()), warns.size());
 }
 
-std::vector<std::uint8_t> decode_verdicts(const std::string& payload) {
-  auto in = payload_stream(payload);
-  const std::uint64_t n = io::read_u64(in);
+std::string encode_verdicts(std::span<const std::uint8_t> warns) {
+  std::string payload;
+  encode_verdicts_into(payload, warns);
+  return payload;
+}
+
+void decode_verdicts_into(std::string_view payload,
+                          std::vector<std::uint8_t>& warns) {
+  io::ByteView in(payload);
+  const std::uint64_t n = in.read_u64();
   if (n > kMaxQuerySamples) {
     throw std::runtime_error("ranm::serve: implausible verdict count");
   }
-  std::vector<std::uint8_t> warns(static_cast<std::size_t>(n));
-  in.read(reinterpret_cast<char*>(warns.data()), std::streamsize(n));
-  if (!in) throw std::runtime_error("ranm::serve: truncated verdicts");
+  warns.clear();
+  warns.resize(static_cast<std::size_t>(n));
+  in.read_bytes(reinterpret_cast<char*>(warns.data()), warns.size());
   for (const std::uint8_t w : warns) {
     if (w > 1) throw std::runtime_error("ranm::serve: non-boolean verdict");
   }
   require_exhausted(in);
+}
+
+std::vector<std::uint8_t> decode_verdicts(std::string_view payload) {
+  std::vector<std::uint8_t> warns;
+  decode_verdicts_into(payload, warns);
   return warns;
 }
 
@@ -152,62 +162,89 @@ std::string encode_stats(const ServiceStats& stats) {
   if (stats.shards.size() > kMaxStatsShards) {
     throw std::invalid_argument("encode_stats: too many shards");
   }
-  std::ostringstream out(std::ios::binary);
-  io::write_string(out, stats.monitor);
-  io::write_u64(out, stats.dimension);
-  io::write_u64(out, stats.layer);
-  io::write_u64(out, stats.threads);
-  io::write_u64(out, stats.queries);
-  io::write_u64(out, stats.samples);
-  io::write_u64(out, stats.warnings);
-  io::write_string(out, stats.shard_strategy);
-  io::write_u64(out, stats.shard_seed);
-  io::write_u64(out, stats.shards.size());
-  for (const ShardStatsWire& s : stats.shards) {
-    io::write_u64(out, s.neurons);
-    io::write_u64(out, s.bdd_nodes);
-    io::write_u64(out, s.cubes_inserted);
-    io::write_pod(out, s.patterns);
+  if (stats.workers.size() > kMaxStatsWorkers) {
+    throw std::invalid_argument("encode_stats: too many workers");
   }
-  return std::move(out).str();
+  std::string out;
+  io::append_string(out, stats.monitor);
+  io::append_u64(out, stats.dimension);
+  io::append_u64(out, stats.layer);
+  io::append_u64(out, stats.threads);
+  io::append_u64(out, stats.queries);
+  io::append_u64(out, stats.samples);
+  io::append_u64(out, stats.warnings);
+  io::append_u64(out, stats.workers.size());
+  for (const WorkerCountersWire& w : stats.workers) {
+    io::append_u64(out, w.queries);
+    io::append_u64(out, w.samples);
+    io::append_u64(out, w.warnings);
+  }
+  io::append_u64(out, stats.in_flight);
+  io::append_u64(out, stats.queue_depth);
+  io::append_u64(out, stats.queue_capacity);
+  io::append_u64(out, stats.overloaded);
+  io::append_string(out, stats.shard_strategy);
+  io::append_u64(out, stats.shard_seed);
+  io::append_u64(out, stats.shards.size());
+  for (const ShardStatsWire& s : stats.shards) {
+    io::append_u64(out, s.neurons);
+    io::append_u64(out, s.bdd_nodes);
+    io::append_u64(out, s.cubes_inserted);
+    io::append_pod(out, s.patterns);
+  }
+  return out;
 }
 
-ServiceStats decode_stats(const std::string& payload) {
-  auto in = payload_stream(payload);
+ServiceStats decode_stats(std::string_view payload) {
+  io::ByteView in(payload);
   ServiceStats stats;
-  stats.monitor = io::read_string(in, kMaxFrameString);
-  stats.dimension = io::read_u64(in);
-  stats.layer = io::read_u64(in);
-  stats.threads = io::read_u64(in);
-  stats.queries = io::read_u64(in);
-  stats.samples = io::read_u64(in);
-  stats.warnings = io::read_u64(in);
-  stats.shard_strategy = io::read_string(in, kMaxFrameString);
-  stats.shard_seed = io::read_u64(in);
-  const std::uint64_t shard_count = io::read_u64(in);
+  stats.monitor = in.read_string(kMaxFrameString);
+  stats.dimension = in.read_u64();
+  stats.layer = in.read_u64();
+  stats.threads = in.read_u64();
+  stats.queries = in.read_u64();
+  stats.samples = in.read_u64();
+  stats.warnings = in.read_u64();
+  const std::uint64_t worker_count = in.read_u64();
+  if (worker_count > kMaxStatsWorkers) {
+    throw std::runtime_error("ranm::serve: implausible worker count");
+  }
+  stats.workers.resize(std::size_t(worker_count));
+  for (WorkerCountersWire& w : stats.workers) {
+    w.queries = in.read_u64();
+    w.samples = in.read_u64();
+    w.warnings = in.read_u64();
+  }
+  stats.in_flight = in.read_u64();
+  stats.queue_depth = in.read_u64();
+  stats.queue_capacity = in.read_u64();
+  stats.overloaded = in.read_u64();
+  stats.shard_strategy = in.read_string(kMaxFrameString);
+  stats.shard_seed = in.read_u64();
+  const std::uint64_t shard_count = in.read_u64();
   if (shard_count > kMaxStatsShards) {
     throw std::runtime_error("ranm::serve: implausible shard count");
   }
   stats.shards.resize(std::size_t(shard_count));
   for (ShardStatsWire& s : stats.shards) {
-    s.neurons = io::read_u64(in);
-    s.bdd_nodes = io::read_u64(in);
-    s.cubes_inserted = io::read_u64(in);
-    s.patterns = io::read_pod<double>(in);
+    s.neurons = in.read_u64();
+    s.bdd_nodes = in.read_u64();
+    s.cubes_inserted = in.read_u64();
+    s.patterns = in.read_pod<double>();
   }
   require_exhausted(in);
   return stats;
 }
 
 std::string encode_error(std::string_view message) {
-  std::ostringstream out(std::ios::binary);
-  io::write_string(out, message.substr(0, kMaxFrameString));
-  return std::move(out).str();
+  std::string out;
+  io::append_string(out, message.substr(0, kMaxFrameString));
+  return out;
 }
 
-std::string decode_error(const std::string& payload) {
-  auto in = payload_stream(payload);
-  std::string message = io::read_string(in, kMaxFrameString);
+std::string decode_error(std::string_view payload) {
+  io::ByteView in(payload);
+  std::string message = in.read_string(kMaxFrameString);
   require_exhausted(in);
   return message;
 }

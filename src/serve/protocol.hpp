@@ -16,8 +16,11 @@
 // Request/response pairs (the protocol is strictly client-initiated):
 //
 //   kQuery    -> kQueryReply    n input tensors -> n warn flags (0/1)
-//   kStats    -> kStatsReply    per-shard statistics, `ranm_cli info` shape
-//   kShutdown -> kShutdownAck   graceful daemon stop
+//             -> kOverloaded    bounded request queue full: backpressure,
+//                               retry later; the connection stays usable
+//   kStats    -> kStatsReply    per-worker + aggregate counters and the
+//                               per-shard table `ranm_cli info` prints
+//   kShutdown -> kShutdownAck   graceful daemon drain + stop
 //   any       -> kError         length-prefixed message; malformed frames
 //                               additionally close the connection (the
 //                               stream may have desynced)
@@ -41,6 +44,10 @@ enum class FrameType : std::uint32_t {
   kShutdown = 5,
   kShutdownAck = 6,
   kError = 7,
+  // Explicit backpressure: the server's bounded request queue was full, so
+  // the query was rejected instead of buffered without bound. Carries an
+  // error-style message payload; the connection stays usable.
+  kOverloaded = 8,
 };
 
 constexpr std::uint32_t kFrameMagic = 0x52535631U;  // "RSV1"
@@ -53,6 +60,8 @@ constexpr std::uint64_t kMaxFramePayload = 1ULL << 26;
 constexpr std::uint64_t kMaxQuerySamples = 1ULL << 16;
 /// Cap on shard entries in a stats reply (matches the artifact cap).
 constexpr std::uint64_t kMaxStatsShards = 4096;
+/// Cap on worker entries in a stats reply.
+constexpr std::uint64_t kMaxStatsWorkers = 1024;
 /// Cap on any string carried in a frame (descriptions, error messages).
 constexpr std::uint64_t kMaxFrameString = 4096;
 
@@ -81,22 +90,33 @@ void write_frame(std::ostream& out, FrameType type,
 [[nodiscard]] Frame read_frame(std::istream& in);
 
 // ---- payload codecs -------------------------------------------------------
+//
+// Decoders take a string_view and read through io::ByteView — zero-copy,
+// no per-frame stream construction. The *_into encoders append to a
+// caller-owned buffer (cleared first) so the serving hot path reuses one
+// scratch string across requests instead of allocating per frame; the
+// by-value forms are convenience wrappers over them.
 
 /// Query: u64 sample count (<= kMaxQuerySamples) + the input tensors.
 /// Throws std::invalid_argument when the batch exceeds the sample cap or
 /// the encoded payload would exceed kMaxFramePayload.
+void encode_query_into(std::string& out, std::span<const Tensor> inputs);
 [[nodiscard]] std::string encode_query(std::span<const Tensor> inputs);
-[[nodiscard]] std::vector<Tensor> decode_query(const std::string& payload);
+[[nodiscard]] std::vector<Tensor> decode_query(std::string_view payload);
 
 /// Largest batch of same-shaped samples whose query frame stays under
 /// kMaxFramePayload (clients chunk their streams with this).
 [[nodiscard]] std::size_t max_query_batch(const Tensor& sample);
 
 /// Query reply: u64 count + one warn byte (0/1) per sample.
+void encode_verdicts_into(std::string& out,
+                          std::span<const std::uint8_t> warns);
 [[nodiscard]] std::string encode_verdicts(
     std::span<const std::uint8_t> warns);
+void decode_verdicts_into(std::string_view payload,
+                          std::vector<std::uint8_t>& warns);
 [[nodiscard]] std::vector<std::uint8_t> decode_verdicts(
-    const std::string& payload);
+    std::string_view payload);
 
 /// Per-shard statistics mirrored from ShardedMonitor::ShardStats.
 struct ShardStatsWire {
@@ -106,26 +126,41 @@ struct ShardStatsWire {
   double patterns = 0.0;  // stored words (-1: not pattern-based)
 };
 
-/// Stats reply: service identity, lifetime counters, and (for sharded
-/// monitors) the per-shard table `ranm_cli info` prints.
+/// One worker replica's lifetime counters. With N concurrent workers the
+/// aggregate alone hides imbalance, so stats carry both.
+struct WorkerCountersWire {
+  std::uint64_t queries = 0;   // query frames answered by this worker
+  std::uint64_t samples = 0;   // feature vectors judged
+  std::uint64_t warnings = 0;  // warn verdicts issued
+};
+
+/// Stats reply: service identity, per-worker plus aggregate lifetime
+/// counters, serving-loop telemetry, and (for sharded monitors) the
+/// per-shard table `ranm_cli info` prints.
 struct ServiceStats {
   std::string monitor;  // Monitor::describe()
   std::uint64_t dimension = 0;
   std::uint64_t layer = 0;
   std::uint64_t threads = 1;
-  std::uint64_t queries = 0;   // query frames answered
-  std::uint64_t samples = 0;   // feature vectors judged
-  std::uint64_t warnings = 0;  // warn verdicts issued
+  std::uint64_t queries = 0;   // aggregate across workers
+  std::uint64_t samples = 0;
+  std::uint64_t warnings = 0;
+  std::vector<WorkerCountersWire> workers;  // per replica; empty: direct
+  // Serving-loop telemetry (zero when the service is driven in-process).
+  std::uint64_t in_flight = 0;       // queries dispatched, not yet replied
+  std::uint64_t queue_depth = 0;     // requests waiting for a worker
+  std::uint64_t queue_capacity = 0;  // bound that triggers kOverloaded
+  std::uint64_t overloaded = 0;      // queries rejected with kOverloaded
   std::string shard_strategy;  // empty: unsharded monitor
   std::uint64_t shard_seed = 0;
   std::vector<ShardStatsWire> shards;  // empty: unsharded monitor
 };
 
 [[nodiscard]] std::string encode_stats(const ServiceStats& stats);
-[[nodiscard]] ServiceStats decode_stats(const std::string& payload);
+[[nodiscard]] ServiceStats decode_stats(std::string_view payload);
 
-/// Error: one bounded message string.
+/// Error/overload payload: one bounded message string.
 [[nodiscard]] std::string encode_error(std::string_view message);
-[[nodiscard]] std::string decode_error(const std::string& payload);
+[[nodiscard]] std::string decode_error(std::string_view payload);
 
 }  // namespace ranm::serve

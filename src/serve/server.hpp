@@ -1,0 +1,195 @@
+// Concurrent front end of the serving layer: one epoll event loop
+// multiplexing many connections, a fixed pool of worker threads each
+// holding its own MonitorService replica, and a bounded request queue
+// between them.
+//
+// Architecture (replaces the PR 4 one-connection-at-a-time SocketServer):
+//
+//   clients ──► listeners (Unix socket and/or TCP, both optional)
+//                  │ accept (nonblocking)
+//                  ▼
+//   event loop ── per-connection nonblocking state machines: partial
+//        │        frames are buffered per connection (a slow-loris writer
+//        │        never blocks the loop), replies are flushed as the
+//        │        socket drains (a slow reader never blocks it either)
+//        ▼
+//   bounded request queue ── full ⇒ the query is answered kOverloaded
+//        │                   immediately (explicit backpressure instead of
+//        ▼                   unbounded buffering); the connection survives
+//   N workers ── each owns a private MonitorService replica (monitors are
+//                read-only after load, so replicas never share mutable
+//                state and queries execute in parallel without a global
+//                lock); replies travel back to the loop, which owns all
+//                socket writes
+//
+// With workers == 1 the pool degenerates: the loop executes queries
+// inline on the single replica (everything would serialise through it
+// anyway, so the cross-thread handoff would be pure overhead). The
+// bounded queue and kOverloaded apply to the pooled (workers >= 2) shape.
+//
+// Protocol ordering: at most one query per connection is in flight at a
+// time — the loop stops parsing (and reading) a connection while its
+// request is with a worker, so replies can never reorder and a pipelining
+// client is backpressured by its own socket buffer.
+//
+// Shutdown is a graceful drain, from stop() (async-signal-safe: one
+// eventfd write, callable from a SIGTERM handler) or a client kShutdown
+// frame: listeners close, reads stop, every query already accepted —
+// dispatched, queued, or fully buffered — is answered and flushed, then
+// run() returns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/endpoint.hpp"
+#include "serve/monitor_service.hpp"
+#include "util/bounded_queue.hpp"
+
+namespace ranm::serve {
+
+struct ServerConfig {
+  /// Unix-domain listener path; empty disables it.
+  std::string unix_path;
+  /// Enable the TCP listener (for off-host clients).
+  bool tcp = false;
+  /// TCP port; 0 binds a kernel-assigned ephemeral port, reported by
+  /// Server::tcp_port() (how the tests avoid port collisions).
+  std::uint16_t tcp_port = 0;
+  /// Worker replicas executing queries. 0 = hardware concurrency; 1 runs
+  /// inline in the event loop (no pool).
+  std::size_t workers = 1;
+  /// Bound on queued (accepted but not yet executing) queries; beyond it
+  /// queries are answered kOverloaded. Ignored when workers == 1.
+  std::size_t queue_capacity = 256;
+};
+
+class Server {
+ public:
+  /// Builds the serving fleet from `prototype`: each worker gets its own
+  /// replica via MonitorService::clone() (bit-identical artifacts, fresh
+  /// counters), so the caller keeps the prototype for direct use (or may
+  /// drop it — the server never touches it after construction). Binds
+  /// every configured listener before returning. Throws
+  /// std::invalid_argument when no listener is configured,
+  /// std::runtime_error on socket errors (including a Unix path a live
+  /// daemon is already serving).
+  Server(MonitorService& prototype, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Runs the event loop until a drain (stop() or kShutdown) completes.
+  /// Call at most once.
+  void run();
+
+  /// Requests a graceful drain; async-signal-safe (one eventfd write) and
+  /// idempotent, so SIGINT/SIGTERM handlers call it directly.
+  void stop() noexcept;
+
+  [[nodiscard]] const std::string& unix_path() const noexcept {
+    return config_.unix_path;
+  }
+  /// Bound TCP port (ephemeral binds resolved); 0 when TCP is disabled.
+  [[nodiscard]] std::uint16_t tcp_port() const noexcept {
+    return tcp_port_;
+  }
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return replicas_.size();
+  }
+  [[nodiscard]] std::uint64_t connections_served() const noexcept {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+  /// Aggregate + per-worker counters, as a kStats frame would report.
+  /// Not synchronised with the event loop: call before run() or after it
+  /// returned (clients use kStats for a live view).
+  [[nodiscard]] ServiceStats stats() { return build_stats(); }
+
+ private:
+  struct Conn;
+  struct Request {
+    std::uint64_t conn_id = 0;
+    std::string payload;
+  };
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    FrameType type = FrameType::kError;
+    std::string payload;
+  };
+
+  /// Mutex-guarded stack of spare std::strings so request/reply payload
+  /// buffers recycle between the loop and the workers instead of
+  /// allocating per query.
+  class BufferPool {
+   public:
+    [[nodiscard]] std::string acquire();
+    void release(std::string&& buf);
+
+   private:
+    std::mutex mu_;
+    std::vector<std::string> spares_;
+  };
+
+  void worker_main(std::size_t index);
+  void event_loop();
+  void handle_accept(std::size_t listener_index);
+  void handle_conn_event(std::uint64_t conn_id, std::uint32_t events);
+  /// Parses every complete frame the connection has buffered (stopping
+  /// while a query is in flight) and dispatches/answers them.
+  void parse_frames(Conn& conn);
+  void dispatch_query(Conn& conn, std::string_view payload);
+  void handle_completions();
+  /// Executes one query against `service` into (type, payload); never
+  /// throws — failures become kError replies.
+  void execute_query(MonitorService& service, std::string_view payload,
+                     FrameType& type, std::string& reply);
+  [[nodiscard]] ServiceStats build_stats();
+  void queue_reply(Conn& conn, FrameType type, std::string_view payload);
+  /// Flushes conn.out as far as the socket accepts; false = peer gone.
+  [[nodiscard]] bool flush_out(Conn& conn);
+  void update_epoll(Conn& conn);
+  void destroy_conn(std::uint64_t conn_id);
+  void maybe_close(Conn& conn);
+  void begin_drain();
+  [[nodiscard]] bool drain_complete() const;
+
+  ServerConfig config_;
+  std::vector<std::unique_ptr<MonitorService>> replicas_;
+  std::vector<Listener> listeners_;  // [0] unix (if any), then tcp
+  std::size_t unix_listener_ = SIZE_MAX;
+  std::size_t tcp_listener_ = SIZE_MAX;
+  std::uint16_t tcp_port_ = 0;
+
+  int epoll_fd_ = -1;
+  int stop_event_fd_ = -1;
+  int completion_event_fd_ = -1;
+
+  BoundedQueue<Request> queue_;
+  std::vector<std::thread> workers_;
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
+  std::vector<Completion> completion_scratch_;  // loop-side swap target
+  BufferPool buffers_;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_conn_id_ = 16;  // ids below are loop-internal keys
+
+  bool draining_ = false;
+  /// One pass over all connections is owed at the event-loop level (the
+  /// drain may begin deep inside parse_frames, where touching other
+  /// connections — or re-entering this one — is unsafe).
+  bool drain_sweep_pending_ = false;
+  std::uint64_t in_flight_ = 0;    // dispatched to the pool, not yet done
+  std::uint64_t overloaded_ = 0;   // queries rejected kOverloaded
+  std::atomic<std::uint64_t> connections_{0};
+};
+
+}  // namespace ranm::serve

@@ -1,0 +1,87 @@
+// Bounded blocking MPMC queue — the backpressure primitive of the
+// serving layer.
+//
+// The concurrent server's event loop produces requests, a fixed pool of
+// worker threads consumes them, and the queue's capacity is the explicit
+// limit on buffered work: when it is full, the producer does *not* block
+// (a blocked event loop serves nobody) — try_push fails and the caller
+// answers with an overload error instead of queueing unbounded memory.
+// Consumers block in pop() until an item arrives or the queue is closed
+// and drained, which is exactly the graceful-shutdown shape: close() lets
+// every queued item finish, then wakes all poppers with "no more work".
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace ranm {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` bounds the number of queued (not yet popped) items;
+  /// must be >= 1.
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("BoundedQueue: capacity must be >= 1");
+    }
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues without blocking. Returns false — leaving `item` untouched —
+  /// when the queue is full (backpressure: the caller reports overload)
+  /// or already closed.
+  [[nodiscard]] bool try_push(T&& item) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and*
+  /// drained; nullopt means "no more work, ever" (worker exit signal).
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// After close(), try_push fails and poppers drain the remaining items
+  /// before observing nullopt. Idempotent.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ranm

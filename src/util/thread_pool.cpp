@@ -7,11 +7,14 @@
 
 namespace ranm {
 
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested != 0) return requested;
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) threads = 1;
-  }
+  threads = resolve_thread_count(threads);
   workers_.reserve(threads - 1);
   for (std::size_t t = 0; t + 1 < threads; ++t) {
     workers_.emplace_back([this] { worker_loop(); });

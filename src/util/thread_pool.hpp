@@ -19,6 +19,12 @@
 
 namespace ranm {
 
+/// Shared "how many threads does 0 mean" rule: 0 resolves to the hardware
+/// concurrency (never 0 itself), anything else passes through. Used by
+/// ThreadPool, the serving worker pool, and the CLI --threads flags so
+/// every subsystem agrees on the convention.
+[[nodiscard]] std::size_t resolve_thread_count(std::size_t requested);
+
 /// Fixed set of worker threads executing blocking index-parallel loops.
 /// parallel_for calls are serialised by the caller (the pool is not
 /// reentrant: `body` must not call back into the same pool).

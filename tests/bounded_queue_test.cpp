@@ -1,0 +1,132 @@
+// BoundedQueue is the backpressure primitive between the serving event
+// loop and the worker pool: try_push must fail (not block) when full,
+// pop must block until an item or close, and close must drain cleanly.
+#include "util/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace ranm {
+namespace {
+
+TEST(BoundedQueue, FifoWithinCapacity) {
+  BoundedQueue<int> queue(3);
+  EXPECT_EQ(queue.capacity(), 3U);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_TRUE(queue.try_push(3));
+  EXPECT_EQ(queue.size(), 3U);
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_EQ(queue.pop(), 3);
+  EXPECT_EQ(queue.size(), 0U);
+}
+
+TEST(BoundedQueue, TryPushFailsWhenFullWithoutBlocking) {
+  BoundedQueue<std::string> queue(2);
+  EXPECT_TRUE(queue.try_push("a"));
+  EXPECT_TRUE(queue.try_push("b"));
+  // The overload path: a full queue rejects immediately.
+  EXPECT_FALSE(queue.try_push("c"));
+  EXPECT_EQ(queue.pop(), "a");
+  // One slot freed: accepting again.
+  EXPECT_TRUE(queue.try_push("d"));
+}
+
+TEST(BoundedQueue, CloseDrainsThenReturnsNullopt) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.try_push(7));
+  EXPECT_TRUE(queue.try_push(8));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(9));  // closed: no new work
+  // Items pushed before close still drain in order...
+  EXPECT_EQ(queue.pop(), 7);
+  EXPECT_EQ(queue.pop(), 8);
+  // ...then pop reports closed instead of blocking forever.
+  EXPECT_EQ(queue.pop(), std::nullopt);
+  queue.close();  // idempotent
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(BoundedQueue<int>(0), std::invalid_argument);
+}
+
+TEST(BoundedQueue, BlockedPopWakesOnPush) {
+  BoundedQueue<int> queue(1);
+  std::atomic<int> got{-1};
+  std::thread consumer([&] {
+    const std::optional<int> item = queue.pop();  // blocks until push
+    got.store(item.value_or(-2));
+  });
+  EXPECT_TRUE(queue.try_push(42));
+  consumer.join();
+  EXPECT_EQ(got.load(), 42);
+}
+
+TEST(BoundedQueue, BlockedPopWakesOnClose) {
+  BoundedQueue<int> queue(1);
+  std::atomic<bool> closed_seen{false};
+  std::thread consumer([&] {
+    closed_seen.store(!queue.pop().has_value());
+  });
+  queue.close();
+  consumer.join();
+  EXPECT_TRUE(closed_seen.load());
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumersDeliverEverythingOnce) {
+  BoundedQueue<int> queue(8);
+  constexpr int kProducers = 3, kConsumers = 3, kPerProducer = 200;
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<int> delivered{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const std::optional<int> item = queue.pop();
+        if (!item.has_value()) return;
+        sum.fetch_add(std::uint64_t(*item));
+        delivered.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int value = p * kPerProducer + i;
+        while (!queue.try_push(int(value))) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto it = threads.begin() + kConsumers; it != threads.end(); ++it) {
+    it->join();
+  }
+  // All produced; close releases the consumers once the queue drains.
+  queue.close();
+  for (auto it = threads.begin(); it != threads.begin() + kConsumers;
+       ++it) {
+    it->join();
+  }
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(delivered.load(), total);
+  EXPECT_EQ(sum.load(), std::uint64_t(total) * (total - 1) / 2);
+}
+
+TEST(ResolveThreadCount, ZeroMeansHardwareConcurrencyAndNeverZero) {
+  EXPECT_EQ(resolve_thread_count(1), 1U);
+  EXPECT_EQ(resolve_thread_count(7), 7U);
+  EXPECT_GE(resolve_thread_count(0), 1U);
+  EXPECT_EQ(resolve_thread_count(0),
+            std::size_t(std::max(1U, std::thread::hardware_concurrency())));
+}
+
+}  // namespace
+}  // namespace ranm

@@ -1,15 +1,14 @@
 // Serving-layer tests: MonitorService answers must be bit-identical to
 // the direct forward_batch -> contains_batch pipeline, in-process and
-// through the Unix-socket frame transport; the server must survive
-// malformed clients and stop gracefully.
+// through the Unix-socket / TCP frame transport; the server must survive
+// malformed clients and drain gracefully. (Concurrency-heavy server tests
+// — slow-loris, overload, drain-under-load — live in server_loop_test.cpp
+// so the TSan job can target them.)
 #include "serve/monitor_service.hpp"
 
 #include <gtest/gtest.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -21,8 +20,9 @@
 #include "io/serialize.hpp"
 #include "nn/init.hpp"
 #include "serve/client.hpp"
+#include "serve/endpoint.hpp"
 #include "serve/fd_frame.hpp"
-#include "serve/socket_server.hpp"
+#include "serve/server.hpp"
 #include "util/rng.hpp"
 
 namespace ranm::serve {
@@ -148,6 +148,21 @@ TEST(MonitorService, CountersAndShardStats) {
   EXPECT_EQ(neurons, 32U);
 }
 
+TEST(MonitorService, CloneIsBitIdenticalWithFreshCounters) {
+  ServeFixture fx;
+  MonitorService service(fx.clone_net(), fx.build_monitor(4), fx.k, 2);
+  const std::vector<Tensor> warmup = fx.make_inputs(8, 21);
+  (void)service.query_warns(warmup);
+
+  const std::unique_ptr<MonitorService> replica = service.clone();
+  EXPECT_EQ(replica->queries(), 0U);   // counters reset, not inherited
+  EXPECT_EQ(replica->samples(), 0U);
+  const std::vector<Tensor> inputs = fx.make_inputs(32, 55);
+  EXPECT_EQ(replica->query_warns(inputs), service.query_warns(inputs));
+  EXPECT_EQ(replica->dimension(), service.dimension());
+  EXPECT_EQ(replica->layer_k(), service.layer_k());
+}
+
 TEST(MonitorService, ServiceSurvivesFailedQuery) {
   ServeFixture fx;
   MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
@@ -183,15 +198,22 @@ TEST(MonitorService, FromFilesRoundTrip) {
 
 // ---- socket transport -----------------------------------------------------
 
-/// Runs a SocketServer on a background thread for one test.
+/// Runs a Server on a background thread for one test.
 struct ServerHarness {
-  MonitorService& service;
-  SocketServer server;
+  Server server;
   std::thread thread;
 
-  ServerHarness(MonitorService& svc, const std::string& tag)
-      : service(svc), server(svc, test_socket_path(tag)) {
+  ServerHarness(MonitorService& svc, ServerConfig config)
+      : server(svc, std::move(config)) {
     thread = std::thread([this] { server.run(); });
+  }
+
+  static ServerConfig unix_config(const std::string& tag,
+                                  std::size_t workers = 1) {
+    ServerConfig config;
+    config.unix_path = test_socket_path(tag);
+    config.workers = workers;
+    return config;
   }
 
   ~ServerHarness() {
@@ -200,13 +222,13 @@ struct ServerHarness {
   }
 };
 
-TEST(SocketServer, EndToEndBitIdenticalToDirect) {
+TEST(Server, EndToEndBitIdenticalToDirect) {
   ServeFixture fx;
   MonitorService service(fx.clone_net(), fx.build_monitor(4), fx.k, 2);
   const std::unique_ptr<Monitor> reference = fx.build_monitor(4);
-  ServerHarness harness(service, "e2e");
+  ServerHarness harness(service, ServerHarness::unix_config("e2e"));
 
-  ServeClient client(harness.server.socket_path());
+  ServeClient client(harness.server.unix_path());
   // Stream a dataset through the daemon in minibatches; every verdict
   // must match the direct pipeline bit for bit.
   const std::vector<Tensor> dataset = fx.make_inputs(100, 42);
@@ -226,34 +248,55 @@ TEST(SocketServer, EndToEndBitIdenticalToDirect) {
   EXPECT_EQ(stats.shards.size(), 4U);
 }
 
-TEST(SocketServer, ShutdownFrameStopsServer) {
+TEST(Server, TcpEndToEndBitIdenticalToDirect) {
   ServeFixture fx;
   MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
-  SocketServer server(service, test_socket_path("shutdown"));
+  const std::unique_ptr<Monitor> reference = fx.build_monitor(1);
+  ServerConfig config;
+  config.tcp = true;  // port 0: kernel-assigned, no collisions in CI
+  ServerHarness harness(service, config);
+  ASSERT_NE(harness.server.tcp_port(), 0);
+
+  ServeClient client("127.0.0.1", harness.server.tcp_port());
+  const std::vector<Tensor> dataset = fx.make_inputs(50, 43);
+  EXPECT_EQ(client.query_warns(dataset),
+            fx.direct_warns(*reference, dataset));
+}
+
+TEST(Server, ShutdownFrameDrainsServer) {
+  ServeFixture fx;
+  MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
+  Server server(service, ServerHarness::unix_config("shutdown"));
   std::thread thread([&server] { server.run(); });
   {
-    ServeClient client(server.socket_path());
+    ServeClient client(server.unix_path());
     client.shutdown_server();
   }
-  thread.join();  // returns only if the shutdown frame stopped run()
+  thread.join();  // returns only if the shutdown frame drained run()
   EXPECT_EQ(server.connections_served(), 1U);
 }
 
-TEST(SocketServer, StopUnblocksIdleServer) {
+TEST(Server, StopUnblocksIdleServer) {
   ServeFixture fx;
   MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
-  SocketServer server(service, test_socket_path("stop"));
+  Server server(service, ServerHarness::unix_config("stop"));
   std::thread thread([&server] { server.run(); });
   server.stop();
   thread.join();
 }
 
-TEST(SocketServer, QueryErrorKeepsConnectionUsable) {
+TEST(Server, NeedsAtLeastOneListener) {
   ServeFixture fx;
   MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
-  ServerHarness harness(service, "qerr");
+  EXPECT_THROW(Server(service, ServerConfig{}), std::invalid_argument);
+}
 
-  ServeClient client(harness.server.socket_path());
+TEST(Server, QueryErrorKeepsConnectionUsable) {
+  ServeFixture fx;
+  MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
+  ServerHarness harness(service, ServerHarness::unix_config("qerr"));
+
+  ServeClient client(harness.server.unix_path());
   std::vector<Tensor> bad;
   bad.push_back(Tensor::vector({1.0F}));  // wrong input shape
   EXPECT_THROW((void)client.query_warns(bad), std::runtime_error);
@@ -263,19 +306,19 @@ TEST(SocketServer, QueryErrorKeepsConnectionUsable) {
   EXPECT_EQ(client.query_warns(good).size(), 8U);
 }
 
-TEST(SocketServer, RefusesPathAnotherDaemonIsServing) {
+TEST(Server, RefusesPathAnotherDaemonIsServing) {
   ServeFixture fx;
   MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
-  ServerHarness harness(service, "inuse");
+  ServerHarness harness(service, ServerHarness::unix_config("inuse"));
   // A second server must not silently steal the live socket.
-  EXPECT_THROW(SocketServer(service, harness.server.socket_path()),
+  EXPECT_THROW(Server(service, ServerHarness::unix_config("inuse")),
                std::runtime_error);
   // The first daemon is unaffected by the refused takeover.
-  ServeClient client(harness.server.socket_path());
+  ServeClient client(harness.server.unix_path());
   EXPECT_EQ(client.query_warns(fx.make_inputs(4, 2)).size(), 4U);
 }
 
-TEST(SocketServer, ReplacesStaleSocketFile) {
+TEST(Server, ReplacesStaleSocketFile) {
   ServeFixture fx;
   MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
   const std::string path = test_socket_path("stale");
@@ -283,40 +326,62 @@ TEST(SocketServer, ReplacesStaleSocketFile) {
     // Leftover file with no listener behind it (crashed daemon).
     std::ofstream stale(path);
   }
-  ServerHarness harness(service, "stale");
+  ServerHarness harness(service, ServerHarness::unix_config("stale"));
   ServeClient client(path);
   EXPECT_EQ(client.query_warns(fx.make_inputs(4, 3)).size(), 4U);
 }
 
-TEST(SocketServer, MalformedFrameGetsErrorAndNextConnectionServes) {
+TEST(Server, MalformedFrameGetsErrorAndNextConnectionServes) {
   ServeFixture fx;
   MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
-  ServerHarness harness(service, "garbage");
+  ServerHarness harness(service, ServerHarness::unix_config("garbage"));
 
   // Raw client speaking garbage: 16 bytes that are not a valid header.
   {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    const std::string& path = harness.server.socket_path();
-    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    ASSERT_GE(fd, 0);
-    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                        sizeof addr),
-              0);
+    const int fd = connect_unix(harness.server.unix_path());
     const char garbage[kFrameHeaderBytes] = "not a frame!!!!";
-    ASSERT_EQ(::send(fd, garbage, sizeof garbage, 0),
+    ASSERT_EQ(::write(fd, garbage, sizeof garbage),
               ssize_t(sizeof garbage));
     // The server answers with an error frame, then closes.
-    const FdFrameResult reply = read_frame_fd(fd);
-    ASSERT_FALSE(reply.eof);
-    EXPECT_EQ(reply.frame.type, FrameType::kError);
+    Frame reply;
+    ASSERT_EQ(read_frame_fd(fd, reply), FdReadStatus::kFrame);
+    EXPECT_EQ(reply.type, FrameType::kError);
+    EXPECT_EQ(read_frame_fd(fd, reply), FdReadStatus::kEof);
     ::close(fd);
   }
 
   // The daemon is still alive for well-formed clients.
-  ServeClient client(harness.server.socket_path());
+  ServeClient client(harness.server.unix_path());
   EXPECT_EQ(client.query_warns(fx.make_inputs(4, 1)).size(), 4U);
+}
+
+TEST(Server, StatsReportPerWorkerAndAggregate) {
+  ServeFixture fx;
+  MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
+  ServerHarness harness(service,
+                        ServerHarness::unix_config("wstats", 2));
+  ASSERT_EQ(harness.server.worker_count(), 2U);
+
+  ServeClient client(harness.server.unix_path());
+  const std::vector<Tensor> inputs = fx.make_inputs(10, 4);
+  for (int i = 0; i < 5; ++i) (void)client.query_warns(inputs);
+
+  const ServiceStats stats = client.stats();
+  ASSERT_EQ(stats.workers.size(), 2U);
+  std::uint64_t queries = 0, samples = 0, warnings = 0;
+  for (const WorkerCountersWire& w : stats.workers) {
+    queries += w.queries;
+    samples += w.samples;
+    warnings += w.warnings;
+  }
+  // Aggregate is exactly the sum of the per-worker counters.
+  EXPECT_EQ(stats.queries, queries);
+  EXPECT_EQ(stats.samples, samples);
+  EXPECT_EQ(stats.warnings, warnings);
+  EXPECT_EQ(stats.queries, 5U);
+  EXPECT_EQ(stats.samples, 50U);
+  EXPECT_EQ(stats.queue_capacity, 256U);
+  EXPECT_EQ(stats.overloaded, 0U);
 }
 
 }  // namespace

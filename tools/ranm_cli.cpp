@@ -43,6 +43,7 @@
 #include "nn/optimizer.hpp"
 #include "nn/trainer.hpp"
 #include "serve/client.hpp"
+#include "serve/endpoint.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -77,8 +78,9 @@ namespace {
       "         monitor into a smaller variable order)\n"
       "  eval   --net FILE --monitor FILE --layer K --in-dist FILE\n"
       "         [--ood FILE ...] [--threads T]\n"
-      "  query  --socket PATH [--in-dist FILE] [--ood FILE ...]\n"
-      "         [--batch N] [--stats]   (talks to a ranm_serve daemon)\n"
+      "  query  --socket PATH | --tcp HOST:PORT [--in-dist FILE]\n"
+      "         [--ood FILE ...] [--batch N] [--stats]   (talks to a\n"
+      "         ranm_serve daemon over unix or tcp)\n"
       "  info   --net FILE | --monitor FILE [--dot FILE] | --data FILE\n"
       "         | --backends\n",
       stderr);
@@ -508,6 +510,23 @@ void print_service_stats(const serve::ServiceStats& stats) {
               static_cast<unsigned long long>(stats.queries),
               static_cast<unsigned long long>(stats.samples),
               static_cast<unsigned long long>(stats.warnings));
+  if (stats.workers.size() > 1) {
+    TextTable workers("per-worker counters");
+    workers.set_header({"worker", "queries", "samples", "warnings"});
+    for (std::size_t w = 0; w < stats.workers.size(); ++w) {
+      const serve::WorkerCountersWire& c = stats.workers[w];
+      workers.add_row({std::to_string(w), std::to_string(c.queries),
+                       std::to_string(c.samples),
+                       std::to_string(c.warnings)});
+    }
+    workers.print();
+    std::printf("loop: %llu in flight, queue %llu/%llu, "
+                "%llu overloaded\n",
+                static_cast<unsigned long long>(stats.in_flight),
+                static_cast<unsigned long long>(stats.queue_depth),
+                static_cast<unsigned long long>(stats.queue_capacity),
+                static_cast<unsigned long long>(stats.overloaded));
+  }
   if (!stats.shards.empty()) {
     TextTable table("per-shard statistics");
     table.set_header(
@@ -538,8 +557,17 @@ void print_service_stats(const serve::ServiceStats& stats) {
 /// daemon in minibatches and prints the same warning-rate table as eval —
 /// without loading the network or monitor artifacts itself.
 int cmd_query(const ArgParser& args) {
-  args.check_known({"socket", "in-dist", "ood", "batch", "stats"});
-  serve::ServeClient client(args.require("socket"));
+  args.check_known({"socket", "tcp", "in-dist", "ood", "batch", "stats"});
+  if (args.has("socket") == args.has("tcp")) {
+    throw std::invalid_argument(
+        "query needs exactly one of --socket PATH or --tcp HOST:PORT");
+  }
+  auto connect = [&]() -> serve::ServeClient {
+    if (args.has("socket")) return serve::ServeClient(args.require("socket"));
+    const serve::HostPort hp = serve::parse_host_port(args.require("tcp"));
+    return serve::ServeClient(hp.host, hp.port);
+  };
+  serve::ServeClient client = connect();
   const std::size_t batch = args.get_size(
       "batch", 256, std::size_t(serve::kMaxQuerySamples));
   if (batch == 0) throw std::invalid_argument("--batch must be >= 1");

@@ -1,24 +1,32 @@
-// ranm_serve — long-running monitor serving daemon.
+// ranm_serve — long-running concurrent monitor serving daemon.
 //
 // Loads the network and monitor artifacts once, then answers minibatch
-// membership queries over a Unix-domain socket for the life of the
-// process (the deployment shape of the paper's monitors: a watcher riding
-// along with a live DNN, not a batch job):
+// membership queries over a Unix-domain socket and/or TCP for the life of
+// the process (the deployment shape of the paper's monitors: a watcher
+// riding along with a live DNN, not a batch job):
 //
 //   ranm_serve --net net.bin --monitor monitor.bin --layer 6
-//              --socket /tmp/ranm.sock [--threads 4]
+//              --socket /tmp/ranm.sock [--tcp PORT] [--workers N]
+//              [--queue CAP] [--threads T]
 //
-// Clients: `ranm query --socket /tmp/ranm.sock --in-dist test.ds`, the
-// in-process ServeClient API, or anything speaking the frame protocol
-// (serve/protocol.hpp). SIGINT/SIGTERM (or a client shutdown frame) stop
-// the daemon gracefully; final counters are printed on exit.
+// An epoll event loop multiplexes all connections; --workers N replicas
+// of the service execute queries in parallel (N == 1 executes inline in
+// the loop), fed through a bounded queue of --queue requests — when it is
+// full, queries are answered kOverloaded instead of buffered without
+// bound.
+//
+// Clients: `ranm query --socket /tmp/ranm.sock --in-dist test.ds` (or
+// `--tcp host:port`), the in-process ServeClient API, or anything
+// speaking the frame protocol (serve/protocol.hpp). SIGINT/SIGTERM (or a
+// client shutdown frame) drain the daemon gracefully — accepting stops,
+// every accepted query is answered — and final counters are printed.
 #include <csignal>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
 
 #include "serve/monitor_service.hpp"
-#include "serve/socket_server.hpp"
+#include "serve/server.hpp"
 #include "util/args.hpp"
 
 namespace ranm::cli {
@@ -27,17 +35,25 @@ namespace {
 [[noreturn]] void usage() {
   std::fputs(
       "usage: ranm_serve --net FILE --monitor FILE --layer K\n"
-      "                  --socket PATH [--threads T]\n"
-      "  --threads: shard-level parallelism for sharded monitors\n"
-      "             (0 = hardware concurrency, default 1)\n",
+      "                  [--socket PATH] [--tcp PORT]\n"
+      "                  [--workers N] [--queue CAP] [--threads T]\n"
+      "  --socket:  Unix-domain listener path\n"
+      "  --tcp:     TCP listener port (0 = kernel-assigned, printed)\n"
+      "             at least one of --socket/--tcp is required\n"
+      "  --workers: service replicas executing queries in parallel\n"
+      "             (0 = hardware concurrency, default 1 = inline)\n"
+      "  --queue:   bounded request queue capacity; overflowing queries\n"
+      "             are answered kOverloaded (default 256)\n"
+      "  --threads: shard-level parallelism inside each replica for\n"
+      "             sharded monitors (0 = hardware concurrency, default 1)\n",
       stderr);
   std::exit(2);
 }
 
 // The signal handlers reach the server through this pointer;
-// SocketServer::stop() is one write() on a self-pipe, so calling it from
-// a handler is async-signal-safe.
-serve::SocketServer* g_server = nullptr;
+// Server::stop() is one write() on an eventfd, so calling it from a
+// handler is async-signal-safe.
+serve::Server* g_server = nullptr;
 
 void handle_signal(int) {
   if (g_server != nullptr) g_server->stop();
@@ -54,11 +70,30 @@ void install_signal_handlers() {
 
 int run(int argc, char** argv) {
   const ArgParser args(argc, argv);
-  args.check_known({"net", "monitor", "layer", "socket", "threads", "help"});
+  args.check_known({"net", "monitor", "layer", "socket", "tcp", "workers",
+                    "queue", "threads", "help"});
   if (args.has("help")) usage();
   const std::size_t layer = args.get_size("layer", 0, 1U << 20);
   // 0 means hardware concurrency; bounded like ranm_cli's --threads.
   const std::size_t threads = args.get_size("threads", 1, 256);
+
+  serve::ServerConfig config;
+  config.unix_path = args.get("socket", "");
+  if (args.has("tcp")) {
+    config.tcp = true;
+    config.tcp_port =
+        static_cast<std::uint16_t>(args.get_size("tcp", 0, 65535));
+  }
+  if (config.unix_path.empty() && !config.tcp) {
+    throw std::invalid_argument(
+        "ranm_serve: need at least one listener (--socket PATH and/or "
+        "--tcp PORT)");
+  }
+  config.workers = args.get_size("workers", 1, 256);
+  config.queue_capacity = args.get_size("queue", 256, 1U << 20);
+  if (config.queue_capacity == 0) {
+    throw std::invalid_argument("ranm_serve: --queue must be >= 1");
+  }
 
   serve::MonitorService service = serve::MonitorService::from_files(
       args.require("net"), args.require("monitor"), layer, threads);
@@ -66,16 +101,27 @@ int run(int argc, char** argv) {
               service.monitor().describe().c_str(), service.dimension(),
               service.layer_k());
 
-  serve::SocketServer server(service, args.require("socket"));
+  serve::Server server(service, config);
   g_server = &server;
   install_signal_handlers();
-  std::printf("serving on %s — SIGINT/SIGTERM or a shutdown frame stops\n",
-              server.socket_path().c_str());
+  if (!server.unix_path().empty()) {
+    std::printf("serving on %s", server.unix_path().c_str());
+    if (server.tcp_port() != 0) std::printf(" and tcp port %u",
+                                            unsigned(server.tcp_port()));
+  } else {
+    std::printf("serving on tcp port %u", unsigned(server.tcp_port()));
+  }
+  std::printf(" with %zu worker%s — SIGINT/SIGTERM or a shutdown frame "
+              "drains\n",
+              server.worker_count(),
+              server.worker_count() == 1 ? "" : "s");
   std::fflush(stdout);
   server.run();
   g_server = nullptr;
 
-  const serve::ServiceStats stats = service.stats();
+  // Counters live in the server's replicas; the load-time service only
+  // saw construction.
+  const serve::ServiceStats stats = server.stats();
   std::printf("stopped after %llu connections: %llu queries, "
               "%llu samples, %llu warnings\n",
               static_cast<unsigned long long>(server.connections_served()),
