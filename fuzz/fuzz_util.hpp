@@ -1,0 +1,27 @@
+// Shared invariant helpers for the libFuzzer harnesses.
+//
+// Harness contract (every fuzz_*.cpp in this directory): the decoder
+// under test either throws a std::exception cleanly or produces an
+// object that round-trips byte-identically through its serialiser —
+// it never crashes, never leaves a half-built object, and never
+// allocates beyond the loader caps (the CI fuzz job enforces the memory
+// side with -rss_limit_mb/-malloc_limit_mb). A violated invariant calls
+// fail(), whose abort() is what libFuzzer (or the replay driver + ctest)
+// reports as a crash.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ranm::fuzz {
+
+[[noreturn]] inline void fail(const char* harness, const char* what) {
+  std::fprintf(stderr, "%s: invariant violated: %s\n", harness, what);
+  std::abort();
+}
+
+inline void require(bool ok, const char* harness, const char* what) {
+  if (!ok) fail(harness, what);
+}
+
+}  // namespace ranm::fuzz

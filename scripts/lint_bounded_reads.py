@@ -1,0 +1,343 @@
+#!/usr/bin/env python3
+"""Bounded-read lint: allocation sizes must not come from raw wire reads.
+
+Every length, count, or dimension decoded from an untrusted stream must be
+bounded before it sizes an allocation. The sanctioned routes are the
+helpers in src/io/wire.hpp (read_dim_u64, bounded_numel, read_shape,
+read_tensor, read_string) and util::Args::get_size, which validate against
+kMaxLoadElems before returning, or an explicit comparison against a cap.
+
+This lint flags `resize`, `reserve`, `new T[...]`, `make_unique<T[]>` and
+sized `std::vector`/`std::string` constructions whose size expression
+mentions a variable assigned from a *raw* read (read_u32 / read_u64 /
+read_pod / get_int) that was never compared against a bound in between.
+It is a line-based taint heuristic, not a dataflow analysis: it
+over-approximates (any `if (... var <cmp> ...)` counts as a bound) and
+deliberately errs toward silence only through the checked-in allowlist,
+where every entry carries a written justification.
+
+Usage:
+  lint_bounded_reads.py [--root DIR] [--list] [--self-test]
+                        [--allowlist FILE] [--report FILE]
+
+Exit status: 0 clean (or all violations allowlisted), 1 violations or
+stale allowlist entries, 2 usage/self-test harness errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Raw reads: taint sources. `read_dim_u64` must not match `read_u64`, so
+# sources are checked only after bounded helpers are masked out.
+RAW_READ = re.compile(
+    r"\b(?:\w+\.)?(?:io::)?(read_u32|read_u64|read_pod\s*<[^;=]*?>|get_int)\s*\("
+)
+
+# Bounded-by-construction helpers; lines are masked with these removed so
+# e.g. `read_dim_u64(in)` cannot be mistaken for a raw `read_u64`.
+BOUNDED_HELPERS = re.compile(
+    r"\b(?:\w+\.)?(?:io::)?"
+    r"(read_dim_u64|bounded_numel|read_shape|read_tensor|read_string|get_size)"
+    r"\s*\("
+)
+
+ASSIGN = re.compile(r"\b([A-Za-z_]\w*)\s*=[^=<>]")
+
+# Allocation sinks whose argument expression must be bound-checked.
+SINKS = [
+    ("resize", re.compile(r"\.\s*resize\s*\(([^;{}]*)\)")),
+    ("reserve", re.compile(r"\.\s*reserve\s*\(([^;{}]*)\)")),
+    ("new[]", re.compile(r"\bnew\s+[\w:<>,\s]+?\[([^\]]*)\]")),
+    ("make_unique<T[]>", re.compile(r"\bmake_unique\s*<[^;>]*\[\]\s*>\s*\(([^;{}]*)\)")),
+    (
+        "sized-container-ctor",
+        re.compile(
+            r"\b(?:std::)?vector\s*<[^;=]*>\s+\w+\s*[({]([^;(){}]*)[)}]"
+            r"|\b(?:std::)?string\s+\w+\s*\(([^;(){}]*)\)"
+        ),
+    ),
+]
+
+COMPARISON = re.compile(r"[<>]=?|==")
+
+# Lines that can legitimately bound a value: conditional guards and clamps.
+GUARD_LINE = re.compile(r"\b(?:if|while)\s*\(|std::min\b|std::clamp\b")
+
+
+def strip_comments(text: str) -> str:
+    """Blank out // and /* */ comments and string literals, keeping line
+    numbers stable so reported locations match the file."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = "code"
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == '"':
+                state = "str"
+                out.append(ch)
+                i += 1
+                continue
+            out.append(ch)
+        elif state == "line":
+            if ch == "\n":
+                state = "code"
+                out.append(ch)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if ch == "\n" else " ")
+        elif state == "str":
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if ch == '"':
+                state = "code"
+            out.append(ch if ch in ('"', "\n") else " ")
+        i += 1
+    return "".join(out)
+
+
+class Site:
+    def __init__(self, path, line, kind, arg, taints):
+        self.path = path
+        self.line = line
+        self.kind = kind
+        self.arg = arg.strip()
+        self.taints = taints  # tainted variable names in the size expression
+
+    def key(self) -> str:
+        # Allowlist entries are path:variable — stable across reflows,
+        # unlike line numbers.
+        return f"{self.path}:{sorted(self.taints)[0]}" if self.taints else ""
+
+    def describe(self) -> str:
+        status = (
+            f"TAINTED by {', '.join(sorted(self.taints))}" if self.taints else "ok"
+        )
+        return f"{self.path}:{self.line}: {self.kind}({self.arg}) [{status}]"
+
+
+def scan_text(path: str, text: str) -> list[Site]:
+    """Returns every sink site in the file, with the raw-read-tainted
+    variables (if any) appearing in its size expression."""
+    code = strip_comments(text)
+    tainted: set[str] = set()
+    sites: list[Site] = []
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        masked = BOUNDED_HELPERS.sub("(", line)
+
+        # Sinks before this line's sanitization, so a guard sharing the
+        # allocation's line does not clear it retroactively — conservative
+        # for `if (n < cap) v.resize(n);` one-liners, which this codebase
+        # spells as a guard-then-throw on its own line.
+        for kind, rx in SINKS:
+            for m in rx.finditer(masked):
+                arg = next((g for g in m.groups() if g), "")
+                idents = set(re.findall(r"[A-Za-z_]\w*", arg))
+                hits = idents & tainted
+                sites.append(Site(path, lineno, kind, arg, hits))
+
+        # A guard comparing a tainted variable bounds it from here on.
+        # Only genuine guard shapes count — if/while conditions and
+        # std::min/std::clamp — so template angle brackets on ordinary
+        # expression lines are not mistaken for comparisons.
+        if tainted and GUARD_LINE.search(masked):
+            tainted -= _mentions_bound(masked, tainted)
+
+        # New taints.
+        if RAW_READ.search(masked):
+            for am in ASSIGN.finditer(masked):
+                rest = masked[am.end() - 1 :]
+                if RAW_READ.search(rest):
+                    tainted.add(am.group(1))
+    return sites
+
+
+def _mentions_bound(line: str, candidates: set[str]) -> set[str]:
+    """True-ish filter: which candidate vars are actually adjacent to a
+    comparison on this line (not just present somewhere on it)."""
+    cleared = set()
+    for var in candidates:
+        for m in re.finditer(rf"\b{re.escape(var)}\b", line):
+            window = line[max(0, m.start() - 24) : m.end() + 24]
+            if COMPARISON.search(window) or "std::min" in window:
+                cleared.add(var)
+                break
+    return cleared
+
+
+def load_allowlist(path: pathlib.Path) -> dict[str, str]:
+    entries: dict[str, str] = {}
+    if not path.exists():
+        return entries
+    for raw in path.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, reason = line.partition("#")
+        key = key.strip()
+        if not reason.strip():
+            print(
+                f"lint_bounded_reads: allowlist entry '{key}' has no "
+                "justification comment",
+                file=sys.stderr,
+            )
+            sys.exit(1)
+        entries[key] = reason.strip()
+    return entries
+
+
+def run_scan(root: pathlib.Path, list_mode: bool, allowlist: dict[str, str],
+             report: pathlib.Path | None) -> int:
+    files = sorted(
+        p
+        for ext in ("*.cpp", "*.hpp")
+        for p in root.rglob(ext)
+    )
+    if not files:
+        print(f"lint_bounded_reads: no sources under {root}", file=sys.stderr)
+        return 2
+    all_sites: list[Site] = []
+    for path in files:
+        rel = path.relative_to(root.parent if root.name == "src" else root)
+        all_sites.extend(scan_text(str(rel), path.read_text()))
+
+    if list_mode:
+        for site in all_sites:
+            print(site.describe())
+        print(f"lint_bounded_reads: {len(all_sites)} allocation sites")
+        return 0
+
+    violations = [s for s in all_sites if s.taints]
+    used_keys: set[str] = set()
+    real: list[Site] = []
+    for site in violations:
+        if site.key() in allowlist:
+            used_keys.add(site.key())
+        else:
+            real.append(site)
+
+    lines: list[str] = []
+    for site in real:
+        lines.append(
+            f"{site.describe()}\n"
+            f"    size reaches {site.kind} from a raw wire read; bound it "
+            "with read_dim_u64/bounded_numel or an explicit cap, or "
+            "allowlist with a justification"
+        )
+    stale = sorted(set(allowlist) - used_keys)
+    for key in stale:
+        lines.append(
+            f"{key}: stale allowlist entry (no matching violation) — remove it"
+        )
+    text = "\n".join(lines)
+    if text:
+        print(text)
+    if report is not None:
+        report.write_text(text + ("\n" if text else ""))
+    if real or stale:
+        print(
+            f"lint_bounded_reads: {len(real)} violation(s), "
+            f"{len(stale)} stale allowlist entr(y/ies)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"lint_bounded_reads: clean — {len(all_sites)} allocation sites, "
+        f"{len(violations)} allowlisted"
+    )
+    return 0
+
+
+SELF_TEST_BAD = """
+void load(std::istream& in) {
+  const std::uint64_t n = read_u64(in);
+  std::vector<float> v;
+  v.resize(n);
+}
+"""
+
+SELF_TEST_GOOD = """
+void load(std::istream& in) {
+  const std::uint64_t n = read_u64(in);
+  if (n > kMaxLoadElems) throw std::runtime_error("implausible");
+  std::vector<float> v;
+  v.resize(n);
+  const std::uint64_t m = read_dim_u64(in);
+  v.reserve(m);
+}
+"""
+
+
+def self_test() -> int:
+    bad = scan_text("self_test_bad.cpp", SELF_TEST_BAD)
+    good = scan_text("self_test_good.cpp", SELF_TEST_GOOD)
+    bad_hits = [s for s in bad if s.taints]
+    good_hits = [s for s in good if s.taints]
+    if len(bad_hits) != 1 or "n" not in bad_hits[0].taints:
+        print("self-test FAILED: seeded violation not flagged", file=sys.stderr)
+        return 2
+    if good_hits:
+        print(
+            "self-test FAILED: bounded sites were flagged: "
+            + "; ".join(s.describe() for s in good_hits),
+            file=sys.stderr,
+        )
+        return 2
+    print("self-test ok: seeded violation flagged, bounded sites clean")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default="src", help="directory to scan")
+    ap.add_argument(
+        "--list", action="store_true",
+        help="print every allocation site with its taint status",
+    )
+    ap.add_argument("--self-test", action="store_true")
+    ap.add_argument(
+        "--allowlist",
+        default=str(pathlib.Path(__file__).with_name(
+            "lint_bounded_reads_allowlist.txt")),
+    )
+    ap.add_argument("--report", help="also write findings to this file")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    root = pathlib.Path(args.root)
+    if not root.is_dir():
+        print(f"lint_bounded_reads: not a directory: {root}", file=sys.stderr)
+        return 2
+    return run_scan(
+        root,
+        args.list,
+        load_allowlist(pathlib.Path(args.allowlist)),
+        pathlib.Path(args.report) if args.report else None,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

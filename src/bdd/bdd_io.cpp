@@ -77,9 +77,12 @@ LoadedBdd load_bdd_nodes(std::istream& in, BddManager& mgr) {
   }
   const auto count = read_pod<std::uint32_t>(in);
   if (count < 2) throw std::runtime_error("load_bdd: node count < 2");
-  // A corrupted count would make the vector below zero-fill gigabytes before
-  // the per-node reads could detect truncation; bound it first.
-  if (count > (1U << 26)) {
+  // A corrupted count would make the vector below zero-fill memory before
+  // the per-node reads could detect truncation; bound it first. 2^24 is
+  // an order of magnitude above the largest benchmarked artifact (~1.5M
+  // nodes for the robust 1024-neuron monitor) while keeping the worst
+  // hostile up-front allocation at 64 MB.
+  if (count > (1U << 24)) {
     throw std::runtime_error("load_bdd: implausible node count");
   }
   std::vector<NodeRef> local(count);

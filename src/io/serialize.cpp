@@ -58,6 +58,7 @@ constexpr std::uint32_t kFlagProfile = 2;  // per-node hit counters
 // The bounded little-endian primitives live in io/wire.hpp, shared with
 // the serving frame protocol; the loaders below are written against them.
 using io::bounded_numel;
+using io::kMaxMonitorDim;
 using io::read_dim_u64;
 using io::read_pod;
 using io::read_shape;
@@ -209,7 +210,7 @@ Network load_network(std::istream& in) {
       case LayerTag::kNormalization: {
         Shape shape = read_shape(in);
         const std::size_t count = shape_numel(shape);
-        if (count == 0 || count > (1ULL << 24)) {
+        if (count == 0 || count > io::kMaxMonitorDim) {
           throw std::runtime_error("load_network: implausible layer size");
         }
         std::vector<float> mean(count), inv_std(count);
@@ -278,7 +279,10 @@ ThresholdSpec load_threshold_spec(std::istream& in) {
   }
   const auto dim = static_cast<std::size_t>(read_u64(in));
   const auto bits = static_cast<std::size_t>(read_u64(in));
-  if (bits == 0 || bits > 16 || dim == 0 || dim > (1ULL << 24)) {
+  // kMaxMonitorDim (not the looser kMaxLoadElems): per_neuron below
+  // allocates dim vector headers up front, so the bound must keep that
+  // in the tens of megabytes even for an adversarial header.
+  if (bits == 0 || bits > 16 || dim == 0 || dim > kMaxMonitorDim) {
     throw std::runtime_error("load_threshold_spec: implausible header");
   }
   const std::size_t m = (std::size_t(1) << bits) - 1;
@@ -311,7 +315,7 @@ MinMaxMonitor load_minmax_body(std::istream& in) {
   // Guard before the vector allocations below: a corrupted dimension field
   // would otherwise zero-fill gigabytes (Linux overcommit makes the
   // allocation itself succeed) and hang instead of failing loudly.
-  if (dim > (1ULL << 24)) {
+  if (dim > kMaxMonitorDim) {
     throw std::runtime_error("load_minmax_monitor: implausible dimension");
   }
   const auto count = static_cast<std::size_t>(read_u64(in));
@@ -443,7 +447,7 @@ ShardedMonitor load_sharded_body(std::istream& in) {
   // below are sized from these fields. The shard cap is far above any
   // real deployment but keeps a corrupted header from provoking a
   // half-gigabyte vector-of-vectors allocation up front.
-  if (dim == 0 || dim > (1ULL << 24) || shard_count == 0 ||
+  if (dim == 0 || dim > io::kMaxMonitorDim || shard_count == 0 ||
       shard_count > dim || shard_count > 4096) {
     throw std::runtime_error("load_sharded_monitor: implausible header");
   }

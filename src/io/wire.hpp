@@ -25,6 +25,15 @@ namespace ranm::io {
 /// must fail on these checks, before a constructor allocates from them.
 constexpr std::uint64_t kMaxLoadElems = 1ULL << 26;
 
+/// Tighter bound for monitor dimensions (neurons in one watched layer).
+/// The paper's largest layers are a few thousand neurons; 2^20 leaves two
+/// orders of magnitude of headroom while keeping the worst-case up-front
+/// allocation a hostile header can trigger (e.g. a threshold-spec table of
+/// per-neuron vectors, ~24 bytes each) in the tens of megabytes instead of
+/// hundreds. Found by fuzzing: a ~30-byte stream claiming dim = 2^24
+/// committed ~400 MB before the first truncated-read check could fire.
+constexpr std::uint64_t kMaxMonitorDim = 1ULL << 20;
+
 template <typename T>
 void write_pod(std::ostream& out, const T& v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof v);

@@ -81,7 +81,7 @@ struct Server::Conn {
 };
 
 std::string Server::BufferPool::acquire() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (spares_.empty()) return {};
   std::string buf = std::move(spares_.back());
   spares_.pop_back();
@@ -90,7 +90,7 @@ std::string Server::BufferPool::acquire() {
 
 void Server::BufferPool::release(std::string&& buf) {
   buf.clear();
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (spares_.size() < 64) spares_.push_back(std::move(buf));
 }
 
@@ -182,7 +182,7 @@ void Server::worker_main(std::size_t index) {
     execute_query(service, request->payload, done.type, done.payload);
     buffers_.release(std::move(request->payload));
     {
-      std::lock_guard<std::mutex> lock(completions_mu_);
+      const MutexLock lock(completions_mu_);
       completions_.push_back(std::move(done));
     }
     signal_eventfd(completion_event_fd_);
@@ -438,7 +438,7 @@ void Server::dispatch_query(Conn& conn, std::string_view payload) {
 
 void Server::handle_completions() {
   {
-    std::lock_guard<std::mutex> lock(completions_mu_);
+    const MutexLock lock(completions_mu_);
     completion_scratch_.swap(completions_);
   }
   for (Completion& done : completion_scratch_) {

@@ -42,7 +42,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -50,6 +49,7 @@
 
 #include "serve/endpoint.hpp"
 #include "serve/monitor_service.hpp"
+#include "util/annotations.hpp"
 #include "util/bounded_queue.hpp"
 
 namespace ranm::serve {
@@ -130,12 +130,12 @@ class Server {
   /// allocating per query.
   class BufferPool {
    public:
-    [[nodiscard]] std::string acquire();
-    void release(std::string&& buf);
+    [[nodiscard]] std::string acquire() RANM_EXCLUDES(mu_);
+    void release(std::string&& buf) RANM_EXCLUDES(mu_);
 
    private:
-    std::mutex mu_;
-    std::vector<std::string> spares_;
+    Mutex mu_;
+    std::vector<std::string> spares_ RANM_GUARDED_BY(mu_);
   };
 
   void worker_main(std::size_t index);
@@ -174,9 +174,14 @@ class Server {
 
   BoundedQueue<Request> queue_;
   std::vector<std::thread> workers_;
-  std::mutex completions_mu_;
-  std::vector<Completion> completions_;
-  std::vector<Completion> completion_scratch_;  // loop-side swap target
+  Mutex completions_mu_;
+  /// Workers append, the loop swaps the whole vector out; the only shared
+  /// mutable state between them besides the queue.
+  std::vector<Completion> completions_ RANM_GUARDED_BY(completions_mu_);
+  /// Loop-thread-only swap target: it crosses completions_mu_ exactly
+  /// once per drain (inside the lock, via swap) and is otherwise private
+  /// to the event loop, so it is deliberately not GUARDED_BY.
+  std::vector<Completion> completion_scratch_;
   BufferPool buffers_;
 
   std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;

@@ -9,15 +9,19 @@
 // Consumers block in pop() until an item arrives or the queue is closed
 // and drained, which is exactly the graceful-shutdown shape: close() lets
 // every queued item finish, then wakes all poppers with "no more work".
+//
+// All shared state is RANM_GUARDED_BY(mu_): under clang, touching it
+// without the lock is a -Wthread-safety build error (see
+// util/annotations.hpp).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <utility>
+
+#include "util/annotations.hpp"
 
 namespace ranm {
 
@@ -38,9 +42,9 @@ class BoundedQueue {
   /// Enqueues without blocking. Returns false — leaving `item` untouched —
   /// when the queue is full (backpressure: the caller reports overload)
   /// or already closed.
-  [[nodiscard]] bool try_push(T&& item) {
+  [[nodiscard]] bool try_push(T&& item) RANM_EXCLUDES(mu_) {
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -50,9 +54,9 @@ class BoundedQueue {
 
   /// Blocks until an item is available or the queue is closed *and*
   /// drained; nullopt means "no more work, ever" (worker exit signal).
-  [[nodiscard]] std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  [[nodiscard]] std::optional<T> pop() RANM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) cv_.wait(lock);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -61,16 +65,16 @@ class BoundedQueue {
 
   /// After close(), try_push fails and poppers drain the remaining items
   /// before observing nullopt. Idempotent.
-  void close() {
+  void close() RANM_EXCLUDES(mu_) {
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
-  [[nodiscard]] std::size_t size() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] std::size_t size() const RANM_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return items_.size();
   }
 
@@ -78,10 +82,10 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<T> items_ RANM_GUARDED_BY(mu_);
+  bool closed_ RANM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ranm

@@ -23,7 +23,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -34,8 +34,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && tasks_.empty()) cv_.wait(lock);
       if (tasks_.empty()) return;  // stop_ set and queue drained
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -60,9 +60,9 @@ void ThreadPool::parallel_for(
     std::atomic<std::size_t> done{0};
     std::size_t count = 0;
     const std::function<void(std::size_t)>* body = nullptr;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::exception_ptr error;  // first failure only; guarded by mu
+    Mutex mu;
+    CondVar cv;
+    std::exception_ptr error RANM_GUARDED_BY(mu);  // first failure only
   };
   auto batch = std::make_shared<Batch>();
   batch->count = count;
@@ -76,14 +76,14 @@ void ThreadPool::parallel_for(
       try {
         (*batch->body)(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(batch->mu);
+        const MutexLock lock(batch->mu);
         if (!batch->error) batch->error = std::current_exception();
       }
       if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           batch->count) {
         // Lock pairs with the caller's predicate check so the final
         // notification cannot slip between its test and its wait.
-        const std::lock_guard<std::mutex> lock(batch->mu);
+        const MutexLock lock(batch->mu);
         batch->cv.notify_all();
       }
     }
@@ -91,17 +91,17 @@ void ThreadPool::parallel_for(
 
   const std::size_t helpers = std::min(workers_.size(), count - 1);
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     for (std::size_t t = 0; t < helpers; ++t) tasks_.emplace_back(drain);
   }
   cv_.notify_all();
 
   drain();  // the calling thread is one of the lanes
 
-  std::unique_lock<std::mutex> lock(batch->mu);
-  batch->cv.wait(lock, [&batch] {
-    return batch->done.load(std::memory_order_acquire) == batch->count;
-  });
+  MutexLock lock(batch->mu);
+  while (batch->done.load(std::memory_order_acquire) != batch->count) {
+    batch->cv.wait(lock);
+  }
   if (batch->error) std::rethrow_exception(batch->error);
 }
 

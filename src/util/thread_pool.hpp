@@ -9,13 +9,13 @@
 // futures/executor framework.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace ranm {
 
@@ -51,16 +51,17 @@ class ThreadPool {
   /// If any body throws, the first exception is rethrown here after the
   /// remaining tasks finish.
   void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body)
+      RANM_EXCLUDES(mu_);
 
  private:
-  void worker_loop();
+  void worker_loop() RANM_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> tasks_ RANM_GUARDED_BY(mu_);
+  bool stop_ RANM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ranm

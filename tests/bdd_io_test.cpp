@@ -83,5 +83,19 @@ TEST(BddIo, RejectsSmallerManager) {
   EXPECT_THROW((void)load_bdd(ss, tiny), std::runtime_error);
 }
 
+TEST(BddIo, RejectsNodeCountAboveCap) {
+  // Regression for the fuzz-driven cap tightening: a 12-byte header
+  // claiming 2^24 + 1 nodes must fail before the slot vector allocates.
+  std::stringstream ss;
+  auto put_u32 = [&ss](std::uint32_t v) {
+    ss.write(reinterpret_cast<const char*>(&v), sizeof v);
+  };
+  put_u32(0x42444431U);    // BDD1
+  put_u32(4);              // num_vars
+  put_u32((1U << 24) + 1);  // node count: just past the cap
+  BddManager mgr(4);
+  EXPECT_THROW((void)load_bdd(ss, mgr), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace ranm::bdd

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/monitor_builder.hpp"
+#include "io/wire.hpp"
 #include "nn/dense.hpp"
 #include "nn/init.hpp"
 #include "nn/normalization.hpp"
@@ -251,6 +252,67 @@ TEST(Serialize, DeployedMonitorPipeline) {
     Tensor probe = Tensor::random_uniform({4}, rng, -1.5F, 1.5F);
     EXPECT_EQ(builder2.warns(monitor2, probe), builder.warns(monitor, probe));
   }
+}
+
+// Regressions for the kMaxMonitorDim loader caps (found by fuzzing): a
+// tiny stream with a huge-but-formerly-accepted dimension header must be
+// rejected before the loader commits hundreds of megabytes up front.
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void put_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+TEST(Serialize, ThresholdSpecRejectsDimAboveMonitorCap) {
+  std::stringstream ss;
+  put_u32(ss, 0x52545331U);                // RTS1
+  put_u64(ss, io::kMaxMonitorDim + 1);     // dim: just past the cap
+  put_u64(ss, 2);                          // bits
+  EXPECT_THROW((void)load_threshold_spec(ss), std::runtime_error);
+}
+
+TEST(Serialize, OnOffMonitorRejectsHugeSpecHeader) {
+  // The exact hostile stream the fuzzer flagged: ~30 bytes claiming a
+  // 2^24-neuron spec, which used to size a ~400 MB per-neuron table.
+  std::stringstream ss;
+  put_u32(ss, 0x524D4F31U);  // RMO1
+  put_u32(ss, 2);            // MonitorTag::kOnOff
+  put_u32(ss, 0x52545331U);  // RTS1
+  put_u64(ss, 1ULL << 24);   // dim
+  put_u64(ss, 16);           // bits
+  EXPECT_THROW((void)load_any_monitor(ss), std::runtime_error);
+}
+
+TEST(Serialize, MinMaxMonitorRejectsDimAboveMonitorCap) {
+  std::stringstream ss;
+  put_u32(ss, 0x524D4F31U);             // RMO1
+  put_u32(ss, 1);                       // MonitorTag::kMinMax
+  put_u64(ss, io::kMaxMonitorDim + 1);  // dim
+  put_u64(ss, 0);                       // observation count
+  EXPECT_THROW((void)load_any_monitor(ss), std::runtime_error);
+}
+
+TEST(Serialize, NormalizationRejectsLayerSizeAboveMonitorCap) {
+  std::stringstream ss;
+  put_u32(ss, 0x524E4E31U);             // RNN1
+  put_u64(ss, 1);                       // one layer
+  put_u32(ss, 10);                      // LayerTag::kNormalization
+  put_u64(ss, 1);                       // shape rank
+  put_u64(ss, io::kMaxMonitorDim + 1);  // feature count
+  EXPECT_THROW((void)load_network(ss), std::runtime_error);
+}
+
+TEST(Serialize, MonitorDimAtCapStillHasBoundedHeaderCheck) {
+  // dim == kMaxMonitorDim itself passes the header check and then fails
+  // on the truncated per-neuron reads — the accepted side of the bound.
+  std::stringstream ss;
+  put_u32(ss, 0x524D4F31U);         // RMO1
+  put_u32(ss, 1);                   // MonitorTag::kMinMax
+  put_u64(ss, io::kMaxMonitorDim);  // dim: exactly at the cap
+  put_u64(ss, 0);                   // observation count, then EOF
+  EXPECT_THROW((void)load_any_monitor(ss), std::runtime_error);
 }
 
 }  // namespace

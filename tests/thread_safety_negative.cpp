@@ -1,0 +1,46 @@
+// Deliberately mis-locked snippet — this file MUST NOT compile under
+// clang with -Wthread-safety -Werror.
+//
+// It is the negative control for the thread-safety annotation layer
+// (util/annotations.hpp): the `thread_safety_negative` ctest (registered
+// only for clang, WILL_FAIL) feeds this file to the compiler and asserts
+// rejection. If the analysis ever stops firing here — a macro regressed
+// to a no-op under clang, the flag fell off the build — the test fails
+// and CI catches the silent loss of coverage. The file is intentionally
+// NOT part of any library or test target; nothing links it.
+//
+// Not built by the *_test.cpp glob (no _test suffix), and the guard
+// below keeps an accidental direct compile from breaking a gcc build.
+#if !defined(__clang__)
+#error "thread_safety_negative.cpp is a clang-only compile-fail fixture"
+#endif
+
+#include <deque>
+
+#include "util/annotations.hpp"
+
+namespace {
+
+class MisLockedCounter {
+ public:
+  // BUG (on purpose): touches the guarded field without holding mu_.
+  // Under -Wthread-safety this is 'writing variable requires holding
+  // mutex' — exactly the defect class the annotations exist to reject.
+  void increment_unlocked() { ++count_; }
+
+  // BUG (on purpose): claims to exclude mu_ yet reads guarded state
+  // without acquiring it.
+  [[nodiscard]] int read_unlocked() RANM_EXCLUDES(mu_) { return count_; }
+
+ private:
+  ranm::Mutex mu_;
+  int count_ RANM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  MisLockedCounter c;
+  c.increment_unlocked();
+  return c.read_unlocked();
+}
