@@ -92,7 +92,7 @@ struct Fixture {
 
 struct Measurement {
   std::string monitor;
-  std::string mode;  // "direct" | "socket" | "tcp" | "load"
+  std::string mode;  // "direct" | "socket" | "tcp" | "load" | lifecycle
   std::size_t batch_size = 0;
   std::size_t requests = 0;
   std::size_t workers = 0;  // 0: in-process (no server)
@@ -102,6 +102,9 @@ struct Measurement {
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   double p999_ms = 0.0;
+  // Median kSwap round trip (rebuild + publish across replicas), only on
+  // "swap" rows; < 0 elsewhere. bench_diff gates this in CI.
+  double swap_ms = -1.0;
 };
 
 /// Keeps verdicts observable so the compiler cannot drop the loops.
@@ -221,7 +224,9 @@ std::string json_row(const Measurement& m) {
       << ", \"queries_per_s\": " << m.queries_per_s
       << ", \"samples_per_s\": " << m.samples_per_s
       << ", \"p50_ms\": " << m.p50_ms << ", \"p99_ms\": " << m.p99_ms
-      << ", \"p999_ms\": " << m.p999_ms << "}";
+      << ", \"p999_ms\": " << m.p999_ms;
+  if (m.swap_ms >= 0.0) out << ", \"swap_ms\": " << m.swap_ms;
+  out << "}";
   return out.str();
 }
 
@@ -318,6 +323,55 @@ int run(int argc, char** argv) {
                                    point.clients, load_batch,
                                    per_client));
     }
+  }
+
+  // Monitor lifecycle: what staging a live batch costs on the query
+  // path, and how long the atomic swap (background rebuild + publish to
+  // every replica) takes end to end over the wire.
+  {
+    serve::MonitorService service(fx.clone_net(), fx.build_monitor(1),
+                                  fx.k, 1);
+    serve::ServerConfig config;
+    config.unix_path = "/tmp/ranm_bench_" + std::to_string(::getpid()) +
+                       "_swap.sock";
+    config.workers = 2;
+    serve::Server server(service, config);
+    std::thread server_thread([&server] { server.run(); });
+    {
+      serve::ServeClient client(server.unix_path());
+      const std::size_t obs_batch = 32;
+      results.push_back(
+          sweep(fx, "interval", "observe", 2, obs_batch,
+                smoke ? std::size_t{5} : std::size_t{128},
+                [&client](std::span<const Tensor> inputs) {
+                  return std::size_t(client.observe(inputs).accepted);
+                }));
+      // Drain the observe sweep's staged pool so every timed swap folds
+      // exactly one batch.
+      (void)client.swap();
+
+      const std::size_t swap_iters = smoke ? 3 : 24;
+      std::vector<double> swap_lat;
+      swap_lat.reserve(swap_iters);
+      Timer total;
+      for (std::size_t i = 0; i < swap_iters; ++i) {
+        const std::span<const Tensor> staged(fx.pool.data(), obs_batch);
+        g_sink += std::size_t(client.observe(staged).accepted);
+        Timer timer;
+        (void)client.swap();
+        swap_lat.push_back(timer.millis());
+      }
+      Measurement m;
+      m.monitor = "interval";
+      m.mode = "swap";
+      m.batch_size = obs_batch;
+      m.workers = 2;
+      fill_latencies(m, swap_lat, total.seconds());
+      m.swap_ms = m.p50_ms;
+      results.push_back(m);
+    }
+    server.stop();
+    server_thread.join();
   }
 
   TextTable table("serving throughput and latency");

@@ -2,7 +2,8 @@
 // header (magic | type | payload length, validated before any
 // payload-sized allocation) and every payload codec behind it — query
 // (tensor batches), verdicts, stats (worker counters + shard tables),
-// and error messages.
+// error messages, and the monitor-lifecycle codecs (observe/swap/
+// rollback replies and the rollback target).
 //
 // Invariant per frame: read_frame throws cleanly or yields a
 // (type, payload) pair; each payload codec then throws cleanly or
@@ -60,9 +61,49 @@ void roundtrip_payload(ranm::serve::FrameType type,
                 "decode_error -> encode_error is not the identity");
         break;
       }
+      case FrameType::kObserve: {
+        // Observe reuses the query codec (count + tensors).
+        const std::vector<ranm::Tensor> inputs =
+            ranm::serve::decode_query(payload);
+        require(ranm::serve::encode_query(inputs) == payload, "fuzz_frame",
+                "decode_query(observe) -> encode_query is not the identity");
+        break;
+      }
+      case FrameType::kObserveReply: {
+        const ranm::serve::ObserveReply reply =
+            ranm::serve::decode_observe_reply(payload);
+        require(ranm::serve::encode_observe_reply(reply) == payload,
+                "fuzz_frame",
+                "decode_observe_reply -> encode is not the identity");
+        break;
+      }
+      case FrameType::kSwapReply: {
+        const ranm::serve::SwapReply reply =
+            ranm::serve::decode_swap_reply(payload);
+        require(ranm::serve::encode_swap_reply(reply) == payload,
+                "fuzz_frame",
+                "decode_swap_reply -> encode is not the identity");
+        break;
+      }
+      case FrameType::kRollback: {
+        const std::uint64_t target = ranm::serve::decode_rollback(payload);
+        require(ranm::serve::encode_rollback(target) == payload,
+                "fuzz_frame",
+                "decode_rollback -> encode is not the identity");
+        break;
+      }
+      case FrameType::kRollbackReply: {
+        const ranm::serve::RollbackReply reply =
+            ranm::serve::decode_rollback_reply(payload);
+        require(ranm::serve::encode_rollback_reply(reply) == payload,
+                "fuzz_frame",
+                "decode_rollback_reply -> encode is not the identity");
+        break;
+      }
       case FrameType::kStats:
       case FrameType::kShutdown:
       case FrameType::kShutdownAck:
+      case FrameType::kSwap:
         break;  // request/ack frames carry no decoded payload
     }
   } catch (const std::exception&) {
@@ -94,8 +135,11 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   // parsing is fuzzed even when no valid 16-byte header precedes it.
   for (const auto type :
        {ranm::serve::FrameType::kQuery, ranm::serve::FrameType::kQueryReply,
-        ranm::serve::FrameType::kStatsReply,
-        ranm::serve::FrameType::kError}) {
+        ranm::serve::FrameType::kStatsReply, ranm::serve::FrameType::kError,
+        ranm::serve::FrameType::kObserveReply,
+        ranm::serve::FrameType::kSwapReply,
+        ranm::serve::FrameType::kRollback,
+        ranm::serve::FrameType::kRollbackReply}) {
     roundtrip_payload(type, bytes);
   }
   return 0;

@@ -76,7 +76,9 @@ void ByteView::read_bytes(char* dst, std::size_t len) {
   if (remaining() < len) {
     throw std::runtime_error("ranm::io: truncated stream");
   }
-  std::memcpy(dst, cur_, len);
+  // dst may be null for a zero-length read (empty vector data()), and
+  // memcpy's pointer arguments must be non-null even then.
+  if (len != 0) std::memcpy(dst, cur_, len);
   cur_ += len;
 }
 

@@ -57,6 +57,26 @@ std::vector<std::uint8_t> ServeClient::query_warns(
   return warns;
 }
 
+ObserveReply ServeClient::observe(std::span<const Tensor> inputs) {
+  encode_query_into(scratch_, inputs);
+  const Frame& reply =
+      round_trip(FrameType::kObserve, scratch_, FrameType::kObserveReply);
+  return decode_observe_reply(reply.payload);
+}
+
+SwapReply ServeClient::swap() {
+  const Frame& reply =
+      round_trip(FrameType::kSwap, "", FrameType::kSwapReply);
+  return decode_swap_reply(reply.payload);
+}
+
+RollbackReply ServeClient::rollback(std::uint64_t generation) {
+  const Frame& reply =
+      round_trip(FrameType::kRollback, encode_rollback(generation),
+                 FrameType::kRollbackReply);
+  return decode_rollback_reply(reply.payload);
+}
+
 ServiceStats ServeClient::stats() {
   const Frame& reply =
       round_trip(FrameType::kStats, "", FrameType::kStatsReply);

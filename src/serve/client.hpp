@@ -58,6 +58,19 @@ class ServeClient {
   [[nodiscard]] std::vector<std::uint8_t> query_warns(
       std::span<const Tensor> inputs);
 
+  /// Stages one minibatch on the daemon for its next rebuild; the reply
+  /// carries accepted/staged/novelty counters. Throws std::runtime_error
+  /// with the server's message for frozen monitors or a full staging
+  /// pool (the connection stays usable).
+  [[nodiscard]] ObserveReply observe(std::span<const Tensor> inputs);
+
+  /// Asks the daemon to rebuild from its staged samples and atomically
+  /// publish the refreshed monitor across every worker replica.
+  [[nodiscard]] SwapReply swap();
+
+  /// Restores a persisted generation (0 = the previous one).
+  [[nodiscard]] RollbackReply rollback(std::uint64_t generation = 0);
+
   /// Fetches the daemon's per-worker + aggregate counters, serving-loop
   /// telemetry, and per-shard statistics.
   [[nodiscard]] ServiceStats stats();

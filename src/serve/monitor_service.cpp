@@ -7,8 +7,24 @@
 #include "compile/compiled_monitor.hpp"
 #include "core/sharded_monitor.hpp"
 #include "io/serialize.hpp"
+#include "util/timer.hpp"
 
 namespace ranm::serve {
+namespace {
+
+/// Serialised bytes of any monitor with a serialiser.
+std::string monitor_bytes(const Monitor& monitor) {
+  std::ostringstream buf(std::ios::binary);
+  save_any_monitor(buf, monitor);
+  return std::move(buf).str();
+}
+
+std::unique_ptr<Monitor> monitor_from_bytes(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  return load_any_monitor(in);
+}
+
+}  // namespace
 
 MonitorService::MonitorService(Network net,
                                std::unique_ptr<Monitor> monitor,
@@ -21,20 +37,33 @@ MonitorService::MonitorService(Network net,
   if (monitor_ == nullptr) {
     throw std::invalid_argument("MonitorService: null monitor");
   }
-  if (monitor_->dimension() != builder_.feature_dim()) {
+  dim_ = monitor_->dimension();
+  if (dim_ != builder_.feature_dim()) {
     throw std::invalid_argument(
-        "MonitorService: monitor dimension " +
-        std::to_string(monitor_->dimension()) + " != layer " +
-        std::to_string(layer_k) + " feature dimension " +
+        "MonitorService: monitor dimension " + std::to_string(dim_) +
+        " != layer " + std::to_string(layer_k) + " feature dimension " +
         std::to_string(builder_.feature_dim()));
   }
-  // Thread count is a host property, not part of the artifact — applied
-  // here, exactly as `ranm_cli eval --threads` does after loading.
-  if (auto* sharded = dynamic_cast<ShardedMonitor*>(monitor_.get())) {
-    sharded->set_threads(threads_);
-  } else if (auto* compiled =
-                 dynamic_cast<compile::CompiledMonitor*>(monitor_.get())) {
-    compiled->set_threads(threads_);
+  apply_threads(*monitor_);
+  // Seed the shared adaptation state with the pristine generation-1
+  // bytes. Families without a serialiser — and compiled monitors, which
+  // are frozen by design — run with adaptation disabled instead
+  // (observe/swap/rollback throw a clear error, kStats reports
+  // generation 0).
+  if (dynamic_cast<const compile::CompiledMonitor*>(monitor_.get()) ==
+      nullptr) {
+    try {
+      std::string bytes = monitor_bytes(*monitor_);
+      std::size_t shard_count = 0;
+      if (const auto* sharded =
+              dynamic_cast<const ShardedMonitor*>(monitor_.get())) {
+        shard_count = sharded->shard_count();
+      }
+      adapt_ = std::make_shared<AdaptState>(dim_, std::move(bytes),
+                                            shard_count);
+    } catch (const std::invalid_argument&) {
+      adapt_.reset();
+    }
   }
 }
 
@@ -52,6 +81,22 @@ MonitorService MonitorService::from_files(const std::string& net_path,
                         threads);
 }
 
+void MonitorService::apply_threads(Monitor& monitor) const {
+  // Thread count is a host property, not part of the artifact — applied
+  // after every load, exactly as `ranm_cli eval --threads` does.
+  if (auto* sharded = dynamic_cast<ShardedMonitor*>(&monitor)) {
+    sharded->set_threads(threads_);
+  } else if (auto* compiled =
+                 dynamic_cast<compile::CompiledMonitor*>(&monitor)) {
+    compiled->set_threads(threads_);
+  }
+}
+
+std::shared_ptr<Monitor> MonitorService::snapshot() const {
+  MutexLock lock(snapshot_mu_);
+  return monitor_;
+}
+
 std::unique_ptr<MonitorService> MonitorService::clone() {
   // Round-trip both artifacts through their serialisers: the same bytes a
   // deploy would ship, so a replica is bit-identical to loading the
@@ -62,10 +107,14 @@ std::unique_ptr<MonitorService> MonitorService::clone() {
   net_buf.seekg(0);
   std::stringstream mon_buf(std::ios::in | std::ios::out |
                             std::ios::binary);
-  save_any_monitor(mon_buf, *monitor_);
+  save_any_monitor(mon_buf, *snapshot());
   mon_buf.seekg(0);
-  return std::make_unique<MonitorService>(
+  auto replica = std::make_unique<MonitorService>(
       load_network(net_buf), load_any_monitor(mon_buf), k_, threads_);
+  // All replicas share one AdaptState: one staging pool, one generation
+  // counter, one store — a swap through any of them is the swap.
+  replica->adapt_ = adapt_;
+  return replica;
 }
 
 void MonitorService::query_warns_into(std::span<const Tensor> inputs,
@@ -78,13 +127,17 @@ void MonitorService::query_warns_into(std::span<const Tensor> inputs,
     queries_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  // RCU read side: copy the snapshot pointer, then answer the whole
+  // batch against that one monitor. A concurrent adopt() swaps the
+  // pointer for the *next* query — never mid-batch.
+  const std::shared_ptr<Monitor> snap = snapshot();
   const FeatureBatch batch = net_.forward_batch(k_, inputs);
   if (scratch_capacity_ < inputs.size()) {
     scratch_ = std::make_unique<bool[]>(inputs.size());
     scratch_capacity_ = inputs.size();
   }
   const std::span<bool> row(scratch_.get(), inputs.size());
-  monitor_->warn_batch(batch, row);
+  snap->warn_batch(batch, row);
   warns.resize(inputs.size());
   std::uint64_t warned = 0;
   for (std::size_t i = 0; i < inputs.size(); ++i) {
@@ -94,6 +147,7 @@ void MonitorService::query_warns_into(std::span<const Tensor> inputs,
   queries_.fetch_add(1, std::memory_order_relaxed);
   samples_.fetch_add(inputs.size(), std::memory_order_relaxed);
   warnings_.fetch_add(warned, std::memory_order_relaxed);
+  record_rolling(inputs.size(), warned);
 }
 
 std::vector<std::uint8_t> MonitorService::query_warns(
@@ -103,28 +157,225 @@ std::vector<std::uint8_t> MonitorService::query_warns(
   return out;
 }
 
+bool MonitorService::adaptive() const noexcept {
+  if (adapt_ == nullptr) return false;
+  const std::shared_ptr<Monitor> snap = snapshot();
+  return dynamic_cast<const compile::CompiledMonitor*>(snap.get()) ==
+         nullptr;
+}
+
+ObserveReply MonitorService::observe_batch(std::span<const Tensor> inputs) {
+  const std::shared_ptr<Monitor> snap = snapshot();
+  if (dynamic_cast<const compile::CompiledMonitor*>(snap.get()) !=
+      nullptr) {
+    // Satellite bugfix: a frozen monitor must answer a structured error,
+    // not let CompiledMonitor::observe's logic_error escape a worker.
+    throw std::invalid_argument(
+        "observe: compiled monitors are frozen — serve the source "
+        "artifact to adapt online");
+  }
+  if (adapt_ == nullptr) {
+    throw std::invalid_argument(
+        "observe: this monitor family has no serialiser — online "
+        "adaptation is disabled");
+  }
+  if (inputs.size() > kMaxQuerySamples) {
+    throw std::invalid_argument("observe: batch too large");
+  }
+  ObserveReply reply;
+  reply.accepted = inputs.size();
+  if (inputs.empty()) {
+    reply.staged_total = staged_samples();
+    return reply;
+  }
+  const FeatureBatch batch = net_.forward_batch(k_, inputs);
+  if (scratch_capacity_ < inputs.size()) {
+    scratch_ = std::make_unique<bool[]>(inputs.size());
+    scratch_capacity_ = inputs.size();
+  }
+  const std::span<bool> row(scratch_.get(), inputs.size());
+  snap->warn_batch(batch, row);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    reply.novel += row[i] ? 1 : 0;
+  }
+  // Per-shard drift: project the batch onto each shard's neuron rows and
+  // count the samples outside that shard's region — one view, no copies.
+  std::vector<std::uint64_t> shard_novel;
+  if (const auto* sharded =
+          dynamic_cast<const ShardedMonitor*>(snap.get())) {
+    shard_novel.assign(sharded->shard_count(), 0);
+    for (std::size_t s = 0; s < sharded->shard_count(); ++s) {
+      const FeatureBatch view =
+          batch.view_rows(sharded->plan().neurons(s));
+      sharded->shard(s).contains_batch(view, row);
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        shard_novel[s] += row[i] ? 0 : 1;
+      }
+    }
+  }
+  reply.staged_total = adapt_->stage(batch, shard_novel);
+  return reply;
+}
+
+std::string MonitorService::rebuild_refreshed(std::uint64_t& applied) {
+  if (adapt_ == nullptr) {
+    throw std::invalid_argument(
+        "swap: online adaptation is disabled for this monitor family");
+  }
+  const RebuildInput input = adapt_->rebuild_input();
+  applied = input.staged_count;
+  // A fresh monitor from the pristine bytes — not the live object — so
+  // the rebuild shares nothing with the replicas still answering
+  // queries, and a rollback of the result is exact.
+  std::unique_ptr<Monitor> refreshed =
+      monitor_from_bytes(input.base_artifact);
+  if (input.staged_count > 0) {
+    FeatureBatch staged(dim_, std::size_t(input.staged_count));
+    for (std::size_t i = 0; i < std::size_t(input.staged_count); ++i) {
+      staged.set_sample(
+          i, std::span<const float>(input.features.data() + i * dim_,
+                                    dim_));
+    }
+    refreshed->observe_batch(staged);
+  }
+  return monitor_bytes(*refreshed);
+}
+
+void MonitorService::adopt(const std::string& bytes) {
+  std::shared_ptr<Monitor> next = monitor_from_bytes(bytes);
+  if (next->dimension() != dim_) {
+    throw std::invalid_argument(
+        "adopt: artifact dimension " + std::to_string(next->dimension()) +
+        " != served dimension " + std::to_string(dim_));
+  }
+  apply_threads(*next);
+  MutexLock lock(snapshot_mu_);
+  monitor_ = std::move(next);
+}
+
+SwapReply MonitorService::commit_swap(std::string bytes,
+                                      std::uint64_t applied,
+                                      std::uint64_t duration_us) {
+  SwapReply reply;
+  reply.generation = adapt_->commit_swap(std::move(bytes), applied);
+  reply.staged_applied = applied;
+  reply.duration_us = duration_us;
+  reply.monitor = monitor_description();
+  return reply;
+}
+
+std::pair<std::uint64_t, std::string> MonitorService::checkout_generation(
+    std::uint64_t target) const {
+  if (adapt_ == nullptr) {
+    throw std::invalid_argument(
+        "rollback: online adaptation is disabled for this monitor family");
+  }
+  return adapt_->checkout(target);
+}
+
+RollbackReply MonitorService::commit_rollback(std::uint64_t generation,
+                                              std::string bytes) {
+  adapt_->commit_rollback(generation, std::move(bytes));
+  RollbackReply reply;
+  reply.generation = generation;
+  reply.monitor = monitor_description();
+  return reply;
+}
+
+SwapReply MonitorService::swap() {
+  Timer timer;
+  std::uint64_t applied = 0;
+  std::string bytes = rebuild_refreshed(applied);
+  adopt(bytes);
+  const auto duration_us =
+      std::uint64_t(timer.millis() * 1000.0);
+  return commit_swap(std::move(bytes), applied, duration_us);
+}
+
+RollbackReply MonitorService::rollback(std::uint64_t target) {
+  auto [generation, bytes] = checkout_generation(target);
+  adopt(bytes);
+  return commit_rollback(generation, std::move(bytes));
+}
+
+std::uint64_t MonitorService::set_snapshot_store(
+    std::unique_ptr<SnapshotStore> store) {
+  if (adapt_ == nullptr) {
+    throw std::invalid_argument(
+        "snapshot store: online adaptation is disabled for this monitor "
+        "family");
+  }
+  auto [resumed, bytes] = adapt_->attach_store(std::move(store));
+  if (resumed != 0) adopt(bytes);
+  return resumed;
+}
+
+void MonitorService::record_rolling(std::uint64_t samples,
+                                    std::uint64_t warnings) {
+  MutexLock lock(rolling_mu_);
+  rolling_[rolling_next_] = {samples, warnings};
+  rolling_next_ = (rolling_next_ + 1) % kRollingWindow;
+  if (rolling_filled_ < kRollingWindow) ++rolling_filled_;
+}
+
+void MonitorService::rolling_counters(std::uint64_t& samples,
+                                      std::uint64_t& warnings) const {
+  MutexLock lock(rolling_mu_);
+  for (std::size_t i = 0; i < rolling_filled_; ++i) {
+    samples += rolling_[i].first;
+    warnings += rolling_[i].second;
+  }
+}
+
+std::uint64_t MonitorService::generation() const {
+  return adapt_ ? adapt_->telemetry().generation : 0;
+}
+
+std::uint64_t MonitorService::staged_samples() const {
+  return adapt_ ? adapt_->telemetry().staged_samples : 0;
+}
+
+std::string MonitorService::monitor_description() const {
+  return snapshot()->describe();
+}
+
 ServiceStats MonitorService::stats() const {
+  const std::shared_ptr<Monitor> snap = snapshot();
   ServiceStats stats;
-  stats.monitor = monitor_->describe();
-  stats.dimension = monitor_->dimension();
+  stats.monitor = snap->describe();
+  stats.dimension = snap->dimension();
   stats.layer = k_;
   stats.threads = threads_;
   stats.queries = queries();
   stats.samples = samples();
   stats.warnings = warnings();
+  rolling_counters(stats.rolling_samples, stats.rolling_warnings);
+  AdaptTelemetry adapt;
+  if (adapt_) {
+    adapt = adapt_->telemetry();
+    stats.generation = adapt.generation;
+    stats.staged_samples = adapt.staged_samples;
+    stats.swaps = adapt.swaps;
+    stats.rollbacks = adapt.rollbacks;
+  }
   if (const auto* sharded =
-          dynamic_cast<const ShardedMonitor*>(monitor_.get())) {
+          dynamic_cast<const ShardedMonitor*>(snap.get())) {
     stats.threads = sharded->threads();
     stats.shard_strategy =
         std::string(shard_strategy_name(sharded->plan().strategy()));
     stats.shard_seed = sharded->plan().seed();
+    std::size_t index = 0;
     for (const auto& s : sharded->shard_stats()) {
       ShardStatsWire wire;
       wire.neurons = s.neurons;
       wire.bdd_nodes = s.bdd_nodes;
       wire.cubes_inserted = s.cubes_inserted;
+      if (index < adapt.shard_novel.size()) {
+        wire.novel = adapt.shard_novel[index];
+      }
       wire.patterns = s.patterns;
       stats.shards.push_back(wire);
+      ++index;
     }
   }
   return stats;

@@ -19,24 +19,43 @@
 // server clone()s one replica per worker, which is sound because monitors
 // are read-only after load. The lifetime counters are atomic, so stats()
 // and the counter accessors may race with a query from another thread.
+//
+// Online adaptation (monitor lifecycle). The served monitor is an
+// RCU-style snapshot: queries copy a shared_ptr under a tiny mutex, then
+// run lock-free against that copy, so a concurrent adopt() publishes a
+// refreshed monitor atomically — every query is answered entirely by the
+// old or the new snapshot, never a blend. observe_batch() stages live
+// batches (as layer-k features) into the AdaptState all replicas share;
+// rebuild_refreshed() folds the staged pool into a fresh monitor loaded
+// from the pristine current-generation bytes — touching no per-replica
+// scratch, so it runs on a background thread while queries continue —
+// and adopt() + commit_swap() publish it everywhere as one generation.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/monitor.hpp"
 #include "core/monitor_builder.hpp"
 #include "nn/network.hpp"
+#include "serve/adapt.hpp"
 #include "serve/protocol.hpp"
+#include "serve/snapshot_store.hpp"
+#include "util/annotations.hpp"
 
 namespace ranm::serve {
 
 /// Long-lived network + monitor pair answering minibatch queries.
 class MonitorService {
  public:
+  /// Queries contributing to the rolling warning-rate window in kStats.
+  static constexpr std::size_t kRollingWindow = 64;
+
   /// Takes ownership of both artifacts. `layer_k` is the monitored layer
   /// (1-based, as everywhere); the monitor's dimension must equal the
   /// layer's feature dimension. `threads` configures shard-level
@@ -57,7 +76,9 @@ class MonitorService {
   /// Deep-copies the service by round-tripping both artifacts through
   /// their serialisers — bit-identical network and monitor, fresh
   /// counters, fresh scratch. This is how the server builds per-worker
-  /// replicas. Non-const only because save_network is. Throws
+  /// replicas; they share this service's AdaptState, so a swap staged
+  /// through any replica publishes one generation for all of them.
+  /// Non-const only because save_network is. Throws
   /// std::invalid_argument for monitors without a serialiser.
   [[nodiscard]] std::unique_ptr<MonitorService> clone();
 
@@ -73,6 +94,61 @@ class MonitorService {
   /// Convenience wrapper allocating the verdict vector per call.
   [[nodiscard]] std::vector<std::uint8_t> query_warns(
       std::span<const Tensor> inputs);
+
+  // ---- monitor lifecycle --------------------------------------------------
+
+  /// True when this monitor family supports the observe/swap/rollback
+  /// path (it has a serialiser and is not compiled/frozen).
+  [[nodiscard]] bool adaptive() const noexcept;
+
+  /// Stages one live minibatch for the next rebuild: extracts layer-k
+  /// features, counts how many samples the *current* snapshot warns on
+  /// (drift signal, per shard too for sharded monitors), and appends the
+  /// features to the shared staging pool. Serialised with queries on the
+  /// same replica (same scratch); safe against concurrent staging through
+  /// other replicas. Throws std::invalid_argument for frozen/compiled
+  /// monitors and std::runtime_error past the staging cap.
+  [[nodiscard]] ObserveReply observe_batch(std::span<const Tensor> inputs);
+
+  /// Builds the refreshed artifact: loads a fresh monitor from the
+  /// pristine current-generation bytes, folds the staged features into
+  /// it, and returns its serialised bytes ( `applied` = staged samples
+  /// consumed). Touches no per-replica scratch — safe on a background
+  /// thread while this and other replicas keep answering queries.
+  [[nodiscard]] std::string rebuild_refreshed(std::uint64_t& applied);
+
+  /// Atomically publishes a monitor loaded from `bytes` as this replica's
+  /// snapshot. In-flight queries keep the snapshot they started with.
+  void adopt(const std::string& bytes);
+
+  /// Records a rebuilt artifact as the next generation in the shared
+  /// AdaptState (persisting it when a store is attached) and returns the
+  /// swap reply. Call after every replica adopt()ed `bytes`.
+  [[nodiscard]] SwapReply commit_swap(std::string bytes,
+                                      std::uint64_t applied,
+                                      std::uint64_t duration_us);
+
+  /// Resolves a rollback target (0 = previous) to {generation, bytes}.
+  [[nodiscard]] std::pair<std::uint64_t, std::string> checkout_generation(
+      std::uint64_t target) const;
+
+  /// Records a rollback in the shared AdaptState. Call after every
+  /// replica adopt()ed the checked-out bytes.
+  [[nodiscard]] RollbackReply commit_rollback(std::uint64_t generation,
+                                              std::string bytes);
+
+  /// In-process swap: rebuild, adopt, commit — what the server spreads
+  /// across its background thread and replicas, in one call.
+  [[nodiscard]] SwapReply swap();
+
+  /// In-process rollback to `target` (0 = previous generation).
+  [[nodiscard]] RollbackReply rollback(std::uint64_t target = 0);
+
+  /// Attaches the on-disk generation store. On a fresh store the current
+  /// generation is persisted; on a store carrying history (daemon
+  /// restart) the newest persisted generation is adopted and returned
+  /// (0 = nothing resumed). Call before clone()ing replicas.
+  std::uint64_t set_snapshot_store(std::unique_ptr<SnapshotStore> store);
 
   /// Lifetime counters plus the per-shard table `ranm_cli info` shows.
   /// The counter fields are relaxed snapshots — safe to call while
@@ -90,25 +166,55 @@ class MonitorService {
   [[nodiscard]] std::uint64_t warnings() const noexcept {
     return warnings_.load(std::memory_order_relaxed);
   }
+  /// Sums this replica's rolling window (last kRollingWindow queries)
+  /// into the caller's accumulators.
+  void rolling_counters(std::uint64_t& samples,
+                        std::uint64_t& warnings) const
+      RANM_EXCLUDES(rolling_mu_);
 
-  [[nodiscard]] std::size_t dimension() const noexcept {
-    return monitor_->dimension();
-  }
+  /// Published generation (0: adaptation disabled for this family).
+  [[nodiscard]] std::uint64_t generation() const;
+  /// Samples staged for the next swap.
+  [[nodiscard]] std::uint64_t staged_samples() const;
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return dim_; }
   [[nodiscard]] std::size_t layer_k() const noexcept { return k_; }
-  [[nodiscard]] const Monitor& monitor() const noexcept { return *monitor_; }
+  /// describe() of the current snapshot.
+  [[nodiscard]] std::string monitor_description() const;
 
  private:
+  /// The current snapshot: copied under the lock, used lock-free.
+  [[nodiscard]] std::shared_ptr<Monitor> snapshot() const
+      RANM_EXCLUDES(snapshot_mu_);
+  /// Applies the host thread count to a freshly loaded monitor.
+  void apply_threads(Monitor& monitor) const;
+  void record_rolling(std::uint64_t samples, std::uint64_t warnings)
+      RANM_EXCLUDES(rolling_mu_);
+
   Network net_;
-  std::unique_ptr<Monitor> monitor_;
+  mutable Mutex snapshot_mu_;
+  std::shared_ptr<Monitor> monitor_ RANM_GUARDED_BY(snapshot_mu_);
   std::size_t k_;
   std::size_t threads_;
+  std::size_t dim_;         // fixed across swaps; adopt() re-checks it
   MonitorBuilder builder_;  // binds net_ + k_; lives exactly as long
+  // Shared across clone()d replicas; null when the family has no
+  // serialiser (adaptation disabled).
+  std::shared_ptr<AdaptState> adapt_;
   // Lifetime counters surfaced in stats frames. Atomic (relaxed): workers
   // bump their replica's counters while the event loop aggregates them
   // for a concurrent kStats.
   std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> samples_{0};
   std::atomic<std::uint64_t> warnings_{0};
+  // Rolling warning-rate ring: one {samples, warnings} entry per recent
+  // query, summed into kStats so operators see drift, not lifetime
+  // averages. A mutex (not atomics) because entries are pairs.
+  mutable Mutex rolling_mu_;
+  std::array<std::pair<std::uint64_t, std::uint64_t>, kRollingWindow>
+      rolling_ RANM_GUARDED_BY(rolling_mu_){};
+  std::size_t rolling_next_ RANM_GUARDED_BY(rolling_mu_) = 0;
+  std::size_t rolling_filled_ RANM_GUARDED_BY(rolling_mu_) = 0;
   // Reused per-query verdict scratch: the serving hot path must not pay
   // steady-state allocator traffic for the bool row.
   std::unique_ptr<bool[]> scratch_;

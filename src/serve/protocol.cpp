@@ -11,7 +11,7 @@ namespace {
 
 bool known_frame_type(std::uint32_t raw) {
   return raw >= std::uint32_t(FrameType::kQuery) &&
-         raw <= std::uint32_t(FrameType::kOverloaded);
+         raw <= std::uint32_t(FrameType::kRollbackReply);
 }
 
 /// A payload must parse exactly: leftover bytes mean the frame length and
@@ -158,6 +158,81 @@ std::vector<std::uint8_t> decode_verdicts(std::string_view payload) {
   return warns;
 }
 
+void encode_observe_reply_into(std::string& out, const ObserveReply& reply) {
+  out.clear();
+  io::append_u64(out, reply.accepted);
+  io::append_u64(out, reply.staged_total);
+  io::append_u64(out, reply.novel);
+}
+
+std::string encode_observe_reply(const ObserveReply& reply) {
+  std::string payload;
+  encode_observe_reply_into(payload, reply);
+  return payload;
+}
+
+ObserveReply decode_observe_reply(std::string_view payload) {
+  io::ByteView in(payload);
+  ObserveReply reply;
+  reply.accepted = in.read_u64();
+  reply.staged_total = in.read_u64();
+  reply.novel = in.read_u64();
+  if (reply.accepted > kMaxQuerySamples || reply.novel > reply.accepted) {
+    throw std::runtime_error("ranm::serve: implausible observe counters");
+  }
+  require_exhausted(in);
+  return reply;
+}
+
+std::string encode_swap_reply(const SwapReply& reply) {
+  std::string out;
+  io::append_u64(out, reply.generation);
+  io::append_u64(out, reply.staged_applied);
+  io::append_u64(out, reply.duration_us);
+  io::append_string(out, reply.monitor);
+  return out;
+}
+
+SwapReply decode_swap_reply(std::string_view payload) {
+  io::ByteView in(payload);
+  SwapReply reply;
+  reply.generation = in.read_u64();
+  reply.staged_applied = in.read_u64();
+  reply.duration_us = in.read_u64();
+  reply.monitor = in.read_string(kMaxFrameString);
+  require_exhausted(in);
+  return reply;
+}
+
+std::string encode_rollback(std::uint64_t target) {
+  std::string out;
+  io::append_u64(out, target);
+  return out;
+}
+
+std::uint64_t decode_rollback(std::string_view payload) {
+  io::ByteView in(payload);
+  const std::uint64_t target = in.read_u64();
+  require_exhausted(in);
+  return target;
+}
+
+std::string encode_rollback_reply(const RollbackReply& reply) {
+  std::string out;
+  io::append_u64(out, reply.generation);
+  io::append_string(out, reply.monitor);
+  return out;
+}
+
+RollbackReply decode_rollback_reply(std::string_view payload) {
+  io::ByteView in(payload);
+  RollbackReply reply;
+  reply.generation = in.read_u64();
+  reply.monitor = in.read_string(kMaxFrameString);
+  require_exhausted(in);
+  return reply;
+}
+
 std::string encode_stats(const ServiceStats& stats) {
   if (stats.shards.size() > kMaxStatsShards) {
     throw std::invalid_argument("encode_stats: too many shards");
@@ -183,6 +258,12 @@ std::string encode_stats(const ServiceStats& stats) {
   io::append_u64(out, stats.queue_depth);
   io::append_u64(out, stats.queue_capacity);
   io::append_u64(out, stats.overloaded);
+  io::append_u64(out, stats.generation);
+  io::append_u64(out, stats.staged_samples);
+  io::append_u64(out, stats.swaps);
+  io::append_u64(out, stats.rollbacks);
+  io::append_u64(out, stats.rolling_samples);
+  io::append_u64(out, stats.rolling_warnings);
   io::append_string(out, stats.shard_strategy);
   io::append_u64(out, stats.shard_seed);
   io::append_u64(out, stats.shards.size());
@@ -190,6 +271,7 @@ std::string encode_stats(const ServiceStats& stats) {
     io::append_u64(out, s.neurons);
     io::append_u64(out, s.bdd_nodes);
     io::append_u64(out, s.cubes_inserted);
+    io::append_u64(out, s.novel);
     io::append_pod(out, s.patterns);
   }
   return out;
@@ -219,6 +301,12 @@ ServiceStats decode_stats(std::string_view payload) {
   stats.queue_depth = in.read_u64();
   stats.queue_capacity = in.read_u64();
   stats.overloaded = in.read_u64();
+  stats.generation = in.read_u64();
+  stats.staged_samples = in.read_u64();
+  stats.swaps = in.read_u64();
+  stats.rollbacks = in.read_u64();
+  stats.rolling_samples = in.read_u64();
+  stats.rolling_warnings = in.read_u64();
   stats.shard_strategy = in.read_string(kMaxFrameString);
   stats.shard_seed = in.read_u64();
   const std::uint64_t shard_count = in.read_u64();
@@ -230,6 +318,7 @@ ServiceStats decode_stats(std::string_view payload) {
     s.neurons = in.read_u64();
     s.bdd_nodes = in.read_u64();
     s.cubes_inserted = in.read_u64();
+    s.novel = in.read_u64();
     s.patterns = in.read_pod<double>();
   }
   require_exhausted(in);

@@ -21,6 +21,15 @@
 //   kStats    -> kStatsReply    per-worker + aggregate counters and the
 //                               per-shard table `ranm_cli info` prints
 //   kShutdown -> kShutdownAck   graceful daemon drain + stop
+//   kObserve  -> kObserveReply  stage n live input tensors for the next
+//                               rebuild; reply carries accepted/staged/
+//                               novelty counters
+//   kSwap     -> kSwapReply     rebuild a refreshed monitor from the staged
+//                               samples and publish it atomically; every
+//                               query is answered entirely by the old or
+//                               the new monitor, never a blend
+//   kRollback -> kRollbackReply restore a persisted earlier generation
+//                               (target 0 = the previous one)
 //   any       -> kError         length-prefixed message; malformed frames
 //                               additionally close the connection (the
 //                               stream may have desynced)
@@ -48,6 +57,19 @@ enum class FrameType : std::uint32_t {
   // the query was rejected instead of buffered without bound. Carries an
   // error-style message payload; the connection stays usable.
   kOverloaded = 8,
+  // ---- monitor lifecycle (online adaptation) ----
+  // Stage a batch of live inputs for the next rebuild. Payload reuses the
+  // query codec (u64 count + tensors).
+  kObserve = 9,
+  kObserveReply = 10,
+  // Rebuild a refreshed monitor from the staged samples in the background
+  // and publish it via an atomic snapshot swap. Empty request payload.
+  kSwap = 11,
+  kSwapReply = 12,
+  // Restore a persisted earlier generation. Payload: u64 target generation,
+  // 0 meaning "the previous one".
+  kRollback = 13,
+  kRollbackReply = 14,
 };
 
 constexpr std::uint32_t kFrameMagic = 0x52535631U;  // "RSV1"
@@ -118,12 +140,47 @@ void decode_verdicts_into(std::string_view payload,
 [[nodiscard]] std::vector<std::uint8_t> decode_verdicts(
     std::string_view payload);
 
+/// Observe reply: how the staged-sample pool absorbed one batch.
+struct ObserveReply {
+  std::uint64_t accepted = 0;      // samples staged from this frame
+  std::uint64_t staged_total = 0;  // samples now awaiting the next swap
+  std::uint64_t novel = 0;         // frame samples the current monitor warns on
+};
+
+void encode_observe_reply_into(std::string& out, const ObserveReply& reply);
+[[nodiscard]] std::string encode_observe_reply(const ObserveReply& reply);
+[[nodiscard]] ObserveReply decode_observe_reply(std::string_view payload);
+
+/// Swap reply: identity of the freshly published generation.
+struct SwapReply {
+  std::uint64_t generation = 0;      // generation now being served
+  std::uint64_t staged_applied = 0;  // staged samples folded into the rebuild
+  std::uint64_t duration_us = 0;     // rebuild + publish wall time
+  std::string monitor;               // describe() of the published monitor
+};
+
+[[nodiscard]] std::string encode_swap_reply(const SwapReply& reply);
+[[nodiscard]] SwapReply decode_swap_reply(std::string_view payload);
+
+/// Rollback request: u64 target generation, 0 meaning "the previous one".
+[[nodiscard]] std::string encode_rollback(std::uint64_t target);
+[[nodiscard]] std::uint64_t decode_rollback(std::string_view payload);
+
+struct RollbackReply {
+  std::uint64_t generation = 0;  // generation now being served
+  std::string monitor;           // describe() of the restored monitor
+};
+
+[[nodiscard]] std::string encode_rollback_reply(const RollbackReply& reply);
+[[nodiscard]] RollbackReply decode_rollback_reply(std::string_view payload);
+
 /// Per-shard statistics mirrored from ShardedMonitor::ShardStats.
 struct ShardStatsWire {
   std::uint64_t neurons = 0;
   std::uint64_t bdd_nodes = 0;
   std::uint64_t cubes_inserted = 0;
-  double patterns = 0.0;  // stored words (-1: not pattern-based)
+  std::uint64_t novel = 0;  // staged samples novel to this shard's region
+  double patterns = 0.0;    // stored words (-1: not pattern-based)
 };
 
 /// One worker replica's lifetime counters. With N concurrent workers the
@@ -151,6 +208,13 @@ struct ServiceStats {
   std::uint64_t queue_depth = 0;     // requests waiting for a worker
   std::uint64_t queue_capacity = 0;  // bound that triggers kOverloaded
   std::uint64_t overloaded = 0;      // queries rejected with kOverloaded
+  // Monitor-lifecycle telemetry (generation 0: adaptation disabled).
+  std::uint64_t generation = 0;       // published snapshot generation
+  std::uint64_t staged_samples = 0;   // samples awaiting the next swap
+  std::uint64_t swaps = 0;            // snapshot swaps published
+  std::uint64_t rollbacks = 0;        // generations restored
+  std::uint64_t rolling_samples = 0;  // recent-window samples judged
+  std::uint64_t rolling_warnings = 0;  // recent-window warn verdicts
   std::string shard_strategy;  // empty: unsharded monitor
   std::uint64_t shard_seed = 0;
   std::vector<ShardStatsWire> shards;  // empty: unsharded monitor

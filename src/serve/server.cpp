@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace ranm::serve {
 namespace {
@@ -157,6 +158,7 @@ Server::~Server() {
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  if (swap_thread_.joinable()) swap_thread_.join();
   for (auto& [id, conn] : conns_) {
     if (conn->fd >= 0) ::close(conn->fd);
   }
@@ -179,7 +181,8 @@ void Server::worker_main(std::size_t index) {
     Completion done;
     done.conn_id = request->conn_id;
     done.payload = buffers_.acquire();
-    execute_query(service, request->payload, done.type, done.payload);
+    execute_request(service, request->type, request->payload, done.type,
+                    done.payload);
     buffers_.release(std::move(request->payload));
     {
       const MutexLock lock(completions_mu_);
@@ -189,18 +192,25 @@ void Server::worker_main(std::size_t index) {
   }
 }
 
-void Server::execute_query(MonitorService& service,
-                           std::string_view payload, FrameType& type,
-                           std::string& reply) {
+void Server::execute_request(MonitorService& service, FrameType request,
+                             std::string_view payload, FrameType& type,
+                             std::string& reply) {
   // Decode scratch lives per-thread: each worker (and the inline loop)
   // re-enters with warm vectors instead of allocating per query.
   thread_local std::vector<Tensor> inputs;
   thread_local std::vector<std::uint8_t> warns;
   try {
     inputs = decode_query(payload);
-    service.query_warns_into(inputs, warns);
-    encode_verdicts_into(reply, warns);
-    type = FrameType::kQueryReply;
+    if (request == FrameType::kObserve) {
+      // A service-side throw (frozen monitor, staging cap) becomes a
+      // structured kError below — the worker and connection survive.
+      encode_observe_reply_into(reply, service.observe_batch(inputs));
+      type = FrameType::kObserveReply;
+    } else {
+      service.query_warns_into(inputs, warns);
+      encode_verdicts_into(reply, warns);
+      type = FrameType::kQueryReply;
+    }
   } catch (const std::exception& e) {
     reply = encode_error(e.what());
     type = FrameType::kError;
@@ -379,7 +389,14 @@ void Server::parse_frames(Conn& conn) {
 
     switch (parsed.type) {
       case FrameType::kQuery:
-        dispatch_query(conn, payload);
+      case FrameType::kObserve:
+        dispatch_request(conn, parsed.type, payload);
+        break;
+      case FrameType::kSwap:
+        handle_swap(conn);
+        break;
+      case FrameType::kRollback:
+        handle_rollback(conn, payload);
         break;
       case FrameType::kStats:
         queue_reply(conn, FrameType::kStatsReply,
@@ -409,19 +426,21 @@ void Server::parse_frames(Conn& conn) {
   }
 }
 
-void Server::dispatch_query(Conn& conn, std::string_view payload) {
+void Server::dispatch_request(Conn& conn, FrameType request_type,
+                              std::string_view payload) {
   if (replicas_.size() == 1) {
     // Inline mode: execute on the loop thread. One replica would
     // serialise every query anyway; skipping the handoff saves two
     // context switches per query.
     thread_local std::string reply;
     FrameType type = FrameType::kError;
-    execute_query(*replicas_[0], payload, type, reply);
+    execute_request(*replicas_[0], request_type, payload, type, reply);
     queue_reply(conn, type, reply);
     return;
   }
   Request request;
   request.conn_id = conn.id;
+  request.type = request_type;
   request.payload = buffers_.acquire();
   request.payload.assign(payload.data(), payload.size());
   if (!queue_.try_push(std::move(request))) {
@@ -436,6 +455,73 @@ void Server::dispatch_query(Conn& conn, std::string_view payload) {
   ++in_flight_;
 }
 
+void Server::handle_swap(Conn& conn) {
+  if (swap_in_flight_) {
+    queue_reply(conn, FrameType::kError,
+                encode_error("swap already in progress; retry after it "
+                             "completes"));
+    return;
+  }
+  // The previous swap's thread (flag already cleared via its completion)
+  // may still be a hair from returning; reap it before reusing the slot.
+  if (swap_thread_.joinable()) swap_thread_.join();
+  conn.busy = true;  // the reply comes back as a completion
+  ++in_flight_;
+  swap_in_flight_ = true;
+  const std::uint64_t conn_id = conn.id;
+  swap_thread_ = std::thread([this, conn_id] { run_swap(conn_id); });
+}
+
+void Server::run_swap(std::uint64_t conn_id) {
+  Completion done;
+  done.conn_id = conn_id;
+  done.swap_done = true;
+  try {
+    Timer timer;
+    // Rebuild off the shared staging pool — no replica scratch, so every
+    // worker (and the loop, in inline mode) keeps answering queries.
+    std::uint64_t applied = 0;
+    std::string bytes = replicas_[0]->rebuild_refreshed(applied);
+    // Publish everywhere: each replica loads its own monitor object from
+    // the same bytes (replicas never share mutable monitor state), then
+    // swaps it in atomically. In-flight queries finish on the snapshot
+    // they started with.
+    for (auto& replica : replicas_) replica->adopt(bytes);
+    const auto duration_us = std::uint64_t(timer.millis() * 1000.0);
+    const SwapReply reply =
+        replicas_[0]->commit_swap(std::move(bytes), applied, duration_us);
+    done.type = FrameType::kSwapReply;
+    done.payload = encode_swap_reply(reply);
+  } catch (const std::exception& e) {
+    done.type = FrameType::kError;
+    done.payload = encode_error(e.what());
+  }
+  {
+    const MutexLock lock(completions_mu_);
+    completions_.push_back(std::move(done));
+  }
+  signal_eventfd(completion_event_fd_);
+}
+
+void Server::handle_rollback(Conn& conn, std::string_view payload) {
+  if (swap_in_flight_) {
+    queue_reply(conn, FrameType::kError,
+                encode_error("rollback rejected: a swap is in progress"));
+    return;
+  }
+  try {
+    const std::uint64_t target = decode_rollback(payload);
+    auto [generation, bytes] = replicas_[0]->checkout_generation(target);
+    for (auto& replica : replicas_) replica->adopt(bytes);
+    const RollbackReply reply =
+        replicas_[0]->commit_rollback(generation, std::move(bytes));
+    queue_reply(conn, FrameType::kRollbackReply,
+                encode_rollback_reply(reply));
+  } catch (const std::exception& e) {
+    queue_reply(conn, FrameType::kError, encode_error(e.what()));
+  }
+}
+
 void Server::handle_completions() {
   {
     const MutexLock lock(completions_mu_);
@@ -443,6 +529,12 @@ void Server::handle_completions() {
   }
   for (Completion& done : completion_scratch_) {
     --in_flight_;
+    if (done.swap_done) {
+      // Clear before the conns_ lookup: a connection that died mid-swap
+      // must not leave the swap slot occupied forever.
+      swap_in_flight_ = false;
+      if (swap_thread_.joinable()) swap_thread_.join();
+    }
     const auto it = conns_.find(done.conn_id);
     if (it != conns_.end()) {
       Conn& conn = *it->second;
@@ -484,6 +576,14 @@ ServiceStats Server::build_stats() {
   stats.queue_depth = replicas_.size() > 1 ? queue_.size() : 0;
   stats.queue_capacity = replicas_.size() > 1 ? queue_.capacity() : 0;
   stats.overloaded = overloaded_;
+  // Rolling warning-rate: sum every replica's recent window (replica 0's
+  // alone would miss the pooled workers' traffic).
+  stats.rolling_samples = 0;
+  stats.rolling_warnings = 0;
+  for (const auto& replica : replicas_) {
+    replica->rolling_counters(stats.rolling_samples,
+                              stats.rolling_warnings);
+  }
   return stats;
 }
 

@@ -37,6 +37,16 @@
 // frame: listeners close, reads stop, every query already accepted —
 // dispatched, queued, or fully buffered — is answered and flushed, then
 // run() returns.
+//
+// Monitor lifecycle: kObserve frames dispatch like queries (the staging
+// pool is shared across replicas). kSwap runs the rebuild on a dedicated
+// background thread — the loop and the workers keep answering queries
+// off their current snapshots — then every replica adopts the same
+// artifact and the generation commits once; at most one swap is in
+// flight (a second kSwap is answered kError). kRollback executes inline
+// on the loop thread (artifact loads, no rebuild); replica adoption is a
+// pointer swap per replica, so queries racing it are answered entirely
+// by the old or the new monitor, never a blend.
 #pragma once
 
 #include <atomic>
@@ -117,12 +127,16 @@ class Server {
   struct Conn;
   struct Request {
     std::uint64_t conn_id = 0;
+    FrameType type = FrameType::kQuery;  // kQuery or kObserve
     std::string payload;
   };
   struct Completion {
     std::uint64_t conn_id = 0;
     FrameType type = FrameType::kError;
     std::string payload;
+    /// This completion ends the in-flight swap (clears swap_in_flight_
+    /// even when its connection died mid-swap).
+    bool swap_done = false;
   };
 
   /// Mutex-guarded stack of spare std::strings so request/reply payload
@@ -145,12 +159,23 @@ class Server {
   /// Parses every complete frame the connection has buffered (stopping
   /// while a query is in flight) and dispatches/answers them.
   void parse_frames(Conn& conn);
-  void dispatch_query(Conn& conn, std::string_view payload);
+  /// Dispatches a kQuery/kObserve frame: inline at one replica, through
+  /// the bounded queue otherwise.
+  void dispatch_request(Conn& conn, FrameType request, std::string_view payload);
+  /// Starts the background rebuild+swap for one kSwap frame (or rejects
+  /// it when a swap is already in flight).
+  void handle_swap(Conn& conn);
+  /// Swap-thread body: rebuild, adopt on every replica, commit, complete.
+  void run_swap(std::uint64_t conn_id);
+  /// Restores a persisted generation inline on the loop thread.
+  void handle_rollback(Conn& conn, std::string_view payload);
   void handle_completions();
-  /// Executes one query against `service` into (type, payload); never
-  /// throws — failures become kError replies.
-  void execute_query(MonitorService& service, std::string_view payload,
-                     FrameType& type, std::string& reply);
+  /// Executes one kQuery/kObserve request against `service` into
+  /// (type, payload); never throws — failures become kError replies and
+  /// the worker (and connection) survive.
+  void execute_request(MonitorService& service, FrameType request,
+                       std::string_view payload, FrameType& type,
+                       std::string& reply);
   [[nodiscard]] ServiceStats build_stats();
   void queue_reply(Conn& conn, FrameType type, std::string_view payload);
   /// Flushes conn.out as far as the socket accepts; false = peer gone.
@@ -188,6 +213,10 @@ class Server {
   std::uint64_t next_conn_id_ = 16;  // ids below are loop-internal keys
 
   bool draining_ = false;
+  /// A kSwap rebuild is running on swap_thread_. Loop-thread-only: set in
+  /// handle_swap, cleared when the swap's completion is reaped.
+  bool swap_in_flight_ = false;
+  std::thread swap_thread_;
   /// One pass over all connections is owed at the event-loop level (the
   /// drain may begin deep inside parse_frames, where touching other
   /// connections — or re-entering this one — is unsafe).

@@ -1,0 +1,148 @@
+#include "serve/snapshot_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace ranm::serve {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("SnapshotStore: " + what + ": " +
+                           std::strerror(errno));
+}
+
+/// fsync a directory so a completed rename survives power loss.
+void sync_directory(const std::filesystem::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) throw_errno("open directory " + dir.string());
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw_errno("fsync directory " + dir.string());
+}
+
+/// Parses `gen-NNNNNN.rmon`; returns 0 for anything else (including the
+/// `.tmp` leftovers of an interrupted save).
+std::uint64_t parse_generation(const std::string& name) {
+  unsigned long long gen = 0;
+  int consumed = 0;
+  if (std::sscanf(name.c_str(), "gen-%llu.rmon%n", &gen, &consumed) != 1 ||
+      consumed != int(name.size())) {
+    return 0;
+  }
+  return gen;
+}
+
+}  // namespace
+
+std::string SnapshotStore::file_name(std::uint64_t generation) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "gen-%06llu.rmon",
+                static_cast<unsigned long long>(generation));
+  return buf;
+}
+
+SnapshotStore::SnapshotStore(std::filesystem::path dir, std::size_t keep)
+    : dir_(std::move(dir)), keep_(std::max<std::size_t>(1, keep)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw std::runtime_error("SnapshotStore: cannot create " + dir_.string() +
+                             ": " + ec.message());
+  }
+}
+
+void SnapshotStore::save(std::uint64_t generation, std::string_view bytes) {
+  if (generation == 0) {
+    throw std::invalid_argument("SnapshotStore: generation 0 is reserved");
+  }
+  const std::filesystem::path final_path = dir_ / file_name(generation);
+  const std::filesystem::path tmp_path =
+      dir_ / (file_name(generation) + ".tmp");
+
+  const int fd = ::open(tmp_path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("open " + tmp_path.string());
+  const char* cur = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, cur, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_errno("write " + tmp_path.string());
+    }
+    cur += n;
+    left -= std::size_t(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw_errno("fsync " + tmp_path.string());
+  }
+  if (::close(fd) != 0) throw_errno("close " + tmp_path.string());
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    throw_errno("rename " + tmp_path.string());
+  }
+  sync_directory(dir_);
+
+  // Prune: drop generations beyond the newest `keep_`, plus any stray
+  // temp files a crashed save left behind.
+  std::vector<std::uint64_t> gens = generations();
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.rfind(".tmp") == name.size() - 4) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+  if (gens.size() > keep_) {
+    for (std::size_t i = 0; i + keep_ < gens.size(); ++i) {
+      std::filesystem::remove(dir_ / file_name(gens[i]), ec);
+    }
+  }
+}
+
+std::string SnapshotStore::load(std::uint64_t generation) const {
+  const std::filesystem::path path = dir_ / file_name(generation);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("SnapshotStore: unknown generation " +
+                             std::to_string(generation) + " (no " +
+                             path.string() + ")");
+  }
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    throw std::runtime_error("SnapshotStore: read failed for " +
+                             path.string());
+  }
+  return std::move(bytes).str();
+}
+
+std::uint64_t SnapshotStore::latest() const {
+  const std::vector<std::uint64_t> gens = generations();
+  return gens.empty() ? 0 : gens.back();
+}
+
+std::vector<std::uint64_t> SnapshotStore::generations() const {
+  std::vector<std::uint64_t> gens;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::uint64_t gen =
+        parse_generation(entry.path().filename().string());
+    if (gen != 0) gens.push_back(gen);
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+}  // namespace ranm::serve

@@ -1,0 +1,55 @@
+// Crash-consistent rotation of monitor snapshot generations.
+//
+// Every published swap persists the serialized monitor as
+// `gen-NNNNNN.rmon` inside one store directory, via the classic
+// write-temp + fsync + rename + fsync-directory sequence: a crash at any
+// point leaves either the complete previous state or the complete new
+// file, never a torn artifact. Stray `*.tmp` files (a crash between
+// temp-write and rename) are ignored by every scan and removed by the
+// next save, so reload always sees a consistent generation. Rotation
+// keeps the newest `keep` generations and unlinks the rest — kRollback
+// can restore any generation still on disk.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ranm::serve {
+
+class SnapshotStore {
+ public:
+  /// Creates the directory if missing. `keep` bounds rotation (>= 1).
+  explicit SnapshotStore(std::filesystem::path dir, std::size_t keep = 8);
+
+  /// Persists one generation crash-consistently, then prunes generations
+  /// beyond the newest `keep` and any stray temp files. Throws
+  /// std::runtime_error on I/O failure.
+  void save(std::uint64_t generation, std::string_view bytes);
+
+  /// Loads one generation's bytes; throws std::runtime_error when the
+  /// generation is not on disk.
+  [[nodiscard]] std::string load(std::uint64_t generation) const;
+
+  /// Newest persisted generation, 0 when the store is empty.
+  [[nodiscard]] std::uint64_t latest() const;
+
+  /// All persisted generations, ascending. Ignores temp files.
+  [[nodiscard]] std::vector<std::uint64_t> generations() const;
+
+  [[nodiscard]] const std::filesystem::path& directory() const {
+    return dir_;
+  }
+  [[nodiscard]] std::size_t keep() const { return keep_; }
+
+  /// Artifact file name for one generation (`gen-NNNNNN.rmon`).
+  [[nodiscard]] static std::string file_name(std::uint64_t generation);
+
+ private:
+  std::filesystem::path dir_;
+  std::size_t keep_;
+};
+
+}  // namespace ranm::serve

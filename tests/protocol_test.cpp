@@ -184,8 +184,12 @@ TEST(Protocol, StatsRoundTrip) {
   stats.warnings = 17;
   stats.shard_strategy = "contiguous";
   stats.shard_seed = 99;
-  stats.shards.push_back({8, 100, 60, 58.0});
-  stats.shards.push_back({8, 120, 60, -1.0});
+  stats.shards.push_back(
+      {.neurons = 8, .bdd_nodes = 100, .cubes_inserted = 60,
+       .patterns = 58.0});
+  stats.shards.push_back(
+      {.neurons = 8, .bdd_nodes = 120, .cubes_inserted = 60,
+       .patterns = -1.0});
 
   const ServiceStats decoded = decode_stats(encode_stats(stats));
   EXPECT_EQ(decoded.monitor, stats.monitor);
@@ -220,6 +224,116 @@ TEST(Protocol, StatsOversizedStringRejected) {
   const std::uint64_t huge = kMaxFrameString + 1;
   payload.append(reinterpret_cast<const char*>(&huge), sizeof huge);
   EXPECT_THROW((void)decode_stats(payload), std::runtime_error);
+}
+
+TEST(Protocol, ObserveReplyRoundTrip) {
+  const ObserveReply reply{.accepted = 32, .staged_total = 96, .novel = 5};
+  const ObserveReply decoded =
+      decode_observe_reply(encode_observe_reply(reply));
+  EXPECT_EQ(decoded.accepted, 32U);
+  EXPECT_EQ(decoded.staged_total, 96U);
+  EXPECT_EQ(decoded.novel, 5U);
+}
+
+TEST(Protocol, ObserveReplyImplausibleCountersRejected) {
+  // More novel samples than accepted samples cannot happen; neither can
+  // an accepted count past the per-frame sample cap.
+  EXPECT_THROW((void)decode_observe_reply(encode_observe_reply(
+                   {.accepted = 2, .staged_total = 2, .novel = 3})),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)decode_observe_reply(encode_observe_reply(
+          {.accepted = kMaxQuerySamples + 1,
+           .staged_total = kMaxQuerySamples + 1,
+           .novel = 0})),
+      std::runtime_error);
+}
+
+TEST(Protocol, ObserveReplyTruncationSweepRejected) {
+  const std::string payload =
+      encode_observe_reply({.accepted = 1, .staged_total = 2, .novel = 1});
+  for (std::size_t keep = 0; keep < payload.size(); ++keep) {
+    EXPECT_THROW((void)decode_observe_reply(payload.substr(0, keep)),
+                 std::runtime_error)
+        << keep;
+  }
+  EXPECT_THROW((void)decode_observe_reply(payload + 'x'),
+               std::runtime_error);
+}
+
+TEST(Protocol, SwapReplyRoundTrip) {
+  const SwapReply reply{.generation = 4,
+                        .staged_applied = 640,
+                        .duration_us = 15250,
+                        .monitor = "interval(paper_two_bit)"};
+  const SwapReply decoded = decode_swap_reply(encode_swap_reply(reply));
+  EXPECT_EQ(decoded.generation, 4U);
+  EXPECT_EQ(decoded.staged_applied, 640U);
+  EXPECT_EQ(decoded.duration_us, 15250U);
+  EXPECT_EQ(decoded.monitor, reply.monitor);
+}
+
+TEST(Protocol, SwapReplyTruncationSweepRejected) {
+  const std::string payload = encode_swap_reply(
+      {.generation = 1, .staged_applied = 2, .duration_us = 3,
+       .monitor = "m"});
+  for (std::size_t keep = 0; keep < payload.size(); ++keep) {
+    EXPECT_THROW((void)decode_swap_reply(payload.substr(0, keep)),
+                 std::runtime_error)
+        << keep;
+  }
+  EXPECT_THROW((void)decode_swap_reply(payload + 'x'), std::runtime_error);
+}
+
+TEST(Protocol, RollbackRoundTrip) {
+  EXPECT_EQ(decode_rollback(encode_rollback(0)), 0U);
+  EXPECT_EQ(decode_rollback(encode_rollback(1ULL << 62)), 1ULL << 62);
+  EXPECT_THROW((void)decode_rollback(""), std::runtime_error);
+  EXPECT_THROW((void)decode_rollback(encode_rollback(1) + 'x'),
+               std::runtime_error);
+}
+
+TEST(Protocol, RollbackReplyRoundTrip) {
+  const RollbackReply reply{.generation = 2, .monitor = "sharded(...)"};
+  const RollbackReply decoded =
+      decode_rollback_reply(encode_rollback_reply(reply));
+  EXPECT_EQ(decoded.generation, 2U);
+  EXPECT_EQ(decoded.monitor, "sharded(...)");
+  EXPECT_THROW((void)decode_rollback_reply(""), std::runtime_error);
+}
+
+// Raw type 15 sits one past kRollbackReply: the header decoder must
+// reject it, proving the known-type range tracks the enum exactly.
+TEST(Protocol, FrameTypeJustPastRollbackReplyRejected) {
+  char buf[kFrameHeaderBytes];
+  encode_frame_header(buf, FrameType::kRollbackReply, 0);
+  EXPECT_EQ(decode_frame_header(buf).type, FrameType::kRollbackReply);
+  const std::uint32_t past = 15;
+  std::memcpy(buf + 4, &past, sizeof past);
+  EXPECT_THROW((void)decode_frame_header(buf), std::runtime_error);
+}
+
+TEST(Protocol, StatsLifecycleFieldsRoundTrip) {
+  ServiceStats stats;
+  stats.monitor = "interval(paper_two_bit)";
+  stats.generation = 3;
+  stats.staged_samples = 128;
+  stats.swaps = 2;
+  stats.rollbacks = 1;
+  stats.rolling_samples = 64;
+  stats.rolling_warnings = 9;
+  stats.shards.push_back(
+      {.neurons = 8, .bdd_nodes = 100, .cubes_inserted = 60, .novel = 4,
+       .patterns = 58.0});
+  const ServiceStats decoded = decode_stats(encode_stats(stats));
+  EXPECT_EQ(decoded.generation, 3U);
+  EXPECT_EQ(decoded.staged_samples, 128U);
+  EXPECT_EQ(decoded.swaps, 2U);
+  EXPECT_EQ(decoded.rollbacks, 1U);
+  EXPECT_EQ(decoded.rolling_samples, 64U);
+  EXPECT_EQ(decoded.rolling_warnings, 9U);
+  ASSERT_EQ(decoded.shards.size(), 1U);
+  EXPECT_EQ(decoded.shards[0].novel, 4U);
 }
 
 TEST(Protocol, ErrorRoundTrip) {

@@ -14,6 +14,7 @@
 #include <sstream>
 #include <thread>
 
+#include "compile/lower.hpp"
 #include "core/monitor_builder.hpp"
 #include "core/sharded_monitor.hpp"
 #include "eval/experiment.hpp"
@@ -194,6 +195,151 @@ TEST(MonitorService, FromFilesRoundTrip) {
   EXPECT_EQ(service.query_warns(inputs),
             fx.direct_warns(*fx.build_monitor(4), inputs));
   fs::remove_all(dir);
+}
+
+// ---- monitor lifecycle ----------------------------------------------------
+
+TEST(MonitorServiceLifecycle, ObserveCountsNovelAndStages) {
+  ServeFixture fx;
+  MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
+  ASSERT_TRUE(service.adaptive());
+  EXPECT_EQ(service.generation(), 1U);
+
+  const std::vector<Tensor> live = fx.make_inputs(24, 91);
+  const std::vector<std::uint8_t> warns =
+      fx.direct_warns(*fx.build_monitor(1), live);
+  std::uint64_t expected_novel = 0;
+  for (const std::uint8_t w : warns) expected_novel += w;
+
+  const ObserveReply reply = service.observe_batch(live);
+  EXPECT_EQ(reply.accepted, 24U);
+  EXPECT_EQ(reply.staged_total, 24U);
+  EXPECT_EQ(reply.novel, expected_novel);
+  EXPECT_EQ(service.staged_samples(), 24U);
+  // Observing must not shift a single verdict before the swap.
+  EXPECT_EQ(service.query_warns(live), warns);
+}
+
+TEST(MonitorServiceLifecycle, SwapMatchesOfflineRebuild) {
+  ServeFixture fx;
+  MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
+  const std::vector<Tensor> live = fx.make_inputs(32, 92);
+  (void)service.observe_batch(live);
+
+  const SwapReply swapped = service.swap();
+  EXPECT_EQ(swapped.generation, 2U);
+  EXPECT_EQ(swapped.staged_applied, 32U);
+  EXPECT_EQ(service.generation(), 2U);
+  EXPECT_EQ(service.staged_samples(), 0U);  // applied samples drained
+
+  // Offline reference: the same base monitor folding the same features.
+  const std::unique_ptr<Monitor> reference = fx.build_monitor(1);
+  reference->observe_batch(fx.net.forward_batch(fx.k, live));
+  const std::vector<Tensor> probe = fx.make_inputs(60, 93);
+  EXPECT_EQ(service.query_warns(probe),
+            fx.direct_warns(*reference, probe));
+  // The observed samples are inside the refreshed region by construction.
+  for (const std::uint8_t w : service.query_warns(live)) EXPECT_EQ(w, 0);
+}
+
+TEST(MonitorServiceLifecycle, ShardedSwapTracksPerShardNovelty) {
+  ServeFixture fx;
+  MonitorService service(fx.clone_net(), fx.build_monitor(4), fx.k, 2);
+  const std::vector<Tensor> live = fx.make_inputs(20, 94);
+  const ObserveReply reply = service.observe_batch(live);
+
+  const ServiceStats before = service.stats();
+  ASSERT_EQ(before.shards.size(), 4U);
+  std::uint64_t shard_novel = 0;
+  for (const ShardStatsWire& s : before.shards) shard_novel += s.novel;
+  // A sample novel to the whole monitor is novel to >= 1 shard.
+  EXPECT_GE(shard_novel, reply.novel);
+
+  const SwapReply swapped = service.swap();
+  EXPECT_EQ(swapped.generation, 2U);
+  // The swap consumed the staged pool and reset the drift counters.
+  const ServiceStats after = service.stats();
+  EXPECT_EQ(after.staged_samples, 0U);
+  for (const ShardStatsWire& s : after.shards) EXPECT_EQ(s.novel, 0U);
+
+  const std::unique_ptr<Monitor> reference = fx.build_monitor(4);
+  reference->observe_batch(fx.net.forward_batch(fx.k, live));
+  const std::vector<Tensor> probe = fx.make_inputs(40, 95);
+  EXPECT_EQ(service.query_warns(probe),
+            fx.direct_warns(*reference, probe));
+}
+
+TEST(MonitorServiceLifecycle, RollbackRestoresPreviousVerdicts) {
+  ServeFixture fx;
+  MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
+  const std::vector<Tensor> probe = fx.make_inputs(50, 96);
+  const std::vector<std::uint8_t> before = service.query_warns(probe);
+
+  (void)service.observe_batch(fx.make_inputs(16, 97));
+  (void)service.swap();
+  const RollbackReply rolled = service.rollback();
+  EXPECT_EQ(rolled.generation, 1U);
+  EXPECT_EQ(service.generation(), 1U);
+  // Bit-identical to the pre-swap monitor, not merely similar.
+  EXPECT_EQ(service.query_warns(probe), before);
+
+  // Rolling forward again by explicit generation also works: the swapped
+  // artifact stays in history.
+  (void)service.rollback(2);
+  EXPECT_EQ(service.generation(), 2U);
+}
+
+TEST(MonitorServiceLifecycle, RollbackErrors) {
+  ServeFixture fx;
+  MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
+  // Generation 1 is live and nothing precedes it.
+  EXPECT_THROW((void)service.rollback(), std::runtime_error);
+  EXPECT_THROW((void)service.rollback(1ULL << 62), std::runtime_error);
+  // The service still answers queries after the failed rollbacks.
+  EXPECT_EQ(service.query_warns(fx.make_inputs(4, 98)).size(), 4U);
+}
+
+TEST(MonitorServiceLifecycle, CompiledMonitorIsFrozen) {
+  ServeFixture fx;
+  const std::unique_ptr<Monitor> source = fx.build_monitor(1);
+  auto compiled = std::make_unique<compile::CompiledMonitor>(
+      compile::compile_monitor(*source));
+  MonitorService service(fx.clone_net(), std::move(compiled), fx.k);
+  EXPECT_FALSE(service.adaptive());
+  EXPECT_THROW((void)service.observe_batch(fx.make_inputs(4, 99)),
+               std::invalid_argument);
+  // Queries are unaffected: frozen means no adaptation, not no serving.
+  const std::vector<Tensor> probe = fx.make_inputs(12, 99);
+  EXPECT_EQ(service.query_warns(probe),
+            fx.direct_warns(*source, probe));
+}
+
+TEST(MonitorServiceLifecycle, StagingCapRejectsOverflow) {
+  FeatureBatch batch(2, 3);
+  AdaptState state(2, "base-bytes", 0, /*max_staged=*/4);
+  EXPECT_EQ(state.stage(batch, {}), 3U);
+  EXPECT_THROW((void)state.stage(batch, {}), std::runtime_error);
+  // A failed stage is atomic: the pool still holds exactly 3 samples and
+  // a fitting batch still lands.
+  EXPECT_EQ(state.telemetry().staged_samples, 3U);
+  EXPECT_EQ(state.stage(FeatureBatch(2, 1), {}), 4U);
+}
+
+TEST(MonitorServiceLifecycle, ClonesShareOneGeneration) {
+  ServeFixture fx;
+  MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
+  const std::unique_ptr<MonitorService> replica = service.clone();
+
+  (void)replica->observe_batch(fx.make_inputs(8, 90));
+  EXPECT_EQ(service.staged_samples(), 8U);  // one shared staging pool
+
+  // Swap through the parent, then adopt on the replica — the server's
+  // exact sequence — and both serve the same generation and verdicts.
+  const SwapReply swapped = service.swap();
+  replica->adopt(service.checkout_generation(swapped.generation).second);
+  EXPECT_EQ(replica->generation(), 2U);
+  const std::vector<Tensor> probe = fx.make_inputs(30, 89);
+  EXPECT_EQ(replica->query_warns(probe), service.query_warns(probe));
 }
 
 // ---- socket transport -----------------------------------------------------
@@ -382,6 +528,113 @@ TEST(Server, StatsReportPerWorkerAndAggregate) {
   EXPECT_EQ(stats.samples, 50U);
   EXPECT_EQ(stats.queue_capacity, 256U);
   EXPECT_EQ(stats.overloaded, 0U);
+}
+
+TEST(Server, ObserveSwapRollbackOverTheWire) {
+  ServeFixture fx;
+  MonitorService service(fx.clone_net(), fx.build_monitor(4), fx.k, 2);
+  // Two worker replicas: a swap must publish to both.
+  ServerHarness harness(service,
+                        ServerHarness::unix_config("lifecycle", 2));
+
+  ServeClient client(harness.server.unix_path());
+  const std::vector<Tensor> probe = fx.make_inputs(40, 70);
+  const std::vector<std::uint8_t> before = client.query_warns(probe);
+
+  const std::vector<Tensor> live = fx.make_inputs(24, 71);
+  const ObserveReply observed = client.observe(live);
+  EXPECT_EQ(observed.accepted, 24U);
+  EXPECT_EQ(observed.staged_total, 24U);
+
+  const SwapReply swapped = client.swap();
+  EXPECT_EQ(swapped.generation, 2U);
+  EXPECT_EQ(swapped.staged_applied, 24U);
+
+  // Both replicas serve the refreshed generation: the offline-rebuilt
+  // reference matches over many queries (round-robin hits each worker).
+  const std::unique_ptr<Monitor> reference = fx.build_monitor(4);
+  reference->observe_batch(fx.net.forward_batch(fx.k, live));
+  const std::vector<std::uint8_t> expected =
+      fx.direct_warns(*reference, probe);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(client.query_warns(probe), expected) << i;
+  }
+
+  ServiceStats stats = client.stats();
+  EXPECT_EQ(stats.generation, 2U);
+  EXPECT_EQ(stats.swaps, 1U);
+  EXPECT_EQ(stats.staged_samples, 0U);
+  EXPECT_GT(stats.rolling_samples, 0U);
+
+  const RollbackReply rolled = client.rollback();
+  EXPECT_EQ(rolled.generation, 1U);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(client.query_warns(probe), before) << i;
+  }
+  stats = client.stats();
+  EXPECT_EQ(stats.generation, 1U);
+  EXPECT_EQ(stats.rollbacks, 1U);
+}
+
+TEST(Server, CompiledObserveAnswersErrorAndServesOn) {
+  ServeFixture fx;
+  const std::unique_ptr<Monitor> source = fx.build_monitor(1);
+  auto compiled = std::make_unique<compile::CompiledMonitor>(
+      compile::compile_monitor(*source));
+  MonitorService service(fx.clone_net(), std::move(compiled), fx.k);
+  // The satellite bug: with workers, CompiledMonitor::observe's error
+  // used to escape the worker thread and take the daemon down. It must
+  // come back as a structured kError on the same connection instead.
+  ServerHarness harness(service, ServerHarness::unix_config("frozen", 2));
+
+  ServeClient client(harness.server.unix_path());
+  const std::vector<Tensor> live = fx.make_inputs(8, 72);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW((void)client.observe(live), std::runtime_error) << i;
+  }
+  // Same connection, same workers: queries still answer, and a second
+  // connection is accepted — the event loop and both workers survived.
+  EXPECT_EQ(client.query_warns(live),
+            fx.direct_warns(*source, live));
+  ServeClient second(harness.server.unix_path());
+  EXPECT_EQ(second.query_warns(live).size(), 8U);
+  EXPECT_THROW((void)second.rollback(), std::runtime_error);
+  EXPECT_EQ(second.stats().generation, 0U);  // adaptation disabled
+}
+
+TEST(Server, SwapPersistsGenerationsAcrossRestart) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("ranm_serve_gens_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  ServeFixture fx;
+  const std::vector<Tensor> probe = fx.make_inputs(40, 73);
+  std::vector<std::uint8_t> swapped_verdicts;
+  {
+    MonitorService service(fx.clone_net(), fx.build_monitor(1), fx.k);
+    EXPECT_EQ(service.set_snapshot_store(
+                  std::make_unique<SnapshotStore>(dir.string(), 4)),
+              0U);  // fresh store: nothing resumed
+    ServerHarness harness(service, ServerHarness::unix_config("gens"));
+    ServeClient client(harness.server.unix_path());
+    (void)client.observe(fx.make_inputs(16, 74));
+    EXPECT_EQ(client.swap().generation, 2U);
+    swapped_verdicts = client.query_warns(probe);
+  }
+
+  // "Restart": a fresh service over the original artifact resumes the
+  // newest persisted generation from the store.
+  MonitorService restarted(fx.clone_net(), fx.build_monitor(1), fx.k);
+  EXPECT_EQ(restarted.set_snapshot_store(
+                std::make_unique<SnapshotStore>(dir.string(), 4)),
+            2U);
+  EXPECT_EQ(restarted.generation(), 2U);
+  EXPECT_EQ(restarted.query_warns(probe), swapped_verdicts);
+  // And the persisted history still supports a rollback to generation 1.
+  EXPECT_EQ(restarted.rollback().generation, 1U);
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -385,5 +385,123 @@ TEST(ServerLoop, DrainUnderLoadAnswersEveryAcceptedQuery) {
   EXPECT_EQ(stats.queue_depth, 0U);
 }
 
+// The tentpole invariant: swapping the monitor under concurrent query
+// load is atomic per query. Every verdict vector any client ever sees is
+// either the pure-old or the pure-new answer — never a blend — and once
+// the swap reply arrives, fresh queries are pure-new on every replica.
+TEST(ServerLoop, SwapUnderLoadYieldsPureOldOrPureNewVerdicts) {
+  LoopFixture fx;
+  MonitorService service = fx.make_service();
+  ServerHarness harness(service, unix_config("swap", 3));
+
+  // Probe with the batch that will be staged: pre-swap it warns on the
+  // far-out half, post-swap those samples are inside the refreshed
+  // region — the old and new answers are guaranteed to differ.
+  const std::vector<Tensor> probe = fx.make_inputs(32, 1200);
+  std::vector<std::uint8_t> expected_old;
+  std::vector<std::uint8_t> expected_new;
+  {
+    // Both expectations computed BEFORE any thread spawns: a reference
+    // service is not safe for concurrent callers.
+    MonitorService reference = fx.make_service();
+    expected_old = reference.query_warns(probe);
+    (void)reference.observe_batch(probe);
+    (void)reference.swap();
+    expected_new = reference.query_warns(probe);
+  }
+  ASSERT_NE(expected_old, expected_new);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<std::uint64_t> old_seen{0}, new_seen{0};
+  constexpr std::size_t kClients = 3;
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      ServeClient client(harness.server.unix_path());
+      std::vector<std::uint8_t> warns;
+      while (!stop.load(std::memory_order_relaxed)) {
+        client.query_warns_into(probe, warns);
+        if (warns == expected_old) {
+          old_seen.fetch_add(1, std::memory_order_relaxed);
+        } else if (warns == expected_new) {
+          new_seen.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failures.fetch_add(1);  // a blended verdict vector
+        }
+      }
+    });
+  }
+
+  // Let pure-old load build, then stage + swap while queries keep coming.
+  while (old_seen.load() < 16) std::this_thread::yield();
+  ServeClient control(harness.server.unix_path());
+  (void)control.observe(probe);
+  const SwapReply swapped = control.swap();
+  EXPECT_EQ(swapped.generation, 2U);
+  EXPECT_EQ(swapped.staged_applied, 32U);
+  // Keep querying past the swap so post-swap replies are exercised.
+  while (new_seen.load() < 16) std::this_thread::yield();
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0);  // never a blend
+  EXPECT_GE(old_seen.load(), 16U);
+  EXPECT_GE(new_seen.load(), 16U);
+  // After the swap reply, every replica answers pure-new — a fresh
+  // connection can land on any of the three workers.
+  for (int i = 0; i < 6; ++i) {
+    ServeClient fresh(harness.server.unix_path());
+    EXPECT_EQ(fresh.query_warns(probe), expected_new) << i;
+  }
+  const ServiceStats stats = control.stats();
+  EXPECT_EQ(stats.generation, 2U);
+  EXPECT_EQ(stats.swaps, 1U);
+}
+
+// A second kSwap while one is rebuilding must be refused with a
+// structured error — and the refused connection stays usable.
+TEST(ServerLoop, ConcurrentSwapRefusedWhileFirstInFlight) {
+  LoopFixture fx;
+  MonitorService service = fx.make_service();
+  ServerHarness harness(service, unix_config("swap2", 2));
+
+  ServeClient first(harness.server.unix_path());
+  ServeClient second(harness.server.unix_path());
+  // Enough staged samples that the rebuild takes real time.
+  const std::vector<Tensor> live = fx.make_inputs(256, 1300);
+  for (int i = 0; i < 8; ++i) (void)first.observe(live);
+
+  // Race two swap requests. The staging pool is drained exactly once:
+  // whichever request wins produces generation 2 applying all 2048
+  // samples; the loser is either refused ("already in progress") or ran
+  // after the winner finished, applying zero samples as generation 3.
+  // Never two partial swaps of one pool.
+  std::atomic<std::uint64_t> gen_sum{0}, applied_sum{0};
+  std::atomic<int> refused{0};
+  const auto race = [&](ServeClient& client) {
+    try {
+      const SwapReply reply = client.swap();
+      gen_sum.fetch_add(reply.generation);
+      applied_sum.fetch_add(reply.staged_applied);
+    } catch (const std::runtime_error&) {
+      refused.fetch_add(1);
+    }
+  };
+  std::thread racer([&] { race(second); });
+  race(first);
+  racer.join();
+  if (refused.load() == 1) {
+    EXPECT_EQ(gen_sum.load(), 2U);
+  } else {
+    EXPECT_EQ(refused.load(), 0);
+    EXPECT_EQ(gen_sum.load(), 5U);  // generations 2 and 3
+  }
+  EXPECT_EQ(applied_sum.load(), 8U * 256U);
+  // Both connections survive whatever happened.
+  EXPECT_EQ(first.query_warns(live).size(), live.size());
+  EXPECT_EQ(second.query_warns(live).size(), live.size());
+}
+
 }  // namespace
 }  // namespace ranm::serve

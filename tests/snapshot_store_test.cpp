@@ -1,0 +1,119 @@
+// Crash-consistency and rotation tests for the on-disk generation store
+// behind kSwap/kRollback. The load-bearing property: a crash at any point
+// of the save sequence — simulated here as the stray temp file a kill
+// between temp-write and rename leaves behind — must never surface a torn
+// or phantom generation on reload.
+#include "serve/snapshot_store.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace ranm::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct StoreFixture : ::testing::Test {
+  fs::path dir;
+
+  void SetUp() override {
+    dir = fs::temp_directory_path() /
+          ("ranm_store_" + std::to_string(::getpid()) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir);
+  }
+
+  void TearDown() override { fs::remove_all(dir); }
+};
+
+TEST_F(StoreFixture, SaveLoadRoundTrip) {
+  SnapshotStore store(dir, 4);
+  EXPECT_EQ(store.latest(), 0U);
+  EXPECT_TRUE(store.generations().empty());
+
+  store.save(1, "gen-one-bytes");
+  store.save(2, std::string("binary\0bytes", 12));
+  EXPECT_EQ(store.load(1), "gen-one-bytes");
+  EXPECT_EQ(store.load(2), std::string("binary\0bytes", 12));
+  EXPECT_EQ(store.latest(), 2U);
+  EXPECT_EQ(store.generations(), (std::vector<std::uint64_t>{1, 2}));
+
+  EXPECT_THROW((void)store.load(3), std::runtime_error);
+  EXPECT_THROW(store.save(0, "reserved"), std::invalid_argument);
+}
+
+TEST_F(StoreFixture, RotationKeepsNewestGenerations) {
+  SnapshotStore store(dir, 3);
+  for (std::uint64_t g = 1; g <= 6; ++g) {
+    store.save(g, "bytes-" + std::to_string(g));
+  }
+  EXPECT_EQ(store.generations(), (std::vector<std::uint64_t>{4, 5, 6}));
+  EXPECT_THROW((void)store.load(1), std::runtime_error);
+  EXPECT_EQ(store.load(6), "bytes-6");
+
+  // keep is clamped to >= 1: the newest generation always survives.
+  SnapshotStore tight(dir, 0);
+  tight.save(7, "bytes-7");
+  EXPECT_EQ(tight.generations(), (std::vector<std::uint64_t>{7}));
+}
+
+// A crash between temp-write and rename leaves `gen-N.rmon.tmp` behind.
+// Reload must see only the consistent prior state; the next save cleans
+// the stray file up.
+TEST_F(StoreFixture, CrashBetweenTempWriteAndRenameIsInvisible) {
+  {
+    SnapshotStore store(dir, 4);
+    store.save(1, "good-generation-1");
+    store.save(2, "good-generation-2");
+  }
+  // Simulated kill mid-save of generation 3: the temp file exists with
+  // partial bytes, the final name was never created.
+  const fs::path stray = dir / (SnapshotStore::file_name(3) + ".tmp");
+  {
+    std::ofstream out(stray, std::ios::binary);
+    out << "torn-halfway-writ";
+  }
+  ASSERT_TRUE(fs::exists(stray));
+
+  SnapshotStore reloaded(dir, 4);
+  EXPECT_EQ(reloaded.latest(), 2U);  // the torn generation never existed
+  EXPECT_EQ(reloaded.generations(), (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_THROW((void)reloaded.load(3), std::runtime_error);
+  EXPECT_EQ(reloaded.load(2), "good-generation-2");
+
+  // The retried save wins and sweeps the stray temp file.
+  reloaded.save(3, "good-generation-3");
+  EXPECT_FALSE(fs::exists(stray));
+  EXPECT_EQ(reloaded.load(3), "good-generation-3");
+  EXPECT_EQ(reloaded.latest(), 3U);
+}
+
+TEST_F(StoreFixture, ScanIgnoresForeignFiles) {
+  SnapshotStore store(dir, 4);
+  store.save(5, "real");
+  for (const char* name :
+       {"README", "gen-.rmon", "gen-12x.rmon", "gen-000001.rmonX",
+        "notgen-000002.rmon"}) {
+    std::ofstream out(dir / name);
+    out << "noise";
+  }
+  EXPECT_EQ(store.generations(), (std::vector<std::uint64_t>{5}));
+  EXPECT_EQ(store.latest(), 5U);
+  // Foreign files are left alone by rotation.
+  store.save(6, "real-6");
+  EXPECT_TRUE(fs::exists(dir / "README"));
+}
+
+TEST_F(StoreFixture, OverwritingSameGenerationIsAtomic) {
+  SnapshotStore store(dir, 4);
+  store.save(1, "first-contents");
+  store.save(1, "second-contents");  // rename replaces atomically
+  EXPECT_EQ(store.load(1), "second-contents");
+  EXPECT_EQ(store.generations(), (std::vector<std::uint64_t>{1}));
+}
+
+}  // namespace
+}  // namespace ranm::serve

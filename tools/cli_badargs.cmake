@@ -70,8 +70,25 @@ expect_stderr_matches("unknown option --frobnicate"
 expect_stderr_matches("use '--backend vectorized'"
   ${RANM_CLI} build --net x --data x --layer 3 --type minmax --backend=vectorized --out /dev/null)
 
+# Lifecycle subcommands declare their key sets like everything else.
+expect_stderr_matches("unknown option --bacth .did you mean --batch\\?."
+  ${RANM_CLI} observe --socket /tmp/none.sock --data x --bacth 8)
+expect_stderr_matches("unknown option --sokcet .did you mean --socket\\?."
+  ${RANM_CLI} swap --sokcet /tmp/none.sock)
+expect_range_error(${RANM_CLI} rollback --socket /tmp/none.sock --generation -1)
+# Port 0 in a client endpoint is rejected by the endpoint parser before
+# any connect.
+expect_stderr_matches("invalid port"
+  ${RANM_CLI} query --tcp 127.0.0.1:0 --in-dist x)
+
 # The serving daemon validates its flags the same way.
 if(DEFINED RANM_SERVE)
   expect_stderr_matches("unknown option --montior .did you mean --monitor\\?."
     ${RANM_SERVE} --net x --montior y --layer 1 --socket /tmp/none.sock)
+  # A daemon on a kernel-assigned ephemeral port is unreachable by
+  # construction; --tcp 0 must be refused loudly, not bound silently.
+  expect_stderr_matches("ephemeral port"
+    ${RANM_SERVE} --net x --monitor y --layer 1 --tcp 0)
+  expect_stderr_matches("--keep needs --generations"
+    ${RANM_SERVE} --net x --monitor y --layer 1 --socket /tmp/none.sock --keep 3)
 endif()

@@ -359,10 +359,17 @@ void emit_frame_corpus() {
   stats.queue_depth = 0;
   stats.queue_capacity = 64;
   stats.overloaded = 0;
+  stats.generation = 3;
+  stats.staged_samples = 40;
+  stats.swaps = 2;
+  stats.rollbacks = 1;
+  stats.rolling_samples = 64;
+  stats.rolling_warnings = 9;
   stats.shard_strategy = "shuffled";
   stats.shard_seed = 7;
-  stats.shards = {{.neurons = 3, .bdd_nodes = 9, .cubes_inserted = 5},
-                  {.neurons = 5, .bdd_nodes = 14, .cubes_inserted = 8}};
+  stats.shards = {
+      {.neurons = 3, .bdd_nodes = 9, .cubes_inserted = 5, .novel = 2},
+      {.neurons = 5, .bdd_nodes = 14, .cubes_inserted = 8, .novel = 0}};
   write_seed_with_mutants(
       "frame", "stats",
       framed(FrameType::kStatsReply, ranm::serve::encode_stats(stats)));
@@ -377,9 +384,47 @@ void emit_frame_corpus() {
   write_seed("frame", "stats_request", framed(FrameType::kStats, {}));
   write_seed("frame", "shutdown", framed(FrameType::kShutdown, {}));
 
+  // Monitor-lifecycle frames (observe/swap/rollback and their replies).
+  write_seed_with_mutants(
+      "frame", "observe",
+      framed(FrameType::kObserve, ranm::serve::encode_query(inputs)));
+  write_seed_with_mutants(
+      "frame", "observe_reply",
+      framed(FrameType::kObserveReply,
+             ranm::serve::encode_observe_reply(
+                 {.accepted = 2, .staged_total = 10, .novel = 1})));
+  write_seed("frame", "swap", framed(FrameType::kSwap, {}));
+  write_seed_with_mutants(
+      "frame", "swap_reply",
+      framed(FrameType::kSwapReply,
+             ranm::serve::encode_swap_reply(
+                 {.generation = 2,
+                  .staged_applied = 10,
+                  .duration_us = 1234,
+                  .monitor = "interval(paper_two_bit)"})));
+  write_seed_with_mutants(
+      "frame", "rollback",
+      framed(FrameType::kRollback, ranm::serve::encode_rollback(2)));
+  // A rollback target no store will ever hold: the decoder must accept it
+  // (any u64 is wire-valid) and the service must reject it cleanly.
+  write_seed("frame", "rollback_missing_gen",
+             framed(FrameType::kRollback,
+                    ranm::serve::encode_rollback(1ULL << 62)));
+  write_seed_with_mutants(
+      "frame", "rollback_reply",
+      framed(FrameType::kRollbackReply,
+             ranm::serve::encode_rollback_reply(
+                 {.generation = 1, .monitor = "interval(paper_two_bit)"})));
+
   // A two-frame stream: query then stats request back-to-back.
   write_seed("frame", "stream_two_frames",
              framed(FrameType::kQuery, ranm::serve::encode_query(inputs)) +
+                 framed(FrameType::kStats, {}));
+
+  // Lifecycle stream: stage a batch, swap to it, then ask for stats.
+  write_seed("frame", "stream_observe_swap_stats",
+             framed(FrameType::kObserve, ranm::serve::encode_query(inputs)) +
+                 framed(FrameType::kSwap, {}) +
                  framed(FrameType::kStats, {}));
 
   std::string bad_magic;
@@ -413,6 +458,12 @@ void emit_frame_corpus() {
   put_u64(bad_verdicts, 3);
   bad_verdicts += "\x00\x07\x01";
   write_seed("frame", "hostile_verdicts_nonbool", bad_verdicts);
+
+  // Observe batch claiming more samples than kMaxQuerySamples allows;
+  // the count check must fire before any sized allocation.
+  std::string oversized_observe;
+  put_u64(oversized_observe, ranm::serve::kMaxQuerySamples + 1);
+  write_seed("frame", "hostile_observe_oversized", oversized_observe);
 }
 
 // --- bdd -----------------------------------------------------------------

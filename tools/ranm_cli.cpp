@@ -53,8 +53,8 @@ namespace {
 
 [[noreturn]] void usage() {
   std::fputs(
-      "usage: ranm <gen|train|build|compile|optimize|eval|query|info>"
-      " [options]\n"
+      "usage: ranm <gen|train|build|compile|optimize|eval|query|observe|"
+      "swap|rollback|info> [options]\n"
       "  gen    --workload track|digits|signs [--variant NAME]\n"
       "         --count N [--seed S] --out FILE\n"
       "  train  --data FILE --task regression|classification\n"
@@ -81,6 +81,13 @@ namespace {
       "  query  --socket PATH | --tcp HOST:PORT [--in-dist FILE]\n"
       "         [--ood FILE ...] [--batch N] [--stats]   (talks to a\n"
       "         ranm_serve daemon over unix or tcp)\n"
+      "  observe --socket PATH | --tcp HOST:PORT --data FILE [--batch N]\n"
+      "         (stream a dataset into the daemon's staging pool for the\n"
+      "         next swap; prints novelty against the live monitor)\n"
+      "  swap   --socket PATH | --tcp HOST:PORT   (rebuild from staged\n"
+      "         samples and atomically publish the refreshed monitor)\n"
+      "  rollback --socket PATH | --tcp HOST:PORT [--generation G]\n"
+      "         (restore a persisted generation; default: the previous)\n"
       "  info   --net FILE | --monitor FILE [--dot FILE] | --data FILE\n"
       "         | --backends\n",
       stderr);
@@ -499,6 +506,20 @@ int cmd_eval(const ArgParser& args) {
   return 0;
 }
 
+/// Shared daemon-connection handling of the client subcommands
+/// (query/observe/swap/rollback): exactly one of --socket/--tcp.
+serve::ServeClient connect_daemon(const ArgParser& args,
+                                  const char* command) {
+  if (args.has("socket") == args.has("tcp")) {
+    throw std::invalid_argument(
+        std::string(command) +
+        " needs exactly one of --socket PATH or --tcp HOST:PORT");
+  }
+  if (args.has("socket")) return serve::ServeClient(args.require("socket"));
+  const serve::HostPort hp = serve::parse_host_port(args.require("tcp"));
+  return serve::ServeClient(hp.host, hp.port);
+}
+
 /// Renders a stats reply the way `info --monitor` renders a local
 /// artifact, plus the daemon's lifetime counters.
 void print_service_stats(const serve::ServiceStats& stats) {
@@ -510,6 +531,20 @@ void print_service_stats(const serve::ServiceStats& stats) {
               static_cast<unsigned long long>(stats.queries),
               static_cast<unsigned long long>(stats.samples),
               static_cast<unsigned long long>(stats.warnings));
+  if (stats.rolling_samples > 0) {
+    std::printf("rolling warning rate: %.2f%% over last %llu samples\n",
+                100.0 * double(stats.rolling_warnings) /
+                    double(stats.rolling_samples),
+                static_cast<unsigned long long>(stats.rolling_samples));
+  }
+  if (stats.generation != 0) {
+    std::printf("lifecycle: generation %llu, %llu staged, %llu swaps, "
+                "%llu rollbacks\n",
+                static_cast<unsigned long long>(stats.generation),
+                static_cast<unsigned long long>(stats.staged_samples),
+                static_cast<unsigned long long>(stats.swaps),
+                static_cast<unsigned long long>(stats.rollbacks));
+  }
   if (stats.workers.size() > 1) {
     TextTable workers("per-worker counters");
     workers.set_header({"worker", "queries", "samples", "warnings"});
@@ -529,22 +564,24 @@ void print_service_stats(const serve::ServiceStats& stats) {
   }
   if (!stats.shards.empty()) {
     TextTable table("per-shard statistics");
-    table.set_header(
-        {"shard", "neurons", "bdd nodes", "cubes inserted", "patterns"});
-    std::uint64_t neurons = 0, nodes = 0, cubes = 0;
+    table.set_header({"shard", "neurons", "bdd nodes", "cubes inserted",
+                      "novel", "patterns"});
+    std::uint64_t neurons = 0, nodes = 0, cubes = 0, novel = 0;
     for (std::size_t s = 0; s < stats.shards.size(); ++s) {
       const serve::ShardStatsWire& st = stats.shards[s];
       table.add_row({std::to_string(s), std::to_string(st.neurons),
                      std::to_string(st.bdd_nodes),
                      std::to_string(st.cubes_inserted),
+                     std::to_string(st.novel),
                      st.patterns < 0 ? std::string("-")
                                      : TextTable::num(st.patterns, 0)});
       neurons += st.neurons;
       nodes += st.bdd_nodes;
       cubes += st.cubes_inserted;
+      novel += st.novel;
     }
     table.add_row({"total", std::to_string(neurons), std::to_string(nodes),
-                   std::to_string(cubes), "-"});
+                   std::to_string(cubes), std::to_string(novel), "-"});
     table.print();
     std::printf("plan: %zu shards, strategy %s, seed %llu, threads %llu\n",
                 stats.shards.size(), stats.shard_strategy.c_str(),
@@ -558,16 +595,7 @@ void print_service_stats(const serve::ServiceStats& stats) {
 /// without loading the network or monitor artifacts itself.
 int cmd_query(const ArgParser& args) {
   args.check_known({"socket", "tcp", "in-dist", "ood", "batch", "stats"});
-  if (args.has("socket") == args.has("tcp")) {
-    throw std::invalid_argument(
-        "query needs exactly one of --socket PATH or --tcp HOST:PORT");
-  }
-  auto connect = [&]() -> serve::ServeClient {
-    if (args.has("socket")) return serve::ServeClient(args.require("socket"));
-    const serve::HostPort hp = serve::parse_host_port(args.require("tcp"));
-    return serve::ServeClient(hp.host, hp.port);
-  };
-  serve::ServeClient client = connect();
+  serve::ServeClient client = connect_daemon(args, "query");
   const std::size_t batch = args.get_size(
       "batch", 256, std::size_t(serve::kMaxQuerySamples));
   if (batch == 0) throw std::invalid_argument("--batch must be >= 1");
@@ -614,6 +642,68 @@ int cmd_query(const ArgParser& args) {
   }
 
   if (want_stats) print_service_stats(client.stats());
+  return 0;
+}
+
+/// Streams a dataset into the daemon's staging pool: each chunk is one
+/// kObserve frame, answered with accepted/staged/novelty counters. The
+/// daemon only rebuilds on an explicit `swap`.
+int cmd_observe(const ArgParser& args) {
+  args.check_known({"socket", "tcp", "data", "batch"});
+  serve::ServeClient client = connect_daemon(args, "observe");
+  const std::size_t batch = args.get_size(
+      "batch", 256, std::size_t(serve::kMaxQuerySamples));
+  if (batch == 0) throw std::invalid_argument("--batch must be >= 1");
+
+  const Dataset data = load_dataset_file(args.require("data"));
+  if (data.inputs.empty()) {
+    throw std::invalid_argument("observe: dataset has no samples");
+  }
+  const std::size_t set_batch =
+      std::min(batch, serve::max_query_batch(data.inputs.front()));
+  Timer timer;
+  std::uint64_t accepted = 0, novel = 0, staged = 0;
+  for (std::size_t i = 0; i < data.inputs.size(); i += set_batch) {
+    const std::size_t n = std::min(set_batch, data.inputs.size() - i);
+    const std::span<const Tensor> chunk(data.inputs.data() + i, n);
+    const serve::ObserveReply reply = client.observe(chunk);
+    accepted += reply.accepted;
+    novel += reply.novel;
+    staged = reply.staged_total;
+  }
+  std::printf("observed %llu samples in %.2fs: %llu novel (%.2f%%), "
+              "%llu now staged for the next swap\n",
+              static_cast<unsigned long long>(accepted), timer.seconds(),
+              static_cast<unsigned long long>(novel),
+              accepted == 0 ? 0.0 : 100.0 * double(novel) / double(accepted),
+              static_cast<unsigned long long>(staged));
+  return 0;
+}
+
+/// Rebuild-and-publish: the daemon folds its staged samples into a fresh
+/// monitor in the background and atomically swaps every worker replica to
+/// the new generation.
+int cmd_swap(const ArgParser& args) {
+  args.check_known({"socket", "tcp"});
+  serve::ServeClient client = connect_daemon(args, "swap");
+  const serve::SwapReply reply = client.swap();
+  std::printf("swapped to generation %llu in %.2f ms "
+              "(%llu staged samples applied)\n%s\n",
+              static_cast<unsigned long long>(reply.generation),
+              double(reply.duration_us) / 1000.0,
+              static_cast<unsigned long long>(reply.staged_applied),
+              reply.monitor.c_str());
+  return 0;
+}
+
+int cmd_rollback(const ArgParser& args) {
+  args.check_known({"socket", "tcp", "generation"});
+  const std::uint64_t target = args.get_size("generation", 0, 1U << 30);
+  serve::ServeClient client = connect_daemon(args, "rollback");
+  const serve::RollbackReply reply = client.rollback(target);
+  std::printf("rolled back to generation %llu\n%s\n",
+              static_cast<unsigned long long>(reply.generation),
+              reply.monitor.c_str());
   return 0;
 }
 
@@ -747,6 +837,9 @@ int run(int argc, char** argv) {
   if (cmd == "optimize") return cmd_optimize(args);
   if (cmd == "eval") return cmd_eval(args);
   if (cmd == "query") return cmd_query(args);
+  if (cmd == "observe") return cmd_observe(args);
+  if (cmd == "swap") return cmd_swap(args);
+  if (cmd == "rollback") return cmd_rollback(args);
   if (cmd == "info") return cmd_info(args);
   usage();
 }

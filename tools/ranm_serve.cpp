@@ -17,16 +17,23 @@
 //
 // Clients: `ranm query --socket /tmp/ranm.sock --in-dist test.ds` (or
 // `--tcp host:port`), the in-process ServeClient API, or anything
-// speaking the frame protocol (serve/protocol.hpp). SIGINT/SIGTERM (or a
-// client shutdown frame) drain the daemon gracefully — accepting stops,
-// every accepted query is answered — and final counters are printed.
+// speaking the frame protocol (serve/protocol.hpp). SIGINT/SIGTERM/SIGHUP
+// (or a client shutdown frame) drain the daemon gracefully — accepting
+// stops, every accepted query is answered — and final counters are
+// printed.
+//
+// With --generations DIR the daemon persists every swapped monitor
+// generation into DIR (crash-consistent, rotated to --keep files) and
+// resumes the newest persisted generation on restart.
 #include <csignal>
 #include <cstdio>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
 #include "serve/monitor_service.hpp"
 #include "serve/server.hpp"
+#include "serve/snapshot_store.hpp"
 #include "util/args.hpp"
 
 namespace ranm::cli {
@@ -37,15 +44,19 @@ namespace {
       "usage: ranm_serve --net FILE --monitor FILE --layer K\n"
       "                  [--socket PATH] [--tcp PORT]\n"
       "                  [--workers N] [--queue CAP] [--threads T]\n"
+      "                  [--generations DIR] [--keep N]\n"
       "  --socket:  Unix-domain listener path\n"
-      "  --tcp:     TCP listener port (0 = kernel-assigned, printed)\n"
+      "  --tcp:     TCP listener port (1-65535)\n"
       "             at least one of --socket/--tcp is required\n"
       "  --workers: service replicas executing queries in parallel\n"
       "             (0 = hardware concurrency, default 1 = inline)\n"
       "  --queue:   bounded request queue capacity; overflowing queries\n"
       "             are answered kOverloaded (default 256)\n"
       "  --threads: shard-level parallelism inside each replica for\n"
-      "             sharded monitors (0 = hardware concurrency, default 1)\n",
+      "             sharded monitors (0 = hardware concurrency, default 1)\n"
+      "  --generations: directory persisting swapped monitor generations\n"
+      "             (crash-consistent, rotated; newest resumed on restart)\n"
+      "  --keep:    generations retained in --generations (default 8)\n",
       stderr);
   std::exit(2);
 }
@@ -66,12 +77,16 @@ void install_signal_handlers() {
   sa.sa_flags = 0;  // no SA_RESTART: blocking calls must wake up
   sigaction(SIGINT, &sa, nullptr);
   sigaction(SIGTERM, &sa, nullptr);
+  // SIGHUP is how a closing terminal and systemd's default kill sequence
+  // reach a daemon; without a handler it killed the process mid-query.
+  // Drain exactly like SIGTERM.
+  sigaction(SIGHUP, &sa, nullptr);
 }
 
 int run(int argc, char** argv) {
   const ArgParser args(argc, argv);
   args.check_known({"net", "monitor", "layer", "socket", "tcp", "workers",
-                    "queue", "threads", "help"});
+                    "queue", "threads", "generations", "keep", "help"});
   if (args.has("help")) usage();
   const std::size_t layer = args.get_size("layer", 0, 1U << 20);
   // 0 means hardware concurrency; bounded like ranm_cli's --threads.
@@ -80,9 +95,17 @@ int run(int argc, char** argv) {
   serve::ServerConfig config;
   config.unix_path = args.get("socket", "");
   if (args.has("tcp")) {
+    // Port 0 would bind a kernel-assigned ephemeral port — fine for the
+    // in-process test Server, but a daemon on a port the operator never
+    // asked for is just unreachable. Reject it loudly.
+    const std::size_t port = args.get_size("tcp", 0, 65535);
+    if (port == 0) {
+      throw std::invalid_argument(
+          "ranm_serve: --tcp 0 (ephemeral port) is not allowed for a "
+          "daemon — pick an explicit port in 1-65535");
+    }
     config.tcp = true;
-    config.tcp_port =
-        static_cast<std::uint16_t>(args.get_size("tcp", 0, 65535));
+    config.tcp_port = static_cast<std::uint16_t>(port);
   }
   if (config.unix_path.empty() && !config.tcp) {
     throw std::invalid_argument(
@@ -94,12 +117,28 @@ int run(int argc, char** argv) {
   if (config.queue_capacity == 0) {
     throw std::invalid_argument("ranm_serve: --queue must be >= 1");
   }
+  if (args.has("keep") && !args.has("generations")) {
+    throw std::invalid_argument(
+        "ranm_serve: --keep needs --generations DIR");
+  }
 
   serve::MonitorService service = serve::MonitorService::from_files(
       args.require("net"), args.require("monitor"), layer, threads);
   std::printf("loaded %s (dim %zu, layer %zu)\n",
-              service.monitor().describe().c_str(), service.dimension(),
+              service.monitor_description().c_str(), service.dimension(),
               service.layer_k());
+
+  if (args.has("generations")) {
+    const std::size_t keep = args.get_size("keep", 8, 4096);
+    const std::uint64_t resumed = service.set_snapshot_store(
+        std::make_unique<serve::SnapshotStore>(args.require("generations"),
+                                               keep));
+    if (resumed != 0) {
+      std::printf("resumed generation %llu from %s\n",
+                  static_cast<unsigned long long>(resumed),
+                  args.require("generations").c_str());
+    }
+  }
 
   serve::Server server(service, config);
   g_server = &server;
@@ -111,8 +150,8 @@ int run(int argc, char** argv) {
   } else {
     std::printf("serving on tcp port %u", unsigned(server.tcp_port()));
   }
-  std::printf(" with %zu worker%s — SIGINT/SIGTERM or a shutdown frame "
-              "drains\n",
+  std::printf(" with %zu worker%s — SIGINT/SIGTERM/SIGHUP or a shutdown "
+              "frame drains\n",
               server.worker_count(),
               server.worker_count() == 1 ? "" : "s");
   std::fflush(stdout);
@@ -128,6 +167,17 @@ int run(int argc, char** argv) {
               static_cast<unsigned long long>(stats.queries),
               static_cast<unsigned long long>(stats.samples),
               static_cast<unsigned long long>(stats.warnings));
+  if (stats.generation != 0) {
+    std::printf("lifecycle: generation %llu, %llu swap%s, %llu "
+                "rollback%s, %llu staged sample%s\n",
+                static_cast<unsigned long long>(stats.generation),
+                static_cast<unsigned long long>(stats.swaps),
+                stats.swaps == 1 ? "" : "s",
+                static_cast<unsigned long long>(stats.rollbacks),
+                stats.rollbacks == 1 ? "" : "s",
+                static_cast<unsigned long long>(stats.staged_samples),
+                stats.staged_samples == 1 ? "" : "s");
+  }
   return 0;
 }
 

@@ -1,0 +1,107 @@
+# Daemon-lifecycle smoke driven by ctest: a real ranm_serve process is
+# sent SIGHUP — the signal a closing terminal or systemd's default kill
+# sequence delivers — and must drain gracefully (exit 0, final counters
+# printed) exactly like SIGTERM, instead of dying mid-query as it did
+# before the handler was installed. While the daemon is up, the
+# observe/swap/rollback client subcommands run against it end-to-end,
+# with generations persisted to a store directory. Invoked as:
+#   cmake -DRANM_CLI=<binary> -DRANM_SERVE=<binary> -DWORK_DIR=<dir>
+#         -P serve_sighup.cmake
+
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (exit ${rc}): ${ARGV}")
+  endif()
+endfunction()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+run(${RANM_CLI} gen --workload digits --count 40 --seed 3
+    --out ${WORK_DIR}/train.bin)
+run(${RANM_CLI} gen --workload digits --variant letters --count 20 --seed 4
+    --out ${WORK_DIR}/live.bin)
+run(${RANM_CLI} train --data ${WORK_DIR}/train.bin --task classification
+    --epochs 1 --out ${WORK_DIR}/net.bin)
+run(${RANM_CLI} build --net ${WORK_DIR}/net.bin --data ${WORK_DIR}/train.bin
+    --layer 6 --type interval --bits 2 --out ${WORK_DIR}/mon.bin)
+
+# The orchestration needs job control (background daemon + kill -HUP +
+# wait), which execute_process cannot express — one POSIX sh script does
+# the whole dance. The socket lives in /tmp: sockaddr_un caps the path at
+# ~108 bytes and build trees can exceed that.
+file(WRITE ${WORK_DIR}/sighup.sh "\
+set -e
+sock=/tmp/ranm_sighup_$$.sock
+rm -f \"$sock\"
+\"$RANM_SERVE\" --net \"$WORK_DIR/net.bin\" --monitor \"$WORK_DIR/mon.bin\" \\
+    --layer 6 --socket \"$sock\" --workers 2 \\
+    --generations \"$WORK_DIR/gens\" --keep 4 > \"$WORK_DIR/serve.log\" 2>&1 &
+pid=$!
+i=0
+while [ ! -S \"$sock\" ]; do
+  i=$((i + 1))
+  if [ $i -gt 100 ]; then
+    echo 'daemon never opened its socket' >&2
+    kill \"$pid\" 2>/dev/null
+    exit 3
+  fi
+  sleep 0.1
+done
+
+# The full monitor lifecycle over the wire while the daemon serves.
+\"$RANM_CLI\" query --socket \"$sock\" --in-dist \"$WORK_DIR/train.bin\"
+\"$RANM_CLI\" observe --socket \"$sock\" --data \"$WORK_DIR/live.bin\" \\
+    > \"$WORK_DIR/observe.log\"
+\"$RANM_CLI\" swap --socket \"$sock\" > \"$WORK_DIR/swap.log\"
+\"$RANM_CLI\" rollback --socket \"$sock\" > \"$WORK_DIR/rollback.log\"
+\"$RANM_CLI\" query --socket \"$sock\" --stats
+
+# The drain under test: SIGHUP must behave exactly like SIGTERM.
+kill -HUP \"$pid\"
+wait \"$pid\"
+")
+
+find_program(SH_PROGRAM sh REQUIRED)
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+    RANM_CLI=${RANM_CLI} RANM_SERVE=${RANM_SERVE} WORK_DIR=${WORK_DIR}
+    ${SH_PROGRAM} ${WORK_DIR}/sighup.sh
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  if(EXISTS ${WORK_DIR}/serve.log)
+    file(READ ${WORK_DIR}/serve.log serve_log)
+  endif()
+  message(FATAL_ERROR
+    "SIGHUP drain failed (exit ${rc}); daemon log:\n${serve_log}")
+endif()
+
+# Exit 0 proves the signal drained run(); the final counter line proves
+# main() ran to completion instead of the process being killed.
+file(READ ${WORK_DIR}/serve.log serve_log)
+if(NOT serve_log MATCHES "stopped after")
+  message(FATAL_ERROR
+    "daemon exited 0 but never printed final counters:\n${serve_log}")
+endif()
+if(NOT serve_log MATCHES "lifecycle: generation")
+  message(FATAL_ERROR
+    "daemon summary is missing the lifecycle line:\n${serve_log}")
+endif()
+
+# The swap persisted its generation crash-consistently.
+file(GLOB persisted ${WORK_DIR}/gens/gen-*.rmon)
+list(LENGTH persisted persisted_count)
+if(persisted_count LESS 2)
+  message(FATAL_ERROR
+    "expected generations 1 and 2 in the store, found: ${persisted}")
+endif()
+
+file(READ ${WORK_DIR}/swap.log swap_log)
+if(NOT swap_log MATCHES "swapped to generation 2")
+  message(FATAL_ERROR "unexpected swap output:\n${swap_log}")
+endif()
+file(READ ${WORK_DIR}/rollback.log rollback_log)
+if(NOT rollback_log MATCHES "rolled back to generation 1")
+  message(FATAL_ERROR "unexpected rollback output:\n${rollback_log}")
+endif()
